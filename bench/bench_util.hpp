@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the report harnesses: tiny flag parser and table
+ * formatting. Each bench binary regenerates one of the paper's tables
+ * or figures as text (rows/series), so results can be diffed against
+ * EXPERIMENTS.md.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace zc::benchutil {
+
+/** "--key=value" flag lookup; returns fallback when absent. */
+inline std::string
+flag(int argc, char** argv, const std::string& key,
+     const std::string& fallback)
+{
+    std::string prefix = "--" + key + "=";
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return std::string(argv[i] + prefix.size());
+        }
+    }
+    return fallback;
+}
+
+inline std::uint64_t
+flagU64(int argc, char** argv, const std::string& key,
+        std::uint64_t fallback)
+{
+    std::string v = flag(argc, argv, key, "");
+    return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
+}
+
+inline bool
+flagBool(int argc, char** argv, const std::string& key)
+{
+    std::string bare = "--" + key;
+    for (int i = 1; i < argc; i++) {
+        if (bare == argv[i]) return true;
+    }
+    return flag(argc, argv, key, "") == "1" ||
+           flag(argc, argv, key, "") == "true";
+}
+
+/** Section banner. */
+inline void
+banner(const std::string& title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+} // namespace zc::benchutil

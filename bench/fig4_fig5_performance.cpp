@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Fig. 4 and Fig. 5 — the paper's performance and energy evaluation.
+ *
+ * Fig. 4: L2 MPKI and IPC improvements of SA-16, SA-32 (H3-hashed),
+ * Z4/4 (skew), Z4/16 and Z4/52 over a serial-lookup 4-way
+ * set-associative cache with H3 hashing, across the 72-workload suite,
+ * under OPT (4a) and bucketed LRU (4b). The paper plots per-design
+ * sorted curves; this harness prints their percentiles plus the
+ * loss/win counts, and per-workload rows under --verbose.
+ *
+ * Fig. 5: IPC and BIPS/W of serial vs parallel-lookup variants on five
+ * representative workloads plus geomeans over the whole suite and over
+ * the 10 most L2-miss-intensive workloads, normalized to the serial
+ * SA-4 baseline.
+ *
+ * Expected shape:
+ *  - MPKI improves monotonically with candidates; equal-R designs
+ *    (SA-16 vs Z4/16) improve similarly (under OPT almost identically);
+ *  - SA-32's 2-cycle hit-latency penalty erodes or reverses its IPC
+ *    gains on hit-heavy workloads; zcaches never pay that cost;
+ *  - over the top-10 miss-intensive workloads, Z4/52 beats both the
+ *    baseline (IPC and BIPS/W) and SA-32;
+ *  - parallel lookup helps hit-latency-bound workloads, but its energy
+ *    premium grows steeply with SA ways while zcaches keep it small.
+ *
+ * Flags: --policy=lru|opt|both  --workloads=quick|all  --verbose
+ *        --warmup=N --instr=N  --serial-only
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/experiment.hpp"
+#include "trace/workloads.hpp"
+
+#include "bench_util.hpp"
+
+using namespace zc;
+
+namespace {
+
+struct Design
+{
+    std::string label;
+    ArraySpec spec;
+};
+
+std::vector<Design>
+designs()
+{
+    auto sa = [](std::uint32_t ways) {
+        Design d;
+        d.label = "SA-" + std::to_string(ways);
+        d.spec.kind = ArrayKind::SetAssoc;
+        d.spec.ways = ways;
+        d.spec.hashKind = HashKind::H3;
+        return d;
+    };
+    auto z = [](std::uint32_t levels) {
+        Design d;
+        d.spec.kind = ArrayKind::ZCache;
+        d.spec.ways = 4;
+        d.spec.levels = levels;
+        d.spec.hashKind = HashKind::H3;
+        d.label = "Z4/" + std::to_string(ZArray::nominalCandidates(4, levels));
+        return d;
+    };
+    return {sa(4), sa(16), sa(32), z(1), z(2), z(3)};
+}
+
+/** Representative workloads plotted in Fig. 5. */
+const std::vector<std::string> kFig5Workloads{
+    "blackscholes", "gamess", "ammp", "canneal", "cactusADM",
+};
+
+/** Reduced suite for quick runs: spread of behaviours + Fig. 5 five. */
+const std::vector<std::string> kQuickSuite{
+    "blackscholes", "canneal",   "fluidanimate", "streamcluster",
+    "wupwise",      "apsi",      "ammp",         "art",
+    "gamess",       "mcf",       "cactusADM",    "lbm",
+    "libquantum",   "omnetpp",   "soplex",       "gcc",
+    "sphinx3",      "milc",      "xalancbmk",    "cpu2K6rand0",
+    "cpu2K6rand1",  "cpu2K6rand2",
+};
+
+struct Key
+{
+    std::string workload;
+    std::string design;
+    bool serial;
+    PolicyKind policy;
+
+    bool
+    operator<(const Key& o) const
+    {
+        return std::tie(workload, design, serial, policy) <
+               std::tie(o.workload, o.design, o.serial, o.policy);
+    }
+};
+
+class Runner
+{
+  public:
+    Runner(std::uint64_t warmup, std::uint64_t instr)
+        : warmup_(warmup), instr_(instr)
+    {
+    }
+
+    const RunResult&
+    get(const std::string& workload, const Design& d, bool serial,
+        PolicyKind policy)
+    {
+        Key k{workload, d.label, serial, policy};
+        auto it = cache_.find(k);
+        if (it != cache_.end()) return it->second;
+
+        RunParams p;
+        p.workload = workload;
+        p.l2Spec = d.spec;
+        p.l2Spec.policy = policy;
+        p.serialLookup = serial;
+        p.warmupInstr = warmup_;
+        p.measureInstr = instr_;
+        RunResult r = runExperiment(p);
+        std::fprintf(stderr, "  ran %-14s %-6s %-8s %-4s mpki=%6.2f "
+                             "ipc=%5.2f bips/w=%5.2f\n",
+                     workload.c_str(), d.label.c_str(),
+                     serial ? "serial" : "parallel",
+                     policyKindName(policy), r.mpki, r.ipc, r.bipsPerWatt);
+        return cache_.emplace(k, r).first->second;
+    }
+
+  private:
+    std::uint64_t warmup_, instr_;
+    std::map<Key, RunResult> cache_;
+};
+
+void
+printPercentiles(const std::string& label, std::vector<double> ratios)
+{
+    std::sort(ratios.begin(), ratios.end());
+    auto q = [&](double f) {
+        return quantile(ratios, f);
+    };
+    int losses = static_cast<int>(
+        std::count_if(ratios.begin(), ratios.end(),
+                      [](double r) { return r < 0.999; }));
+    std::printf("  %-7s min %.3f | p10 %.3f | p25 %.3f | median %.3f | "
+                "p75 %.3f | p90 %.3f | max %.3f | <1.0 on %d/%zu\n",
+                label.c_str(), q(0.0), q(0.1), q(0.25), q(0.5), q(0.75),
+                q(0.9), q(1.0), losses, ratios.size());
+}
+
+void
+fig4(Runner& runner, const std::vector<std::string>& suite,
+     PolicyKind policy, bool verbose)
+{
+    auto ds = designs();
+    const Design& base = ds[0]; // SA-4 + H3, serial
+
+    benchutil::banner(std::string("Fig. 4") +
+                      (policy == PolicyKind::Opt ? "a (OPT)"
+                                                 : "b (bucketed LRU)") +
+                      ": improvements over serial SA-4+H3");
+
+    for (std::size_t i = 1; i < ds.size(); i++) {
+        std::vector<double> mpki_ratio, ipc_ratio;
+        std::vector<std::string> rows;
+        for (const auto& wl : suite) {
+            const RunResult& b = runner.get(wl, base, true, policy);
+            const RunResult& r = runner.get(wl, ds[i], true, policy);
+            double mr = r.mpki > 1e-9 ? b.mpki / r.mpki : 1.0;
+            double ir = b.ipc > 1e-9 ? r.ipc / b.ipc : 1.0;
+            mpki_ratio.push_back(mr);
+            ipc_ratio.push_back(ir);
+            if (verbose) {
+                char buf[128];
+                std::snprintf(buf, sizeof buf,
+                              "    %-14s mpki x%.3f  ipc x%.3f", wl.c_str(),
+                              mr, ir);
+                rows.push_back(buf);
+            }
+        }
+        std::printf("%s:\n", ds[i].label.c_str());
+        printPercentiles("MPKI", mpki_ratio);
+        printPercentiles("IPC", ipc_ratio);
+        for (const auto& row : rows) std::printf("%s\n", row.c_str());
+    }
+}
+
+void
+fig5(Runner& runner, const std::vector<std::string>& suite,
+     PolicyKind policy, bool serial_only)
+{
+    auto ds = designs();
+    const Design& base = ds[0];
+
+    // Determine the 10 most miss-intensive workloads from the baseline.
+    std::vector<std::pair<double, std::string>> by_mpki;
+    for (const auto& wl : suite) {
+        by_mpki.emplace_back(runner.get(wl, base, true, policy).mpki, wl);
+    }
+    std::sort(by_mpki.rbegin(), by_mpki.rend());
+    std::vector<std::string> top10;
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, by_mpki.size());
+         i++) {
+        top10.push_back(by_mpki[i].second);
+    }
+
+    benchutil::banner(std::string("Fig. 5 (") + policyKindName(policy) +
+                      "): IPC and BIPS/W vs serial SA-4+H3");
+    std::printf("top-10 L2-miss-intensive: ");
+    for (const auto& w : top10) std::printf("%s ", w.c_str());
+    std::printf("\n");
+
+    double base_ipc_geo, base_bw_geo, base_ipc_top, base_bw_top;
+    {
+        std::vector<double> i_all, b_all, i_top, b_top;
+        for (const auto& wl : suite) {
+            const RunResult& r = runner.get(wl, base, true, policy);
+            i_all.push_back(r.ipc);
+            b_all.push_back(r.bipsPerWatt);
+        }
+        for (const auto& wl : top10) {
+            const RunResult& r = runner.get(wl, base, true, policy);
+            i_top.push_back(r.ipc);
+            b_top.push_back(r.bipsPerWatt);
+        }
+        base_ipc_geo = geomean(i_all);
+        base_bw_geo = geomean(b_all);
+        base_ipc_top = geomean(i_top);
+        base_bw_top = geomean(b_top);
+    }
+
+    for (const char* metric : {"IPC", "BIPS/W"}) {
+        bool ipc = metric[0] == 'I';
+        std::printf("\nnormalized %s:\n", metric);
+        std::printf("  %-16s", "design");
+        for (const auto& wl : kFig5Workloads) {
+            std::printf(" %12s", wl.substr(0, 12).c_str());
+        }
+        std::printf(" %12s %12s\n", "gmean(all)", "gmean(top10)");
+
+        for (const auto& d : ds) {
+            for (bool serial : {true, false}) {
+                if (serial_only && !serial) continue;
+                std::printf("  %-16s",
+                            (d.label + (serial ? " ser" : " par")).c_str());
+                for (const auto& wl : kFig5Workloads) {
+                    const RunResult& b = runner.get(wl, base, true, policy);
+                    const RunResult& r = runner.get(wl, d, serial, policy);
+                    double num = ipc ? r.ipc : r.bipsPerWatt;
+                    double den = ipc ? b.ipc : b.bipsPerWatt;
+                    std::printf(" %12.3f", den > 0 ? num / den : 0.0);
+                }
+                std::vector<double> v_all, v_top;
+                for (const auto& wl : suite) {
+                    const RunResult& r = runner.get(wl, d, serial, policy);
+                    v_all.push_back(ipc ? r.ipc : r.bipsPerWatt);
+                }
+                for (const auto& wl : top10) {
+                    const RunResult& r = runner.get(wl, d, serial, policy);
+                    v_top.push_back(ipc ? r.ipc : r.bipsPerWatt);
+                }
+                std::printf(" %12.3f %12.3f\n",
+                            geomean(v_all) /
+                                (ipc ? base_ipc_geo : base_bw_geo),
+                            geomean(v_top) /
+                                (ipc ? base_ipc_top : base_bw_top));
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string policy_s = benchutil::flag(argc, argv, "policy", "both");
+    std::string suite_s = benchutil::flag(argc, argv, "workloads", "quick");
+    bool verbose = benchutil::flagBool(argc, argv, "verbose");
+    bool serial_only = benchutil::flagBool(argc, argv, "serial-only");
+    std::uint64_t warmup = benchutil::flagU64(argc, argv, "warmup", 120000);
+    std::uint64_t instr = benchutil::flagU64(argc, argv, "instr", 120000);
+
+    std::vector<std::string> suite;
+    if (suite_s == "all") {
+        for (const auto& w : WorkloadRegistry::all()) {
+            suite.push_back(w.name);
+        }
+    } else {
+        suite = kQuickSuite;
+    }
+
+    std::printf("Table I system: 32 in-order cores @2GHz, 32KB 4-way L1s, "
+                "8MB 8-bank shared L2 (organization under test), MESI "
+                "directory, 200-cycle memory\n");
+    std::printf("suite: %zu workloads, %llu+%llu instr/core "
+                "(warmup+measure)\n",
+                suite.size(), static_cast<unsigned long long>(warmup),
+                static_cast<unsigned long long>(instr));
+
+    Runner runner(warmup, instr);
+    std::vector<PolicyKind> policies;
+    if (policy_s == "lru") {
+        policies = {PolicyKind::BucketedLru};
+    } else if (policy_s == "opt") {
+        policies = {PolicyKind::Opt};
+    } else {
+        policies = {PolicyKind::Opt, PolicyKind::BucketedLru};
+    }
+
+    for (PolicyKind policy : policies) {
+        fig4(runner, suite, policy, verbose);
+        fig5(runner, suite, policy, serial_only);
+    }
+    return 0;
+}

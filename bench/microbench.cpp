@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: array
+ * lookups and miss-path insertions for each design, and the zcache walk
+ * at several depths. These quantify *simulation* throughput (how fast
+ * the models run on the host), not modeled hardware latency — useful
+ * when sizing bench sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/array_factory.hpp"
+#include "cache/cache_model.hpp"
+#include "common/rng.hpp"
+#include "trace/generator.hpp"
+
+namespace zc {
+namespace {
+
+CacheModel
+modelFor(ArrayKind kind, std::uint32_t ways, std::uint32_t levels)
+{
+    ArraySpec spec;
+    spec.kind = kind;
+    spec.blocks = 16384;
+    spec.ways = ways;
+    spec.levels = levels;
+    spec.policy = PolicyKind::BucketedLru;
+    return CacheModel(makeArray(spec));
+}
+
+void
+runMix(benchmark::State& state, CacheModel& m, std::uint64_t footprint)
+{
+    Pcg32 rng(1);
+    // Warm the array.
+    for (int i = 0; i < 60000; i++) m.access(rng.next64() % footprint);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.access(rng.next64() % footprint));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_SetAssocAccess(benchmark::State& state)
+{
+    auto m = modelFor(ArrayKind::SetAssoc,
+                      static_cast<std::uint32_t>(state.range(0)), 1);
+    runMix(state, m, 65536);
+}
+BENCHMARK(BM_SetAssocAccess)->Arg(4)->Arg(16)->Arg(32);
+
+void
+BM_ZCacheAccess(benchmark::State& state)
+{
+    auto m = modelFor(ArrayKind::ZCache, 4,
+                      static_cast<std::uint32_t>(state.range(0)));
+    runMix(state, m, 65536);
+}
+BENCHMARK(BM_ZCacheAccess)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_ZCacheHitOnly(benchmark::State& state)
+{
+    auto m = modelFor(ArrayKind::ZCache, 4,
+                      static_cast<std::uint32_t>(state.range(0)));
+    Pcg32 rng(2);
+    for (int i = 0; i < 60000; i++) m.access(rng.next64() % 8192);
+    // Footprint half the cache: ~all hits.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.access(rng.next64() % 8192));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZCacheHitOnly)->Arg(2)->Arg(3);
+
+void
+BM_FullyAssocAccess(benchmark::State& state)
+{
+    auto m = modelFor(ArrayKind::FullyAssoc, 1, 1);
+    runMix(state, m, 65536);
+}
+BENCHMARK(BM_FullyAssocAccess);
+
+void
+BM_ZipfGenerator(benchmark::State& state)
+{
+    ZipfGenerator gen(0, 100000, 1.0, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.next().lineAddr);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZipfGenerator);
+
+} // namespace
+} // namespace zc
+
+BENCHMARK_MAIN();

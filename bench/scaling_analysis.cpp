@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Capacity-scaling ablation (ours): where does associativity matter?
+ *
+ * Sweeps the shared L2 from 2 MB to 16 MB for the baseline 4-way SA,
+ * the 32-way SA and the Z4/52 on capacity-sensitive workloads. The
+ * expected shape: associativity's MPKI advantage is largest when the
+ * working set sits *near* the cache size (replacement quality decides
+ * what survives) and shrinks at both extremes — tiny caches thrash and
+ * huge caches fit everything — while the zcache's advantage over
+ * SA-32 in IPC persists everywhere because its hit latency never pays
+ * the wide-tag tax.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+#include "bench_util.hpp"
+
+using namespace zc;
+
+namespace {
+
+RunResult
+runCell(const std::string& workload, std::uint64_t l2_bytes,
+        ArrayKind kind, std::uint32_t ways, std::uint32_t levels,
+        std::uint64_t instr)
+{
+    RunParams p;
+    p.workload = workload;
+    p.base.l2SizeBytes = l2_bytes;
+    p.l2Spec.kind = kind;
+    p.l2Spec.ways = ways;
+    p.l2Spec.levels = levels;
+    p.l2Spec.hashKind = HashKind::H3;
+    p.l2Spec.policy = PolicyKind::BucketedLru;
+    p.warmupInstr = instr;
+    p.measureInstr = instr;
+    return runExperiment(p);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::uint64_t instr = benchutil::flagU64(argc, argv, "instr", 100000);
+    const std::vector<std::string> workloads{"soplex", "sphinx3",
+                                             "cactusADM", "gafort"};
+    const std::vector<std::uint64_t> sizes{
+        std::uint64_t{2} << 20, std::uint64_t{4} << 20,
+        std::uint64_t{8} << 20, std::uint64_t{16} << 20};
+
+    std::printf("capacity scaling: MPKI (and IPC) per design\n");
+    for (const auto& wl : workloads) {
+        benchutil::banner(wl);
+        std::printf("%8s | %18s | %18s | %18s | %9s %9s\n", "L2", "SA-4+H3",
+                    "SA-32+H3", "Z4/52", "mpki adv", "ipc adv");
+        for (std::uint64_t bytes : sizes) {
+            RunResult sa4 =
+                runCell(wl, bytes, ArrayKind::SetAssoc, 4, 1, instr);
+            RunResult sa32 =
+                runCell(wl, bytes, ArrayKind::SetAssoc, 32, 1, instr);
+            RunResult z52 =
+                runCell(wl, bytes, ArrayKind::ZCache, 4, 3, instr);
+            std::printf(
+                "%6lluMB | %8.2f (%7.2f) | %8.2f (%7.2f) | %8.2f "
+                "(%7.2f) | %8.2fx %8.3fx\n",
+                static_cast<unsigned long long>(bytes >> 20), sa4.mpki,
+                sa4.ipc, sa32.mpki, sa32.ipc, z52.mpki, z52.ipc,
+                z52.mpki > 1e-9 ? sa4.mpki / z52.mpki : 1.0,
+                sa32.ipc > 1e-9 ? z52.ipc / sa32.ipc : 1.0);
+        }
+    }
+    std::printf("\nExpected shape: the Z4/52 MPKI advantage peaks where "
+                "the working set straddles the cache size; its IPC edge "
+                "over SA-32 holds at every size (no wide-tag hit-latency "
+                "tax).\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Table II — timing, area and power of L2 bank designs: set-associative
+ * caches of 4/8/16/32 ways and zcaches Z4/16, Z4/52 (plus Z2/8 as an
+ * extra point), for both serial- and parallel-lookup organizations,
+ * from the CACTI-lite analytical model (1 MB bank, 64 B lines, 32 nm,
+ * 2 GHz — Table I's bank geometry).
+ *
+ * Expected shape (paper Section VI-A):
+ *  - SA costs climb steeply with ways: 32-way serial ~1.22x area,
+ *    ~1.23x latency, ~2x hit energy of 4-way (parallel: ~1.32x latency,
+ *    ~3.3x hit energy);
+ *  - zcache rows keep their (low) way count's hit costs regardless of
+ *    candidates; only E_miss grows, and stays comparable to
+ *    same-associativity SA designs.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cache/walk_timeline.hpp"
+#include "cache/z_array.hpp"
+#include "energy/cacti_lite.hpp"
+
+#include "bench_util.hpp"
+
+using namespace zc;
+
+namespace {
+
+struct Row
+{
+    std::string label;
+    std::uint32_t ways;
+    std::uint32_t candidates; ///< R (== ways for set-associative)
+    std::uint32_t levels;     ///< 0 for set-associative
+};
+
+void
+printTable(bool serial, const std::vector<Row>& rows,
+           std::uint64_t bank_bytes)
+{
+    benchutil::banner(std::string(serial ? "serial" : "parallel") +
+                      "-lookup designs");
+    std::printf("%-8s %5s %5s | %8s %8s %7s | %9s %9s | %8s | %7s\n",
+                "design", "ways", "R", "area", "latency", "cycles",
+                "E_hit", "E_miss", "leakage", "T_repl");
+    std::printf("%-8s %5s %5s | %8s %8s %7s | %9s %9s | %8s | %7s\n", "",
+                "", "", "(mm2)", "(ns)", "@2GHz", "(nJ)", "(nJ)", "(mW)",
+                "(cyc)");
+    for (const auto& r : rows) {
+        BankGeometry g;
+        g.capacityBytes = bank_bytes;
+        g.ways = r.ways;
+        g.serialLookup = serial;
+        BankCosts c = CactiLite::model(g);
+        double e_miss;
+        if (r.levels == 0) {
+            e_miss = CactiLite::setAssocMissEnergyNj(c, r.ways);
+        } else {
+            // Average relocations measured in simulation: ~0.7 for
+            // 2-level walks, ~1.4 for 3-level.
+            double relocs = r.levels == 2 ? 0.7 : (r.levels == 3 ? 1.4 : 0.0);
+            e_miss = CactiLite::zcacheMissEnergyNj(c, r.candidates, relocs);
+        }
+        char t_repl[16] = "-";
+        if (r.levels > 0) {
+            // Replacement-process latency (off the critical path; must
+            // hide under the 200-cycle memory fill).
+            auto t = WalkTimelineModel::bfs(r.ways, r.levels, r.levels - 1,
+                                            c.hitLatencyCycles,
+                                            c.hitLatencyCycles);
+            std::snprintf(t_repl, sizeof t_repl, "%u", t.totalCycles);
+        }
+        std::printf("%-8s %5u %5u | %8.3f %8.3f %7u | %9.4f %9.4f | "
+                    "%8.1f | %7s\n",
+                    r.label.c_str(), r.ways, r.candidates, c.areaMm2,
+                    c.hitLatencyNs, c.hitLatencyCycles, c.hitEnergyNj,
+                    e_miss, c.leakageMw, t_repl);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::uint64_t bank_bytes =
+        benchutil::flagU64(argc, argv, "bank-bytes", 1 << 20);
+
+    std::vector<Row> rows{
+        {"SA-4", 4, 4, 0},
+        {"SA-8", 8, 8, 0},
+        {"SA-16", 16, 16, 0},
+        {"SA-32", 32, 32, 0},
+        {"Z2/6", 2, ZArray::nominalCandidates(2, 3), 3},
+        {"Z4/16", 4, 16, 2},
+        {"Z4/52", 4, 52, 3},
+    };
+
+    std::printf("Table II: L2 bank costs (CACTI-lite, %llu KB bank, 64 B "
+                "lines, 32 nm)\n",
+                static_cast<unsigned long long>(bank_bytes >> 10));
+    printTable(true, rows, bank_bytes);
+    printTable(false, rows, bank_bytes);
+
+    // Headline ratios the paper quotes.
+    auto ratio = [&](bool serial, auto field) {
+        BankGeometry g4, g32;
+        g4.capacityBytes = g32.capacityBytes = bank_bytes;
+        g4.ways = 4;
+        g32.ways = 32;
+        g4.serialLookup = g32.serialLookup = serial;
+        return field(CactiLite::model(g32)) / field(CactiLite::model(g4));
+    };
+    benchutil::banner("headline ratios (32-way SA vs 4-way SA)");
+    std::printf("serial  : area %.2fx, latency %.2fx, hit energy %.2fx "
+                "(paper: 1.22x, 1.23x, 2x)\n",
+                ratio(true, [](const BankCosts& c) { return c.areaMm2; }),
+                ratio(true,
+                      [](const BankCosts& c) { return c.hitLatencyNs; }),
+                ratio(true,
+                      [](const BankCosts& c) { return c.hitEnergyNj; }));
+    std::printf("parallel: latency %.2fx, hit energy %.2fx "
+                "(paper: 1.32x, 3.3x)\n",
+                ratio(false,
+                      [](const BankCosts& c) { return c.hitLatencyNs; }),
+                ratio(false,
+                      [](const BankCosts& c) { return c.hitEnergyNj; }));
+    std::printf("\nExpected shape: zcache rows keep 4-way (2-way for Z2/8) "
+                "hit costs at any R; E_miss grows mildly with R.\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Associativity study — the Section IV framework as a user-facing tool.
+ *
+ * Measures the associativity distribution (eviction-priority CDF) of a
+ * chosen cache design on a chosen workload from the suite, and compares
+ * it with the analytic uniformity curve F_A(x) = x^R. This is how you
+ * would evaluate a new array organization with the library.
+ *
+ *   $ ./associativity_study --design=z4/16 --workload=canneal
+ *   $ ./associativity_study --design=sa32 --workload=wupwise
+ *
+ * Designs: saN (bit-select), saN-h3, skewN, z4/16, z4/52, rcN (random
+ * candidates).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "assoc/eviction_tracker.hpp"
+#include "assoc/uniformity.hpp"
+#include "cache/array_factory.hpp"
+#include "cache/cache_model.hpp"
+#include "common/stats.hpp"
+#include "trace/workloads.hpp"
+
+using namespace zc;
+
+namespace {
+
+std::string
+argOr(int argc, char** argv, const char* key, const char* fallback)
+{
+    std::string prefix = std::string("--") + key + "=";
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return argv[i] + prefix.size();
+        }
+    }
+    return fallback;
+}
+
+/** Parse a design name into an ArraySpec + nominal candidate count. */
+bool
+parseDesign(const std::string& name, std::uint32_t blocks, ArraySpec* spec,
+            std::uint32_t* candidates)
+{
+    spec->blocks = blocks;
+    spec->policy = PolicyKind::Lru;
+    if (name == "z4/16" || name == "z4/52") {
+        spec->kind = ArrayKind::ZCache;
+        spec->ways = 4;
+        spec->levels = name == "z4/16" ? 2 : 3;
+        *candidates = ZArray::nominalCandidates(4, spec->levels);
+        return true;
+    }
+    if (name.rfind("skew", 0) == 0) {
+        spec->kind = ArrayKind::SkewAssoc;
+        spec->ways = static_cast<std::uint32_t>(std::atoi(name.c_str() + 4));
+        *candidates = spec->ways;
+        return spec->ways >= 2;
+    }
+    if (name.rfind("rc", 0) == 0) {
+        spec->kind = ArrayKind::RandomCandidates;
+        spec->candidates =
+            static_cast<std::uint32_t>(std::atoi(name.c_str() + 2));
+        *candidates = spec->candidates;
+        return spec->candidates >= 1;
+    }
+    if (name.rfind("sa", 0) == 0) {
+        spec->kind = ArrayKind::SetAssoc;
+        bool hashed = name.size() > 3 && name.substr(name.size() - 3) == "-h3";
+        std::string ways = name.substr(2, name.size() - 2 - (hashed ? 3 : 0));
+        spec->ways = static_cast<std::uint32_t>(std::atoi(ways.c_str()));
+        spec->hashKind = hashed ? HashKind::H3 : HashKind::BitSelect;
+        *candidates = spec->ways;
+        return spec->ways >= 1;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string design = argOr(argc, argv, "design", "z4/16");
+    std::string workload = argOr(argc, argv, "workload", "canneal");
+    auto blocks = static_cast<std::uint32_t>(
+        std::atoll(argOr(argc, argv, "blocks", "32768").c_str()));
+    auto accesses = static_cast<std::uint64_t>(
+        std::atoll(argOr(argc, argv, "accesses", "2000000").c_str()));
+
+    ArraySpec spec;
+    std::uint32_t candidates = 0;
+    if (!parseDesign(design, blocks, &spec, &candidates)) {
+        std::fprintf(stderr,
+                     "unknown design '%s' (try z4/16, z4/52, sa4, sa16-h3, "
+                     "skew4, rc16)\n",
+                     design.c_str());
+        return 1;
+    }
+
+    CacheModel model(makeArray(spec));
+    EvictionPriorityTracker tracker(100, /*sample_period=*/8);
+    tracker.attach(model.array());
+
+    // Feed the merged 32-thread reference stream of the named workload.
+    constexpr std::uint32_t kCores = 32;
+    const WorkloadProfile& w = WorkloadRegistry::byName(workload);
+    std::vector<GeneratorPtr> gens;
+    for (std::uint32_t c = 0; c < kCores; c++) {
+        gens.push_back(WorkloadRegistry::makeCoreGenerator(w, c, kCores, 1));
+    }
+    for (std::uint64_t i = 0; i < accesses; i++) {
+        model.access(gens[i % kCores]->next().lineAddr);
+    }
+
+    std::printf("design   : %s\n", model.name().c_str());
+    std::printf("workload : %s (%llu merged references)\n", workload.c_str(),
+                static_cast<unsigned long long>(accesses));
+    std::printf("miss rate: %.4f   evictions sampled: %llu\n",
+                model.stats().missRate(),
+                static_cast<unsigned long long>(tracker.samples()));
+
+    auto cdf = tracker.cdf();
+    auto ideal = uniformityCdf(candidates, 100);
+    std::printf("\n%8s %14s %14s\n", "e", "P(E<=e)", "uniformity x^R");
+    for (int bin : {9, 19, 29, 39, 49, 59, 69, 79, 89, 94, 99}) {
+        std::printf("%8.2f %14.6f %14.6f\n", (bin + 1) / 100.0, cdf[bin],
+                    ideal[bin]);
+    }
+    std::printf("\nmean eviction priority: %.4f (uniformity: %.4f)\n",
+                tracker.histogram().mean(), uniformityMean(candidates));
+    std::printf("KS distance to x^%u: %.4f\n", candidates,
+                ksDistance(cdf, ideal));
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Pinned-block buffering — the paper's Section I motivation, measured.
+ *
+ * Schemes like transactional memory, thread-level speculation and
+ * deterministic replay pin blocks in the cache; when a replacement
+ * finds every candidate pinned, the scheme takes its expensive
+ * fall-back (e.g. transaction abort). This example sweeps the pinned
+ * fraction and compares how often each organization is forced to
+ * surrender a pin: under the uniformity model the rate is ~f^R per
+ * fill, so a Z4/52 sustains pinned fractions that wreck a 4-way
+ * set-associative cache — at identical hit cost.
+ *
+ *   $ ./pinned_buffering
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cache/array_factory.hpp"
+#include "common/rng.hpp"
+#include "replacement/lru.hpp"
+#include "replacement/pinning.hpp"
+
+using namespace zc;
+
+namespace {
+
+struct Design
+{
+    const char* label;
+    ArrayKind kind;
+    std::uint32_t ways;
+    std::uint32_t levels;
+};
+
+double
+forcedRate(const Design& d, double pin_frac, std::uint32_t blocks,
+           int fills)
+{
+    auto pinning =
+        std::make_unique<PinningPolicy>(std::make_unique<LruPolicy>(blocks));
+    PinningPolicy* policy = pinning.get();
+
+    // Build the array around the externally-held pinning policy.
+    std::unique_ptr<CacheArray> array;
+    if (d.kind == ArrayKind::SetAssoc) {
+        array = std::make_unique<SetAssociativeArray>(
+            blocks, d.ways, std::move(pinning),
+            makeHash(HashKind::H3, blocks / d.ways, 7));
+    } else {
+        ZArrayConfig cfg;
+        cfg.ways = d.ways;
+        cfg.levels = d.levels;
+        array = std::make_unique<ZArray>(blocks, cfg, std::move(pinning));
+    }
+
+    AccessContext c;
+    Pcg32 rng(11);
+    while (array->validCount() < blocks) {
+        Addr a = rng.next64();
+        if (array->probe(a) == kInvalidPos) array->insert(a, c);
+    }
+    array->forEachValid([&](BlockPos pos, Addr) {
+        if (rng.uniform() < pin_frac) policy->pin(pos);
+    });
+
+    int done = 0;
+    while (done < fills) {
+        Addr a = rng.next64();
+        if (array->probe(a) != kInvalidPos) continue;
+        array->insert(a, c);
+        done++;
+        // Keep pressure constant: re-pin to the target fraction.
+        if (policy->pinnedCount() <
+            static_cast<std::uint32_t>(pin_frac * blocks)) {
+            BlockPos p = rng.below(blocks);
+            if (array->addrAt(p) != kInvalidAddr) policy->pin(p);
+        }
+    }
+    return static_cast<double>(policy->forcedEvictions()) / fills;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint32_t kBlocks = 4096;
+    constexpr int kFills = 20000;
+
+    const std::vector<Design> designs{
+        {"SA-4+H3", ArrayKind::SetAssoc, 4, 0},
+        {"SA-16+H3", ArrayKind::SetAssoc, 16, 0},
+        {"Z4/16", ArrayKind::ZCache, 4, 2},
+        {"Z4/52", ArrayKind::ZCache, 4, 3},
+    };
+
+    std::printf("Forced pin surrenders per fill (fall-back events for a "
+                "TM-style scheme), %u-block cache:\n\n", kBlocks);
+    std::printf("%10s", "pinned");
+    for (const auto& d : designs) std::printf(" %12s", d.label);
+    std::printf("\n");
+    for (double f : {0.2, 0.4, 0.6, 0.8, 0.9}) {
+        std::printf("%9.0f%%", 100 * f);
+        for (const auto& d : designs) {
+            std::printf(" %12.2e", forcedRate(d, f, kBlocks, kFills));
+        }
+        std::printf("\n");
+    }
+    std::printf("\nUniformity model predicts ~f^R per fill: a Z4/52 keeps "
+                "buffering where 4- and 16-way caches abort constantly.\n");
+    return 0;
+}

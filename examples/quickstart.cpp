@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart — the zcache library in ~60 lines.
+ *
+ * Builds a 1 MB, 4-way zcache with a two-level walk (Z4/16: 16
+ * replacement candidates per eviction), drives it with a Zipfian
+ * reference stream, and prints hit/miss statistics alongside a 4-way
+ * set-associative cache of identical capacity.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "cache/array_factory.hpp"
+#include "cache/cache_model.hpp"
+#include "trace/generator.hpp"
+
+int
+main()
+{
+    using namespace zc;
+
+    constexpr std::uint32_t kBlocks = 16384; // 1 MB of 64 B lines
+
+    // A cache = array organization + replacement policy. ArraySpec is
+    // the one-stop configuration record; makeArray() builds the design.
+    ArraySpec zspec;
+    zspec.kind = ArrayKind::ZCache;
+    zspec.blocks = kBlocks;
+    zspec.ways = 4;           // hit cost of a 4-way cache...
+    zspec.levels = 2;         // ...but 16 replacement candidates
+    zspec.policy = PolicyKind::BucketedLru;
+    CacheModel zcache(makeArray(zspec));
+
+    ArraySpec sspec = zspec;
+    sspec.kind = ArrayKind::SetAssoc;
+    sspec.hashKind = HashKind::H3; // hashed index (strong baseline)
+    CacheModel setassoc(makeArray(sspec));
+
+    // A skewed working set 6x the cache size — capacity + conflict
+    // pressure where associativity pays off.
+    ZipfGenerator gen_a(0, kBlocks * 6, 0.9, /*seed=*/42);
+    ZipfGenerator gen_b(0, kBlocks * 6, 0.9, /*seed=*/42);
+
+    for (int i = 0; i < 3000000; i++) {
+        zcache.access(gen_a.next().lineAddr);
+        setassoc.access(gen_b.next().lineAddr);
+    }
+
+    std::printf("%s\n  accesses %llu, miss rate %.4f\n",
+                zcache.name().c_str(),
+                static_cast<unsigned long long>(zcache.stats().accesses),
+                zcache.stats().missRate());
+    std::printf("%s\n  accesses %llu, miss rate %.4f\n",
+                setassoc.name().c_str(),
+                static_cast<unsigned long long>(setassoc.stats().accesses),
+                setassoc.stats().missRate());
+    std::printf("\nSame hit path width (4 ways), %.1f%% fewer misses from "
+                "the walk's extra candidates.\n",
+                100.0 * (1.0 - zcache.stats().missRate() /
+                                   setassoc.stats().missRate()));
+    return 0;
+}

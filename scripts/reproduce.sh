@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Full reproduction driver: builds, tests, and regenerates every table
+# and figure into results/. Pass --full for the complete 72-workload /
+# 8MB-array sweeps (slower); the default runs reduced-but-same-shape
+# configurations.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FULL=${1:-}
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure | tee results/tests.txt
+
+run() {
+    local name=$1
+    shift
+    echo "== $name =="
+    "$@" | tee "results/$name.txt"
+}
+
+run fig2_uniformity          ./build/bench/fig2_uniformity
+run table2_cache_costs       ./build/bench/table2_cache_costs
+
+if [ "$FULL" = "--full" ]; then
+    run fig3_assoc_distributions ./build/bench/fig3_assoc_distributions --full
+    run fig4_fig5_performance    ./build/bench/fig4_fig5_performance --workloads=all
+    run bandwidth_analysis       ./build/bench/bandwidth_analysis --workloads=all
+else
+    run fig3_assoc_distributions ./build/bench/fig3_assoc_distributions
+    run fig4_fig5_performance    ./build/bench/fig4_fig5_performance
+    run bandwidth_analysis       ./build/bench/bandwidth_analysis
+fi
+
+run ablation_walk            ./build/bench/ablation_walk
+run ablation_replacement     ./build/bench/ablation_replacement
+run design_comparison        ./build/bench/design_comparison
+
+run quickstart               ./build/examples/quickstart
+run adaptive_assoc           ./build/examples/adaptive_assoc
+run pinned_buffering         ./build/examples/pinned_buffering
+run tlb_simulation           ./build/examples/tlb_simulation
+
+echo "All outputs in results/."

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Empirical associativity distribution measurement (Section IV-A).
+ *
+ * The tracker attaches to a CacheArray as its eviction observer. On each
+ * observed eviction it computes the victim's *eviction priority*: its
+ * rank in the policy's global keep-order, normalized to [0,1] (rank
+ * B-1 — the globally most evictable block — maps to 1.0). The resulting
+ * histogram of priorities is the associativity distribution; its CDF is
+ * what Fig. 2 and Fig. 3 plot.
+ *
+ * Ranking scans all resident blocks (O(B) per sample), so the tracker
+ * supports sampling every k-th eviction; the distribution estimate is
+ * unbiased under sampling. Cold fills never reach the tracker (arrays
+ * only invoke the observer on real evictions); an eviction from a
+ * partially-occupied array — routine for bit-select indexing, whose
+ * sets fill unevenly — is a genuine replacement decision and is ranked
+ * against the blocks resident at that moment.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_array.hpp"
+#include "common/stats.hpp"
+
+namespace zc {
+
+/**
+ * How rank ties (blocks the policy scores identically, e.g. one
+ * bucketed-LRU age class) are converted to a single rank. The paper
+ * defines rank over a total order but evaluates with bucketed LRU,
+ * where ties are wide; the choice matters for coarse policies.
+ */
+enum class TieMode {
+    Refined,    ///< break ties with the policy's tieBreaker (total order)
+    Optimistic, ///< victim ranks above every tied block (rank = class top)
+    Midpoint,   ///< victim takes the middle of its tie class
+};
+
+class EvictionPriorityTracker
+{
+  public:
+    /**
+     * @param bins Histogram resolution over [0,1].
+     * @param sample_period Record every k-th eligible eviction.
+     * @param tie_mode Tie handling for coarse-scored policies.
+     */
+    explicit EvictionPriorityTracker(std::size_t bins = 100,
+                                     std::uint64_t sample_period = 1,
+                                     TieMode tie_mode = TieMode::Refined)
+        : hist_(bins), samplePeriod_(sample_period), tieMode_(tie_mode)
+    {
+        zc_assert(sample_period >= 1);
+    }
+
+    /** Install this tracker as @p array's eviction observer. */
+    void
+    attach(CacheArray& array)
+    {
+        array.setEvictionObserver(
+            [this](const CacheArray& a, BlockPos victim) {
+                onEviction(a, victim);
+            });
+    }
+
+    /** Observer entry point (also callable directly from tests). */
+    void
+    onEviction(const CacheArray& array, BlockPos victim)
+    {
+        if (array.validCount() < 2) return; // rank undefined
+        eligible_++;
+        if (eligible_ % samplePeriod_ != 0) return;
+
+        const ReplacementPolicy& policy = array.policy();
+        double victim_score = policy.score(victim);
+        std::uint64_t keep_preferred = 0; // blocks ranked "keep" vs victim
+        std::uint64_t tied = 0;
+        std::uint64_t total = 0;
+        array.forEachValid([&](BlockPos pos, Addr) {
+            total++;
+            if (pos == victim) return;
+            double s = policy.score(pos);
+            if (s > victim_score) {
+                keep_preferred++;
+            } else if (s == victim_score) {
+                tied++;
+                if (tieMode_ == TieMode::Refined &&
+                    policy.ordersBefore(victim, pos)) {
+                    keep_preferred++;
+                }
+            }
+        });
+        zc_assert(total >= 2);
+        double rank = static_cast<double>(keep_preferred);
+        if (tieMode_ == TieMode::Midpoint) {
+            rank += static_cast<double>(tied) / 2.0;
+        }
+        double e = rank / static_cast<double>(total - 1);
+        hist_.record(e);
+    }
+
+    const UnitHistogram& histogram() const { return hist_; }
+    std::vector<double> cdf() const { return hist_.cdf(); }
+    std::uint64_t samples() const { return hist_.samples(); }
+    std::uint64_t eligibleEvictions() const { return eligible_; }
+
+    void
+    reset()
+    {
+        hist_.reset();
+        eligible_ = 0;
+    }
+
+  private:
+    UnitHistogram hist_;
+    std::uint64_t samplePeriod_;
+    TieMode tieMode_;
+    std::uint64_t eligible_ = 0;
+};
+
+} // namespace zc

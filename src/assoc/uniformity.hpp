@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Analytic associativity under the uniformity assumption (Section IV-B).
+ *
+ * If the eviction priorities of the n replacement candidates are i.i.d.
+ * U[0,1], the associativity A = max{E_1..E_n} has CDF F_A(x) = x^n.
+ * These helpers evaluate that distribution on the same grids the
+ * empirical histograms use, so benches and tests can compare directly
+ * (Fig. 2 and the dotted curves of Fig. 3).
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace zc {
+
+/** F_A(x) = x^n. */
+inline double
+uniformityCdfAt(double x, std::uint32_t n)
+{
+    zc_assert(n >= 1);
+    return std::pow(x, static_cast<double>(n));
+}
+
+/**
+ * F_A sampled at the right edge of each of @p bins uniform bins over
+ * [0,1] — the grid UnitHistogram::cdf() uses.
+ */
+inline std::vector<double>
+uniformityCdf(std::uint32_t n, std::size_t bins)
+{
+    std::vector<double> out(bins, 0.0);
+    for (std::size_t i = 0; i < bins; i++) {
+        double x = static_cast<double>(i + 1) / static_cast<double>(bins);
+        out[i] = uniformityCdfAt(x, n);
+    }
+    return out;
+}
+
+/** Mean of A under uniformity: n/(n+1). */
+inline double
+uniformityMean(std::uint32_t n)
+{
+    return static_cast<double>(n) / static_cast<double>(n + 1);
+}
+
+/**
+ * Probability of evicting a block with priority below @p x — the
+ * "evictions of blocks with low priority quickly become very rare"
+ * quantity of Fig. 2's semi-log plot (e.g. n=16, x=0.4 -> ~1e-6).
+ */
+inline double
+lowPriorityEvictionProb(double x, std::uint32_t n)
+{
+    return uniformityCdfAt(x, n);
+}
+
+} // namespace zc

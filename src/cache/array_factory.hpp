@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Factory for the cache-array designs compared in the paper's
+ * evaluation, keyed by a compact spec that benches and examples share.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/column_associative_array.hpp"
+#include "cache/fully_associative_array.hpp"
+#include "cache/random_candidates_array.hpp"
+#include "cache/set_associative_array.hpp"
+#include "cache/skew_associative_array.hpp"
+#include "cache/victim_cache_array.hpp"
+#include "cache/vway_array.hpp"
+#include "cache/z_array.hpp"
+#include "common/log.hpp"
+#include "hash/hash_factory.hpp"
+#include "replacement/policy_factory.hpp"
+
+namespace zc {
+
+/** Which array design to build. */
+enum class ArrayKind {
+    SetAssoc,         ///< set-associative, pluggable index hash
+    SkewAssoc,        ///< skew-associative (Z with L=1)
+    ZCache,           ///< zcache
+    FullyAssoc,       ///< fully-associative (analysis)
+    RandomCandidates, ///< Section IV-B reference design
+    VictimCache,      ///< SA main array + FA victim buffer (Section II-B)
+    VWay,             ///< oversized tag array + indirection (Section II-B)
+    ColumnAssoc,      ///< direct-mapped + rehash location (Section II-B)
+};
+
+/** Compact description of an array + policy configuration. */
+struct ArraySpec
+{
+    ArrayKind kind = ArrayKind::ZCache;
+    std::uint32_t blocks = 1024;
+    std::uint32_t ways = 4;
+
+    /** ZCache walk levels; RandomCandidates candidate count n. */
+    std::uint32_t levels = 2;
+    std::uint32_t candidates = 16;
+
+    HashKind hashKind = HashKind::H3;
+    PolicyKind policy = PolicyKind::Lru;
+    WalkStrategy walk = WalkStrategy::Bfs;
+    std::uint32_t maxCandidates = 0; ///< zcache early-stop cap (0 = off)
+    bool bloomRepeatFilter = false;
+
+    /** VictimCache only: buffer entries on top of `blocks`. */
+    std::uint32_t victimBlocks = 16;
+
+    /** VWay only: tag entries per data block. */
+    std::uint32_t tagRatio = 2;
+
+    std::uint64_t seed = 0x5eed;
+
+    std::string
+    label() const
+    {
+        switch (kind) {
+          case ArrayKind::SetAssoc:
+            return "SA" + std::to_string(ways) + "/" +
+                   std::string(hashKindName(hashKind));
+          case ArrayKind::SkewAssoc:
+            return "Skew" + std::to_string(ways);
+          case ArrayKind::ZCache:
+            return "Z" + std::to_string(ways) + "/" +
+                   std::to_string(
+                       ZArray::nominalCandidates(ways, levels));
+          case ArrayKind::FullyAssoc:
+            return "FA";
+          case ArrayKind::RandomCandidates:
+            return "Rand/" + std::to_string(candidates);
+          case ArrayKind::VictimCache:
+            return "SA" + std::to_string(ways) + "+V" +
+                   std::to_string(victimBlocks);
+          case ArrayKind::VWay:
+            return "VWay" + std::to_string(ways) + "/" +
+                   std::to_string(candidates);
+          case ArrayKind::ColumnAssoc:
+            return "ColAssoc";
+        }
+        return "?";
+    }
+};
+
+inline std::unique_ptr<CacheArray>
+makeArray(const ArraySpec& spec)
+{
+    std::uint32_t policy_blocks = spec.blocks;
+    if (spec.kind == ArrayKind::VictimCache) {
+        policy_blocks += spec.victimBlocks; // policy spans both arrays
+    }
+    auto policy = makePolicy(spec.policy, policy_blocks, spec.seed ^ 0x9d2c);
+    switch (spec.kind) {
+      case ArrayKind::SetAssoc: {
+        zc_assert(spec.blocks % spec.ways == 0);
+        auto hash = makeHash(spec.hashKind, spec.blocks / spec.ways,
+                             spec.seed);
+        return std::make_unique<SetAssociativeArray>(
+            spec.blocks, spec.ways, std::move(policy), std::move(hash));
+      }
+      case ArrayKind::SkewAssoc:
+        return std::make_unique<SkewAssociativeArray>(
+            spec.blocks, spec.ways, std::move(policy), spec.hashKind,
+            spec.seed);
+      case ArrayKind::ZCache: {
+        ZArrayConfig cfg;
+        cfg.ways = spec.ways;
+        cfg.levels = spec.levels;
+        cfg.maxCandidates = spec.maxCandidates;
+        cfg.strategy = spec.walk;
+        cfg.bloomRepeatFilter = spec.bloomRepeatFilter;
+        cfg.hashKind = spec.hashKind;
+        cfg.seed = spec.seed;
+        return std::make_unique<ZArray>(spec.blocks, cfg, std::move(policy));
+      }
+      case ArrayKind::FullyAssoc:
+        return std::make_unique<FullyAssociativeArray>(spec.blocks,
+                                                       std::move(policy));
+      case ArrayKind::RandomCandidates:
+        return std::make_unique<RandomCandidatesArray>(
+            spec.blocks, spec.candidates, std::move(policy), spec.seed);
+      case ArrayKind::VictimCache: {
+        zc_assert(spec.blocks % spec.ways == 0);
+        auto hash = makeHash(spec.hashKind, spec.blocks / spec.ways,
+                             spec.seed);
+        return std::make_unique<VictimCacheArray>(
+            spec.blocks, spec.ways, spec.victimBlocks, std::move(policy),
+            std::move(hash));
+      }
+      case ArrayKind::ColumnAssoc:
+        return std::make_unique<ColumnAssociativeArray>(spec.blocks,
+                                                        std::move(policy));
+      case ArrayKind::VWay: {
+        std::uint32_t tag_sets =
+            spec.blocks * spec.tagRatio / spec.ways;
+        auto hash = makeHash(spec.hashKind, tag_sets, spec.seed);
+        return std::make_unique<VWayArray>(
+            spec.blocks, spec.tagRatio, spec.ways, spec.candidates,
+            std::move(policy), std::move(hash), spec.seed);
+      }
+    }
+    zc_panic("unknown array kind");
+}
+
+} // namespace zc

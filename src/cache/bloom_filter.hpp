@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small Bloom filter over block addresses.
+ *
+ * Section III-D: "Repeats can be avoided by inserting the addresses
+ * visited during the walk in a Bloom filter, and not continuing the walk
+ * through addresses that are already represented in the filter." The
+ * filter is cleared per replacement, so a fixed, small bit array with two
+ * H3-style probes suffices.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace zc {
+
+class BloomFilter
+{
+  public:
+    /** @param bits Power-of-two filter size in bits. */
+    explicit BloomFilter(std::uint32_t bits = 256) : bits_(bits, false)
+    {
+        zc_assert(isPow2(bits));
+        mask_ = bits - 1;
+    }
+
+    void
+    insert(Addr addr)
+    {
+        bits_[probe1(addr)] = true;
+        bits_[probe2(addr)] = true;
+    }
+
+    bool
+    mightContain(Addr addr) const
+    {
+        return bits_[probe1(addr)] && bits_[probe2(addr)];
+    }
+
+    void
+    clear()
+    {
+        std::fill(bits_.begin(), bits_.end(), false);
+    }
+
+  private:
+    std::uint32_t
+    probe1(Addr a) const
+    {
+        a *= 0x9e3779b97f4a7c15ULL;
+        return static_cast<std::uint32_t>(a >> 32) & mask_;
+    }
+
+    std::uint32_t
+    probe2(Addr a) const
+    {
+        a *= 0xc2b2ae3d27d4eb4fULL;
+        return static_cast<std::uint32_t>(a >> 24) & mask_;
+    }
+
+    std::vector<bool> bits_;
+    std::uint32_t mask_;
+};
+
+} // namespace zc

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Abstract cache array.
+ *
+ * Per the paper's model (Section IV-A) a cache splits into a *cache array*
+ * — which implements associative lookup and, on a replacement, produces a
+ * list of replacement candidates — and a *replacement policy*, which ranks
+ * blocks globally. CacheArray is the array half; it owns a
+ * ReplacementPolicy and drives it through the position-based notification
+ * protocol in replacement/policy.hpp.
+ *
+ * Arrays expose a flat BlockPos space of numBlocks() positions; the
+ * mapping from position to physical (way, line) or (set, way) is private
+ * to each implementation.
+ *
+ * All operations account tag/data array reads and writes in stats() so
+ * that energy (Section III-B's E_miss formula) and bandwidth (Section
+ * VI-D) analyses can be layered on without touching the arrays.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "replacement/policy.hpp"
+
+namespace zc {
+
+/** Tag/data array traffic counters (per array). */
+struct ArrayStats
+{
+    std::uint64_t tagReads = 0;
+    std::uint64_t tagWrites = 0;
+    std::uint64_t dataReads = 0;
+    std::uint64_t dataWrites = 0;
+
+    void
+    reset()
+    {
+        tagReads = tagWrites = dataReads = dataWrites = 0;
+    }
+};
+
+/** Outcome of a replacement (miss-path insertion). */
+struct Replacement
+{
+    /** Address evicted, or kInvalidAddr if an empty slot absorbed the
+     *  fill. */
+    Addr evictedAddr = kInvalidAddr;
+
+    /** Position the victim occupied before any relocation. */
+    BlockPos victimPos = kInvalidPos;
+
+    /** Replacement candidates examined (R in Section III-B). */
+    std::uint32_t candidates = 0;
+
+    /** Block relocations performed (m in Section III-B; 0 for
+     *  non-zcache arrays). */
+    std::uint32_t relocations = 0;
+
+    bool evictedValid() const { return evictedAddr != kInvalidAddr; }
+};
+
+class CacheArray
+{
+  public:
+    /**
+     * Called immediately before a *valid* block is evicted on a
+     * replacement, with the victim's current position. Used by the
+     * Section IV framework to compute eviction priorities. Invalidations
+     * (coherence) do not trigger the observer: they are not replacement
+     * decisions.
+     */
+    using EvictionObserver =
+        std::function<void(const CacheArray&, BlockPos victim)>;
+
+    CacheArray(std::uint32_t num_blocks,
+               std::unique_ptr<ReplacementPolicy> policy)
+        : numBlocks_(num_blocks), policy_(std::move(policy))
+    {
+        zc_assert(num_blocks > 0);
+        zc_assert(policy_ != nullptr);
+        zc_assert(policy_->numBlocks() == num_blocks);
+    }
+
+    virtual ~CacheArray() = default;
+
+    CacheArray(const CacheArray&) = delete;
+    CacheArray& operator=(const CacheArray&) = delete;
+
+    std::uint32_t numBlocks() const { return numBlocks_; }
+
+    /**
+     * Look up @p lineAddr; on a hit, touch the replacement policy and
+     * return the block's position; on a miss return kInvalidPos.
+     */
+    virtual BlockPos access(Addr lineAddr, const AccessContext& ctx) = 0;
+
+    /**
+     * Probe without updating replacement state (e.g. coherence probes,
+     * tests). Returns position or kInvalidPos. Does not count traffic.
+     */
+    virtual BlockPos probe(Addr lineAddr) const = 0;
+
+    /**
+     * Miss path: select a victim among this array's replacement
+     * candidates, evict it, make room (relocations in a zcache) and
+     * install @p lineAddr. @p lineAddr must not be resident.
+     */
+    virtual Replacement insert(Addr lineAddr, const AccessContext& ctx) = 0;
+
+    /**
+     * Remove @p lineAddr if present (coherence invalidation / back-
+     * invalidation). Returns true iff the block was resident.
+     */
+    virtual bool invalidate(Addr lineAddr) = 0;
+
+    /** Address resident at @p pos, or kInvalidAddr. */
+    virtual Addr addrAt(BlockPos pos) const = 0;
+
+    /** Enumerate all valid blocks. */
+    virtual void
+    forEachValid(const std::function<void(BlockPos, Addr)>& fn) const = 0;
+
+    /** Number of currently valid blocks. */
+    virtual std::uint32_t validCount() const = 0;
+
+    /** Human-readable configuration string. */
+    virtual std::string name() const = 0;
+
+    ReplacementPolicy& policy() { return *policy_; }
+    const ReplacementPolicy& policy() const { return *policy_; }
+
+    const ArrayStats& stats() const { return stats_; }
+    virtual void resetStats() { stats_.reset(); }
+
+    void setEvictionObserver(EvictionObserver obs) { observer_ = std::move(obs); }
+
+  protected:
+    void
+    notifyEviction(BlockPos victim) const
+    {
+        if (observer_) observer_(*this, victim);
+    }
+
+    std::uint32_t numBlocks_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    ArrayStats stats_;
+    EvictionObserver observer_;
+};
+
+} // namespace zc

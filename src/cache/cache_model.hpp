@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Single-level cache model: array + policy + hit/miss bookkeeping.
+ *
+ * The standalone composite used by the associativity experiments
+ * (Fig. 2/3) and the examples: feed it a reference stream, it performs
+ * lookups and miss-path insertions and tracks hit/miss/eviction counts.
+ * The multi-level hierarchy of the performance evaluation lives in
+ * src/sim and embeds arrays directly.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/cache_array.hpp"
+#include "common/stats.hpp"
+
+namespace zc {
+
+struct CacheModelStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t relocations = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+class CacheModel
+{
+  public:
+    explicit CacheModel(std::unique_ptr<CacheArray> array)
+        : array_(std::move(array))
+    {
+        zc_assert(array_ != nullptr);
+    }
+
+    /**
+     * Reference @p lineAddr: on a miss the block is fetched and
+     * installed. Returns true on a hit.
+     */
+    bool
+    access(Addr lineAddr, const AccessContext& ctx = {})
+    {
+        AccessContext c = ctx;
+        if (c.lineAddr == kInvalidAddr) c.lineAddr = lineAddr;
+        stats_.accesses++;
+        if (array_->access(lineAddr, c) != kInvalidPos) {
+            stats_.hits++;
+            return true;
+        }
+        stats_.misses++;
+        Replacement r = array_->insert(lineAddr, c);
+        if (r.evictedValid()) stats_.evictions++;
+        stats_.relocations += r.relocations;
+        return false;
+    }
+
+    CacheArray& array() { return *array_; }
+    const CacheArray& array() const { return *array_; }
+
+    const CacheModelStats& stats() const { return stats_; }
+    void resetStats() { stats_ = CacheModelStats{}; }
+
+    std::string name() const { return array_->name(); }
+
+  private:
+    std::unique_ptr<CacheArray> array_;
+    CacheModelStats stats_;
+};
+
+} // namespace zc

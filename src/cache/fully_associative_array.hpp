@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fully-associative cache array.
+ *
+ * Every resident block is a replacement candidate, so the policy's global
+ * best is always evicted (eviction priority 1.0 by definition — the
+ * reference point of the Section IV framework). Also the standard for
+ * conflict-miss accounting: conflict misses of a design are its misses
+ * minus the misses of a fully-associative cache of the same size
+ * (Section IV, citing Hill & Smith).
+ *
+ * Lookups use a hash map; this models content-addressable tag search and
+ * is an analysis tool, not a hardware proposal.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hpp"
+
+namespace zc {
+
+class FullyAssociativeArray : public CacheArray
+{
+  public:
+    FullyAssociativeArray(std::uint32_t num_blocks,
+                          std::unique_ptr<ReplacementPolicy> policy);
+
+    BlockPos access(Addr lineAddr, const AccessContext& ctx) override;
+    BlockPos probe(Addr lineAddr) const override;
+    Replacement insert(Addr lineAddr, const AccessContext& ctx) override;
+    bool invalidate(Addr lineAddr) override;
+
+    Addr addrAt(BlockPos pos) const override;
+    void forEachValid(
+        const std::function<void(BlockPos, Addr)>& fn) const override;
+    std::uint32_t validCount() const override;
+    std::string name() const override;
+
+  protected:
+    /** Victim selection hook; FullyAssociative offers all valid blocks. */
+    virtual BlockPos pickVictim();
+
+    std::unordered_map<Addr, BlockPos> index_;
+    std::vector<Addr> tags_;
+    std::vector<BlockPos> freeList_;
+};
+
+} // namespace zc

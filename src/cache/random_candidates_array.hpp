@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Random-candidates cache array (paper Section IV-B).
+ *
+ * "A cache array that returns n randomly selected replacement candidates
+ * (with repetition) from all the blocks in the cache always achieves
+ * these associativity curves perfectly." Storage and lookup are
+ * fully-associative; only victim selection differs — n independent
+ * uniform draws over the resident blocks. Unrealizable in hardware, but
+ * it meets the uniformity assumption *by construction*, which makes it
+ * the reference design that validates F_A(x) = x^n (Fig. 2) and
+ * calibrates the framework tests.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/fully_associative_array.hpp"
+#include "common/rng.hpp"
+
+namespace zc {
+
+class RandomCandidatesArray final : public FullyAssociativeArray
+{
+  public:
+    /**
+     * @param num_candidates n random draws (with repetition) per
+     *        replacement.
+     */
+    RandomCandidatesArray(std::uint32_t num_blocks,
+                          std::uint32_t num_candidates,
+                          std::unique_ptr<ReplacementPolicy> policy,
+                          std::uint64_t seed = 0xcafe)
+        : FullyAssociativeArray(num_blocks, std::move(policy)),
+          numCandidates_(num_candidates),
+          rng_(seed, /*stream=*/0xb5ad4eceda1ce2a9ULL)
+    {
+        zc_assert(num_candidates >= 1);
+    }
+
+    std::uint32_t numCandidates() const { return numCandidates_; }
+
+    std::string
+    name() const override
+    {
+        return "RandomCandidates(blocks=" + std::to_string(numBlocks()) +
+               ", n=" + std::to_string(numCandidates_) +
+               ", repl=" + policy().name() + ")";
+    }
+
+  protected:
+    BlockPos
+    pickVictim() override
+    {
+        // Draw n resident positions uniformly, with repetition. The
+        // position space is dense ([0, numBlocks)) once the cache has
+        // filled, which is the only regime where pickVictim runs.
+        std::vector<BlockPos> cands;
+        cands.reserve(numCandidates_);
+        for (std::uint32_t i = 0; i < numCandidates_; i++) {
+            cands.push_back(rng_.below(numBlocks()));
+        }
+        return policy().select(cands);
+    }
+
+  private:
+    std::uint32_t numCandidates_;
+    Pcg32 rng_;
+};
+
+} // namespace zc

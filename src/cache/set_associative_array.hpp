@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Conventional set-associative cache array, with pluggable set-index
+ * hashing (Section II-A: plain bit selection or a hash of the block
+ * address).
+ *
+ * Replacement candidates are exactly the W blocks of the indexed set, so
+ * R == W: ways and associativity are coupled — the behaviour the zcache
+ * breaks.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_array.hpp"
+#include "hash/hash_function.hpp"
+
+namespace zc {
+
+class SetAssociativeArray final : public CacheArray
+{
+  public:
+    /**
+     * @param num_blocks Total blocks; must be a multiple of @p ways.
+     * @param ways Set size W.
+     * @param policy Replacement policy (sized num_blocks).
+     * @param index_hash Set index function over [0, num_blocks/ways).
+     */
+    SetAssociativeArray(std::uint32_t num_blocks, std::uint32_t ways,
+                        std::unique_ptr<ReplacementPolicy> policy,
+                        HashPtr index_hash);
+
+    BlockPos access(Addr lineAddr, const AccessContext& ctx) override;
+    BlockPos probe(Addr lineAddr) const override;
+    Replacement insert(Addr lineAddr, const AccessContext& ctx) override;
+    bool invalidate(Addr lineAddr) override;
+
+    Addr addrAt(BlockPos pos) const override;
+    void forEachValid(
+        const std::function<void(BlockPos, Addr)>& fn) const override;
+    std::uint32_t validCount() const override;
+    std::string name() const override;
+
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t sets() const { return sets_; }
+
+  private:
+    std::uint64_t setOf(Addr lineAddr) const;
+
+    std::uint32_t ways_;
+    std::uint32_t sets_;
+    HashPtr indexHash_;
+    std::vector<Addr> tags_;
+    std::uint32_t valid_ = 0;
+};
+
+} // namespace zc

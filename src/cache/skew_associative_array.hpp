@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Skew-associative cache array (Seznec, ISCA 1993; paper Section II-A).
+ *
+ * Each way is indexed by a different hash function; replacement
+ * candidates are only the W first-level conflicting blocks. Structurally
+ * this is exactly a zcache whose walk is limited to one level (the paper
+ * evaluates it as "Z4/4"), so the class *is* a ZArray constrained to
+ * levels = 1 — by construction the two designs coincide, and tests
+ * assert it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/z_array.hpp"
+
+namespace zc {
+
+class SkewAssociativeArray final : public ZArray
+{
+  public:
+    SkewAssociativeArray(std::uint32_t num_blocks, std::uint32_t ways,
+                         std::unique_ptr<ReplacementPolicy> policy,
+                         HashKind hash_kind = HashKind::H3,
+                         std::uint64_t seed = 0x5eed)
+        : ZArray(num_blocks, makeConfig(ways, hash_kind, seed),
+                 std::move(policy))
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return "SkewAssoc(ways=" + std::to_string(ways()) +
+               ", repl=" + policy().name() + ")";
+    }
+
+  private:
+    static ZArrayConfig
+    makeConfig(std::uint32_t ways, HashKind hash_kind, std::uint64_t seed)
+    {
+        ZArrayConfig cfg;
+        cfg.ways = ways;
+        cfg.levels = 1;
+        cfg.hashKind = hash_kind;
+        cfg.seed = seed;
+        return cfg;
+    }
+};
+
+} // namespace zc

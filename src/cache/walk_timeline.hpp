@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Replacement-process timing model (paper Fig. 1g and Section III-B).
+ *
+ * The walk pipelines its tag reads: level l issues (W-1)^l accesses,
+ * and a level completes after max(T_tag, accesses) cycles, so
+ * T_walk = Σ_{l=0}^{L-1} max(T_tag, (W-1)^l). Relocations then move
+ * tag+data down the victim path, one block per data-array round trip.
+ * The paper's running example — 3 ways, 3 levels, 4-cycle tag reads,
+ * 2 relocations — walks in 12 cycles and completes in 20, "much
+ * earlier than the 100 cycles used to retrieve the incoming block from
+ * main memory": the whole process hides under the miss, which is why
+ * the zcache adds no latency to it.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace zc {
+
+struct ReplacementTimeline
+{
+    std::uint32_t walkCycles = 0;       ///< candidate discovery
+    std::uint32_t relocationCycles = 0; ///< data+tag moves down the path
+    std::uint32_t totalCycles = 0;
+
+    /** Does the whole process hide under the memory fill? */
+    bool
+    hiddenUnder(std::uint32_t mem_latency_cycles) const
+    {
+        return totalCycles <= mem_latency_cycles;
+    }
+};
+
+class WalkTimelineModel
+{
+  public:
+    /**
+     * Timeline of one BFS replacement.
+     *
+     * @param ways W.
+     * @param levels L walked.
+     * @param relocations m, the victim's depth (0..L-1).
+     * @param tag_cycles Tag-array read latency.
+     * @param data_cycles Data-array access latency (a relocation's
+     *        read+write round trip pipelines into one such slot).
+     */
+    static ReplacementTimeline
+    bfs(std::uint32_t ways, std::uint32_t levels, std::uint32_t relocations,
+        std::uint32_t tag_cycles, std::uint32_t data_cycles)
+    {
+        zc_assert(ways >= 2);
+        zc_assert(levels >= 1);
+        zc_assert(relocations < levels);
+        ReplacementTimeline t;
+        std::uint32_t accesses = 1;
+        for (std::uint32_t l = 0; l < levels; l++) {
+            t.walkCycles += std::max(tag_cycles, accesses);
+            accesses *= (ways - 1);
+        }
+        t.relocationCycles = relocations * data_cycles;
+        t.totalCycles = t.walkCycles + t.relocationCycles;
+        return t;
+    }
+
+    /**
+     * DFS walks cannot pipeline — every step depends on the previous
+     * tag read — and relocate once per step on the victim path.
+     */
+    static ReplacementTimeline
+    dfs(std::uint32_t candidates, std::uint32_t relocations,
+        std::uint32_t tag_cycles, std::uint32_t data_cycles)
+    {
+        ReplacementTimeline t;
+        t.walkCycles = candidates * tag_cycles;
+        t.relocationCycles = relocations * data_cycles;
+        t.totalCycles = t.walkCycles + t.relocationCycles;
+        return t;
+    }
+};
+
+} // namespace zc

@@ -1,0 +1,438 @@
+#include "cache/z_array.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace zc {
+
+ZArray::ZArray(std::uint32_t num_blocks, const ZArrayConfig& cfg,
+               std::unique_ptr<ReplacementPolicy> policy)
+    : ZArray(num_blocks, cfg, std::move(policy),
+             makeHashFamily(cfg.hashKind, cfg.ways,
+                            num_blocks / cfg.ways, cfg.seed))
+{
+}
+
+ZArray::ZArray(std::uint32_t num_blocks, const ZArrayConfig& cfg,
+               std::unique_ptr<ReplacementPolicy> policy,
+               std::vector<HashPtr> hashes)
+    : CacheArray(num_blocks, std::move(policy)),
+      cfg_(cfg),
+      linesPerWay_(num_blocks / cfg.ways),
+      hashes_(std::move(hashes)),
+      tags_(num_blocks, kInvalidAddr),
+      rng_(cfg.seed, /*stream=*/0x2545f4914f6cdd1dULL),
+      bloom_(256)
+{
+    zc_assert(cfg.ways >= 2);
+    zc_assert(cfg.levels >= 1);
+    zc_assert(num_blocks % cfg.ways == 0);
+    zc_assert(isPow2(linesPerWay_));
+    zc_assert(hashes_.size() == cfg.ways);
+    for (const auto& h : hashes_) {
+        zc_assert(h != nullptr);
+        zc_assert(h->buckets() == linesPerWay_);
+    }
+    nodes_.reserve(256);
+}
+
+std::uint32_t
+ZArray::nominalCandidates(std::uint32_t ways, std::uint32_t levels)
+{
+    std::uint32_t r = 0, term = 1;
+    for (std::uint32_t l = 0; l < levels; l++) {
+        r += ways * term;
+        term *= (ways - 1);
+    }
+    return r;
+}
+
+std::uint32_t
+ZArray::walkLatency(std::uint32_t ways, std::uint32_t levels,
+                    std::uint32_t tag_cycles)
+{
+    std::uint32_t t = 0, accesses = 1;
+    for (std::uint32_t l = 0; l < levels; l++) {
+        t += std::max(tag_cycles, accesses);
+        accesses *= (ways - 1);
+    }
+    return t;
+}
+
+BlockPos
+ZArray::positionOf(std::uint32_t way, Addr lineAddr) const
+{
+    std::uint64_t line = hashes_[way]->hash(lineAddr);
+    return static_cast<BlockPos>(way * linesPerWay_ + line);
+}
+
+BlockPos
+ZArray::access(Addr lineAddr, const AccessContext& ctx)
+{
+    // A lookup reads one tag per way (each way has its own index).
+    stats_.tagReads += cfg_.ways;
+    for (std::uint32_t w = 0; w < cfg_.ways; w++) {
+        BlockPos pos = positionOf(w, lineAddr);
+        if (tags_[pos] == lineAddr) {
+            stats_.dataReads++;
+            policy_->onHit(pos, ctx);
+            return pos;
+        }
+    }
+    return kInvalidPos;
+}
+
+BlockPos
+ZArray::probe(Addr lineAddr) const
+{
+    for (std::uint32_t w = 0; w < cfg_.ways; w++) {
+        BlockPos pos = positionOf(w, lineAddr);
+        if (tags_[pos] == lineAddr) return pos;
+    }
+    return kInvalidPos;
+}
+
+bool
+ZArray::onAncestorPath(std::int32_t node, BlockPos pos) const
+{
+    for (std::int32_t i = node; i != -1; i = nodes_[i].parent) {
+        if (nodes_[i].pos == pos) return true;
+    }
+    return false;
+}
+
+void
+ZArray::pushNode(BlockPos pos, std::uint32_t way, std::int32_t parent)
+{
+    Addr addr = tags_[pos];
+    bool repeat = false;
+    if (cfg_.bloomRepeatFilter && addr != kInvalidAddr) {
+        repeat = bloom_.mightContain(addr);
+        if (!repeat) bloom_.insert(addr);
+    }
+    nodes_.push_back(WalkNode{pos, addr, way, parent, repeat});
+    if (addr == kInvalidAddr) walkFoundEmpty_ = true;
+    if (nodes_.size() >= walkCap_) walkCapped_ = true;
+}
+
+void
+ZArray::expandNode(std::uint32_t node_idx)
+{
+    // Copy: nodes_ may reallocate while we push children.
+    const WalkNode n = nodes_[node_idx];
+    if (n.addr == kInvalidAddr) return; // nothing to move out of an empty
+    if (n.repeat) {
+        zstats_.repeatsTotal++;
+        return; // Bloom filter: do not walk through repeats (III-D)
+    }
+    for (std::uint32_t w = 0; w < cfg_.ways; w++) {
+        if (w == n.way) continue;
+        BlockPos pos = positionOf(w, n.addr);
+        if (onAncestorPath(static_cast<std::int32_t>(node_idx), pos)) {
+            // A cycle back onto this node's own relocation path; such a
+            // candidate could not be relocated consistently, so skip it.
+            zstats_.repeatsTotal++;
+            continue;
+        }
+        stats_.tagReads++;
+        pushNode(pos, w, static_cast<std::int32_t>(node_idx));
+        if (walkFoundEmpty_ || walkCapped_) return;
+    }
+}
+
+void
+ZArray::expandSubtree(std::uint32_t root_idx, std::uint32_t levels)
+{
+    std::size_t frontier_begin = root_idx;
+    std::size_t frontier_end = root_idx + 1;
+    for (std::uint32_t l = 1; l < levels; l++) {
+        if (walkFoundEmpty_ || walkCapped_) return;
+        std::size_t children_begin = nodes_.size();
+        for (std::size_t i = frontier_begin; i < frontier_end; i++) {
+            expandNode(static_cast<std::uint32_t>(i));
+            if (walkFoundEmpty_ || walkCapped_) return;
+        }
+        frontier_begin = children_begin;
+        frontier_end = nodes_.size();
+        if (frontier_begin == frontier_end) return; // nothing expanded
+    }
+}
+
+std::uint32_t
+ZArray::walkBfs(Addr incoming)
+{
+    // First-level candidates: the blocks conflicting with the incoming
+    // address in each way. Their tags were already read by the missing
+    // lookup, so they add no tag-array traffic here.
+    for (std::uint32_t w = 0; w < cfg_.ways && !walkCapped_; w++) {
+        pushNode(positionOf(w, incoming), w, -1);
+        if (walkFoundEmpty_) break;
+    }
+    if (walkFoundEmpty_ || walkCapped_) {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    std::size_t level_begin = 0;
+    std::size_t level_end = nodes_.size();
+    for (std::uint32_t l = 1; l < cfg_.levels; l++) {
+        for (std::size_t i = level_begin; i < level_end; i++) {
+            expandNode(static_cast<std::uint32_t>(i));
+            if (walkFoundEmpty_ || walkCapped_) {
+                return static_cast<std::uint32_t>(nodes_.size());
+            }
+        }
+        level_begin = level_end;
+        level_end = nodes_.size();
+        if (level_begin == level_end) break;
+    }
+    return static_cast<std::uint32_t>(nodes_.size());
+}
+
+std::uint32_t
+ZArray::walkDfs(Addr incoming)
+{
+    for (std::uint32_t w = 0; w < cfg_.ways && !walkCapped_; w++) {
+        pushNode(positionOf(w, incoming), w, -1);
+        if (walkFoundEmpty_) break;
+    }
+    if (walkFoundEmpty_ || walkCapped_) {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    // Single random path, cuckoo-hashing style: L = R / W steps deep for
+    // the same candidate count R as the configured BFS walk.
+    std::uint32_t target = cfg_.maxCandidates
+                               ? cfg_.maxCandidates
+                               : nominalCandidates(cfg_.ways, cfg_.levels);
+    std::int32_t cur = static_cast<std::int32_t>(rng_.below(cfg_.ways));
+    while (nodes_.size() < target) {
+        const WalkNode n = nodes_[cur];
+        if (n.addr == kInvalidAddr) break;
+        if (cfg_.bloomRepeatFilter && n.repeat) {
+            zstats_.repeatsTotal++;
+            break;
+        }
+        std::uint32_t w = rng_.below(cfg_.ways - 1);
+        if (w >= n.way) w++;
+        BlockPos pos = positionOf(w, n.addr);
+        if (onAncestorPath(cur, pos)) {
+            // Path cycled back on itself; stop extending.
+            zstats_.repeatsTotal++;
+            break;
+        }
+        stats_.tagReads++;
+        pushNode(pos, w, cur);
+        cur = static_cast<std::int32_t>(nodes_.size()) - 1;
+        if (walkFoundEmpty_) break;
+    }
+    return static_cast<std::uint32_t>(nodes_.size());
+}
+
+std::int32_t
+ZArray::findShallowestEmpty(std::size_t from) const
+{
+    // nodes_ is in BFS order, so the first empty found is shallowest.
+    for (std::size_t i = from; i < nodes_.size(); i++) {
+        if (nodes_[i].addr == kInvalidAddr) {
+            return static_cast<std::int32_t>(i);
+        }
+    }
+    return -1;
+}
+
+std::int32_t
+ZArray::selectAmong(std::size_t begin, std::size_t end,
+                    std::int32_t extra_idx)
+{
+    // Deduplicate candidate positions (repeats across branches are legal
+    // but must not be offered to the policy twice); keep the shallowest
+    // node per position so the relocation chain is shortest.
+    static thread_local std::vector<BlockPos> cands;
+    static thread_local std::unordered_set<BlockPos> seen;
+    static thread_local std::vector<std::uint32_t> node_of;
+    cands.clear();
+    seen.clear();
+    node_of.clear();
+
+    auto consider = [&](std::size_t i) {
+        const WalkNode& n = nodes_[i];
+        if (seen.insert(n.pos).second) {
+            cands.push_back(n.pos);
+            node_of.push_back(static_cast<std::uint32_t>(i));
+        } else {
+            zstats_.repeatsTotal++;
+        }
+    };
+
+    if (extra_idx >= 0) consider(static_cast<std::size_t>(extra_idx));
+    for (std::size_t i = begin; i < end; i++) consider(i);
+
+    zc_assert(!cands.empty());
+    BlockPos victim_pos = policy_->select(cands);
+    for (std::size_t i = 0; i < cands.size(); i++) {
+        if (cands[i] == victim_pos) {
+            return static_cast<std::int32_t>(node_of[i]);
+        }
+    }
+    zc_panic("policy selected a non-candidate position");
+}
+
+Replacement
+ZArray::commit(Addr lineAddr, const AccessContext& ctx,
+               std::uint32_t victim_idx, std::uint32_t candidates)
+{
+    Replacement r;
+    r.candidates = candidates;
+
+    const WalkNode& victim = nodes_[victim_idx];
+    r.victimPos = victim.pos;
+    if (victim.addr != kInvalidAddr) {
+        notifyEviction(victim.pos);
+        r.evictedAddr = victim.addr;
+        policy_->onEvict(victim.pos);
+        tags_[victim.pos] = kInvalidAddr;
+        valid_--;
+    } else {
+        zstats_.emptyAbsorbed++;
+    }
+
+    // Relocate ancestors one step down the path: the victim's parent
+    // moves into the victim's (now empty) slot, and so on up to the root,
+    // whose slot receives the incoming block.
+    std::int32_t cur = static_cast<std::int32_t>(victim_idx);
+    while (nodes_[cur].parent != -1) {
+        const WalkNode& child = nodes_[cur];
+        const WalkNode& par = nodes_[nodes_[cur].parent];
+        zc_assert(tags_[par.pos] == par.addr);
+        zc_assert(tags_[child.pos] == kInvalidAddr);
+        tags_[child.pos] = par.addr;
+        tags_[par.pos] = kInvalidAddr;
+        policy_->onMove(par.pos, child.pos);
+        stats_.tagReads++;
+        stats_.tagWrites++;
+        stats_.dataReads++;
+        stats_.dataWrites++;
+        r.relocations++;
+        cur = nodes_[cur].parent;
+    }
+
+    BlockPos root_pos = nodes_[cur].pos;
+    zc_assert(tags_[root_pos] == kInvalidAddr);
+    tags_[root_pos] = lineAddr;
+    stats_.tagWrites++;
+    stats_.dataWrites++;
+    valid_++;
+    policy_->onInsert(root_pos, ctx);
+
+    zstats_.walks++;
+    zstats_.candidatesTotal += candidates;
+    zstats_.relocationsTotal += r.relocations;
+    return r;
+}
+
+Replacement
+ZArray::insert(Addr lineAddr, const AccessContext& ctx)
+{
+    zc_assert(lineAddr != kInvalidAddr);
+    zc_assert(probe(lineAddr) == kInvalidPos);
+
+    nodes_.clear();
+    walkFoundEmpty_ = false;
+    walkCapped_ = false;
+    walkCap_ = cfg_.maxCandidates ? cfg_.maxCandidates
+                                  : std::numeric_limits<std::uint32_t>::max();
+    if (cfg_.bloomRepeatFilter) bloom_.clear();
+
+    std::uint32_t candidates = 0;
+    std::int32_t victim_idx = -1;
+
+    switch (cfg_.strategy) {
+      case WalkStrategy::Bfs:
+        candidates = walkBfs(lineAddr);
+        victim_idx = findShallowestEmpty(0);
+        if (victim_idx < 0) victim_idx = selectAmong(0, nodes_.size(), -1);
+        break;
+
+      case WalkStrategy::Dfs:
+        candidates = walkDfs(lineAddr);
+        victim_idx = findShallowestEmpty(0);
+        if (victim_idx < 0) victim_idx = selectAmong(0, nodes_.size(), -1);
+        break;
+
+      case WalkStrategy::Hybrid: {
+        candidates = walkBfs(lineAddr);
+        victim_idx = findShallowestEmpty(0);
+        if (victim_idx < 0) {
+            // Phase 2: try to re-insert the phase-1 victim instead of
+            // evicting it, doubling the candidate pool with no extra
+            // walk-table state (Section III-D).
+            std::int32_t v1 = selectAmong(0, nodes_.size(), -1);
+            std::size_t phase2_begin = nodes_.size();
+            expandSubtree(static_cast<std::uint32_t>(v1), cfg_.levels + 1);
+            candidates += static_cast<std::uint32_t>(nodes_.size() -
+                                                     phase2_begin);
+            victim_idx = findShallowestEmpty(phase2_begin);
+            if (victim_idx < 0) {
+                victim_idx = selectAmong(phase2_begin, nodes_.size(), v1);
+            }
+        }
+        break;
+      }
+    }
+
+    zc_assert(victim_idx >= 0);
+    return commit(lineAddr, ctx, static_cast<std::uint32_t>(victim_idx),
+                  candidates);
+}
+
+bool
+ZArray::invalidate(Addr lineAddr)
+{
+    BlockPos pos = probe(lineAddr);
+    if (pos == kInvalidPos) return false;
+    tags_[pos] = kInvalidAddr;
+    stats_.tagWrites++;
+    policy_->onEvict(pos);
+    valid_--;
+    return true;
+}
+
+Addr
+ZArray::addrAt(BlockPos pos) const
+{
+    zc_assert(pos < numBlocks_);
+    return tags_[pos];
+}
+
+void
+ZArray::forEachValid(const std::function<void(BlockPos, Addr)>& fn) const
+{
+    for (BlockPos p = 0; p < numBlocks_; p++) {
+        if (tags_[p] != kInvalidAddr) fn(p, tags_[p]);
+    }
+}
+
+std::uint32_t
+ZArray::validCount() const
+{
+    return valid_;
+}
+
+std::string
+ZArray::name() const
+{
+    const char* strat = cfg_.strategy == WalkStrategy::Bfs
+                            ? "bfs"
+                            : (cfg_.strategy == WalkStrategy::Dfs ? "dfs"
+                                                                  : "hybrid");
+    return "ZArray(ways=" + std::to_string(cfg_.ways) +
+           ", levels=" + std::to_string(cfg_.levels) + ", R=" +
+           std::to_string(nominalCandidates(cfg_.ways, cfg_.levels)) +
+           ", walk=" + strat + ", hash=" + hashKindName(cfg_.hashKind) +
+           ", repl=" + policy_->name() + ")";
+}
+
+} // namespace zc

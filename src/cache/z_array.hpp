@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The zcache array (Section III) — the paper's primary contribution.
+ *
+ * Like a skew-associative cache, each of the W ways is indexed by a
+ * different hash function and a block can live in exactly one position
+ * per way, so hits cost a single W-way lookup. On a replacement, the
+ * array *walks* the tag array: the blocks conflicting with the incoming
+ * address are first-level candidates; each of those blocks could instead
+ * move to its position in any other way, whose current occupants become
+ * second-level candidates; and so on — a breadth-first expansion that
+ * yields R = W * sum_{l=0}^{L-1} (W-1)^l candidates after L levels. The
+ * victim is the policy's best candidate anywhere in the tree; its
+ * ancestors are relocated one step down their path to make room, and the
+ * incoming block lands in the first-level slot of the victim's root way.
+ *
+ * Extensions from Section III-D are implemented and selectable:
+ *  - early stop (candidate cap) — trades associativity for bandwidth;
+ *  - Bloom-filter repeat avoidance;
+ *  - DFS (cuckoo-style single-path) walks;
+ *  - hybrid BFS+DFS: a second BFS phase tries to re-insert the phase-1
+ *    victim, doubling candidates without extra walk-table state.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/bloom_filter.hpp"
+#include "cache/cache_array.hpp"
+#include "common/rng.hpp"
+#include "hash/hash_factory.hpp"
+#include "hash/hash_function.hpp"
+
+namespace zc {
+
+/** Walk strategy (Section III-D, "Alternative walk strategies"). */
+enum class WalkStrategy {
+    Bfs,    ///< breadth-first (paper default; hardware walk table)
+    Dfs,    ///< depth-first single path (cuckoo-hashing style)
+    Hybrid, ///< BFS, then a second BFS rooted at the phase-1 victim
+};
+
+/** ZArray configuration. */
+struct ZArrayConfig
+{
+    std::uint32_t ways = 4;
+
+    /**
+     * Walk levels L (BFS/Hybrid). L=1 degenerates to a skew-associative
+     * cache (first-level candidates only). For Hybrid, each phase uses
+     * `levels` levels.
+     */
+    std::uint32_t levels = 2;
+
+    /**
+     * Early-stop cap on replacement candidates (0 = no cap). Models
+     * stopping the walk when bandwidth or energy becomes a concern
+     * (Section III, "the replacement process can be stopped early").
+     */
+    std::uint32_t maxCandidates = 0;
+
+    WalkStrategy strategy = WalkStrategy::Bfs;
+
+    /** Avoid re-expanding visited addresses (Section III-D). */
+    bool bloomRepeatFilter = false;
+
+    /** Hash family used to index the ways. */
+    HashKind hashKind = HashKind::H3;
+
+    /** Seed for hash matrices and the DFS path choice. */
+    std::uint64_t seed = 0x5eed;
+};
+
+/** Aggregate walk statistics (for energy and bandwidth analyses). */
+struct ZWalkStats
+{
+    std::uint64_t walks = 0;            ///< replacements performed
+    std::uint64_t candidatesTotal = 0;  ///< sum of candidates over walks
+    std::uint64_t relocationsTotal = 0; ///< sum of relocations over walks
+    std::uint64_t repeatsTotal = 0;     ///< candidates skipped/repeated
+    std::uint64_t emptyAbsorbed = 0;    ///< fills absorbed by empty slots
+
+    double
+    avgCandidates() const
+    {
+        return walks ? static_cast<double>(candidatesTotal) /
+                           static_cast<double>(walks)
+                     : 0.0;
+    }
+
+    double
+    avgRelocations() const
+    {
+        return walks ? static_cast<double>(relocationsTotal) /
+                           static_cast<double>(walks)
+                     : 0.0;
+    }
+};
+
+class ZArray : public CacheArray
+{
+  public:
+    /**
+     * @param num_blocks Total blocks; must be ways * 2^k.
+     * @param cfg Walk/hash configuration.
+     * @param policy Replacement policy (sized num_blocks).
+     */
+    ZArray(std::uint32_t num_blocks, const ZArrayConfig& cfg,
+           std::unique_ptr<ReplacementPolicy> policy);
+
+    /**
+     * Construct with explicit per-way hash functions (one per way, each
+     * over linesPerWay buckets). Used by tests that need fully
+     * deterministic walk trees — e.g. the golden reproduction of the
+     * paper's Fig. 1 example — and by callers with bespoke families.
+     */
+    ZArray(std::uint32_t num_blocks, const ZArrayConfig& cfg,
+           std::unique_ptr<ReplacementPolicy> policy,
+           std::vector<HashPtr> hashes);
+
+    BlockPos access(Addr lineAddr, const AccessContext& ctx) override;
+    BlockPos probe(Addr lineAddr) const override;
+    Replacement insert(Addr lineAddr, const AccessContext& ctx) override;
+    bool invalidate(Addr lineAddr) override;
+
+    Addr addrAt(BlockPos pos) const override;
+    void forEachValid(
+        const std::function<void(BlockPos, Addr)>& fn) const override;
+    std::uint32_t validCount() const override;
+    std::string name() const override;
+
+    std::uint32_t ways() const { return cfg_.ways; }
+    std::uint32_t linesPerWay() const { return linesPerWay_; }
+    const ZArrayConfig& config() const { return cfg_; }
+    const ZWalkStats& walkStats() const { return zstats_; }
+
+    void
+    resetStats() override
+    {
+        CacheArray::resetStats();
+        zstats_ = ZWalkStats{};
+    }
+
+    /**
+     * Adjust the early-stop candidate cap at run time (0 = uncapped).
+     * Supports the paper's future-work direction of adaptive /
+     * software-controlled associativity: "the zcache makes it trivial
+     * to increase or reduce associativity with the same hardware
+     * design" (Section VIII). See examples/adaptive_assoc.cpp.
+     */
+    void setMaxCandidates(std::uint32_t cap) { cfg_.maxCandidates = cap; }
+
+    /**
+     * Nominal replacement candidates R for a W-way, L-level BFS walk
+     * with no repeats: R = W * sum_{l=0}^{L-1} (W-1)^l (Section III-B).
+     */
+    static std::uint32_t nominalCandidates(std::uint32_t ways,
+                                           std::uint32_t levels);
+
+    /**
+     * Pipelined walk latency in tag-access units (Section III-B):
+     * T_walk = sum_{l=0}^{L-1} max(T_tag, (W-1)^l).
+     */
+    static std::uint32_t walkLatency(std::uint32_t ways,
+                                     std::uint32_t levels,
+                                     std::uint32_t tag_cycles);
+
+  private:
+    /** One walk-table entry. Parent links give the relocation path. */
+    struct WalkNode
+    {
+        BlockPos pos;
+        Addr addr; ///< occupant at walk time; kInvalidAddr if empty slot
+        std::uint32_t way;
+        std::int32_t parent; ///< index into nodes_, -1 for first level
+        bool repeat; ///< Bloom filter saw this address before (III-D)
+    };
+
+    BlockPos positionOf(std::uint32_t way, Addr lineAddr) const;
+    bool onAncestorPath(std::int32_t node, BlockPos pos) const;
+    void pushNode(BlockPos pos, std::uint32_t way, std::int32_t parent);
+    void expandNode(std::uint32_t node_idx);
+    void expandSubtree(std::uint32_t root_idx, std::uint32_t levels);
+    std::uint32_t walkBfs(Addr incoming);
+    std::uint32_t walkDfs(Addr incoming);
+    std::int32_t findShallowestEmpty(std::size_t from) const;
+    std::int32_t selectAmong(std::size_t begin, std::size_t end,
+                             std::int32_t extra_idx);
+    Replacement commit(Addr lineAddr, const AccessContext& ctx,
+                       std::uint32_t victim_idx, std::uint32_t candidates);
+
+    ZArrayConfig cfg_;
+    std::uint32_t linesPerWay_;
+    std::vector<HashPtr> hashes_;
+    std::vector<Addr> tags_;
+    std::uint32_t valid_ = 0;
+    Pcg32 rng_;
+    BloomFilter bloom_;
+    ZWalkStats zstats_;
+
+    // Walk scratch state (the hardware walk table); reused across
+    // replacements to avoid allocation churn.
+    std::vector<WalkNode> nodes_;
+    std::uint32_t walkCap_ = 0;
+    bool walkFoundEmpty_ = false;
+    bool walkCapped_ = false;
+};
+
+} // namespace zc

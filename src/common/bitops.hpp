@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the library.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace zc {
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be nonzero. */
+constexpr std::uint32_t
+log2Floor(std::uint64_t v)
+{
+    return 63u - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); @p v must be nonzero. */
+constexpr std::uint32_t
+log2Ceil(std::uint64_t v)
+{
+    return v == 1 ? 0 : log2Floor(v - 1) + 1;
+}
+
+/** Round @p v up to the next power of two (identity for powers of two). */
+constexpr std::uint64_t
+roundUpPow2(std::uint64_t v)
+{
+    return v <= 1 ? 1 : (std::uint64_t{1} << log2Ceil(v));
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, std::uint32_t lo, std::uint32_t len)
+{
+    return (v >> lo) & ((len >= 64) ? ~std::uint64_t{0}
+                                    : ((std::uint64_t{1} << len) - 1));
+}
+
+/** Population count. */
+constexpr std::uint32_t
+popcount(std::uint64_t v)
+{
+    return static_cast<std::uint32_t>(std::popcount(v));
+}
+
+} // namespace zc

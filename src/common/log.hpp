@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal gem5-style error/assertion helpers.
+ *
+ * panic():   an internal invariant was violated — a library bug. Aborts.
+ * fatal():   the caller configured something impossible — user error.
+ *            Exits with status 1.
+ * zc_assert: cheap always-on invariant check used on non-hot paths.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zc {
+
+[[noreturn]] inline void
+panicImpl(const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace zc
+
+#define zc_panic(msg) ::zc::panicImpl(__FILE__, __LINE__, (msg))
+#define zc_fatal(msg) ::zc::fatalImpl(__FILE__, __LINE__, (msg))
+
+#define zc_assert(cond)                                                     \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::zc::panicImpl(__FILE__, __LINE__,                             \
+                            "assertion failed: " #cond);                    \
+        }                                                                   \
+    } while (0)

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the library (workload generators, random
+ * replacement, the random-candidates array, H3 matrix initialization) draws
+ * from a seeded Pcg32 stream so that experiments are reproducible
+ * bit-for-bit across runs and platforms. std::mt19937 is avoided because
+ * its distributions are not guaranteed identical across standard library
+ * implementations.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace zc {
+
+/**
+ * PCG32 (O'Neill, pcg-random.org): small, fast, statistically strong
+ * 32-bit generator with 64-bit state and a selectable stream.
+ */
+class Pcg32
+{
+  public:
+    /** Construct with a seed and an optional independent stream id. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1u) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next uniformly distributed 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Next 64-bit value (two draws). */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /**
+     * Unbiased draw in [0, bound) using Lemire's multiply-shift rejection
+     * method.
+     */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        zc_assert(bound > 0);
+        std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+        auto lo = static_cast<std::uint32_t>(m);
+        if (lo < bound) {
+            std::uint32_t threshold = (-bound) % bound;
+            while (lo < threshold) {
+                m = static_cast<std::uint64_t>(next()) * bound;
+                lo = static_cast<std::uint32_t>(m);
+            }
+        }
+        return static_cast<std::uint32_t>(m >> 32);
+    }
+
+    /** Uniform double in [0, 1), 53 bits of randomness. */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace zc

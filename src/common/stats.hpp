@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by simulators and benches.
+ *
+ * Deliberately small: counters, a fixed-bin histogram (for the
+ * associativity-distribution CDFs of Section IV), streaming mean /
+ * geometric mean, and a quantile helper. No global registry — components
+ * own their stats and expose them through accessors, keeping modules
+ * independently testable.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace zc {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Histogram over [0, 1] with uniform bins.
+ *
+ * Used to collect eviction-priority samples; cdf() yields the empirical
+ * associativity distribution of Section IV-A.
+ */
+class UnitHistogram
+{
+  public:
+    explicit UnitHistogram(std::size_t bins = 100) : counts_(bins, 0)
+    {
+        zc_assert(bins > 0);
+    }
+
+    /** Record a sample; values are clamped to [0, 1]. */
+    void
+    record(double x)
+    {
+        x = std::clamp(x, 0.0, 1.0);
+        auto bin = static_cast<std::size_t>(x * counts_.size());
+        if (bin == counts_.size()) bin--;
+        counts_[bin]++;
+        total_++;
+    }
+
+    std::uint64_t samples() const { return total_; }
+    std::size_t bins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /**
+     * Empirical CDF evaluated at the right edge of each bin.
+     * Returns a vector c where c[i] = P(X <= (i+1)/bins).
+     */
+    std::vector<double>
+    cdf() const
+    {
+        std::vector<double> out(counts_.size(), 0.0);
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < counts_.size(); i++) {
+            acc += counts_[i];
+            out[i] = total_ ? static_cast<double>(acc) /
+                                  static_cast<double>(total_)
+                            : 0.0;
+        }
+        return out;
+    }
+
+    /** Mean of recorded samples (bin-center approximation). */
+    double
+    mean() const
+    {
+        if (total_ == 0) return 0.0;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < counts_.size(); i++) {
+            double center = (static_cast<double>(i) + 0.5) /
+                            static_cast<double>(counts_.size());
+            acc += center * static_cast<double>(counts_[i]);
+        }
+        return acc / static_cast<double>(total_);
+    }
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        total_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** Streaming arithmetic mean / min / max over doubles. */
+class RunningStat
+{
+  public:
+    void
+    record(double x)
+    {
+        n_++;
+        sum_ += x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Geometric mean of strictly positive values. */
+inline double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        zc_assert(x > 0.0);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/**
+ * Kolmogorov-Smirnov distance between two CDFs sampled on the same grid.
+ * Used in tests to check empirical distributions against F_A(x) = x^n.
+ */
+inline double
+ksDistance(const std::vector<double>& a, const std::vector<double>& b)
+{
+    zc_assert(a.size() == b.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); i++) {
+        d = std::max(d, std::abs(a[i] - b[i]));
+    }
+    return d;
+}
+
+/** Linear-interpolated quantile (q in [0,1]) of a sorted copy of @p xs. */
+inline double
+quantile(std::vector<double> xs, double q)
+{
+    zc_assert(!xs.empty());
+    zc_assert(q >= 0.0 && q <= 1.0);
+    std::sort(xs.begin(), xs.end());
+    double pos = q * static_cast<double>(xs.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= xs.size()) return xs.back();
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+} // namespace zc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every module.
+ *
+ * All addresses handled by the library are *line* addresses (byte address
+ * >> log2(lineBytes)) unless a name says otherwise. Keeping a single
+ * canonical address width makes hash functions and arrays uniform.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zc {
+
+/** Line (or byte, where documented) address. */
+using Addr = std::uint64_t;
+
+/** Cycle count / timestamp. */
+using Cycle = std::uint64_t;
+
+/**
+ * Index of a block inside a cache array.
+ *
+ * Arrays expose a flat position space: position = way * linesPerWay + line
+ * for skewed designs, or set * ways + way for set-associative designs. The
+ * exact mapping is private to each array; positions are opaque handles to
+ * everyone else.
+ */
+using BlockPos = std::uint32_t;
+
+/** Sentinel for "no position" (e.g. miss on lookup). */
+inline constexpr BlockPos kInvalidPos = static_cast<BlockPos>(-1);
+
+/** Sentinel line address used for invalid/empty tags. */
+inline constexpr Addr kInvalidAddr = static_cast<Addr>(-1);
+
+} // namespace zc

@@ -1,0 +1,116 @@
+#include "energy/cacti_lite.hpp"
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace zc {
+
+namespace {
+
+// Calibration constants (see file header). Energies are for a 1 MB bank
+// and scale with sqrt(capacity) for the H-tree-dominated components.
+// With these values, serial hit energy at 32 ways is 2.01x the 4-way
+// figure and parallel is 3.36x — the paper's ~2x and ~3.3x.
+constexpr double kDataReadNjBase = 0.19;  // one 64B line from 1MB array
+constexpr double kTagUnitNj = 0.004;      // tag-bit-dependent share
+constexpr double kTagFixedNj = 0.004;     // tag decoder/H-tree floor
+constexpr double kRefTagFrac = 0.1;       // tag_frac the unit refers to
+constexpr double kWriteFactor = 1.1;      // writes slightly above reads
+
+constexpr double kSerialLatencyBaseNs = 3.0;  // 4-way serial @ 1MB
+constexpr double kSerialLatencySlope = 0.077; // per log2(W/4)
+constexpr double kParallelLatencyBaseNs = 2.2;
+constexpr double kParallelLatencySlope = 0.107;
+
+constexpr double kDataAreaMm2PerMb = 1.05; // 32nm low-leakage SRAM
+constexpr double kLeakageMwPerMb = 150.0;  // low-leakage process
+
+} // namespace
+
+std::uint32_t
+CactiLite::tagBitsPerLine(const BankGeometry& geom)
+{
+    std::uint64_t lines = geom.capacityBytes / geom.lineBytes;
+    std::uint64_t sets = lines / geom.ways;
+    // 48-bit physical addresses; hashed indexing stores the full block
+    // address in the tag (Section II-A), so no index bits are dropped.
+    std::uint32_t addr_bits = 48 - log2Ceil(geom.lineBytes);
+    (void)sets;
+    return addr_bits + 8; // + coherence/valid/dirty/timestamp bits
+}
+
+BankCosts
+CactiLite::model(const BankGeometry& geom)
+{
+    zc_assert(geom.ways >= 1);
+    zc_assert(geom.capacityBytes >= 64 * 1024);
+
+    double mb = static_cast<double>(geom.capacityBytes) / (1 << 20);
+    double size_scale = std::sqrt(mb); // wire-dominated scaling
+    double w = static_cast<double>(geom.ways);
+    double log_w = std::log2(std::max(1.0, w / 4.0));
+
+    BankCosts c;
+
+    // --- primitive energies ------------------------------------------
+    double tag_frac =
+        static_cast<double>(tagBitsPerLine(geom)) / (geom.lineBytes * 8);
+    c.tagReadNj =
+        (kTagFixedNj + kTagUnitNj * (tag_frac / kRefTagFrac)) * size_scale;
+    c.tagWriteNj = c.tagReadNj * kWriteFactor;
+    c.dataReadNj = kDataReadNjBase * size_scale;
+    c.dataWriteNj = c.dataReadNj * kWriteFactor;
+
+    // --- hit energy ---------------------------------------------------
+    // A lookup reads W tags. Serial: exactly one data way afterwards.
+    // Parallel: all W ways' wordlines fire; way-select gates the output
+    // drivers, so data energy grows with W but sub-linearly.
+    double tag_lookup = c.tagReadNj * w;
+    c.lookupDataReadNj = geom.serialLookup
+                             ? c.dataReadNj
+                             : c.dataReadNj * (0.8 + 0.06 * w);
+    c.hitEnergyNj = tag_lookup + c.lookupDataReadNj;
+
+    // --- latency -------------------------------------------------------
+    double base = geom.serialLookup ? kSerialLatencyBaseNs
+                                    : kParallelLatencyBaseNs;
+    double slope = geom.serialLookup ? kSerialLatencySlope
+                                     : kParallelLatencySlope;
+    c.hitLatencyNs = base * (1.0 + slope * log_w) * (0.8 + 0.2 * size_scale);
+    c.hitLatencyCycles = static_cast<std::uint32_t>(
+        std::ceil(c.hitLatencyNs * geom.frequencyGhz));
+
+    // --- area / leakage -------------------------------------------------
+    // The data array is capacity-bound; tag area grows with the number
+    // of ways (wider tag port and more comparators). At 32 ways total
+    // area is ~1.23x the 4-way figure, matching the paper's 1.22x.
+    double tag_area = kDataAreaMm2PerMb * mb * tag_frac * (w / 4.0) * 0.35;
+    double data_area = kDataAreaMm2PerMb * mb;
+    c.areaMm2 = data_area + tag_area;
+    c.leakageMw = kLeakageMwPerMb * mb * (c.areaMm2 / data_area);
+    return c;
+}
+
+double
+CactiLite::setAssocMissEnergyNj(const BankCosts& c, std::uint32_t ways)
+{
+    // The miss lookup already read the set's W tags; the replacement
+    // reads the victim line (write-back path) and writes tag + data for
+    // the fill.
+    return c.tagReadNj * ways + c.dataReadNj + c.tagWriteNj + c.dataWriteNj;
+}
+
+double
+CactiLite::zcacheMissEnergyNj(const BankCosts& c, std::uint32_t candidates,
+                              double relocations)
+{
+    double walk = c.tagReadNj * candidates;
+    double relocs = relocations * (c.tagReadNj + c.dataReadNj +
+                                   c.tagWriteNj + c.dataWriteNj);
+    double victim_and_fill = c.dataReadNj + c.tagWriteNj + c.dataWriteNj;
+    return walk + relocs + victim_and_fill;
+}
+
+} // namespace zc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * System-wide energy model (McPAT stand-in).
+ *
+ * Combines per-event energies — core instructions, L1 accesses, L2
+ * tag/data traffic (from ArrayStats, so zcache walks and relocations are
+ * charged automatically), NoC traversals, DRAM accesses — with static
+ * power over the run's cycle count, yielding Joules and BIPS/W for
+ * Fig. 5. Constants approximate a 32 nm, 32-core Atom-class CMP (the
+ * paper's ~90 W TDP, ~220 mm^2 system); as with CACTI-lite, the
+ * reproduced claims are comparative.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "energy/cacti_lite.hpp"
+
+namespace zc {
+
+/** Event counts a simulation run feeds the model. */
+struct EnergyEvents
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l2TagReads = 0;
+    std::uint64_t l2TagWrites = 0;
+    std::uint64_t l2DataReads = 0;
+    std::uint64_t l2DataWrites = 0;
+    std::uint64_t l2Accesses = 0; ///< NoC traversals to L2 banks
+
+    /**
+     * Demand hits: each one pays the lookup-mode data premium
+     * (lookupDataReadNj - dataReadNj), nonzero for parallel lookups.
+     */
+    std::uint64_t l2Hits = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t cycles = 0; ///< wall-clock cycles of the run
+};
+
+struct SystemEnergyParams
+{
+    std::uint32_t numCores = 32;
+    double frequencyGhz = 2.0;
+
+    // Dynamic energy per event (nJ).
+    double coreNjPerInstr = 0.12; ///< Atom-class in-order core
+    double l1NjPerAccess = 0.025;
+    double nocNjPerL2Access = 0.30; ///< request+response H-tree/NoC hop
+    double dramNjPerAccess = 20.0;  ///< 64B DDR3 access incl. I/O
+
+    // Static power (W).
+    double coreLeakWEach = 0.30;
+    double otherLeakW = 4.0; ///< NoC, MCs, misc uncore
+
+    /** L2 bank model: primitive energies and leakage. */
+    BankCosts l2Bank;
+    std::uint32_t l2Banks = 8;
+};
+
+struct EnergyBreakdown
+{
+    double coreJ = 0.0;
+    double l1J = 0.0;
+    double l2J = 0.0;
+    double nocJ = 0.0;
+    double dramJ = 0.0;
+    double staticJ = 0.0;
+
+    double
+    totalJ() const
+    {
+        return coreJ + l1J + l2J + nocJ + dramJ + staticJ;
+    }
+};
+
+class SystemEnergyModel
+{
+  public:
+    explicit SystemEnergyModel(const SystemEnergyParams& params)
+        : params_(params)
+    {
+    }
+
+    EnergyBreakdown
+    energy(const EnergyEvents& ev) const
+    {
+        EnergyBreakdown b;
+        b.coreJ = ev.instructions * params_.coreNjPerInstr * 1e-9;
+        b.l1J = ev.l1Accesses * params_.l1NjPerAccess * 1e-9;
+        b.l2J = (ev.l2TagReads * params_.l2Bank.tagReadNj +
+                 ev.l2TagWrites * params_.l2Bank.tagWriteNj +
+                 ev.l2DataReads * params_.l2Bank.dataReadNj +
+                 ev.l2DataWrites * params_.l2Bank.dataWriteNj +
+                 ev.l2Hits * (params_.l2Bank.lookupDataReadNj -
+                              params_.l2Bank.dataReadNj)) *
+                1e-9;
+        b.nocJ = ev.l2Accesses * params_.nocNjPerL2Access * 1e-9;
+        b.dramJ = ev.dramAccesses * params_.dramNjPerAccess * 1e-9;
+
+        double seconds =
+            static_cast<double>(ev.cycles) / (params_.frequencyGhz * 1e9);
+        double static_w = params_.numCores * params_.coreLeakWEach +
+                          params_.l2Banks * params_.l2Bank.leakageMw * 1e-3 +
+                          params_.otherLeakW;
+        b.staticJ = static_w * seconds;
+        return b;
+    }
+
+    /** Billions of instructions per second per watt (Fig. 5 metric). */
+    double
+    bipsPerWatt(const EnergyEvents& ev) const
+    {
+        double seconds =
+            static_cast<double>(ev.cycles) / (params_.frequencyGhz * 1e9);
+        if (seconds <= 0.0) return 0.0;
+        double bips = static_cast<double>(ev.instructions) / 1e9 / seconds;
+        double watts = energy(ev).totalJ() / seconds;
+        return watts > 0.0 ? bips / watts : 0.0;
+    }
+
+    const SystemEnergyParams& params() const { return params_; }
+
+  private:
+    SystemEnergyParams params_;
+};
+
+} // namespace zc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Conventional bit-selection indexing.
+ *
+ * The default "no hashing" index of a set-associative cache: take
+ * log2(buckets) low-order bits of the line address. Pathological strided
+ * patterns map to a single set — exactly the behaviour hashed indexing
+ * (Section II-A) is designed to avoid, and the baseline Fig. 3a measures.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+#include "hash/hash_function.hpp"
+
+namespace zc {
+
+class BitSelectHash final : public HashFunction
+{
+  public:
+    explicit BitSelectHash(std::uint64_t buckets) : buckets_(buckets)
+    {
+        zc_assert(isPow2(buckets));
+        mask_ = buckets - 1;
+    }
+
+    std::uint64_t hash(Addr lineAddr) const override
+    {
+        return lineAddr & mask_;
+    }
+
+    std::uint64_t buckets() const override { return buckets_; }
+
+    std::string name() const override { return "BitSelect"; }
+
+  private:
+    std::uint64_t buckets_;
+    std::uint64_t mask_;
+};
+
+} // namespace zc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Factory helpers building per-way hash families for skewed designs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "hash/bit_select_hash.hpp"
+#include "hash/folded_xor_hash.hpp"
+#include "hash/h3_hash.hpp"
+#include "hash/hash_function.hpp"
+#include "hash/sha1.hpp"
+#include "hash/strong_hash.hpp"
+
+namespace zc {
+
+/** Hash family selector used throughout configs and benches. */
+enum class HashKind {
+    BitSelect, ///< low-order bits (no hashing)
+    FoldedXor, ///< folded XOR
+    H3,        ///< H3 universal family (paper default)
+    Strong,    ///< full-avalanche mixer (fast SHA-1 stand-in)
+    Sha1,      ///< real SHA-1 (Section IV-C's reference; slow)
+};
+
+inline const char*
+hashKindName(HashKind k)
+{
+    switch (k) {
+      case HashKind::BitSelect: return "bitsel";
+      case HashKind::FoldedXor: return "fxor";
+      case HashKind::H3: return "h3";
+      case HashKind::Strong: return "strong";
+      case HashKind::Sha1: return "sha1";
+    }
+    return "?";
+}
+
+/** Build a single hash function of the given kind. */
+inline HashPtr
+makeHash(HashKind kind, std::uint64_t buckets, std::uint64_t seed)
+{
+    switch (kind) {
+      case HashKind::BitSelect:
+        return std::make_unique<BitSelectHash>(buckets);
+      case HashKind::FoldedXor:
+        return std::make_unique<FoldedXorHash>(buckets, seed);
+      case HashKind::H3:
+        return std::make_unique<H3Hash>(buckets, seed);
+      case HashKind::Strong:
+        return std::make_unique<StrongHash>(buckets, seed);
+      case HashKind::Sha1:
+        return std::make_unique<Sha1Hash>(buckets, seed);
+    }
+    zc_panic("unknown hash kind");
+}
+
+/**
+ * Build one hash function per way, with distinct seeds so ways are
+ * statistically independent (required by skew/zcache designs).
+ */
+inline std::vector<HashPtr>
+makeHashFamily(HashKind kind, std::uint32_t ways, std::uint64_t buckets,
+               std::uint64_t seed)
+{
+    zc_assert(ways > 0);
+    std::vector<HashPtr> fam;
+    fam.reserve(ways);
+    for (std::uint32_t w = 0; w < ways; w++) {
+        // Offset seeds; BitSelect ignores the seed, so a skewed design
+        // with BitSelect degenerates to identical ways (documented).
+        fam.push_back(makeHash(kind, buckets, seed + 0x51ed2701ULL * (w + 1)));
+    }
+    return fam;
+}
+
+} // namespace zc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Abstract index hash function.
+ *
+ * A HashFunction maps a line address to a bucket index in [0, buckets).
+ * Cache arrays own one HashFunction per way (skew/zcache) or a single one
+ * (hashed set-associative). Implementations must be pure functions of the
+ * address once constructed so that lookups and walks agree.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace zc {
+
+class HashFunction
+{
+  public:
+    virtual ~HashFunction() = default;
+
+    /** Map @p lineAddr to a bucket in [0, buckets()). */
+    virtual std::uint64_t hash(Addr lineAddr) const = 0;
+
+    /** Number of buckets this function maps into. */
+    virtual std::uint64_t buckets() const = 0;
+
+    /** Human-readable name for reports. */
+    virtual std::string name() const = 0;
+};
+
+using HashPtr = std::unique_ptr<HashFunction>;
+
+} // namespace zc

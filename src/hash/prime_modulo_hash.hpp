@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Prime-modulo indexing (Kharbutli et al., HPCA 2004).
+ *
+ * Background scheme from Section II-A: index = addr mod p where p is the
+ * largest prime <= buckets. Spreads strided patterns well but leaves
+ * (buckets - p) sets unused; included for the hash-quality comparison
+ * benches.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/log.hpp"
+#include "hash/hash_function.hpp"
+
+namespace zc {
+
+class PrimeModuloHash final : public HashFunction
+{
+  public:
+    explicit PrimeModuloHash(std::uint64_t buckets) : buckets_(buckets)
+    {
+        zc_assert(buckets >= 2);
+        prime_ = largestPrimeAtMost(buckets);
+    }
+
+    std::uint64_t hash(Addr lineAddr) const override
+    {
+        return lineAddr % prime_;
+    }
+
+    std::uint64_t buckets() const override { return buckets_; }
+
+    /** The prime actually used (<= buckets). */
+    std::uint64_t prime() const { return prime_; }
+
+    std::string
+    name() const override
+    {
+        return "PrimeModulo(p=" + std::to_string(prime_) + ")";
+    }
+
+    /** Largest prime <= n (n >= 2). Trial division; n is a set count. */
+    static std::uint64_t
+    largestPrimeAtMost(std::uint64_t n)
+    {
+        zc_assert(n >= 2);
+        for (std::uint64_t c = n;; c--) {
+            bool prime = c >= 2;
+            for (std::uint64_t d = 2; d * d <= c; d++) {
+                if (c % d == 0) {
+                    prime = false;
+                    break;
+                }
+            }
+            if (prime) return c;
+        }
+    }
+
+  private:
+    std::uint64_t buckets_;
+    std::uint64_t prime_;
+};
+
+} // namespace zc

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * SHA-1 (FIPS 180-1) — the "exceedingly complex" end of the hash
+ * spectrum the paper names in Section III-C, used in Section IV-C to
+ * show that strong hashing makes measured associativity distributions
+ * identical to the uniformity assumption.
+ *
+ * Self-contained single-block implementation sufficient for hashing
+ * 64-bit line addresses (plus a general-purpose buffer entry point used
+ * by the tests against the FIPS test vectors). SHA-1 is of course not
+ * cryptographically trustworthy anymore; here it is a *mixing* function
+ * exactly as the paper uses it.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+#include "hash/hash_function.hpp"
+
+namespace zc {
+
+class Sha1
+{
+  public:
+    using Digest = std::array<std::uint32_t, 5>;
+
+    /** Digest of an arbitrary byte buffer. */
+    static Digest
+    digest(const void* data, std::size_t len)
+    {
+        Digest h{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                 0xC3D2E1F0u};
+
+        // Process full 64-byte blocks, then the padded tail.
+        const auto* bytes = static_cast<const std::uint8_t*>(data);
+        std::size_t full = len / 64;
+        for (std::size_t b = 0; b < full; b++) {
+            processBlock(bytes + b * 64, h);
+        }
+
+        // Padding: 0x80, zeros, 64-bit big-endian bit length.
+        std::uint8_t tail[128] = {0};
+        std::size_t rem = len % 64;
+        std::memcpy(tail, bytes + full * 64, rem);
+        tail[rem] = 0x80;
+        std::size_t tail_len = (rem < 56) ? 64 : 128;
+        std::uint64_t bit_len = static_cast<std::uint64_t>(len) * 8;
+        for (int i = 0; i < 8; i++) {
+            tail[tail_len - 1 - i] =
+                static_cast<std::uint8_t>(bit_len >> (8 * i));
+        }
+        processBlock(tail, h);
+        if (tail_len == 128) processBlock(tail + 64, h);
+        return h;
+    }
+
+    /** Hex string of a digest (for test vectors). */
+    static std::string
+    hex(const Digest& d)
+    {
+        static const char* k = "0123456789abcdef";
+        std::string out;
+        for (std::uint32_t w : d) {
+            for (int shift = 28; shift >= 0; shift -= 4) {
+                out.push_back(k[(w >> shift) & 0xF]);
+            }
+        }
+        return out;
+    }
+
+  private:
+    static std::uint32_t
+    rotl(std::uint32_t v, int s)
+    {
+        return (v << s) | (v >> (32 - s));
+    }
+
+    static void
+    processBlock(const std::uint8_t* block, Digest& h)
+    {
+        std::uint32_t w[80];
+        for (int i = 0; i < 16; i++) {
+            w[i] = (std::uint32_t{block[4 * i]} << 24) |
+                   (std::uint32_t{block[4 * i + 1]} << 16) |
+                   (std::uint32_t{block[4 * i + 2]} << 8) |
+                   std::uint32_t{block[4 * i + 3]};
+        }
+        for (int i = 16; i < 80; i++) {
+            w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+        }
+
+        std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+        for (int i = 0; i < 80; i++) {
+            std::uint32_t f, k;
+            if (i < 20) {
+                f = (b & c) | (~b & d);
+                k = 0x5A827999u;
+            } else if (i < 40) {
+                f = b ^ c ^ d;
+                k = 0x6ED9EBA1u;
+            } else if (i < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = 0x8F1BBCDCu;
+            } else {
+                f = b ^ c ^ d;
+                k = 0xCA62C1D6u;
+            }
+            std::uint32_t t = rotl(a, 5) + f + e + k + w[i];
+            e = d;
+            d = c;
+            c = rotl(b, 30);
+            b = a;
+            a = t;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+    }
+};
+
+/**
+ * Cache-index hash built on SHA-1: the address (salted per way) is
+ * digested and the low output bits index the array. Slow — for
+ * experiments validating hash-quality claims, not for the simulator's
+ * hot paths (StrongHash is the fast stand-in).
+ */
+class Sha1Hash final : public HashFunction
+{
+  public:
+    Sha1Hash(std::uint64_t buckets, std::uint64_t seed)
+        : buckets_(buckets), seed_(seed)
+    {
+        zc_assert(isPow2(buckets));
+    }
+
+    std::uint64_t
+    hash(Addr lineAddr) const override
+    {
+        std::uint64_t msg[2] = {lineAddr, seed_};
+        Sha1::Digest d = Sha1::digest(msg, sizeof msg);
+        std::uint64_t v =
+            (static_cast<std::uint64_t>(d[0]) << 32) | d[1];
+        return v & (buckets_ - 1);
+    }
+
+    std::uint64_t buckets() const override { return buckets_; }
+
+    std::string
+    name() const override
+    {
+        return "SHA1(seed=" + std::to_string(seed_) + ")";
+    }
+
+  private:
+    std::uint64_t buckets_;
+    std::uint64_t seed_;
+};
+
+} // namespace zc

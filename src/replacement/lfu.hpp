@@ -1,0 +1,89 @@
+/**
+ * @file
+ * LFU — least frequently used.
+ *
+ * Section IV-A cites LFU as a policy whose global rank is access
+ * frequency. Reference counts saturate at a configurable cap and ties are
+ * broken by recency so the global order stays total.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "replacement/policy.hpp"
+
+namespace zc {
+
+class LfuPolicy : public ReplacementPolicy
+{
+  public:
+    explicit LfuPolicy(std::uint32_t num_blocks,
+                       std::uint32_t count_cap = 255)
+        : ReplacementPolicy(num_blocks),
+          cap_(count_cap),
+          counts_(num_blocks, 0),
+          lastTouch_(num_blocks, 0)
+    {
+    }
+
+    void
+    onInsert(BlockPos pos, const AccessContext&) override
+    {
+        counts_[pos] = 1;
+        lastTouch_[pos] = ++clock_;
+    }
+
+    void
+    onHit(BlockPos pos, const AccessContext&) override
+    {
+        if (counts_[pos] < cap_) counts_[pos]++;
+        lastTouch_[pos] = ++clock_;
+    }
+
+    void
+    onMove(BlockPos from, BlockPos to) override
+    {
+        counts_[to] = counts_[from];
+        lastTouch_[to] = lastTouch_[from];
+    }
+
+    void
+    onEvict(BlockPos pos) override
+    {
+        counts_[pos] = 0;
+        lastTouch_[pos] = 0;
+    }
+
+    void
+    onSwap(BlockPos a, BlockPos b) override
+    {
+        std::swap(counts_[a], counts_[b]);
+        std::swap(lastTouch_[a], lastTouch_[b]);
+    }
+
+    double
+    score(BlockPos pos) const override
+    {
+        return static_cast<double>(counts_[pos]);
+    }
+
+    std::uint64_t tieBreaker(BlockPos pos) const override
+    {
+        return lastTouch_[pos];
+    }
+
+    std::string name() const override { return "lfu"; }
+
+  private:
+    std::uint32_t cap_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint32_t> counts_;
+    std::vector<std::uint64_t> lastTouch_;
+};
+
+} // namespace zc

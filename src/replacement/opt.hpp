@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Belady's OPT replacement (paper Section VI-B, trace-driven mode).
+ *
+ * OPT evicts the candidate whose next reference is furthest in the
+ * future. The policy itself is trivial once each access carries its
+ * next-use time: AccessContext::nextUse is filled in by the
+ * FutureUseAnnotator (src/trace) in a preliminary pass over the trace.
+ *
+ * Footnote 2 of the paper applies here too: with interference across
+ * "sets" (skew caches, zcaches), furthest-next-use is a strong heuristic
+ * rather than a true optimum, which is exactly how the paper uses it —
+ * to decouple replacement-policy ill-effects from associativity effects.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "replacement/policy.hpp"
+
+namespace zc {
+
+class OptPolicy : public ReplacementPolicy
+{
+  public:
+    explicit OptPolicy(std::uint32_t num_blocks)
+        : ReplacementPolicy(num_blocks), nextUse_(num_blocks, kNoNextUse)
+    {
+    }
+
+    void
+    onInsert(BlockPos pos, const AccessContext& ctx) override
+    {
+        nextUse_[pos] = ctx.nextUse;
+    }
+
+    void
+    onHit(BlockPos pos, const AccessContext& ctx) override
+    {
+        nextUse_[pos] = ctx.nextUse;
+    }
+
+    void
+    onMove(BlockPos from, BlockPos to) override
+    {
+        nextUse_[to] = nextUse_[from];
+    }
+
+    void
+    onEvict(BlockPos pos) override
+    {
+        nextUse_[pos] = kNoNextUse;
+    }
+
+    void
+    onSwap(BlockPos a, BlockPos b) override
+    {
+        std::swap(nextUse_[a], nextUse_[b]);
+    }
+
+    /**
+     * Keep-value: negative next-use distance. Blocks never used again
+     * (nextUse == kNoNextUse) get -inf-like scores and go first.
+     */
+    double
+    score(BlockPos pos) const override
+    {
+        return -static_cast<double>(nextUse_[pos]);
+    }
+
+    std::string name() const override { return "opt"; }
+
+    std::uint64_t nextUseOf(BlockPos pos) const { return nextUse_[pos]; }
+
+  private:
+    std::vector<std::uint64_t> nextUse_;
+};
+
+} // namespace zc

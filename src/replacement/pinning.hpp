@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Block pinning — the paper's Section I motivation made concrete.
+ *
+ * Transactional memory, thread-level speculation, deterministic replay
+ * and similar schemes "use caches to buffer or pin specific blocks.
+ * Low associativity makes it difficult to buffer large sets of blocks,
+ * limiting the applicability of these schemes or requiring expensive
+ * fall-back mechanisms." A pinned block must not be evicted; a
+ * replacement whose candidates are *all* pinned forces the fall-back
+ * (e.g. a transaction abort).
+ *
+ * PinningPolicy decorates any ReplacementPolicy: pinned blocks are
+ * skipped during victim selection while any unpinned candidate exists;
+ * when none exists the forced-eviction counter records the fall-back
+ * event and the block is surrendered (and unpinned). The probability of
+ * that event is (pinned fraction)^R — with a zcache, R is large at
+ * unchanged hit cost, which is precisely why these schemes want one.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "replacement/policy.hpp"
+
+namespace zc {
+
+class PinningPolicy final : public ReplacementPolicy
+{
+  public:
+    explicit PinningPolicy(std::unique_ptr<ReplacementPolicy> inner)
+        : ReplacementPolicy(inner->numBlocks()),
+          inner_(std::move(inner)),
+          pinned_(numBlocks(), 0)
+    {
+    }
+
+    /** Pin the block at @p pos (idempotent). */
+    void
+    pin(BlockPos pos)
+    {
+        zc_assert(pos < numBlocks());
+        if (!pinned_[pos]) {
+            pinned_[pos] = 1;
+            pinnedCount_++;
+        }
+    }
+
+    void
+    unpin(BlockPos pos)
+    {
+        zc_assert(pos < numBlocks());
+        if (pinned_[pos]) {
+            pinned_[pos] = 0;
+            pinnedCount_--;
+        }
+    }
+
+    bool isPinned(BlockPos pos) const { return pinned_[pos] != 0; }
+    std::uint32_t pinnedCount() const { return pinnedCount_; }
+
+    /**
+     * Replacements that found every candidate pinned — the events that
+     * would trigger the buffering scheme's fall-back path.
+     */
+    std::uint64_t forcedEvictions() const { return forcedEvictions_; }
+
+    // -- ReplacementPolicy ------------------------------------------
+
+    void
+    onInsert(BlockPos pos, const AccessContext& ctx) override
+    {
+        // A new block starts unpinned.
+        unpin(pos);
+        inner_->onInsert(pos, ctx);
+    }
+
+    void
+    onHit(BlockPos pos, const AccessContext& ctx) override
+    {
+        inner_->onHit(pos, ctx);
+    }
+
+    void
+    onMove(BlockPos from, BlockPos to) override
+    {
+        // The pin travels with the block: relocating a pinned block is
+        // fine (it stays resident); evicting it is not.
+        if (pinned_[from]) {
+            pin(to);
+            unpin(from);
+        } else {
+            unpin(to);
+        }
+        inner_->onMove(from, to);
+    }
+
+    void
+    onEvict(BlockPos pos) override
+    {
+        unpin(pos);
+        inner_->onEvict(pos);
+    }
+
+    void
+    onSwap(BlockPos a, BlockPos b) override
+    {
+        std::swap(pinned_[a], pinned_[b]);
+        inner_->onSwap(a, b);
+    }
+
+    BlockPos
+    select(std::span<const BlockPos> cands) override
+    {
+        static thread_local std::vector<BlockPos> unpinned;
+        unpinned.clear();
+        for (BlockPos c : cands) {
+            if (!pinned_[c]) unpinned.push_back(c);
+        }
+        if (!unpinned.empty()) return inner_->select(unpinned);
+        forcedEvictions_++;
+        return inner_->select(cands); // fall-back: surrender a pin
+    }
+
+    double
+    score(BlockPos pos) const override
+    {
+        // Pinned blocks rank as maximally keep-worthy so the Section IV
+        // framework sees the effective eviction preference.
+        return pinned_[pos] ? 1e300 : inner_->score(pos);
+    }
+
+    std::uint64_t tieBreaker(BlockPos pos) const override
+    {
+        return inner_->tieBreaker(pos);
+    }
+
+    std::string name() const override { return inner_->name() + "+pin"; }
+
+    ReplacementPolicy& inner() { return *inner_; }
+
+  private:
+    std::unique_ptr<ReplacementPolicy> inner_;
+    std::vector<std::uint8_t> pinned_;
+    std::uint32_t pinnedCount_ = 0;
+    std::uint64_t forcedEvictions_ = 0;
+};
+
+} // namespace zc

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Replacement policy interface.
+ *
+ * The paper (Section II, last paragraph, and Section IV-A) insists that the
+ * cache *array* (which produces replacement candidates) and the replacement
+ * *policy* (which ranks blocks) are separate concerns. This interface
+ * encodes that split:
+ *
+ *  - the array notifies the policy of insertions, hits, moves (zcache
+ *    relocations carry their replacement state with the block), and
+ *    evictions, all in terms of opaque block positions;
+ *  - on a replacement the array hands the policy its candidate list and the
+ *    policy picks the victim;
+ *  - for the Section IV associativity framework, every policy exposes a
+ *    *total order* over resident blocks through score() / tieBreaker():
+ *    lower (score, tie) means "prefer to evict". This is the global rank
+ *    the framework normalizes into eviction priorities.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace zc {
+
+/** Sentinel next-use for "never referenced again". */
+inline constexpr std::uint64_t kNoNextUse =
+    std::numeric_limits<std::uint64_t>::max();
+
+/**
+ * Per-access information handed to the policy.
+ *
+ * nextUse is only meaningful when an OPT oracle annotates the trace; all
+ * other policies ignore it.
+ */
+struct AccessContext
+{
+    Addr lineAddr = kInvalidAddr;
+    std::uint64_t nextUse = kNoNextUse;
+};
+
+class ReplacementPolicy
+{
+  public:
+    explicit ReplacementPolicy(std::uint32_t num_blocks)
+        : numBlocks_(num_blocks)
+    {
+        zc_assert(num_blocks > 0);
+    }
+
+    virtual ~ReplacementPolicy() = default;
+
+    std::uint32_t numBlocks() const { return numBlocks_; }
+
+    /** A new block was installed at @p pos. */
+    virtual void onInsert(BlockPos pos, const AccessContext& ctx) = 0;
+
+    /** The block at @p pos was hit. */
+    virtual void onHit(BlockPos pos, const AccessContext& ctx) = 0;
+
+    /**
+     * The block at @p from was relocated to @p to (zcache relocation);
+     * its replacement metadata travels with it. @p from becomes dead.
+     */
+    virtual void onMove(BlockPos from, BlockPos to) = 0;
+
+    /**
+     * The two live blocks at @p a and @p b exchanged positions
+     * (column-associative secondary-hit swap; victim-cache promote).
+     * Policies with flat per-block metadata override this with an
+     * element swap; set-structured policies may reject it.
+     */
+    virtual void
+    onSwap(BlockPos a, BlockPos b)
+    {
+        (void)a;
+        (void)b;
+        zc_panic("policy does not support position swaps");
+    }
+
+    /** The block at @p pos was evicted or invalidated. */
+    virtual void onEvict(BlockPos pos) = 0;
+
+    /**
+     * Pick the victim among @p cands (all valid blocks). Default: minimum
+     * (score, tieBreaker). Non-const because some policies (e.g. SRRIP)
+     * age state while selecting.
+     */
+    virtual BlockPos
+    select(std::span<const BlockPos> cands)
+    {
+        zc_assert(!cands.empty());
+        BlockPos best = cands[0];
+        for (std::size_t i = 1; i < cands.size(); i++) {
+            if (ordersBefore(cands[i], best)) best = cands[i];
+        }
+        return best;
+    }
+
+    /**
+     * Keep-value of the block at @p pos: higher means more worth keeping.
+     * Must be comparable across all resident blocks.
+     */
+    virtual double score(BlockPos pos) const = 0;
+
+    /** Breaks score ties into a total order. Default: position. */
+    virtual std::uint64_t tieBreaker(BlockPos pos) const { return pos; }
+
+    /** True iff block @p a is preferred for eviction over @p b. */
+    bool
+    ordersBefore(BlockPos a, BlockPos b) const
+    {
+        double sa = score(a), sb = score(b);
+        if (sa != sb) return sa < sb;
+        return tieBreaker(a) < tieBreaker(b);
+    }
+
+    virtual std::string name() const = 0;
+
+  private:
+    std::uint32_t numBlocks_;
+};
+
+} // namespace zc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Replacement-policy factory shared by benches, examples and tests.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/log.hpp"
+#include "replacement/bip.hpp"
+#include "replacement/bucketed_lru.hpp"
+#include "replacement/lfu.hpp"
+#include "replacement/lru.hpp"
+#include "replacement/nru.hpp"
+#include "replacement/opt.hpp"
+#include "replacement/policy.hpp"
+#include "replacement/random_policy.hpp"
+#include "replacement/srrip.hpp"
+
+namespace zc {
+
+enum class PolicyKind {
+    Lru,
+    BucketedLru,
+    Lfu,
+    Random,
+    Opt,
+    Nru,
+    Srrip,
+    Bip,
+};
+
+inline const char*
+policyKindName(PolicyKind k)
+{
+    switch (k) {
+      case PolicyKind::Lru: return "lru";
+      case PolicyKind::BucketedLru: return "bucketed-lru";
+      case PolicyKind::Lfu: return "lfu";
+      case PolicyKind::Random: return "random";
+      case PolicyKind::Opt: return "opt";
+      case PolicyKind::Nru: return "nru";
+      case PolicyKind::Srrip: return "srrip";
+      case PolicyKind::Bip: return "bip";
+    }
+    return "?";
+}
+
+inline std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, std::uint32_t num_blocks, std::uint64_t seed = 1)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return std::make_unique<LruPolicy>(num_blocks);
+      case PolicyKind::BucketedLru:
+        return std::make_unique<BucketedLruPolicy>(num_blocks);
+      case PolicyKind::Lfu:
+        return std::make_unique<LfuPolicy>(num_blocks);
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(num_blocks, seed);
+      case PolicyKind::Opt:
+        return std::make_unique<OptPolicy>(num_blocks);
+      case PolicyKind::Nru:
+        return std::make_unique<NruPolicy>(num_blocks);
+      case PolicyKind::Srrip:
+        return std::make_unique<SrripPolicy>(num_blocks);
+      case PolicyKind::Bip:
+        return std::make_unique<BipPolicy>(num_blocks, 1.0 / 32, seed);
+    }
+    zc_panic("unknown policy kind");
+}
+
+} // namespace zc

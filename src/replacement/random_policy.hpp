@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Random replacement.
+ *
+ * Each block receives a fresh random keep-value on insertion and hit, so
+ * selection among candidates and the Section IV global rank are both
+ * uniformly random. Deterministic under a fixed seed.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "replacement/policy.hpp"
+
+namespace zc {
+
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint32_t num_blocks, std::uint64_t seed = 1)
+        : ReplacementPolicy(num_blocks), rng_(seed), lottery_(num_blocks, 0)
+    {
+    }
+
+    void
+    onInsert(BlockPos pos, const AccessContext&) override
+    {
+        lottery_[pos] = rng_.next64();
+    }
+
+    void
+    onHit(BlockPos pos, const AccessContext&) override
+    {
+        lottery_[pos] = rng_.next64();
+    }
+
+    void
+    onMove(BlockPos from, BlockPos to) override
+    {
+        lottery_[to] = lottery_[from];
+    }
+
+    void
+    onEvict(BlockPos pos) override
+    {
+        lottery_[pos] = 0;
+    }
+
+    void
+    onSwap(BlockPos a, BlockPos b) override
+    {
+        std::swap(lottery_[a], lottery_[b]);
+    }
+
+    double
+    score(BlockPos pos) const override
+    {
+        // Scale into [0,1) to keep doubles well-conditioned.
+        return static_cast<double>(lottery_[pos]) * 0x1.0p-64;
+    }
+
+    std::string name() const override { return "random"; }
+
+  private:
+    Pcg32 rng_;
+    std::vector<std::uint64_t> lottery_;
+};
+
+} // namespace zc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SRRIP — static re-reference interval prediction (Jaleel et al., ISCA
+ * 2010; paper reference [24]).
+ *
+ * The paper calls RRIP out as one of the "latest, highest-performing
+ * policies [that] do not rely on set ordering", i.e. a natural fit for
+ * zcaches. 2-bit RRPVs by default: insert at 2 (long re-reference
+ * interval), promote to 0 on hit, evict an RRPV==3 candidate, aging the
+ * candidate list when none qualifies.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "replacement/policy.hpp"
+
+namespace zc {
+
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    explicit SrripPolicy(std::uint32_t num_blocks, std::uint32_t rrpv_bits = 2)
+        : ReplacementPolicy(num_blocks),
+          maxRrpv_((1u << rrpv_bits) - 1),
+          rrpv_(num_blocks, maxRrpv_),
+          seq_(num_blocks, 0)
+    {
+        zc_assert(rrpv_bits >= 1 && rrpv_bits <= 8);
+    }
+
+    void
+    onInsert(BlockPos pos, const AccessContext&) override
+    {
+        rrpv_[pos] = maxRrpv_ - 1;
+        seq_[pos] = ++clock_;
+    }
+
+    void
+    onHit(BlockPos pos, const AccessContext&) override
+    {
+        rrpv_[pos] = 0;
+        seq_[pos] = ++clock_;
+    }
+
+    void
+    onMove(BlockPos from, BlockPos to) override
+    {
+        rrpv_[to] = rrpv_[from];
+        seq_[to] = seq_[from];
+    }
+
+    void
+    onEvict(BlockPos pos) override
+    {
+        rrpv_[pos] = maxRrpv_;
+        seq_[pos] = 0;
+    }
+
+    void
+    onSwap(BlockPos a, BlockPos b) override
+    {
+        std::swap(rrpv_[a], rrpv_[b]);
+        std::swap(seq_[a], seq_[b]);
+    }
+
+    BlockPos
+    select(std::span<const BlockPos> cands) override
+    {
+        // Age the candidate list until one reaches maxRrpv. In a
+        // set-associative cache this is the classic per-set aging loop;
+        // in a zcache the candidate list plays the role of the set.
+        std::uint32_t best_rrpv = 0;
+        for (BlockPos c : cands) best_rrpv = std::max(best_rrpv, rrpv_[c]);
+        std::uint32_t delta = maxRrpv_ - best_rrpv;
+        if (delta > 0) {
+            for (BlockPos c : cands) rrpv_[c] += delta;
+        }
+        BlockPos victim = kInvalidPos;
+        for (BlockPos c : cands) {
+            if (rrpv_[c] == maxRrpv_ &&
+                (victim == kInvalidPos || seq_[c] < seq_[victim])) {
+                victim = c;
+            }
+        }
+        zc_assert(victim != kInvalidPos);
+        return victim;
+    }
+
+    double
+    score(BlockPos pos) const override
+    {
+        return -static_cast<double>(rrpv_[pos]);
+    }
+
+    std::uint64_t tieBreaker(BlockPos pos) const override
+    {
+        return seq_[pos];
+    }
+
+    std::string name() const override { return "srrip"; }
+
+  private:
+    std::uint32_t maxRrpv_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint32_t> rrpv_;
+    std::vector<std::uint64_t> seq_;
+};
+
+} // namespace zc

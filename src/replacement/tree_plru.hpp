@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tree-PLRU — the set-ordering-dependent policy skewed caches lose.
+ *
+ * Section II-A: skew-associative caches (and therefore zcaches) "break
+ * the concept of a set, so they cannot use replacement policy
+ * implementations that rely on set ordering (e.g. using pseudo-LRU to
+ * approximate LRU)." Tree-PLRU is that canonical implementation: one
+ * bit per internal node of a binary tree over each set's ways.
+ *
+ * This policy exists to make the constraint concrete (and testable):
+ * it requires its candidate list to be exactly one whole, aligned set,
+ * and panics otherwise — handing it to a ZArray trips the check. Its
+ * global rank for the Section IV framework is the victim-path depth at
+ * which a block would be chosen, refined by access recency.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "replacement/policy.hpp"
+
+namespace zc {
+
+class TreePlruPolicy final : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param num_blocks Total blocks (sets * ways).
+     * @param ways Power-of-two set size; positions are set-major
+     *        (pos = set * ways + way), as SetAssociativeArray lays out.
+     */
+    TreePlruPolicy(std::uint32_t num_blocks, std::uint32_t ways)
+        : ReplacementPolicy(num_blocks),
+          ways_(ways),
+          levels_(log2Floor(ways)),
+          // One bit per internal node: ways-1 nodes per set.
+          bits_(static_cast<std::size_t>(num_blocks / ways) * (ways - 1),
+                0),
+          seq_(num_blocks, 0)
+    {
+        zc_assert(ways >= 2 && isPow2(ways));
+        zc_assert(num_blocks % ways == 0);
+    }
+
+    void
+    onInsert(BlockPos pos, const AccessContext&) override
+    {
+        touch(pos);
+    }
+
+    void
+    onHit(BlockPos pos, const AccessContext&) override
+    {
+        touch(pos);
+    }
+
+    void
+    onMove(BlockPos, BlockPos) override
+    {
+        zc_panic("Tree-PLRU has per-set state; it cannot follow "
+                 "relocations between sets (Section II-A)");
+    }
+
+    void
+    onEvict(BlockPos pos) override
+    {
+        seq_[pos] = 0;
+    }
+
+    BlockPos
+    select(std::span<const BlockPos> cands) override
+    {
+        // The candidate list must be one aligned, complete set — the
+        // structural requirement skewed designs cannot meet.
+        zc_assert(cands.size() == ways_);
+        std::uint32_t set = cands[0] / ways_;
+        for (std::size_t i = 0; i < cands.size(); i++) {
+            zc_assert(cands[i] == set * ways_ + i);
+        }
+
+        // Walk the tree following the cold direction at every node.
+        std::uint8_t* tree = setTree(set);
+        std::uint32_t node = 0;
+        for (std::uint32_t l = 0; l < levels_; l++) {
+            std::uint32_t go_right = tree[node];
+            node = 2 * node + 1 + go_right;
+        }
+        std::uint32_t way = node - (ways_ - 1);
+        return set * ways_ + way;
+    }
+
+    /**
+     * Keep-value for the framework: how deep a block's way agrees with
+     * the tree's victim path (deeper agreement = closer to eviction),
+     * refined by recency.
+     */
+    double
+    score(BlockPos pos) const override
+    {
+        std::uint32_t set = pos / ways_;
+        std::uint32_t way = pos % ways_;
+        const std::uint8_t* tree =
+            &bits_[static_cast<std::size_t>(set) * (ways_ - 1)];
+        std::uint32_t node = 0;
+        std::uint32_t agreement = 0;
+        for (std::uint32_t l = 0; l < levels_; l++) {
+            std::uint32_t bit = (way >> (levels_ - 1 - l)) & 1;
+            if (tree[node] != bit) break;
+            agreement++;
+            node = 2 * node + 1 + bit;
+        }
+        return -static_cast<double>(agreement);
+    }
+
+    std::uint64_t tieBreaker(BlockPos pos) const override
+    {
+        return seq_[pos];
+    }
+
+    std::string name() const override { return "tree-plru"; }
+
+  private:
+    std::uint8_t*
+    setTree(std::uint32_t set)
+    {
+        return &bits_[static_cast<std::size_t>(set) * (ways_ - 1)];
+    }
+
+    void
+    touch(BlockPos pos)
+    {
+        // Point every node on the block's path *away* from it.
+        std::uint32_t set = pos / ways_;
+        std::uint32_t way = pos % ways_;
+        std::uint8_t* tree = setTree(set);
+        std::uint32_t node = 0;
+        for (std::uint32_t l = 0; l < levels_; l++) {
+            std::uint32_t bit = (way >> (levels_ - 1 - l)) & 1;
+            tree[node] = static_cast<std::uint8_t>(1 - bit);
+            node = 2 * node + 1 + bit;
+        }
+        seq_[pos] = ++clock_;
+    }
+
+    std::uint32_t ways_;
+    std::uint32_t levels_;
+    std::vector<std::uint8_t> bits_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> seq_;
+};
+
+} // namespace zc

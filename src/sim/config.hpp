@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Simulated CMP configuration — Table I of the paper.
+ *
+ * 32 in-order x86-like cores (IPC = 1 except on memory accesses) at
+ * 2 GHz; 32 KB 4-way split L1s with 1-cycle latency; an 8 MB shared
+ * inclusive NUCA L2 in 8 banks with MESI directory coherence, 4-cycle
+ * average L1-to-bank network latency and 6-11 cycle bank latency
+ * (produced by CACTI-lite from the bank organization under test); 4
+ * memory controllers at 200 cycles zero-load latency.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "cache/array_factory.hpp"
+
+namespace zc {
+
+struct SystemConfig
+{
+    std::uint32_t numCores = 32;
+    double frequencyGhz = 2.0;
+    std::uint32_t lineBytes = 64;
+
+    // L1 (fixed across the evaluation).
+    std::uint32_t l1SizeBytes = 32 * 1024;
+    std::uint32_t l1Ways = 4;
+    std::uint32_t l1LatencyCycles = 1;
+
+    // L2 — the organization under study.
+    std::uint64_t l2SizeBytes = std::uint64_t{8} << 20;
+    std::uint32_t l2Banks = 8;
+    bool l2SerialLookup = true;
+    ArraySpec l2Spec; ///< kind/ways/levels/policy/hash; blocks derived
+
+    std::uint32_t l1ToL2Cycles = 4; ///< average network latency, one way
+
+    /** Extra cycles for a Shared->Exclusive directory upgrade. */
+    std::uint32_t upgradeCycles = 8;
+
+    // Memory.
+    std::uint32_t memControllers = 4;
+    std::uint32_t memLatencyCycles = 200;
+
+    // Instruction-fetch model: per-core code footprint and jump rate.
+    // The hot code region fits the L1I (instruction fetch is not under
+    // study; Table I workloads have negligible I-miss rates). A cyclic
+    // footprint above the L1I size would thrash it pathologically
+    // (sequential reuse is LRU's worst case), which no real frontend
+    // exhibits.
+    std::uint32_t codeLines = 256;        ///< 16 KB hot code per core
+    double codeJumpProb = 0.02;           ///< irregular control flow
+    std::uint32_t instrPerCodeLine = 16;  ///< 4-byte x86-ish instructions
+
+    /**
+     * Next-use distance (in trace records) attributed to instruction
+     * lines under OPT. Code is cyclically hot; without a finite value
+     * an OPT LLC would rank code lines dead and inclusion would thrash
+     * the L1I.
+     */
+    std::uint64_t codeNextUseDistance = 64;
+
+    /**
+     * Walk-bandwidth throttling (Section III: "should bandwidth or
+     * energy become an issue, the replacement process can be stopped
+     * early, simply resulting in a worse replacement candidate").
+     * When enabled, each bank accrues one tag-operation token per idle
+     * cycle (capped at walkTokenWindow); a walk may only expand as far
+     * as the bank's banked tokens allow.
+     */
+    bool walkThrottle = false;
+    std::uint32_t walkTokenWindow = 16;
+
+    std::uint64_t seed = 0x2cafe;
+
+    std::uint32_t
+    l2BankLines() const
+    {
+        return static_cast<std::uint32_t>(l2SizeBytes / lineBytes /
+                                          l2Banks);
+    }
+};
+
+} // namespace zc

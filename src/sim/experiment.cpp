@@ -1,0 +1,121 @@
+#include "sim/experiment.hpp"
+
+#include "common/log.hpp"
+#include "trace/future_use.hpp"
+#include "trace/workloads.hpp"
+
+namespace zc {
+
+namespace {
+
+/**
+ * Build per-core generators. OPT runs pre-generate and annotate a trace
+ * long enough to cover warmup + measurement (trace-driven mode, paper
+ * Section VI-B); other policies stream directly from the generators.
+ */
+std::vector<GeneratorPtr>
+buildGenerators(const RunParams& p, const SystemConfig& cfg)
+{
+    const WorkloadProfile& w = WorkloadRegistry::byName(p.workload);
+    std::vector<GeneratorPtr> gens;
+    gens.reserve(cfg.numCores);
+
+    bool opt = p.l2Spec.policy == PolicyKind::Opt;
+    std::uint64_t instr_target = p.warmupInstr + p.measureInstr;
+
+    for (std::uint32_t c = 0; c < cfg.numCores; c++) {
+        auto gen = WorkloadRegistry::makeCoreGenerator(w, c, cfg.numCores,
+                                                       p.seed);
+        if (!opt) {
+            gens.push_back(std::move(gen));
+            continue;
+        }
+        // Record until the instruction budget (plus slack for the
+        // interleaving overshoot) is covered.
+        std::vector<MemRecord> trace;
+        trace.reserve(instr_target / 4);
+        std::uint64_t instr = 0;
+        while (instr < instr_target + 10000) {
+            MemRecord r = gen->next();
+            instr += r.instGap + 1;
+            trace.push_back(r);
+        }
+        FutureUseAnnotator::annotate(trace);
+        gens.push_back(std::make_unique<ReplayGenerator>(std::move(trace)));
+    }
+    return gens;
+}
+
+} // namespace
+
+RunResult
+runExperiment(const RunParams& params)
+{
+    SystemConfig cfg = params.base;
+    cfg.l2Spec = params.l2Spec;
+    cfg.l2SerialLookup = params.serialLookup;
+    cfg.seed = params.seed ^ 0x5a5a;
+
+    CmpSystem sys(cfg);
+    sys.setGenerators(buildGenerators(params, cfg));
+
+    if (params.warmupInstr > 0) {
+        sys.run(params.warmupInstr);
+        sys.resetStats();
+    }
+    sys.run(params.measureInstr);
+
+    const SystemStats& st = sys.stats();
+
+    RunResult r;
+    r.instructions = st.totalInstructions();
+    r.cycles = st.maxCycles();
+    r.ipc = st.aggregateIpc();
+    r.mpki = st.l2Mpki();
+    r.l2Accesses = st.l2Accesses;
+    r.l2Misses = st.l2Misses;
+    r.bankLatencyCycles = sys.bankLatencyCycles();
+
+    std::uint64_t walks = 0, cand = 0, reloc = 0;
+    for (std::uint32_t b = 0; b < sys.numBanks(); b++) {
+        const ArrayStats& as = sys.bank(b).stats();
+        r.l2TagAccesses += as.tagReads + as.tagWrites;
+        if (auto* z = dynamic_cast<const ZArray*>(&sys.bank(b))) {
+            walks += z->walkStats().walks;
+            cand += z->walkStats().candidatesTotal;
+            reloc += z->walkStats().relocationsTotal;
+        }
+    }
+    if (walks > 0) {
+        r.avgWalkCandidates =
+            static_cast<double>(cand) / static_cast<double>(walks);
+        r.avgRelocations =
+            static_cast<double>(reloc) / static_cast<double>(walks);
+    }
+
+    // Energy.
+    SystemEnergyParams ep;
+    ep.numCores = cfg.numCores;
+    ep.frequencyGhz = cfg.frequencyGhz;
+    ep.l2Bank = sys.bankCosts();
+    ep.l2Banks = cfg.l2Banks;
+    SystemEnergyModel em(ep);
+    EnergyEvents ev = sys.energyEvents();
+    r.energy = em.energy(ev);
+    r.totalJoules = r.energy.totalJ();
+    r.bipsPerWatt = em.bipsPerWatt(ev);
+
+    // Section VI-D bandwidth figures.
+    double bank_cycles =
+        static_cast<double>(r.cycles) * static_cast<double>(cfg.l2Banks);
+    if (bank_cycles > 0) {
+        r.loadPerBankCycle = static_cast<double>(st.l2Accesses) / bank_cycles;
+        r.tagPerBankCycle =
+            static_cast<double>(r.l2TagAccesses) / bank_cycles;
+        r.missPerBankCycle =
+            static_cast<double>(st.l2Misses) / bank_cycles;
+    }
+    return r;
+}
+
+} // namespace zc

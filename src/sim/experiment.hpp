@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment runner: one full CMP simulation of a named workload on a
+ * given L2 organization, with warmup, measurement, and energy
+ * accounting — the unit of work behind Fig. 4, Fig. 5 and the Section
+ * VI-D bandwidth analysis. Shared by bench/ and examples/.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/array_factory.hpp"
+#include "energy/system_energy.hpp"
+#include "sim/cmp_system.hpp"
+#include "sim/config.hpp"
+
+namespace zc {
+
+struct RunParams
+{
+    std::string workload = "gcc";
+    ArraySpec l2Spec;               ///< blocks derived from l2 size
+    bool serialLookup = true;
+    std::uint64_t warmupInstr = 150000;  ///< per core
+    std::uint64_t measureInstr = 150000; ///< per core
+    std::uint64_t seed = 1;
+    SystemConfig base;              ///< Table I defaults
+};
+
+struct RunResult
+{
+    double ipc = 0.0;          ///< aggregate (sum of per-core) IPC
+    double mpki = 0.0;         ///< L2 misses per kilo-instruction
+    double bipsPerWatt = 0.0;  ///< Fig. 5 energy-efficiency metric
+    double totalJoules = 0.0;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+
+    /** L2 tag-array accesses (reads+writes), walks included. */
+    std::uint64_t l2TagAccesses = 0;
+
+    /** Walk statistics (zcache organizations; zero otherwise). */
+    double avgWalkCandidates = 0.0;
+    double avgRelocations = 0.0;
+
+    std::uint32_t bankLatencyCycles = 0;
+    EnergyBreakdown energy;
+
+    // Derived bandwidth figures (Section VI-D), per bank per cycle.
+    double loadPerBankCycle = 0.0;    ///< core-demand L2 accesses
+    double tagPerBankCycle = 0.0;     ///< total tag-array accesses
+    double missPerBankCycle = 0.0;
+};
+
+/** Run one experiment end to end. */
+RunResult runExperiment(const RunParams& params);
+
+} // namespace zc

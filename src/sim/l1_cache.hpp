@@ -1,0 +1,187 @@
+/**
+ * @file
+ * First-level cache model (Table I: 32 KB, 4-way set-associative, split
+ * D/I, 1-cycle latency).
+ *
+ * Hand-rolled rather than built on CacheArray: L1 lookups are the
+ * simulator's hottest path, and L1 organization is not under study — the
+ * paper holds it fixed. Supports the coherence interactions the shared
+ * L2 needs: per-line Shared/Exclusive state, dirty bits, invalidation
+ * and write-back extraction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace zc {
+
+class L1Cache
+{
+  public:
+    enum class LineState : std::uint8_t {
+        Invalid,
+        Shared,    ///< clean, possibly replicated in other L1s
+        Exclusive, ///< sole owner; writable (M/E collapsed)
+    };
+
+    struct Victim
+    {
+        Addr addr = kInvalidAddr;
+        bool dirty = false;
+        bool valid() const { return addr != kInvalidAddr; }
+    };
+
+    L1Cache(std::uint32_t capacity_bytes, std::uint32_t ways,
+            std::uint32_t line_bytes)
+        : ways_(ways),
+          sets_(capacity_bytes / line_bytes / ways),
+          tags_(static_cast<std::size_t>(sets_) * ways, kInvalidAddr),
+          state_(static_cast<std::size_t>(sets_) * ways,
+                 LineState::Invalid),
+          dirty_(static_cast<std::size_t>(sets_) * ways, 0),
+          lru_(static_cast<std::size_t>(sets_) * ways, 0)
+    {
+        zc_assert(ways >= 1);
+        zc_assert(sets_ >= 1 && isPow2(sets_));
+    }
+
+    /**
+     * Look up @p lineAddr. On a hit updates LRU and (for stores on an
+     * Exclusive line) the dirty bit. Returns the line state *before*
+     * the access: Invalid means miss; a store hitting a Shared line
+     * needs a directory upgrade (caller's job, then markExclusive()).
+     */
+    LineState
+    access(Addr lineAddr, bool store)
+    {
+        std::size_t base = setBase(lineAddr);
+        for (std::uint32_t w = 0; w < ways_; w++) {
+            std::size_t i = base + w;
+            if (tags_[i] == lineAddr && state_[i] != LineState::Invalid) {
+                lru_[i] = ++clock_;
+                LineState prior = state_[i];
+                if (store && prior == LineState::Exclusive) dirty_[i] = 1;
+                return prior;
+            }
+        }
+        return LineState::Invalid;
+    }
+
+    /**
+     * Fill @p lineAddr in @p state (the directory decides Shared vs
+     * Exclusive). Returns the victim line, which the caller must write
+     * back if dirty.
+     */
+    Victim
+    insert(Addr lineAddr, LineState state, bool store)
+    {
+        zc_assert(state != LineState::Invalid);
+        std::size_t base = setBase(lineAddr);
+        std::size_t victim = base;
+        for (std::uint32_t w = 0; w < ways_; w++) {
+            std::size_t i = base + w;
+            if (state_[i] == LineState::Invalid) {
+                victim = i;
+                break;
+            }
+            if (lru_[i] < lru_[victim]) victim = i;
+        }
+
+        Victim out;
+        if (state_[victim] != LineState::Invalid) {
+            out.addr = tags_[victim];
+            out.dirty = dirty_[victim] != 0;
+        }
+        tags_[victim] = lineAddr;
+        state_[victim] = state;
+        dirty_[victim] = (store && state == LineState::Exclusive) ? 1 : 0;
+        lru_[victim] = ++clock_;
+        return out;
+    }
+
+    /**
+     * Invalidate @p lineAddr (directory request / inclusive back-
+     * invalidation). Returns whether the line was present and dirty —
+     * a dirty result means its data must be folded back into the L2.
+     */
+    struct InvalResult
+    {
+        bool present = false;
+        bool dirty = false;
+    };
+
+    InvalResult
+    invalidate(Addr lineAddr)
+    {
+        std::size_t base = setBase(lineAddr);
+        for (std::uint32_t w = 0; w < ways_; w++) {
+            std::size_t i = base + w;
+            if (tags_[i] == lineAddr && state_[i] != LineState::Invalid) {
+                InvalResult r{true, dirty_[i] != 0};
+                state_[i] = LineState::Invalid;
+                dirty_[i] = 0;
+                return r;
+            }
+        }
+        return {};
+    }
+
+    /** Downgrade Exclusive -> Shared; returns whether data was dirty. */
+    bool
+    downgrade(Addr lineAddr)
+    {
+        std::size_t base = setBase(lineAddr);
+        for (std::uint32_t w = 0; w < ways_; w++) {
+            std::size_t i = base + w;
+            if (tags_[i] == lineAddr && state_[i] != LineState::Invalid) {
+                bool was_dirty = dirty_[i] != 0;
+                state_[i] = LineState::Shared;
+                dirty_[i] = 0;
+                return was_dirty;
+            }
+        }
+        return false;
+    }
+
+    /** Promote a resident line to Exclusive (after a directory upgrade). */
+    void
+    markExclusive(Addr lineAddr, bool store)
+    {
+        std::size_t base = setBase(lineAddr);
+        for (std::uint32_t w = 0; w < ways_; w++) {
+            std::size_t i = base + w;
+            if (tags_[i] == lineAddr && state_[i] != LineState::Invalid) {
+                state_[i] = LineState::Exclusive;
+                if (store) dirty_[i] = 1;
+                return;
+            }
+        }
+        zc_panic("markExclusive on non-resident line");
+    }
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+
+  private:
+    std::size_t
+    setBase(Addr lineAddr) const
+    {
+        return static_cast<std::size_t>(lineAddr & (sets_ - 1)) * ways_;
+    }
+
+    std::uint32_t ways_;
+    std::uint32_t sets_;
+    std::uint64_t clock_ = 0;
+    std::vector<Addr> tags_;
+    std::vector<LineState> state_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint64_t> lru_;
+};
+
+} // namespace zc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Memory-reference trace records.
+ *
+ * Generators emit line-granular records: the address already has the
+ * line offset stripped (64-byte lines throughout, per Table I). instGap
+ * is the number of non-memory instructions the core executes before this
+ * access — the IPC=1 in-order core model charges one cycle each.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace zc {
+
+enum class AccessType : std::uint8_t {
+    Load,
+    Store,
+};
+
+struct MemRecord
+{
+    Addr lineAddr = 0;
+    AccessType type = AccessType::Load;
+
+    /** Non-memory instructions preceding this access. */
+    std::uint32_t instGap = 0;
+
+    /**
+     * Index of this line's next reference in the same core's stream, or
+     * kNoNextUse. Filled by FutureUseAnnotator for OPT runs; ignored
+     * otherwise.
+     */
+    std::uint64_t nextUse = std::numeric_limits<std::uint64_t>::max();
+};
+
+} // namespace zc

@@ -1,0 +1,121 @@
+#include "trace/trace_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/log.hpp"
+
+namespace zc {
+
+namespace {
+
+struct FileCloser
+{
+    void operator()(std::FILE* f) const
+    {
+        if (f) std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/** On-disk record layout (packed, little-endian host assumed). */
+struct DiskRecord
+{
+    std::uint64_t lineAddr;
+    std::uint64_t nextUse;
+    std::uint32_t instGap;
+    std::uint8_t type;
+    std::uint8_t pad[3];
+};
+
+static_assert(sizeof(DiskRecord) == 24, "stable on-disk layout");
+
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+} // namespace
+
+void
+TraceIo::write(const std::string& path,
+               const std::vector<MemRecord>& records)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f) zc_fatal("cannot open trace file for writing");
+
+    Header h{kMagic, kVersion, records.size()};
+    if (std::fwrite(&h, sizeof h, 1, f.get()) != 1) {
+        zc_fatal("trace header write failed");
+    }
+
+    // Buffered block writes.
+    constexpr std::size_t kChunk = 4096;
+    std::vector<DiskRecord> buf;
+    buf.reserve(kChunk);
+    for (const MemRecord& r : records) {
+        DiskRecord d{};
+        d.lineAddr = r.lineAddr;
+        d.nextUse = r.nextUse;
+        d.instGap = r.instGap;
+        d.type = static_cast<std::uint8_t>(r.type);
+        buf.push_back(d);
+        if (buf.size() == kChunk) {
+            if (std::fwrite(buf.data(), sizeof(DiskRecord), buf.size(),
+                            f.get()) != buf.size()) {
+                zc_fatal("trace write failed");
+            }
+            buf.clear();
+        }
+    }
+    if (!buf.empty() &&
+        std::fwrite(buf.data(), sizeof(DiskRecord), buf.size(), f.get()) !=
+            buf.size()) {
+        zc_fatal("trace write failed");
+    }
+}
+
+std::vector<MemRecord>
+TraceIo::read(const std::string& path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) zc_fatal("cannot open trace file for reading");
+
+    Header h{};
+    if (std::fread(&h, sizeof h, 1, f.get()) != 1) {
+        zc_fatal("trace header read failed");
+    }
+    if (h.magic != kMagic) zc_fatal("not a zcache trace file");
+    if (h.version != kVersion) zc_fatal("unsupported trace version");
+
+    std::vector<MemRecord> out;
+    out.reserve(h.count);
+    constexpr std::size_t kChunk = 4096;
+    std::vector<DiskRecord> buf(kChunk);
+    std::uint64_t remaining = h.count;
+    while (remaining > 0) {
+        std::size_t want =
+            static_cast<std::size_t>(std::min<std::uint64_t>(kChunk,
+                                                             remaining));
+        if (std::fread(buf.data(), sizeof(DiskRecord), want, f.get()) !=
+            want) {
+            zc_fatal("trace truncated");
+        }
+        for (std::size_t i = 0; i < want; i++) {
+            MemRecord r;
+            r.lineAddr = buf[i].lineAddr;
+            r.nextUse = buf[i].nextUse;
+            r.instGap = buf[i].instGap;
+            r.type = static_cast<AccessType>(buf[i].type);
+            out.push_back(r);
+        }
+        remaining -= want;
+    }
+    return out;
+}
+
+} // namespace zc

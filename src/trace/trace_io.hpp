@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary trace files.
+ *
+ * Lets users capture reference streams once (from the synthetic
+ * generators or from external tools converted to this format) and
+ * replay them — e.g. to run OPT against a real application trace, the
+ * paper's trace-driven mode. Format: a fixed header followed by packed
+ * little-endian records (address, type, instruction gap, next-use).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/mem_record.hpp"
+
+namespace zc {
+
+class TraceIo
+{
+  public:
+    static constexpr std::uint32_t kMagic = 0x5243545Au; // "ZTCR"
+    static constexpr std::uint32_t kVersion = 1;
+
+    /** Write @p records to @p path; fatal on I/O failure. */
+    static void write(const std::string& path,
+                      const std::vector<MemRecord>& records);
+
+    /** Read a trace written by write(); fatal on malformed input. */
+    static std::vector<MemRecord> read(const std::string& path);
+};
+
+} // namespace zc

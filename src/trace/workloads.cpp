@@ -1,0 +1,313 @@
+#include "trace/workloads.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace zc {
+
+namespace {
+
+/** Shorthand builders for the profile table. */
+StreamParams
+hot(std::uint64_t lines, double alpha, double gap, double stores = 0.3)
+{
+    StreamParams p;
+    p.hotLines = lines;
+    p.hotAlpha = alpha;
+    p.hotWeight = 1.0;
+    p.meanInstGap = gap;
+    p.storeFrac = stores;
+    return p;
+}
+
+StreamParams
+hotStream(std::uint64_t hot_lines, double alpha, double hot_w,
+          std::uint64_t stream_lines, std::uint64_t stride,
+          std::uint32_t stream_repeat, double gap, double stores = 0.3)
+{
+    StreamParams p;
+    p.hotLines = hot_lines;
+    p.hotAlpha = alpha;
+    p.hotWeight = hot_w;
+    p.streamLines = stream_lines;
+    p.stride = stride;
+    p.streamWeight = 1.0 - hot_w;
+    p.streamRepeat = stream_repeat;
+    p.meanInstGap = gap;
+    p.storeFrac = stores;
+    return p;
+}
+
+StreamParams
+hotChase(std::uint64_t hot_lines, double alpha, double hot_w,
+         std::uint64_t chase_lines, double gap, double stores = 0.25)
+{
+    StreamParams p;
+    p.hotLines = hot_lines;
+    p.hotAlpha = alpha;
+    p.hotWeight = hot_w;
+    p.chaseLines = chase_lines;
+    p.chaseWeight = 1.0 - hot_w;
+    p.meanInstGap = gap;
+    p.storeFrac = stores;
+    return p;
+}
+
+WorkloadProfile
+mt(const char* name, WorkloadCategory cat, double shared_frac,
+   StreamParams params)
+{
+    WorkloadProfile w;
+    w.name = name;
+    w.category = cat;
+    w.multithreaded = true;
+    w.sharedFrac = shared_frac;
+    w.params = params;
+    return w;
+}
+
+WorkloadProfile
+rate(const char* name, StreamParams params)
+{
+    WorkloadProfile w;
+    w.name = name;
+    w.category = WorkloadCategory::Spec2006Rate;
+    w.params = params;
+    return w;
+}
+
+std::vector<WorkloadProfile>
+buildSpec2006()
+{
+    // 26 CPU2006 programs (paper: all but dealII, tonto, wrf). Footprints
+    // are in 64-byte lines; each stream's structure follows the
+    // program's published memory behaviour at a coarse level, and the
+    // component weights are calibrated so that baseline (SA-4 + H3)
+    // L2 MPKIs land in the published 8MB-LLC ranges: ~0.1 for the
+    // cache-friendly group (gamess, povray), low single digits for the
+    // moderate group, and ~10-30 for the memory-bound group (mcf, lbm,
+    // libquantum, cactusADM). Streaming MPKI is approximately
+    // 1000 * weight / ((1 + gap) * repeat) since each new streamed line
+    // misses the whole hierarchy.
+    std::vector<WorkloadProfile> v;
+    v.push_back(rate("perlbench", hot(3000, 1.10, 6.0)));
+    v.push_back(
+        rate("bzip2", hotStream(5000, 0.95, 0.90, 20000, 1, 8, 5.0)));
+    v.push_back(rate("gcc", hot(4500, 1.10, 5.5)));
+    v.push_back(
+        rate("bwaves", hotStream(2000, 1.00, 0.55, 120000, 1, 8, 3.5)));
+    v.push_back(rate("gamess", hot(1500, 1.20, 7.0)));
+    v.push_back(rate("mcf", hotChase(2500, 1.00, 0.88, 300000, 3.5)));
+    v.push_back(
+        rate("milc", hotStream(2000, 1.00, 0.55, 150000, 1, 8, 4.0)));
+    v.push_back(
+        rate("zeusmp", hotStream(5000, 1.00, 0.88, 80000, 1, 4, 4.5)));
+    v.push_back(rate("gromacs", hot(4000, 1.10, 6.0)));
+    v.push_back(
+        rate("cactusADM", hotStream(4000, 1.00, 0.75, 200000, 1, 4, 3.5)));
+    v.push_back(
+        rate("leslie3d", hotStream(3000, 1.00, 0.65, 100000, 1, 8, 4.0)));
+    v.push_back(rate("namd", hot(3500, 1.10, 6.5)));
+    v.push_back(rate("gobmk", hot(5500, 1.00, 6.0)));
+    v.push_back(
+        rate("soplex", hotStream(8000, 0.95, 0.85, 50000, 1, 8, 4.0)));
+    v.push_back(rate("povray", hot(1200, 1.30, 7.5)));
+    v.push_back(
+        rate("calculix", hotStream(5000, 1.05, 0.90, 15000, 1, 8, 5.5)));
+    v.push_back(rate("hmmer", hot(2500, 1.10, 5.0)));
+    v.push_back(rate("sjeng", hot(5000, 1.10, 6.0)));
+    v.push_back(
+        rate("GemsFDTD", hotStream(3000, 1.00, 0.55, 250000, 1, 8, 3.5)));
+    v.push_back(rate("libquantum", hotStream(1000, 1.00, 0.20, 300000, 1,
+                                             16, 3.0, 0.25)));
+    v.push_back(
+        rate("h264ref", hotStream(4000, 1.10, 0.85, 8000, 1, 8, 5.5)));
+    v.push_back(rate("lbm", hotStream(1500, 1.00, 0.30, 350000, 1, 8, 3.0,
+                                      0.45)));
+    v.push_back(rate("omnetpp", hotChase(6000, 0.95, 0.95, 150000, 4.0)));
+    v.push_back(rate("astar", hotChase(5000, 1.00, 0.97, 60000, 4.5)));
+    v.push_back(
+        rate("sphinx3", hotStream(10000, 1.00, 0.90, 30000, 1, 8, 4.0)));
+    v.push_back(rate("xalancbmk", hotChase(8000, 1.00, 0.98, 30000, 4.5)));
+    return v;
+}
+
+std::vector<WorkloadProfile>
+buildAll()
+{
+    std::vector<WorkloadProfile> v;
+
+    // --- 6 PARSEC (multithreaded) -----------------------------------
+    // blackscholes: tiny per-thread working set, compute bound.
+    v.push_back(mt("blackscholes", WorkloadCategory::Parsec, 0.05,
+                   hot(400, 1.20, 9.0)));
+    // canneal: large shared pointer chase, memory bound.
+    v.push_back(mt("canneal", WorkloadCategory::Parsec, 0.70,
+                   hotChase(3000, 1.00, 0.93, 200000, 4.0)));
+    // fluidanimate: mid-size grid, partial sharing.
+    v.push_back(mt("fluidanimate", WorkloadCategory::Parsec, 0.15,
+                   hotStream(5000, 0.90, 0.90, 40000, 1, 4, 5.0)));
+    // freqmine: tree mining, shared FP-tree.
+    v.push_back(mt("freqmine", WorkloadCategory::Parsec, 0.20,
+                   hot(8000, 1.00, 6.0)));
+    // streamcluster: repeated passes over a shared point set.
+    v.push_back(mt("streamcluster", WorkloadCategory::Parsec, 0.50,
+                   hotStream(2000, 1.00, 0.60, 120000, 1, 8, 4.0)));
+    // swaptions: small per-thread simulations.
+    v.push_back(mt("swaptions", WorkloadCategory::Parsec, 0.02,
+                   hot(1500, 1.15, 7.0)));
+
+    // --- 10 SPEC OMP (multithreaded; all but galgel) -----------------
+    // wupwise/apsi: strided walks that pile onto a fraction of the sets
+    // under bit-select indexing (the pathological Fig. 3a outliers).
+    v.push_back(mt("wupwise", WorkloadCategory::SpecOmp, 0.10,
+                   hotStream(4000, 1.00, 0.82, 131072, 8, 2, 4.5)));
+    v.push_back(mt("swim", WorkloadCategory::SpecOmp, 0.10,
+                   hotStream(3000, 1.00, 0.50, 200000, 1, 8, 3.5)));
+    v.push_back(mt("mgrid", WorkloadCategory::SpecOmp, 0.10,
+                   hotStream(4000, 1.00, 0.80, 131072, 16, 4, 4.0)));
+    v.push_back(mt("applu", WorkloadCategory::SpecOmp, 0.10,
+                   hotStream(5000, 1.00, 0.70, 90000, 1, 8, 4.0)));
+    v.push_back(mt("equake", WorkloadCategory::SpecOmp, 0.15,
+                   hotStream(20000, 0.90, 0.85, 60000, 1, 4, 4.5)));
+    v.push_back(mt("apsi", WorkloadCategory::SpecOmp, 0.10,
+                   hotStream(3000, 1.00, 0.80, 131072, 16, 2, 4.5)));
+    v.push_back(mt("gafort", WorkloadCategory::SpecOmp, 0.20,
+                   hot(20000, 0.85, 5.0)));
+    v.push_back(mt("fma3d", WorkloadCategory::SpecOmp, 0.15,
+                   hotStream(15000, 1.00, 0.85, 50000, 1, 4, 5.0)));
+    // art: low-skew working set beyond the LLC — classic thrash.
+    v.push_back(mt("art", WorkloadCategory::SpecOmp, 0.25,
+                   hot(5000, 0.90, 5.0)));
+    // ammp: L2-hit heavy.
+    v.push_back(mt("ammp", WorkloadCategory::SpecOmp, 0.15,
+                   hot(2500, 1.20, 5.0)));
+
+    // --- 26 SPEC CPU2006, rate mode ----------------------------------
+    auto spec = buildSpec2006();
+    v.insert(v.end(), spec.begin(), spec.end());
+
+    // --- 30 random CPU2006 mixes -------------------------------------
+    for (std::uint32_t m = 0; m < 30; m++) {
+        WorkloadProfile w;
+        w.name = "cpu2K6rand" + std::to_string(m);
+        w.category = WorkloadCategory::Spec2006Mix;
+        Pcg32 rng(0x6d1e5 + m, /*stream=*/0x7b1);
+        for (std::uint32_t c = 0; c < 32; c++) {
+            std::uint32_t pick =
+                rng.below(static_cast<std::uint32_t>(spec.size()));
+            w.mixApps.push_back(spec[pick].name);
+        }
+        v.push_back(w);
+    }
+
+    zc_assert(v.size() == 72);
+    return v;
+}
+
+/** Distinct, non-overlapping line-address regions. */
+constexpr Addr kPrivateRegion = Addr{1} << 32;
+constexpr Addr kSharedBase = Addr{1} << 48;
+constexpr Addr kStreamOffset = Addr{1} << 28;
+constexpr Addr kChaseOffset = Addr{1} << 29;
+
+} // namespace
+
+const std::vector<WorkloadProfile>&
+WorkloadRegistry::all()
+{
+    static const std::vector<WorkloadProfile> profiles = buildAll();
+    return profiles;
+}
+
+const std::vector<WorkloadProfile>&
+WorkloadRegistry::spec2006()
+{
+    static const std::vector<WorkloadProfile> profiles = buildSpec2006();
+    return profiles;
+}
+
+const WorkloadProfile&
+WorkloadRegistry::byName(const std::string& name)
+{
+    for (const auto& w : all()) {
+        if (w.name == name) return w;
+    }
+    zc_fatal("unknown workload name");
+}
+
+GeneratorPtr
+WorkloadRegistry::makeStream(const StreamParams& p, Addr private_base,
+                             Addr shared_base, double shared_frac,
+                             std::uint64_t seed,
+                             std::uint64_t chase_stagger)
+{
+    std::vector<MixComponent> comps;
+
+    auto add_region = [&](Addr base, double region_weight,
+                          std::uint64_t region_seed, bool shared) {
+        if (region_weight <= 0.0) return;
+        if (p.hotWeight > 0.0 && p.hotLines > 0) {
+            comps.push_back(
+                {std::make_unique<ZipfGenerator>(base, p.hotLines,
+                                                 p.hotAlpha, region_seed),
+                 p.hotWeight * region_weight});
+        }
+        if (p.streamWeight > 0.0 && p.streamLines > 0) {
+            comps.push_back(
+                {std::make_unique<StridedGenerator>(
+                     base + kStreamOffset, p.streamLines, p.stride,
+                     p.streamRepeat),
+                 p.streamWeight * region_weight});
+        }
+        if (p.chaseWeight > 0.0 && p.chaseLines > 0) {
+            // Shared chases use a region-wide seed so every thread walks
+            // the same cycle, staggered to a different phase of it.
+            auto chase = std::make_unique<PointerChaseGenerator>(
+                base + kChaseOffset, p.chaseLines,
+                shared ? 0xc0ffee : region_seed, p.chaseRepeat);
+            if (shared) chase->skip(chase_stagger);
+            comps.push_back({std::move(chase),
+                             p.chaseWeight * region_weight});
+        }
+    };
+
+    add_region(private_base, 1.0 - shared_frac, seed, false);
+    add_region(shared_base, shared_frac, seed ^ 0x51ab, true);
+
+    zc_assert(!comps.empty());
+    return std::make_unique<CompositeGenerator>(
+        std::move(comps), p.storeFrac, p.meanInstGap, seed ^ 0xfeed);
+}
+
+GeneratorPtr
+WorkloadRegistry::makeCoreGenerator(const WorkloadProfile& profile,
+                                    std::uint32_t core_id,
+                                    std::uint32_t num_cores,
+                                    std::uint64_t seed)
+{
+    zc_assert(num_cores > 0);
+    Addr private_base = kPrivateRegion * (core_id + 1);
+    std::uint64_t core_seed =
+        seed + 0x9e3779b97f4a7c15ULL * (core_id + 1);
+
+    const StreamParams* params = &profile.params;
+    if (profile.category == WorkloadCategory::Spec2006Mix) {
+        zc_assert(!profile.mixApps.empty());
+        const auto& app_name =
+            profile.mixApps[core_id % profile.mixApps.size()];
+        params = &byName(app_name).params;
+    }
+
+    double shared_frac = profile.multithreaded ? profile.sharedFrac : 0.0;
+    std::uint64_t stagger =
+        params->chaseLines
+            ? (params->chaseLines / num_cores) * core_id
+            : 0;
+    return makeStream(*params, private_base, kSharedBase, shared_frac,
+                      core_seed, stagger);
+}
+
+} // namespace zc

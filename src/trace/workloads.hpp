@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The 72-workload suite (paper Section V).
+ *
+ * Mirrors the paper's workload population:
+ *  -  6 PARSEC multithreaded applications,
+ *  - 10 SPEC OMP multithreaded applications (all but galgel),
+ *  - 26 SPEC CPU2006 programs run rate-style (same program on all 32
+ *    cores, private address spaces),
+ *  - 30 random CPU2006 mixes (32 programs drawn with repetition).
+ *
+ * Each profile is a parameterized synthetic stream (see generator.hpp)
+ * whose structure — hot-set size and skew, streaming footprint and
+ * stride, pointer-chase footprint, store fraction, memory intensity,
+ * sharing — is chosen to mimic the published memory behaviour of the
+ * named benchmark. The names keep the paper's identities (wupwise/apsi
+ * are the pathological-stride outliers of Fig. 3a, canneal/cactusADM/mcf
+ * are L2-miss-intensive, gamess/ammp are L2-hit-heavy, blackscholes
+ * barely touches L2, and so on).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hpp"
+
+namespace zc {
+
+/** Structure of one program's reference stream. */
+struct StreamParams
+{
+    std::uint64_t hotLines = 0; ///< Zipf hot-set size (0 = none)
+    double hotAlpha = 1.0;      ///< Zipf skew
+    double hotWeight = 0.0;
+
+    std::uint64_t streamLines = 0; ///< streaming footprint (0 = none)
+    std::uint64_t stride = 1;      ///< stream stride in lines
+    double streamWeight = 0.0;
+    std::uint32_t streamRepeat = 4; ///< accesses per streamed line
+
+    std::uint64_t chaseLines = 0; ///< pointer-chase footprint (0 = none)
+    double chaseWeight = 0.0;
+    std::uint32_t chaseRepeat = 1; ///< accesses per chased node
+
+    double storeFrac = 0.3;
+    double meanInstGap = 5.0; ///< non-mem instructions per access (mean)
+};
+
+enum class WorkloadCategory {
+    Parsec,
+    SpecOmp,
+    Spec2006Rate,
+    Spec2006Mix,
+};
+
+struct WorkloadProfile
+{
+    std::string name;
+    WorkloadCategory category;
+
+    /** Threads share one address space (plus a shared region). */
+    bool multithreaded = false;
+
+    /** Fraction of references into the shared region (multithreaded). */
+    double sharedFrac = 0.0;
+
+    /** Stream structure (single-app profiles). */
+    StreamParams params;
+
+    /** For mixes: per-core CPU2006 program names (index mod size). */
+    std::vector<std::string> mixApps;
+};
+
+class WorkloadRegistry
+{
+  public:
+    /** All 72 profiles, in paper order (PARSEC, OMP, rate, mixes). */
+    static const std::vector<WorkloadProfile>& all();
+
+    /** Profile by name; fatal if unknown. */
+    static const WorkloadProfile& byName(const std::string& name);
+
+    /** The 26 single-program CPU2006 profiles (used to build mixes). */
+    static const std::vector<WorkloadProfile>& spec2006();
+
+    /**
+     * Build core @p core_id's generator for @p profile on a
+     * @p num_cores-CMP. Deterministic under @p seed.
+     */
+    static GeneratorPtr makeCoreGenerator(const WorkloadProfile& profile,
+                                          std::uint32_t core_id,
+                                          std::uint32_t num_cores,
+                                          std::uint64_t seed);
+
+  private:
+    static GeneratorPtr makeStream(const StreamParams& p, Addr private_base,
+                                   Addr shared_base, double shared_frac,
+                                   std::uint64_t seed,
+                                   std::uint64_t chase_stagger);
+};
+
+} // namespace zc

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for BIP (bimodal insertion) on zcaches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/array_factory.hpp"
+#include "cache/cache_model.hpp"
+#include "cache/z_array.hpp"
+#include "common/rng.hpp"
+#include "replacement/bip.hpp"
+#include "replacement/lru.hpp"
+#include "trace/generator.hpp"
+
+namespace zc {
+namespace {
+
+AccessContext
+ctx()
+{
+    return AccessContext{};
+}
+
+TEST(Bip, LruEndInsertionIsNextVictim)
+{
+    BipPolicy p(8, /*epsilon=*/0.0); // every fill at the LRU end
+    for (BlockPos i = 0; i < 4; i++) {
+        p.onInsert(i, ctx());
+        p.onHit(i, ctx()); // promote 0..3 to real recency
+    }
+    p.onInsert(4, ctx()); // LRU-end fill
+    std::vector<BlockPos> cands{0, 1, 2, 3, 4};
+    EXPECT_EQ(p.select(cands), 4u);
+}
+
+TEST(Bip, HitPromotesProbationaryBlock)
+{
+    BipPolicy p(8, 0.0);
+    p.onInsert(0, ctx());
+    p.onHit(0, ctx()); // proves reuse
+    p.onInsert(1, ctx());
+    std::vector<BlockPos> cands{0, 1};
+    EXPECT_EQ(p.select(cands), 1u) << "the unproven block goes first";
+}
+
+TEST(Bip, EpsilonOneBehavesLikeLru)
+{
+    BipPolicy bip(16, /*epsilon=*/1.0);
+    LruPolicy lru(16);
+    Pcg32 rng(3);
+    for (int i = 0; i < 2000; i++) {
+        BlockPos pos = rng.below(16);
+        if (i % 3 == 0) {
+            bip.onInsert(pos, ctx());
+            lru.onInsert(pos, ctx());
+        } else {
+            bip.onHit(pos, ctx());
+            lru.onHit(pos, ctx());
+        }
+        std::vector<BlockPos> cands{0, 5, 9, 14};
+        ASSERT_EQ(bip.select(cands), lru.select(cands)) << "iter " << i;
+    }
+}
+
+TEST(Bip, ProtectsHotSetFromStreamingThrash)
+{
+    // The raison d'etre: a hot set plus a one-touch stream bigger than
+    // the cache. LRU lets the stream flush the hot set; BIP keeps it.
+    auto run = [](PolicyKind kind) {
+        ArraySpec spec;
+        spec.kind = ArrayKind::ZCache;
+        spec.blocks = 1024;
+        spec.ways = 4;
+        spec.levels = 2;
+        spec.policy = kind;
+        CacheModel m(makeArray(spec));
+        ZipfGenerator hot(0, 700, 0.6, 5);
+        StridedGenerator stream(1 << 20, 1 << 18, 1);
+        Pcg32 rng(6);
+        std::uint64_t hot_hits = 0, hot_accesses = 0;
+        for (int i = 0; i < 400000; i++) {
+            if (rng.uniform() < 0.5) {
+                hot_accesses++;
+                if (m.access(hot.next().lineAddr)) hot_hits++;
+            } else {
+                m.access(stream.next().lineAddr);
+            }
+        }
+        return static_cast<double>(hot_hits) /
+               static_cast<double>(hot_accesses);
+    };
+    double lru = run(PolicyKind::Lru);
+    double bip = run(PolicyKind::Bip);
+    EXPECT_GT(bip, lru + 0.1)
+        << "BIP must shield the hot set from the stream";
+}
+
+} // namespace
+} // namespace zc

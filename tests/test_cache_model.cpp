@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the CacheModel composite: stat bookkeeping invariants
+ * across every array kind (parameterized).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cache/array_factory.hpp"
+#include "cache/cache_model.hpp"
+#include "common/rng.hpp"
+
+namespace zc {
+namespace {
+
+class ModelContract : public ::testing::TestWithParam<ArrayKind>
+{
+  protected:
+    CacheModel
+    make(std::uint32_t blocks)
+    {
+        ArraySpec spec;
+        spec.kind = GetParam();
+        spec.blocks = blocks;
+        spec.ways = 4;
+        spec.levels = 2;
+        spec.candidates = 8;
+        spec.policy = PolicyKind::Lru;
+        return CacheModel(makeArray(spec));
+    }
+};
+
+TEST_P(ModelContract, CountsAddUp)
+{
+    CacheModel m = make(256);
+    Pcg32 rng(1);
+    for (int i = 0; i < 20000; i++) m.access(rng.next64() % 2048);
+    const CacheModelStats& s = m.stats();
+    EXPECT_EQ(s.accesses, 20000u);
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    // Evictions can never exceed misses, and the gap is exactly the
+    // fills absorbed while the array had room.
+    EXPECT_LE(s.evictions, s.misses);
+    EXPECT_GE(s.misses - s.evictions, 1u);
+    EXPECT_NEAR(s.missRate(),
+                static_cast<double>(s.misses) / s.accesses, 1e-12);
+}
+
+TEST_P(ModelContract, RepeatAccessHits)
+{
+    CacheModel m = make(64);
+    EXPECT_FALSE(m.access(42));
+    EXPECT_TRUE(m.access(42));
+    EXPECT_EQ(m.stats().hits, 1u);
+    EXPECT_EQ(m.stats().misses, 1u);
+}
+
+TEST_P(ModelContract, ResetStatsKeepsContents)
+{
+    CacheModel m = make(64);
+    m.access(7);
+    m.resetStats();
+    EXPECT_EQ(m.stats().accesses, 0u);
+    EXPECT_TRUE(m.access(7)) << "contents must survive a stats reset";
+}
+
+TEST_P(ModelContract, ResidencyBoundedByCapacity)
+{
+    CacheModel m = make(128);
+    Pcg32 rng(2);
+    for (int i = 0; i < 5000; i++) m.access(rng.next64());
+    EXPECT_LE(m.array().validCount(), m.array().numBlocks());
+    // Under pure-miss traffic the array must be (essentially) full.
+    EXPECT_GE(m.array().validCount(), m.array().numBlocks() * 9 / 10);
+}
+
+TEST_P(ModelContract, NameIsDescriptive)
+{
+    CacheModel m = make(64);
+    EXPECT_FALSE(m.name().empty());
+    EXPECT_NE(m.name().find("repl"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ModelContract,
+    ::testing::Values(ArrayKind::SetAssoc, ArrayKind::SkewAssoc,
+                      ArrayKind::ZCache, ArrayKind::FullyAssoc,
+                      ArrayKind::RandomCandidates, ArrayKind::VictimCache,
+                      ArrayKind::VWay, ArrayKind::ColumnAssoc),
+    [](const ::testing::TestParamInfo<ArrayKind>& info) {
+        switch (info.param) {
+          case ArrayKind::SetAssoc: return std::string("SetAssoc");
+          case ArrayKind::SkewAssoc: return std::string("SkewAssoc");
+          case ArrayKind::ZCache: return std::string("ZCache");
+          case ArrayKind::FullyAssoc: return std::string("FullyAssoc");
+          case ArrayKind::RandomCandidates: return std::string("RandCand");
+          case ArrayKind::VictimCache: return std::string("VictimCache");
+          case ArrayKind::VWay: return std::string("VWay");
+          case ArrayKind::ColumnAssoc: return std::string("ColumnAssoc");
+        }
+        return std::string("unknown");
+    });
+
+TEST(CacheModel, RelocationsCountedForZcacheOnly)
+{
+    ArraySpec z;
+    z.kind = ArrayKind::ZCache;
+    z.blocks = 256;
+    z.ways = 4;
+    z.levels = 3;
+    z.policy = PolicyKind::Lru;
+    CacheModel zm(makeArray(z));
+    ArraySpec s = z;
+    s.kind = ArrayKind::SetAssoc;
+    CacheModel sm(makeArray(s));
+    Pcg32 rng(3);
+    for (int i = 0; i < 20000; i++) {
+        Addr a = rng.next64() % 2048;
+        zm.access(a);
+        sm.access(a);
+    }
+    EXPECT_GT(zm.stats().relocations, 0u);
+    EXPECT_EQ(sm.stats().relocations, 0u);
+}
+
+} // namespace
+} // namespace zc

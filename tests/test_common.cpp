@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG, bit utilities, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace zc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Pcg32
+// ---------------------------------------------------------------------
+
+TEST(Pcg32, DeterministicUnderSeed)
+{
+    Pcg32 a(42), b(42);
+    for (int i = 0; i < 1000; i++) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; i++) {
+        if (a.next() == b.next()) same++;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(7, 100), b(7, 200);
+    int same = 0;
+    for (int i = 0; i < 1000; i++) {
+        if (a.next() == b.next()) same++;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, BelowIsInRange)
+{
+    Pcg32 rng(3);
+    for (std::uint32_t bound : {1u, 2u, 3u, 7u, 100u, 12345u}) {
+        for (int i = 0; i < 200; i++) {
+            EXPECT_LT(rng.below(bound), bound);
+        }
+    }
+}
+
+TEST(Pcg32, BelowIsRoughlyUniform)
+{
+    Pcg32 rng(11);
+    constexpr std::uint32_t kBound = 10;
+    constexpr int kDraws = 100000;
+    std::vector<int> counts(kBound, 0);
+    for (int i = 0; i < kDraws; i++) counts[rng.below(kBound)]++;
+    for (std::uint32_t v = 0; v < kBound; v++) {
+        EXPECT_NEAR(counts[v], kDraws / kBound, kDraws / kBound * 0.1);
+    }
+}
+
+TEST(Pcg32, UniformInUnitInterval)
+{
+    Pcg32 rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; i++) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+// ---------------------------------------------------------------------
+// bitops
+// ---------------------------------------------------------------------
+
+TEST(BitOps, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ULL << 63));
+    EXPECT_FALSE(isPow2((1ULL << 63) + 1));
+}
+
+TEST(BitOps, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4), 2u);
+    EXPECT_EQ(log2Floor(1023), 9u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+}
+
+TEST(BitOps, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+}
+
+TEST(BitOps, RoundUpPow2)
+{
+    EXPECT_EQ(roundUpPow2(0), 1u);
+    EXPECT_EQ(roundUpPow2(1), 1u);
+    EXPECT_EQ(roundUpPow2(3), 4u);
+    EXPECT_EQ(roundUpPow2(4), 4u);
+    EXPECT_EQ(roundUpPow2(1000), 1024u);
+}
+
+TEST(BitOps, Bits)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+}
+
+// ---------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------
+
+TEST(UnitHistogram, CdfReachesOne)
+{
+    UnitHistogram h(10);
+    for (int i = 0; i < 100; i++) h.record(i / 100.0);
+    auto cdf = h.cdf();
+    ASSERT_EQ(cdf.size(), 10u);
+    EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+    // CDF must be nondecreasing.
+    for (std::size_t i = 1; i < cdf.size(); i++) {
+        EXPECT_GE(cdf[i], cdf[i - 1]);
+    }
+}
+
+TEST(UnitHistogram, ClampsOutOfRange)
+{
+    UnitHistogram h(4);
+    h.record(-0.5);
+    h.record(1.5);
+    EXPECT_EQ(h.samples(), 2u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(UnitHistogram, MeanApproximatesSampleMean)
+{
+    UnitHistogram h(100);
+    Pcg32 rng(9);
+    double acc = 0.0;
+    for (int i = 0; i < 20000; i++) {
+        double x = rng.uniform();
+        h.record(x);
+        acc += x;
+    }
+    EXPECT_NEAR(h.mean(), acc / 20000.0, 0.01);
+}
+
+TEST(RunningStat, TracksMinMeanMax)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0}) s.record(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Geomean, MatchesClosedForm)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(KsDistance, ZeroForIdentical)
+{
+    std::vector<double> a{0.1, 0.5, 1.0};
+    EXPECT_DOUBLE_EQ(ksDistance(a, a), 0.0);
+}
+
+TEST(KsDistance, MaxAbsoluteGap)
+{
+    std::vector<double> a{0.1, 0.5, 1.0};
+    std::vector<double> b{0.3, 0.5, 1.0};
+    EXPECT_NEAR(ksDistance(a, b), 0.2, 1e-12);
+}
+
+TEST(Quantile, Endpoints)
+{
+    std::vector<double> xs{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+}
+
+} // namespace
+} // namespace zc

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for FullyAssociativeArray and RandomCandidatesArray.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cache/cache_model.hpp"
+#include "cache/fully_associative_array.hpp"
+#include "cache/random_candidates_array.hpp"
+#include "common/rng.hpp"
+#include "replacement/lru.hpp"
+#include "replacement/opt.hpp"
+
+namespace zc {
+namespace {
+
+TEST(FullyAssoc, NoConflictMissesWithinCapacity)
+{
+    // Any working set <= capacity hits forever after the first touch,
+    // regardless of address pattern — the defining property.
+    CacheModel m(std::make_unique<FullyAssociativeArray>(
+        64, std::make_unique<LruPolicy>(64)));
+    for (int round = 0; round < 10; round++) {
+        for (Addr a = 0; a < 64; a++) {
+            m.access(a * 4096); // any pathological stride
+        }
+    }
+    EXPECT_EQ(m.stats().misses, 64u);
+    EXPECT_EQ(m.stats().hits, 9u * 64u);
+}
+
+TEST(FullyAssoc, LruEvictsGlobalOldest)
+{
+    auto arr = std::make_unique<FullyAssociativeArray>(
+        4, std::make_unique<LruPolicy>(4));
+    AccessContext c;
+    for (Addr a = 0; a < 4; a++) arr->insert(a, c);
+    arr->access(0, c); // refresh 0
+    Replacement r = arr->insert(100, c);
+    EXPECT_EQ(r.evictedAddr, 1u);
+    EXPECT_EQ(r.candidates, 4u);
+}
+
+TEST(FullyAssoc, EveryResidentBlockIsACandidate)
+{
+    auto arr = std::make_unique<FullyAssociativeArray>(
+        32, std::make_unique<LruPolicy>(32));
+    AccessContext c;
+    for (Addr a = 0; a < 32; a++) arr->insert(a, c);
+    Replacement r = arr->insert(1000, c);
+    EXPECT_EQ(r.candidates, 32u);
+}
+
+TEST(FullyAssoc, InvalidateFreesSlotForReuse)
+{
+    auto arr = std::make_unique<FullyAssociativeArray>(
+        2, std::make_unique<LruPolicy>(2));
+    AccessContext c;
+    arr->insert(1, c);
+    arr->insert(2, c);
+    EXPECT_TRUE(arr->invalidate(1));
+    Replacement r = arr->insert(3, c);
+    EXPECT_FALSE(r.evictedValid());
+    EXPECT_EQ(arr->validCount(), 2u);
+}
+
+TEST(FullyAssoc, LruSequenceStress)
+{
+    // Reference model check: a map-based LRU simulation must agree on
+    // every eviction.
+    constexpr std::uint32_t kBlocks = 16;
+    auto arr = std::make_unique<FullyAssociativeArray>(
+        kBlocks, std::make_unique<LruPolicy>(kBlocks));
+    AccessContext c;
+    Pcg32 rng(1);
+
+    std::vector<Addr> ref_order; // front = LRU
+    auto ref_touch = [&](Addr a) {
+        for (auto it = ref_order.begin(); it != ref_order.end(); ++it) {
+            if (*it == a) {
+                ref_order.erase(it);
+                break;
+            }
+        }
+        ref_order.push_back(a);
+    };
+
+    for (int i = 0; i < 5000; i++) {
+        Addr a = rng.next64() % 64;
+        if (arr->access(a, c) != kInvalidPos) {
+            ref_touch(a);
+            continue;
+        }
+        Replacement r = arr->insert(a, c);
+        if (r.evictedValid()) {
+            ASSERT_EQ(r.evictedAddr, ref_order.front()) << "iter " << i;
+            ref_order.erase(ref_order.begin());
+        }
+        ref_order.push_back(a);
+    }
+}
+
+TEST(RandomCandidates, DrawsRequestedCandidateCount)
+{
+    auto arr = std::make_unique<RandomCandidatesArray>(
+        64, 8, std::make_unique<LruPolicy>(64));
+    AccessContext c;
+    for (Addr a = 0; a < 64; a++) arr->insert(a, c);
+    Replacement r = arr->insert(1000, c);
+    // Reported candidates equal the full population for bookkeeping of
+    // FullyAssociative? No: the subclass overrides selection, and the
+    // replacement still reports the array's candidate policy — verify
+    // the draw count through repeated evictions instead: the evicted
+    // block should often NOT be the global LRU block.
+    (void)r;
+    std::uint64_t non_lru_evictions = 0;
+    std::uint64_t evictions = 0;
+    Pcg32 rng(2);
+    for (int i = 0; i < 2000; i++) {
+        Addr a = 2000 + rng.next64() % 4096;
+        if (arr->probe(a) != kInvalidPos) continue;
+        // Find the global LRU block first.
+        double worst = 1e300;
+        Addr lru_addr = kInvalidAddr;
+        arr->forEachValid([&](BlockPos pos, Addr addr) {
+            double s = arr->policy().score(pos);
+            if (s < worst) {
+                worst = s;
+                lru_addr = addr;
+            }
+        });
+        Replacement rr = arr->insert(a, c);
+        if (rr.evictedValid()) {
+            evictions++;
+            if (rr.evictedAddr != lru_addr) non_lru_evictions++;
+        }
+    }
+    EXPECT_GT(evictions, 1500u);
+    // With 8 random draws from 64 blocks, the true LRU block is picked
+    // only when sampled: P ~ 1-(1-1/64)^8 ~ 12%.
+    EXPECT_GT(non_lru_evictions, evictions / 2);
+}
+
+TEST(RandomCandidates, DeterministicUnderSeed)
+{
+    auto make = [] {
+        return std::make_unique<RandomCandidatesArray>(
+            32, 4, std::make_unique<LruPolicy>(32), /*seed=*/77);
+    };
+    auto a1 = make(), a2 = make();
+    AccessContext c;
+    Pcg32 rng(3);
+    for (int i = 0; i < 3000; i++) {
+        Addr a = rng.next64() % 256;
+        BlockPos p1 = a1->access(a, c);
+        BlockPos p2 = a2->access(a, c);
+        ASSERT_EQ(p1 == kInvalidPos, p2 == kInvalidPos);
+        if (p1 == kInvalidPos) {
+            ASSERT_EQ(a1->insert(a, c).evictedAddr,
+                      a2->insert(a, c).evictedAddr);
+        }
+    }
+}
+
+} // namespace
+} // namespace zc

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit and property tests for src/hash.
+ *
+ * The parameterized suites sweep every hash kind over multiple bucket
+ * counts, checking range, determinism and coarse uniformity — the
+ * properties skew/zcache indexing depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/bit_select_hash.hpp"
+#include "hash/folded_xor_hash.hpp"
+#include "hash/h3_hash.hpp"
+#include "hash/hash_factory.hpp"
+#include "hash/prime_modulo_hash.hpp"
+#include "hash/strong_hash.hpp"
+
+namespace zc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Parameterized: every kind x several bucket counts
+// ---------------------------------------------------------------------
+
+using HashCase = std::tuple<HashKind, std::uint64_t>;
+
+class HashProperty : public ::testing::TestWithParam<HashCase>
+{
+};
+
+TEST_P(HashProperty, InRange)
+{
+    auto [kind, buckets] = GetParam();
+    auto h = makeHash(kind, buckets, 123);
+    Pcg32 rng(7);
+    for (int i = 0; i < 2000; i++) {
+        EXPECT_LT(h->hash(rng.next64()), buckets);
+    }
+}
+
+TEST_P(HashProperty, Deterministic)
+{
+    auto [kind, buckets] = GetParam();
+    auto h1 = makeHash(kind, buckets, 77);
+    auto h2 = makeHash(kind, buckets, 77);
+    Pcg32 rng(8);
+    for (int i = 0; i < 500; i++) {
+        Addr a = rng.next64();
+        EXPECT_EQ(h1->hash(a), h2->hash(a));
+    }
+}
+
+TEST_P(HashProperty, RoughlyUniformOnRandomKeys)
+{
+    auto [kind, buckets] = GetParam();
+    auto h = makeHash(kind, buckets, 5);
+    Pcg32 rng(9);
+    std::vector<std::uint64_t> counts(buckets, 0);
+    const std::uint64_t draws = 200 * buckets;
+    for (std::uint64_t i = 0; i < draws; i++) {
+        counts[h->hash(rng.next64())]++;
+    }
+    // Chi-square-ish sanity: each bucket within 50% of expectation.
+    // (PrimeModulo leaves buckets >= p empty by design.)
+    std::uint64_t covered = 0;
+    for (auto c : counts) {
+        if (c > 0) covered++;
+    }
+    if (kind == HashKind::BitSelect || kind == HashKind::H3 ||
+        kind == HashKind::Strong || kind == HashKind::FoldedXor) {
+        EXPECT_EQ(covered, buckets);
+        for (auto c : counts) {
+            EXPECT_NEAR(static_cast<double>(c), 200.0, 100.0);
+        }
+    } else {
+        EXPECT_GE(covered, buckets * 9 / 10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, HashProperty,
+    ::testing::Combine(::testing::Values(HashKind::BitSelect,
+                                         HashKind::FoldedXor, HashKind::H3,
+                                         HashKind::Strong),
+                       ::testing::Values(std::uint64_t{16},
+                                         std::uint64_t{256},
+                                         std::uint64_t{4096})),
+    [](const ::testing::TestParamInfo<HashCase>& info) {
+        return std::string(hashKindName(std::get<0>(info.param))) + "_" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Kind-specific behaviour
+// ---------------------------------------------------------------------
+
+TEST(BitSelect, ExtractsLowBits)
+{
+    BitSelectHash h(256);
+    EXPECT_EQ(h.hash(0x12345), 0x45u);
+    EXPECT_EQ(h.hash(0xFF00), 0x00u);
+}
+
+TEST(BitSelect, StridedPatternCollides)
+{
+    // The pathological pattern: stride == buckets maps everything to
+    // one bucket. This is exactly what hashing-based indexing avoids.
+    BitSelectHash h(128);
+    std::uint64_t first = h.hash(0);
+    for (int i = 1; i < 100; i++) {
+        EXPECT_EQ(h.hash(static_cast<Addr>(i) * 128), first);
+    }
+}
+
+TEST(H3, SpreadsStridedPattern)
+{
+    H3Hash h(128, 42);
+    std::vector<int> counts(128, 0);
+    for (int i = 0; i < 1280; i++) {
+        counts[h.hash(static_cast<Addr>(i) * 128)]++;
+    }
+    int max_bucket = 0;
+    for (int c : counts) max_bucket = std::max(max_bucket, c);
+    // Perfectly spread would be 10 per bucket; pathological is 1280.
+    EXPECT_LT(max_bucket, 40);
+}
+
+TEST(H3, DistinctSeedsGiveDistinctFunctions)
+{
+    H3Hash h1(1024, 1), h2(1024, 2);
+    Pcg32 rng(3);
+    int same = 0;
+    for (int i = 0; i < 2000; i++) {
+        Addr a = rng.next64();
+        if (h1.hash(a) == h2.hash(a)) same++;
+    }
+    // Expected collisions for independent functions: ~2000/1024 ~ 2.
+    EXPECT_LT(same, 20);
+}
+
+TEST(H3, ZeroAddressMapsToZero)
+{
+    // H3 is linear over GF(2): hash(0) == 0 for every member.
+    for (std::uint64_t seed : {1ULL, 99ULL, 0xabcULL}) {
+        H3Hash h(512, seed);
+        EXPECT_EQ(h.hash(0), 0u);
+    }
+}
+
+TEST(H3, LinearOverXor)
+{
+    // Pairwise independence of H3 rests on GF(2) linearity:
+    // hash(a ^ b) == hash(a) ^ hash(b).
+    H3Hash h(4096, 17);
+    Pcg32 rng(4);
+    for (int i = 0; i < 500; i++) {
+        Addr a = rng.next64(), b = rng.next64();
+        EXPECT_EQ(h.hash(a ^ b), h.hash(a) ^ h.hash(b));
+    }
+}
+
+TEST(FoldedXor, SaltChangesFunction)
+{
+    FoldedXorHash h1(256, 0), h2(256, 0x5a5a5a5a);
+    int same = 0;
+    Pcg32 rng(6);
+    for (int i = 0; i < 1000; i++) {
+        Addr a = rng.next64();
+        if (h1.hash(a) == h2.hash(a)) same++;
+    }
+    EXPECT_LT(same, 30);
+}
+
+TEST(PrimeModulo, UsesLargestPrime)
+{
+    PrimeModuloHash h(1024);
+    EXPECT_EQ(h.prime(), 1021u);
+    EXPECT_EQ(PrimeModuloHash::largestPrimeAtMost(2), 2u);
+    EXPECT_EQ(PrimeModuloHash::largestPrimeAtMost(3), 3u);
+    EXPECT_EQ(PrimeModuloHash::largestPrimeAtMost(4), 3u);
+    EXPECT_EQ(PrimeModuloHash::largestPrimeAtMost(100), 97u);
+}
+
+TEST(PrimeModulo, SpreadsPowerOfTwoStrides)
+{
+    PrimeModuloHash h(128); // p = 127
+    std::vector<int> counts(128, 0);
+    for (int i = 0; i < 1270; i++) {
+        counts[h.hash(static_cast<Addr>(i) * 128)]++;
+    }
+    int max_bucket = 0;
+    for (int c : counts) max_bucket = std::max(max_bucket, c);
+    EXPECT_LT(max_bucket, 30);
+}
+
+TEST(HashFamily, PerWayFunctionsDiffer)
+{
+    auto fam = makeHashFamily(HashKind::H3, 4, 1024, 9);
+    ASSERT_EQ(fam.size(), 4u);
+    Pcg32 rng(10);
+    for (std::size_t i = 0; i < fam.size(); i++) {
+        for (std::size_t j = i + 1; j < fam.size(); j++) {
+            int same = 0;
+            Pcg32 r2(10);
+            for (int k = 0; k < 1000; k++) {
+                Addr a = r2.next64();
+                if (fam[i]->hash(a) == fam[j]->hash(a)) same++;
+            }
+            EXPECT_LT(same, 20) << "ways " << i << " and " << j;
+        }
+    }
+}
+
+} // namespace
+} // namespace zc

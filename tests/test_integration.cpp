@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Cross-module integration tests: the experiment runner end to end, the
+ * paper's comparative claims at small scale, inclusive-hierarchy
+ * invariants inside the CMP, and energy consistency between the
+ * simulator's event counts and the cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "assoc/eviction_tracker.hpp"
+#include "sim/experiment.hpp"
+#include "trace/workloads.hpp"
+
+namespace zc {
+namespace {
+
+RunParams
+baseParams(const std::string& workload)
+{
+    RunParams p;
+    p.workload = workload;
+    p.base.l2SizeBytes = 2 << 20; // 2MB: fast but big enough to matter
+    p.warmupInstr = 60000;
+    p.measureInstr = 60000;
+    p.l2Spec.policy = PolicyKind::BucketedLru;
+    return p;
+}
+
+RunResult
+runDesign(const std::string& workload, ArrayKind kind, std::uint32_t ways,
+          std::uint32_t levels, bool serial = true)
+{
+    RunParams p = baseParams(workload);
+    p.l2Spec.kind = kind;
+    p.l2Spec.ways = ways;
+    p.l2Spec.levels = levels;
+    p.l2Spec.hashKind = HashKind::H3;
+    p.serialLookup = serial;
+    return runExperiment(p);
+}
+
+// ---------------------------------------------------------------------
+// Experiment runner plumbing
+// ---------------------------------------------------------------------
+
+TEST(Integration, RunnerProducesCompleteResult)
+{
+    RunResult r = runDesign("soplex", ArrayKind::ZCache, 4, 2);
+    EXPECT_GT(r.instructions, 32u * 60000u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.mpki, 0.0);
+    EXPECT_GT(r.bipsPerWatt, 0.0);
+    EXPECT_GT(r.totalJoules, 0.0);
+    EXPECT_GT(r.l2TagAccesses, r.l2Accesses);
+    EXPECT_GT(r.avgWalkCandidates, 4.0);
+    EXPECT_GT(r.loadPerBankCycle, 0.0);
+    EXPECT_GE(r.tagPerBankCycle, r.loadPerBankCycle);
+}
+
+TEST(Integration, RunnerIsDeterministic)
+{
+    RunResult a = runDesign("milc", ArrayKind::ZCache, 4, 2);
+    RunResult b = runDesign("milc", ArrayKind::ZCache, 4, 2);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_DOUBLE_EQ(a.totalJoules, b.totalJoules);
+}
+
+TEST(Integration, EnergyBreakdownSumsAndScales)
+{
+    RunResult r = runDesign("canneal", ArrayKind::ZCache, 4, 3);
+    EXPECT_NEAR(r.energy.totalJ(),
+                r.energy.coreJ + r.energy.l1J + r.energy.l2J +
+                    r.energy.nocJ + r.energy.dramJ + r.energy.staticJ,
+                1e-12);
+    // A miss-heavy workload must burn real DRAM energy.
+    EXPECT_GT(r.energy.dramJ, r.energy.l2J);
+}
+
+// ---------------------------------------------------------------------
+// The paper's comparative claims at test scale
+// ---------------------------------------------------------------------
+
+TEST(Integration, AssociativityImprovesMpkiMonotonically)
+{
+    // Fig. 4 claim: higher R lowers misses on capacity/conflict-bound
+    // workloads; equal-R designs land close.
+    double sa4 = runDesign("soplex", ArrayKind::SetAssoc, 4, 1).mpki;
+    double sa16 = runDesign("soplex", ArrayKind::SetAssoc, 16, 1).mpki;
+    double z16 = runDesign("soplex", ArrayKind::ZCache, 4, 2).mpki;
+    double z52 = runDesign("soplex", ArrayKind::ZCache, 4, 3).mpki;
+    EXPECT_LT(sa16, sa4);
+    EXPECT_LT(z16, sa4);
+    EXPECT_LE(z52, z16 * 1.02);
+    EXPECT_NEAR(z16 / sa16, 1.0, 0.12) << "equal-R designs track";
+}
+
+TEST(Integration, ZcacheKeepsFourWayLatency)
+{
+    RunResult sa32 = runDesign("gamess", ArrayKind::SetAssoc, 32, 1);
+    RunResult z52 = runDesign("gamess", ArrayKind::ZCache, 4, 3);
+    EXPECT_GT(sa32.bankLatencyCycles, z52.bankLatencyCycles);
+}
+
+TEST(Integration, ParallelLookupHelpsHitLatencyBoundWorkloads)
+{
+    // Fig. 5: ammp/gamess-style workloads gain from parallel lookups.
+    RunResult serial = runDesign("ammp", ArrayKind::ZCache, 4, 2, true);
+    RunResult parallel = runDesign("ammp", ArrayKind::ZCache, 4, 2, false);
+    EXPECT_GT(parallel.ipc, serial.ipc);
+}
+
+TEST(Integration, ParallelLookupCostsEnergyOnWideSA)
+{
+    // Fig. 5's energy story: at 32 ways the parallel premium bites.
+    RunResult serial =
+        runDesign("gamess", ArrayKind::SetAssoc, 32, 1, true);
+    RunResult parallel =
+        runDesign("gamess", ArrayKind::SetAssoc, 32, 1, false);
+    EXPECT_GT(parallel.energy.l2J, serial.energy.l2J * 1.25);
+}
+
+TEST(Integration, VictimBufferHelpsButLessThanZcache)
+{
+    // Section II-B: the buffer catches short-reuse conflict victims but
+    // does not provide general associativity.
+    RunParams p = baseParams("soplex");
+    p.l2Spec.kind = ArrayKind::VictimCache;
+    p.l2Spec.ways = 4;
+    p.l2Spec.victimBlocks = 64;
+    double vc = runExperiment(p).mpki;
+    double sa4 = runDesign("soplex", ArrayKind::SetAssoc, 4, 1).mpki;
+    double z52 = runDesign("soplex", ArrayKind::ZCache, 4, 3).mpki;
+    EXPECT_LE(vc, sa4 * 1.01);
+    EXPECT_LT(z52, vc);
+}
+
+// ---------------------------------------------------------------------
+// Hierarchy invariants
+// ---------------------------------------------------------------------
+
+TEST(Integration, InclusionHoldsAfterRun)
+{
+    // Every line resident in an L1 must be resident in the L2
+    // (inclusive hierarchy with back-invalidation). We verify via the
+    // directory-driven invariant: the union of L2 banks covers all
+    // generator-visible hits... directly: run, then probe each L2 bank
+    // for a sample of recently hit lines through the CacheModel-free
+    // interface. CmpSystem does not expose L1 contents, so the
+    // invariant is checked indirectly: a second run of the same trace
+    // through the same system must never produce an L1 hit for a line
+    // the L2 lacks — which would trip the zc_assert in dataAccess's
+    // upgrade path. The run completing is the assertion.
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.l2SizeBytes = 512 * 1024;
+    cfg.l2Spec.kind = ArrayKind::ZCache;
+    cfg.l2Spec.ways = 4;
+    cfg.l2Spec.levels = 2;
+    cfg.l2Spec.policy = PolicyKind::BucketedLru;
+    CmpSystem sys(cfg);
+    const auto& w = WorkloadRegistry::byName("canneal");
+    std::vector<GeneratorPtr> gens;
+    for (std::uint32_t c = 0; c < cfg.numCores; c++) {
+        gens.push_back(
+            WorkloadRegistry::makeCoreGenerator(w, c, cfg.numCores, 3));
+    }
+    sys.setGenerators(std::move(gens));
+    sys.run(120000); // heavy sharing + back-invalidation churn
+    EXPECT_GT(sys.stats().invalidations, 0u);
+    SUCCEED();
+}
+
+TEST(Integration, TrackerOnLiveL2Bank)
+{
+    // The Section IV framework attaches to a bank inside a running CMP.
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.l2SizeBytes = 1 << 20;
+    cfg.l2Spec.kind = ArrayKind::ZCache;
+    cfg.l2Spec.ways = 4;
+    cfg.l2Spec.levels = 2;
+    cfg.l2Spec.policy = PolicyKind::BucketedLru;
+    CmpSystem sys(cfg);
+    EvictionPriorityTracker tracker(100, 4);
+    tracker.attach(sys.bank(0));
+    const auto& w = WorkloadRegistry::byName("milc");
+    std::vector<GeneratorPtr> gens;
+    for (std::uint32_t c = 0; c < cfg.numCores; c++) {
+        gens.push_back(
+            WorkloadRegistry::makeCoreGenerator(w, c, cfg.numCores, 4));
+    }
+    sys.setGenerators(std::move(gens));
+    sys.run(150000);
+    ASSERT_GT(tracker.samples(), 200u);
+    // Z4/16 in-system: decidedly better than a 4-candidate design
+    // (uniformity means: 4 cands -> 0.80, 16 -> 0.94).
+    EXPECT_GT(tracker.histogram().mean(), 0.82);
+}
+
+} // namespace
+} // namespace zc

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Golden reconstruction of the paper's Fig. 1 replacement example.
+ *
+ * A 3-way zcache with 8 lines per way misses on block Y and walks three
+ * levels: the 3 first-level candidates (A, D, M — the blocks in Y's
+ * hash positions), 6 second-level candidates (K, X under A; B, P under
+ * D; Z, S under M), and 12 third-level candidates — 21 in total, the
+ * paper's number, including one repeat (K's way-0 alternative is Z's
+ * position, "some hash values are repeated and lead to the same
+ * address"). The LRU victim N sits at level 3 under X: the zcache
+ * evicts N, relocates X into N's slot and A into X's slot, and writes Y
+ * at A's old position — after which, exactly as the paper remarks,
+ * "N and Y both used way 0, but completely different locations."
+ *
+ * Hash functions are explicit lookup tables, so every step is
+ * deterministic and asserted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/z_array.hpp"
+#include "replacement/lru.hpp"
+
+namespace zc {
+namespace {
+
+/** Explicit-table hash for fully scripted walk trees. */
+class TableHash final : public HashFunction
+{
+  public:
+    TableHash(std::uint64_t buckets, std::map<Addr, std::uint64_t> table)
+        : buckets_(buckets), table_(std::move(table))
+    {
+    }
+
+    std::uint64_t
+    hash(Addr lineAddr) const override
+    {
+        auto it = table_.find(lineAddr);
+        return it != table_.end() ? it->second : lineAddr % buckets_;
+    }
+
+    std::uint64_t buckets() const override { return buckets_; }
+    std::string name() const override { return "Table"; }
+
+  private:
+    std::uint64_t buckets_;
+    std::map<Addr, std::uint64_t> table_;
+};
+
+// Named blocks. Fillers occupy the remaining lines so the walk never
+// finds an empty slot.
+enum : Addr {
+    A = 'A', B = 'B', D = 'D', K = 'K', M = 'M', N = 'N', P = 'P',
+    S = 'S', T = 'T', X = 'X', Y = 'Y', Z = 'Z',
+    F00 = 1000, F01, F03, F07,          // way-0 fillers (lines 0,1,3,7)
+    F10 = 1100, F11, F14, F17,          // way-1 fillers (lines 0,1,4,7)
+    F20 = 1200, F22, F23, F25, F26,     // way-2 fillers
+};
+
+class Fig1Example : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Way 0 index: placement lines for way-0 residents, plus the
+        // walk edges the example prescribes.
+        std::map<Addr, std::uint64_t> h0{
+            {F00, 0}, {F01, 1}, {Z, 2}, {F03, 3}, {N, 4}, {A, 5},
+            {B, 6},   {F07, 7},
+            {Y, 5},              // Y conflicts with A in way 0
+            {D, 6},              // D's way-0 alternative holds B
+            {M, 2},              // M's -> Z
+            {K, 2},              // K's -> Z again: the repeat
+            {X, 4},              // X's -> N (the eventual victim)
+            {P, 0},  {S, 1},
+        };
+        std::map<Addr, std::uint64_t> h1{
+            {F10, 0}, {F11, 1}, {K, 2}, {D, 3}, {F14, 4}, {T, 5},
+            {S, 6},   {F17, 7},
+            {Y, 3},              // Y conflicts with D in way 1
+            {A, 2},              // A's way-1 alternative holds K
+            {M, 6},              // M's -> S
+            {X, 5},              // X's -> T
+            {B, 0},  {P, 1},  {Z, 4},
+        };
+        std::map<Addr, std::uint64_t> h2{
+            {F20, 0}, {X, 1}, {F22, 2}, {F23, 3}, {P, 4}, {F25, 5},
+            {F26, 6}, {M, 7},
+            {Y, 7},              // Y conflicts with M in way 2
+            {A, 1},              // A's way-2 alternative holds X
+            {D, 4},              // D's -> P
+            {K, 3},  {B, 6},  {Z, 2},  {S, 5},
+        };
+
+        ZArrayConfig cfg;
+        cfg.ways = 3;
+        cfg.levels = 3;
+        std::vector<HashPtr> hashes;
+        hashes.push_back(std::make_unique<TableHash>(8, std::move(h0)));
+        hashes.push_back(std::make_unique<TableHash>(8, std::move(h1)));
+        hashes.push_back(std::make_unique<TableHash>(8, std::move(h2)));
+        z_ = std::make_unique<ZArray>(24, cfg,
+                                      std::make_unique<LruPolicy>(24),
+                                      std::move(hashes));
+
+        // Fill: way-0 residents first (their way-0 line is free), then
+        // way 1 (way-0 slots all taken), then way 2. N is inserted
+        // first, making it the global LRU block.
+        AccessContext c;
+        for (Addr addr : {N, Z, B, A, F00, F01, F03, F07}) {
+            z_->insert(addr, c);
+        }
+        for (Addr addr : {K, D, T, S, F10, F11, F14, F17}) {
+            z_->insert(addr, c);
+        }
+        for (Addr addr : {X, P, M, F20, F22, F23, F25, F26}) {
+            z_->insert(addr, c);
+        }
+    }
+
+    BlockPos
+    pos(std::uint32_t way, std::uint32_t line) const
+    {
+        return way * 8 + line;
+    }
+
+    std::unique_ptr<ZArray> z_;
+};
+
+TEST_F(Fig1Example, SetupPlacesEveryBlockWhereTheFigureSays)
+{
+    ASSERT_EQ(z_->validCount(), 24u);
+    EXPECT_EQ(z_->probe(A), pos(0, 5));
+    EXPECT_EQ(z_->probe(N), pos(0, 4));
+    EXPECT_EQ(z_->probe(Z), pos(0, 2));
+    EXPECT_EQ(z_->probe(B), pos(0, 6));
+    EXPECT_EQ(z_->probe(D), pos(1, 3));
+    EXPECT_EQ(z_->probe(K), pos(1, 2));
+    EXPECT_EQ(z_->probe(T), pos(1, 5));
+    EXPECT_EQ(z_->probe(S), pos(1, 6));
+    EXPECT_EQ(z_->probe(X), pos(2, 1));
+    EXPECT_EQ(z_->probe(P), pos(2, 4));
+    EXPECT_EQ(z_->probe(M), pos(2, 7));
+    // Y misses: its three positions hold A, D, M.
+    EXPECT_EQ(z_->probe(Y), kInvalidPos);
+}
+
+TEST_F(Fig1Example, WalkFindsTwentyOneCandidatesAndEvictsN)
+{
+    AccessContext c;
+    Replacement r = z_->insert(Y, c);
+
+    // 3 + 6 + 12 candidates, as in Fig. 1d.
+    EXPECT_EQ(r.candidates, 21u);
+    // One repeated candidate (K -> Z's position) was deduplicated.
+    EXPECT_EQ(z_->walkStats().repeatsTotal, 1u);
+    // N — the oldest block, reachable at level 3 under X — is evicted.
+    EXPECT_EQ(r.evictedAddr, static_cast<Addr>(N));
+    EXPECT_EQ(r.victimPos, pos(0, 4));
+    // Two relocations: X down into N's slot, A down into X's slot.
+    EXPECT_EQ(r.relocations, 2u);
+}
+
+TEST_F(Fig1Example, RelocationsMatchFigure1f)
+{
+    AccessContext c;
+    z_->insert(Y, c);
+
+    // Fig. 1f: Y sits where A was; A moved to X's old slot; X moved to
+    // N's old slot; N is gone. "N and Y both used way 0, but completely
+    // different locations."
+    EXPECT_EQ(z_->probe(Y), pos(0, 5));
+    EXPECT_EQ(z_->probe(A), pos(2, 1));
+    EXPECT_EQ(z_->probe(X), pos(0, 4));
+    EXPECT_EQ(z_->probe(N), kInvalidPos);
+    // Everyone else is untouched.
+    EXPECT_EQ(z_->probe(D), pos(1, 3));
+    EXPECT_EQ(z_->probe(M), pos(2, 7));
+    EXPECT_EQ(z_->probe(K), pos(1, 2));
+    EXPECT_EQ(z_->validCount(), 24u);
+}
+
+TEST_F(Fig1Example, RelocatedBlocksKeepTheirAge)
+{
+    AccessContext c;
+    // Touch A just before the replacement: it must remain the youngest
+    // after being relocated (metadata travels with the block).
+    z_->access(A, c);
+    z_->insert(Y, c);
+    BlockPos a_pos = z_->probe(A);
+    ASSERT_NE(a_pos, kInvalidPos);
+    double a_score = z_->policy().score(a_pos);
+    // Only Y (inserted after the touch) may score higher.
+    std::uint32_t higher = 0;
+    z_->forEachValid([&](BlockPos p, Addr) {
+        if (z_->policy().score(p) > a_score) higher++;
+    });
+    EXPECT_EQ(higher, 1u);
+}
+
+TEST_F(Fig1Example, WalkEnergyAccountingMatchesSectionIIIB)
+{
+    // E_miss = R*E_rt + m*(E_rt + E_rd + E_wt + E_wd): the array must
+    // report the traffic that formula charges: (R - W) walk tag reads
+    // (the first level came with the missing lookup) and per-relocation
+    // tag+data read+write pairs, plus the fill write.
+    z_->resetStats();
+    AccessContext c;
+    Replacement r = z_->insert(Y, c);
+    const ArrayStats& s = z_->stats();
+    EXPECT_EQ(s.tagReads, (r.candidates - 3) + r.relocations);
+    EXPECT_EQ(s.tagWrites, r.relocations + 1);
+    EXPECT_EQ(s.dataReads, r.relocations);
+    EXPECT_EQ(s.dataWrites, r.relocations + 1);
+}
+
+} // namespace
+} // namespace zc

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for SetAssociativeArray: lookup/insert/invalidate
+ * semantics, set confinement, LRU interaction, hashing effects, and
+ * traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cache/cache_model.hpp"
+#include "cache/set_associative_array.hpp"
+#include "hash/bit_select_hash.hpp"
+#include "hash/h3_hash.hpp"
+#include "replacement/lru.hpp"
+
+namespace zc {
+namespace {
+
+std::unique_ptr<SetAssociativeArray>
+makeSA(std::uint32_t blocks, std::uint32_t ways)
+{
+    return std::make_unique<SetAssociativeArray>(
+        blocks, ways, std::make_unique<LruPolicy>(blocks),
+        std::make_unique<BitSelectHash>(blocks / ways));
+}
+
+TEST(SetAssoc, MissThenHit)
+{
+    auto a = makeSA(64, 4);
+    AccessContext c;
+    EXPECT_EQ(a->access(100, c), kInvalidPos);
+    a->insert(100, c);
+    EXPECT_NE(a->access(100, c), kInvalidPos);
+    EXPECT_EQ(a->validCount(), 1u);
+}
+
+TEST(SetAssoc, ProbeDoesNotTouchReplacement)
+{
+    auto a = makeSA(16, 4);
+    AccessContext c;
+    a->insert(1, c);
+    a->insert(2, c);
+    std::uint64_t tag_reads = a->stats().tagReads;
+    EXPECT_NE(a->probe(1), kInvalidPos);
+    EXPECT_EQ(a->probe(99), kInvalidPos);
+    EXPECT_EQ(a->stats().tagReads, tag_reads); // no traffic counted
+}
+
+TEST(SetAssoc, EvictionWithinSetUsesLru)
+{
+    // 4 sets x 2 ways; addresses 0,4,8 all map to set 0.
+    auto a = makeSA(8, 2);
+    AccessContext c;
+    a->insert(0, c);
+    a->insert(4, c);
+    a->access(0, c); // 0 is now MRU
+    Replacement r = a->insert(8, c);
+    EXPECT_EQ(r.evictedAddr, 4u);
+    EXPECT_EQ(r.candidates, 2u);
+    EXPECT_EQ(r.relocations, 0u);
+}
+
+TEST(SetAssoc, EmptyWayPreferredOverEviction)
+{
+    auto a = makeSA(8, 2);
+    AccessContext c;
+    a->insert(0, c);
+    Replacement r = a->insert(4, c); // same set, one way still free
+    EXPECT_FALSE(r.evictedValid());
+    EXPECT_EQ(a->validCount(), 2u);
+}
+
+TEST(SetAssoc, ConflictingBlocksThrashSmallSet)
+{
+    // Classic conflict pattern: 3 blocks in a 2-way set always miss.
+    CacheModel m(makeSA(8, 2));
+    for (int round = 0; round < 50; round++) {
+        for (Addr a : {0, 4, 8}) m.access(a);
+    }
+    // After the first round everything is a conflict miss under LRU.
+    EXPECT_EQ(m.stats().hits, 0u);
+}
+
+TEST(SetAssoc, HashedIndexBreaksPathologicalStride)
+{
+    // Same 3-address working set, but H3-indexed: the three blocks
+    // almost surely land in different sets and hit thereafter.
+    auto arr = std::make_unique<SetAssociativeArray>(
+        64, 2, std::make_unique<LruPolicy>(64),
+        std::make_unique<H3Hash>(32, 1234));
+    CacheModel m(std::move(arr));
+    std::uint64_t last_round_hits = 0;
+    for (int round = 0; round < 50; round++) {
+        std::uint64_t before = m.stats().hits;
+        for (Addr a : {0, 32, 64}) m.access(a);
+        last_round_hits = m.stats().hits - before;
+    }
+    EXPECT_EQ(last_round_hits, 3u);
+}
+
+TEST(SetAssoc, InvalidateRemovesBlock)
+{
+    auto a = makeSA(16, 4);
+    AccessContext c;
+    a->insert(7, c);
+    EXPECT_TRUE(a->invalidate(7));
+    EXPECT_EQ(a->probe(7), kInvalidPos);
+    EXPECT_FALSE(a->invalidate(7));
+    EXPECT_EQ(a->validCount(), 0u);
+}
+
+TEST(SetAssoc, ForEachValidEnumeratesExactly)
+{
+    auto a = makeSA(16, 4);
+    AccessContext c;
+    std::set<Addr> inserted{3, 17, 33, 49};
+    for (Addr x : inserted) a->insert(x, c);
+    std::set<Addr> seen;
+    a->forEachValid([&](BlockPos, Addr addr) { seen.insert(addr); });
+    EXPECT_EQ(seen, inserted);
+}
+
+TEST(SetAssoc, LookupTrafficCountsAllWays)
+{
+    auto a = makeSA(64, 4);
+    AccessContext c;
+    a->access(5, c); // miss still reads the whole set
+    EXPECT_EQ(a->stats().tagReads, 4u);
+    a->insert(5, c);
+    a->access(5, c);
+    EXPECT_EQ(a->stats().tagReads, 8u);
+    EXPECT_EQ(a->stats().dataReads, 1u); // only the hit reads data
+}
+
+TEST(SetAssoc, CandidatesEqualWays)
+{
+    // The structural property the paper breaks: R == W for set-assoc.
+    for (std::uint32_t ways : {2u, 4u, 8u, 16u}) {
+        auto a = makeSA(128, ways);
+        AccessContext c;
+        // Fill one set completely, then force a replacement in it.
+        std::uint32_t sets = 128 / ways;
+        for (std::uint32_t i = 0; i <= ways; i++) {
+            Addr addr = static_cast<Addr>(i) * sets; // all map to set 0
+            if (a->probe(addr) == kInvalidPos) a->insert(addr, c);
+        }
+        // The last insert replaced within a full set.
+        // Re-insert one more conflicting block and check candidates.
+        Replacement r = a->insert(static_cast<Addr>(ways + 1) * sets, c);
+        EXPECT_EQ(r.candidates, ways);
+    }
+}
+
+TEST(SetAssoc, RejectsMismatchedHashBuckets)
+{
+    EXPECT_DEATH(
+        {
+            SetAssociativeArray bad(64, 4, std::make_unique<LruPolicy>(64),
+                                    std::make_unique<BitSelectHash>(64));
+        },
+        "buckets");
+}
+
+} // namespace
+} // namespace zc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * SHA-1 correctness (FIPS 180-1 test vectors) and its use as a cache
+ * index hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/sha1.hpp"
+
+namespace zc {
+namespace {
+
+std::string
+sha1Hex(const std::string& msg)
+{
+    return Sha1::hex(Sha1::digest(msg.data(), msg.size()));
+}
+
+TEST(Sha1, FipsTestVectors)
+{
+    // FIPS 180-1 Appendix A/B and the standard empty-string vector.
+    EXPECT_EQ(sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    EXPECT_EQ(sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    EXPECT_EQ(
+        sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, OneMillionA)
+{
+    // FIPS 180-1 Appendix C: 10^6 repetitions of 'a'.
+    std::string msg(1000000, 'a');
+    EXPECT_EQ(sha1Hex(msg), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, MultiBlockBoundaries)
+{
+    // Lengths straddling the 55/56/64-byte padding boundaries must all
+    // hash without corruption (distinct digests, deterministic).
+    std::vector<std::string> digests;
+    for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 127u,
+                            128u, 129u}) {
+        std::string msg(len, 'x');
+        digests.push_back(sha1Hex(msg));
+        EXPECT_EQ(sha1Hex(msg), digests.back());
+    }
+    for (std::size_t i = 0; i < digests.size(); i++) {
+        for (std::size_t j = i + 1; j < digests.size(); j++) {
+            EXPECT_NE(digests[i], digests[j]);
+        }
+    }
+}
+
+TEST(Sha1Hash, InRangeAndDeterministic)
+{
+    Sha1Hash h(4096, 7);
+    Pcg32 rng(1);
+    for (int i = 0; i < 500; i++) {
+        Addr a = rng.next64();
+        std::uint64_t v = h.hash(a);
+        EXPECT_LT(v, 4096u);
+        EXPECT_EQ(h.hash(a), v);
+    }
+}
+
+TEST(Sha1Hash, SeedsGiveIndependentFunctions)
+{
+    Sha1Hash h1(1024, 1), h2(1024, 2);
+    Pcg32 rng(2);
+    int same = 0;
+    for (int i = 0; i < 2000; i++) {
+        Addr a = rng.next64();
+        if (h1.hash(a) == h2.hash(a)) same++;
+    }
+    EXPECT_LT(same, 20);
+}
+
+TEST(Sha1Hash, UniformOverStructuredInputs)
+{
+    // The Section IV-C role: even highly structured addresses (dense
+    // small integers) must spread uniformly.
+    Sha1Hash h(64, 3);
+    std::vector<int> counts(64, 0);
+    for (Addr a = 0; a < 6400; a++) counts[h.hash(a)]++;
+    for (int c : counts) EXPECT_NEAR(c, 100, 45);
+}
+
+} // namespace
+} // namespace zc

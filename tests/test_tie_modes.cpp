@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the tracker's rank tie handling (TieMode) with
+ * coarse-scored policies, plus the onSwap score-exchange contract
+ * across all flat-metadata policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "assoc/eviction_tracker.hpp"
+#include "cache/array_factory.hpp"
+#include "cache/cache_model.hpp"
+#include "common/rng.hpp"
+#include "replacement/policy_factory.hpp"
+
+namespace zc {
+namespace {
+
+double
+meanWithTieMode(TieMode mode)
+{
+    ArraySpec spec;
+    spec.kind = ArrayKind::ZCache;
+    spec.blocks = 512;
+    spec.ways = 4;
+    spec.levels = 2;
+    spec.policy = PolicyKind::BucketedLru; // wide rank ties
+    CacheModel m(makeArray(spec));
+    EvictionPriorityTracker tracker(100, 1, mode);
+    tracker.attach(m.array());
+    Pcg32 rng(4);
+    for (int i = 0; i < 60000; i++) m.access(rng.next64() % 4096);
+    return tracker.histogram().mean();
+}
+
+TEST(TieModes, OrderedAsDefined)
+{
+    // Optimistic excludes the victim's tie class from the keep-count,
+    // so it reports the lowest priority of the three modes; midpoint
+    // adds half the class; the refined order adds the tied blocks that
+    // sort after the victim (about half, on average).
+    double optimistic = meanWithTieMode(TieMode::Optimistic);
+    double midpoint = meanWithTieMode(TieMode::Midpoint);
+    double refined = meanWithTieMode(TieMode::Refined);
+    EXPECT_LE(optimistic, midpoint + 1e-9);
+    EXPECT_LE(midpoint, refined + 0.01);
+    // All three agree to first order (ties are narrow for k=5%).
+    EXPECT_NEAR(optimistic, refined, 0.05);
+}
+
+TEST(TieModes, IdenticalForTieFreePolicies)
+{
+    // Full LRU has unique scores: tie mode must not matter at all.
+    auto run = [](TieMode mode) {
+        ArraySpec spec;
+        spec.kind = ArrayKind::SetAssoc;
+        spec.blocks = 256;
+        spec.ways = 4;
+        spec.hashKind = HashKind::H3;
+        spec.policy = PolicyKind::Lru;
+        CacheModel m(makeArray(spec));
+        EvictionPriorityTracker tracker(100, 1, mode);
+        tracker.attach(m.array());
+        Pcg32 rng(5);
+        for (int i = 0; i < 40000; i++) m.access(rng.next64() % 2048);
+        return tracker.histogram().mean();
+    };
+    EXPECT_DOUBLE_EQ(run(TieMode::Refined), run(TieMode::Optimistic));
+    EXPECT_DOUBLE_EQ(run(TieMode::Refined), run(TieMode::Midpoint));
+}
+
+// ---------------------------------------------------------------------
+// onSwap contract across policies
+// ---------------------------------------------------------------------
+
+class SwapContract : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+TEST_P(SwapContract, SwapExchangesScores)
+{
+    auto p = makePolicy(GetParam(), 16, 7);
+    AccessContext c;
+    for (BlockPos i = 0; i < 8; i++) {
+        c.nextUse = 100 + 13 * i;
+        p->onInsert(i, c);
+    }
+    p->onHit(2, c);
+    double s2 = p->score(2), s5 = p->score(5);
+    p->onSwap(2, 5);
+    EXPECT_DOUBLE_EQ(p->score(5), s2);
+    EXPECT_DOUBLE_EQ(p->score(2), s5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SwapContract,
+    ::testing::Values(PolicyKind::Lru, PolicyKind::BucketedLru,
+                      PolicyKind::Lfu, PolicyKind::Random, PolicyKind::Opt,
+                      PolicyKind::Nru, PolicyKind::Srrip, PolicyKind::Bip),
+    [](const ::testing::TestParamInfo<PolicyKind>& info) {
+        std::string n = policyKindName(info.param);
+        for (auto& ch : n) {
+            if (ch == '-') ch = '_';
+        }
+        return n;
+    });
+
+} // namespace
+} // namespace zc

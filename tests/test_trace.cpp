@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for src/trace: generators, the workload registry, and the
+ * future-use annotator that powers OPT.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/future_use.hpp"
+#include "trace/generator.hpp"
+#include "trace/mem_record.hpp"
+#include "trace/workloads.hpp"
+
+namespace zc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+TEST(Strided, WrapsAtFootprint)
+{
+    StridedGenerator g(1000, 4, 1);
+    std::vector<Addr> seen;
+    for (int i = 0; i < 8; i++) seen.push_back(g.next().lineAddr);
+    EXPECT_EQ(seen, (std::vector<Addr>{1000, 1001, 1002, 1003, 1000, 1001,
+                                       1002, 1003}));
+}
+
+TEST(Strided, StrideSkipsLines)
+{
+    StridedGenerator g(0, 8, 2);
+    std::set<Addr> seen;
+    for (int i = 0; i < 16; i++) seen.insert(g.next().lineAddr);
+    EXPECT_EQ(seen, (std::set<Addr>{0, 2, 4, 6}));
+}
+
+TEST(UniformRandom, StaysInRegion)
+{
+    UniformRandomGenerator g(500, 100, 1);
+    for (int i = 0; i < 1000; i++) {
+        Addr a = g.next().lineAddr;
+        EXPECT_GE(a, 500u);
+        EXPECT_LT(a, 600u);
+    }
+}
+
+TEST(Zipf, HotLinesDominate)
+{
+    ZipfGenerator g(0, 10000, 1.2, 42);
+    std::unordered_map<Addr, int> counts;
+    for (int i = 0; i < 50000; i++) counts[g.next().lineAddr]++;
+    // With alpha=1.2 the top line takes a large share.
+    int max_count = 0;
+    for (const auto& [a, c] : counts) max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 50000 / 20);
+    // And far fewer distinct lines than uniform would produce.
+    EXPECT_LT(counts.size(), 9000u);
+}
+
+TEST(Zipf, DeterministicUnderSeed)
+{
+    ZipfGenerator a(0, 1000, 1.0, 7), b(0, 1000, 1.0, 7);
+    for (int i = 0; i < 500; i++) {
+        EXPECT_EQ(a.next().lineAddr, b.next().lineAddr);
+    }
+}
+
+TEST(PointerChase, VisitsWholeFootprintOnce)
+{
+    PointerChaseGenerator g(100, 64, 3);
+    std::set<Addr> seen;
+    for (int i = 0; i < 64; i++) {
+        Addr a = g.next().lineAddr;
+        EXPECT_TRUE(seen.insert(a).second) << "revisit before full cycle";
+        EXPECT_GE(a, 100u);
+        EXPECT_LT(a, 164u);
+    }
+    EXPECT_EQ(seen.size(), 64u);
+    // The next access restarts the same cycle.
+    EXPECT_TRUE(seen.count(g.next().lineAddr));
+}
+
+TEST(PointerChase, SkipAdvancesPhase)
+{
+    PointerChaseGenerator a(0, 32, 9), b(0, 32, 9);
+    b.skip(5);
+    for (int i = 0; i < 5; i++) a.next();
+    EXPECT_EQ(a.next().lineAddr, b.next().lineAddr);
+}
+
+TEST(Composite, MixesComponentsByWeight)
+{
+    std::vector<MixComponent> comps;
+    comps.push_back({std::make_unique<StridedGenerator>(0, 10, 1), 0.8});
+    comps.push_back({std::make_unique<StridedGenerator>(1000, 10, 1), 0.2});
+    CompositeGenerator g(std::move(comps), 0.0, 0.0, 5);
+    int low = 0, high = 0;
+    for (int i = 0; i < 10000; i++) {
+        Addr a = g.next().lineAddr;
+        (a < 1000 ? low : high)++;
+    }
+    EXPECT_NEAR(low, 8000, 400);
+    EXPECT_NEAR(high, 2000, 400);
+}
+
+TEST(Composite, StoreFractionHonoured)
+{
+    std::vector<MixComponent> comps;
+    comps.push_back({std::make_unique<StridedGenerator>(0, 100, 1), 1.0});
+    CompositeGenerator g(std::move(comps), 0.3, 0.0, 6);
+    int stores = 0;
+    for (int i = 0; i < 10000; i++) {
+        if (g.next().type == AccessType::Store) stores++;
+    }
+    EXPECT_NEAR(stores, 3000, 300);
+}
+
+TEST(Composite, InstGapMeanMatches)
+{
+    std::vector<MixComponent> comps;
+    comps.push_back({std::make_unique<StridedGenerator>(0, 100, 1), 1.0});
+    CompositeGenerator g(std::move(comps), 0.0, 5.0, 7);
+    double total = 0;
+    for (int i = 0; i < 20000; i++) total += g.next().instGap;
+    EXPECT_NEAR(total / 20000.0, 5.0, 0.4);
+}
+
+// ---------------------------------------------------------------------
+// Workload registry
+// ---------------------------------------------------------------------
+
+TEST(Workloads, PopulationMatchesPaper)
+{
+    const auto& all = WorkloadRegistry::all();
+    ASSERT_EQ(all.size(), 72u);
+    int parsec = 0, omp = 0, rate = 0, mix = 0;
+    for (const auto& w : all) {
+        switch (w.category) {
+          case WorkloadCategory::Parsec: parsec++; break;
+          case WorkloadCategory::SpecOmp: omp++; break;
+          case WorkloadCategory::Spec2006Rate: rate++; break;
+          case WorkloadCategory::Spec2006Mix: mix++; break;
+        }
+    }
+    EXPECT_EQ(parsec, 6);
+    EXPECT_EQ(omp, 10);
+    EXPECT_EQ(rate, 26);
+    EXPECT_EQ(mix, 30);
+}
+
+TEST(Workloads, NamesUniqueAndNonEmpty)
+{
+    std::unordered_set<std::string> names;
+    for (const auto& w : WorkloadRegistry::all()) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_TRUE(names.insert(w.name).second) << "dup " << w.name;
+    }
+}
+
+TEST(Workloads, MultithreadedFlagsConsistent)
+{
+    for (const auto& w : WorkloadRegistry::all()) {
+        bool should_be_mt = w.category == WorkloadCategory::Parsec ||
+                            w.category == WorkloadCategory::SpecOmp;
+        EXPECT_EQ(w.multithreaded, should_be_mt) << w.name;
+        if (!w.multithreaded) {
+            EXPECT_EQ(w.sharedFrac, 0.0) << w.name;
+        }
+    }
+}
+
+TEST(Workloads, MixesReferenceRealApps)
+{
+    for (const auto& w : WorkloadRegistry::all()) {
+        if (w.category != WorkloadCategory::Spec2006Mix) continue;
+        ASSERT_EQ(w.mixApps.size(), 32u) << w.name;
+        for (const auto& app : w.mixApps) {
+            const auto& p = WorkloadRegistry::byName(app);
+            EXPECT_EQ(p.category, WorkloadCategory::Spec2006Rate);
+        }
+    }
+}
+
+TEST(Workloads, RateCoresGetPrivateRegions)
+{
+    const auto& w = WorkloadRegistry::byName("mcf");
+    auto g0 = WorkloadRegistry::makeCoreGenerator(w, 0, 32, 1);
+    auto g1 = WorkloadRegistry::makeCoreGenerator(w, 1, 32, 1);
+    std::set<Addr> a0, a1;
+    for (int i = 0; i < 2000; i++) {
+        a0.insert(g0->next().lineAddr);
+        a1.insert(g1->next().lineAddr);
+    }
+    for (Addr a : a0) EXPECT_EQ(a1.count(a), 0u);
+}
+
+TEST(Workloads, MultithreadedCoresShareLines)
+{
+    const auto& w = WorkloadRegistry::byName("canneal");
+    auto g0 = WorkloadRegistry::makeCoreGenerator(w, 0, 32, 1);
+    auto g1 = WorkloadRegistry::makeCoreGenerator(w, 1, 32, 1);
+    std::set<Addr> a0;
+    for (int i = 0; i < 30000; i++) a0.insert(g0->next().lineAddr);
+    int shared = 0;
+    for (int i = 0; i < 30000; i++) {
+        if (a0.count(g1->next().lineAddr)) shared++;
+    }
+    EXPECT_GT(shared, 1000);
+}
+
+TEST(Workloads, GeneratorsDeterministic)
+{
+    const auto& w = WorkloadRegistry::byName("gcc");
+    auto g1 = WorkloadRegistry::makeCoreGenerator(w, 3, 32, 9);
+    auto g2 = WorkloadRegistry::makeCoreGenerator(w, 3, 32, 9);
+    for (int i = 0; i < 1000; i++) {
+        MemRecord r1 = g1->next(), r2 = g2->next();
+        EXPECT_EQ(r1.lineAddr, r2.lineAddr);
+        EXPECT_EQ(r1.instGap, r2.instGap);
+        EXPECT_EQ(r1.type, r2.type);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Future-use annotation (OPT oracle)
+// ---------------------------------------------------------------------
+
+TEST(FutureUse, AnnotatesNextUseDistanceExactly)
+{
+    std::vector<MemRecord> t(6);
+    Addr addrs[] = {10, 20, 10, 30, 20, 10};
+    for (int i = 0; i < 6; i++) t[i].lineAddr = addrs[i];
+    FutureUseAnnotator::annotate(t);
+    EXPECT_EQ(t[0].nextUse, 2u); // 10 reused at index 2
+    EXPECT_EQ(t[1].nextUse, 3u); // 20 reused at index 4
+    EXPECT_EQ(t[2].nextUse, 3u); // 10 reused at index 5
+    EXPECT_EQ(t[3].nextUse, std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(t[4].nextUse, std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(t[5].nextUse, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(FutureUse, ReplayPreservesOrder)
+{
+    StridedGenerator g(0, 16, 1);
+    auto trace = recordTrace(g, 40);
+    FutureUseAnnotator::annotate(trace);
+    ReplayGenerator replay(trace);
+    for (int i = 0; i < 40; i++) {
+        MemRecord r = replay.next();
+        EXPECT_EQ(r.lineAddr, static_cast<Addr>(i % 16));
+        if (i + 16 < 40) {
+            EXPECT_EQ(r.nextUse, 16u); // cyclic stream: distance 16
+        }
+    }
+    EXPECT_EQ(replay.remaining(), 0u);
+}
+
+} // namespace
+} // namespace zc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Round-trip and robustness tests for the binary trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/future_use.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workloads.hpp"
+
+namespace zc {
+namespace {
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "zc_trace_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                ".trc";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything)
+{
+    const auto& w = WorkloadRegistry::byName("soplex");
+    auto gen = WorkloadRegistry::makeCoreGenerator(w, 0, 32, 9);
+    auto trace = recordTrace(*gen, 5000);
+    FutureUseAnnotator::annotate(trace);
+
+    TraceIo::write(path_, trace);
+    auto back = TraceIo::read(path_);
+
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); i++) {
+        ASSERT_EQ(back[i].lineAddr, trace[i].lineAddr) << i;
+        ASSERT_EQ(back[i].type, trace[i].type) << i;
+        ASSERT_EQ(back[i].instGap, trace[i].instGap) << i;
+        ASSERT_EQ(back[i].nextUse, trace[i].nextUse) << i;
+    }
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips)
+{
+    TraceIo::write(path_, {});
+    EXPECT_TRUE(TraceIo::read(path_).empty());
+}
+
+TEST_F(TraceIoTest, LargeTraceCrossesChunkBoundaries)
+{
+    // > one 4096-record chunk, not a multiple of the chunk size.
+    StridedGenerator gen(0, 1 << 20, 3);
+    auto trace = recordTrace(gen, 10000);
+    TraceIo::write(path_, trace);
+    auto back = TraceIo::read(path_);
+    ASSERT_EQ(back.size(), 10000u);
+    EXPECT_EQ(back.front().lineAddr, trace.front().lineAddr);
+    EXPECT_EQ(back.back().lineAddr, trace.back().lineAddr);
+}
+
+TEST_F(TraceIoTest, RejectsGarbage)
+{
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a trace", f);
+    std::fclose(f);
+    EXPECT_DEATH(TraceIo::read(path_), "trace");
+}
+
+TEST_F(TraceIoTest, RejectsMissingFile)
+{
+    EXPECT_DEATH(TraceIo::read("/nonexistent/zc.trc"), "trace");
+}
+
+TEST_F(TraceIoTest, ReplaysThroughGenerator)
+{
+    StridedGenerator gen(100, 64, 1);
+    auto trace = recordTrace(gen, 200);
+    TraceIo::write(path_, trace);
+    ReplayGenerator replay(TraceIo::read(path_));
+    for (int i = 0; i < 200; i++) {
+        EXPECT_EQ(replay.next().lineAddr,
+                  static_cast<Addr>(100 + i % 64));
+    }
+}
+
+} // namespace
+} // namespace zc

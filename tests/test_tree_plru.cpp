@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for Tree-PLRU and for the structural constraint the paper
+ * states in Section II-A: set-ordering policies cannot serve skewed
+ * designs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache_model.hpp"
+#include "cache/set_associative_array.hpp"
+#include "cache/z_array.hpp"
+#include "common/rng.hpp"
+#include "hash/bit_select_hash.hpp"
+#include "replacement/lru.hpp"
+#include "replacement/tree_plru.hpp"
+
+namespace zc {
+namespace {
+
+AccessContext
+ctx()
+{
+    return AccessContext{};
+}
+
+TEST(TreePlru, ReverseTouchOrderGivesExactLru)
+{
+    // Touching every way in an order that descends the tree leaves the
+    // bits in the exact-LRU configuration: first-touched way 3 is the
+    // victim.
+    TreePlruPolicy p(4, 4); // one 4-way set
+    for (BlockPos i : {3u, 2u, 1u, 0u}) p.onInsert(i, ctx());
+    std::vector<BlockPos> cands{0, 1, 2, 3};
+    EXPECT_EQ(p.select(cands), 3u);
+}
+
+TEST(TreePlru, MostRecentlyTouchedNeverSelected)
+{
+    // The one guarantee Tree-PLRU makes unconditionally: every node on
+    // the last-touched way's path points away from it.
+    TreePlruPolicy p(8, 8);
+    for (BlockPos i = 0; i < 8; i++) p.onInsert(i, ctx());
+    std::vector<BlockPos> cands{0, 1, 2, 3, 4, 5, 6, 7};
+    Pcg32 rng(1);
+    for (int i = 0; i < 200; i++) {
+        BlockPos touched = rng.below(8);
+        p.onHit(touched, ctx());
+        EXPECT_NE(p.select(cands), touched);
+    }
+}
+
+TEST(TreePlru, SelectionRotatesUnderRoundRobinTouches)
+{
+    TreePlruPolicy p(4, 4);
+    for (BlockPos i = 0; i < 4; i++) p.onInsert(i, ctx());
+    std::vector<BlockPos> cands{0, 1, 2, 3};
+    std::set<BlockPos> victims;
+    for (int round = 0; round < 4; round++) {
+        BlockPos v = p.select(cands);
+        victims.insert(v);
+        p.onHit(v, ctx()); // touching the victim redirects the tree
+    }
+    EXPECT_GE(victims.size(), 3u) << "PLRU must spread victims";
+}
+
+TEST(TreePlru, RequiresAlignedCompleteSet)
+{
+    TreePlruPolicy p(16, 4);
+    for (BlockPos i = 0; i < 16; i++) p.onInsert(i, ctx());
+    std::vector<BlockPos> subset{0, 1, 2};
+    EXPECT_DEATH(p.select(subset), "cands");
+    std::vector<BlockPos> crossing{2, 3, 4, 5};
+    EXPECT_DEATH(p.select(crossing), "cands");
+}
+
+TEST(TreePlru, CannotFollowRelocations)
+{
+    // The Section II-A constraint, as an executable fact: a zcache
+    // relocation must trip Tree-PLRU's onMove.
+    TreePlruPolicy p(16, 4);
+    p.onInsert(0, ctx());
+    EXPECT_DEATH(p.onMove(0, 7), "relocations");
+}
+
+TEST(TreePlru, WorksAsSetAssociativePolicy)
+{
+    // End-to-end on a real set-associative array, close to true LRU.
+    auto run = [](auto policy) {
+        SetAssociativeArray arr(256, 4, std::move(policy),
+                                std::make_unique<BitSelectHash>(64));
+        Pcg32 rng(5);
+        AccessContext c;
+        std::uint64_t hits = 0, accesses = 0;
+        for (int i = 0; i < 60000; i++) {
+            Addr a = rng.next64() % 1024;
+            accesses++;
+            if (arr.access(a, c) != kInvalidPos) {
+                hits++;
+            } else {
+                arr.insert(a, c);
+            }
+        }
+        return static_cast<double>(hits) / accesses;
+    };
+    double plru = run(std::make_unique<TreePlruPolicy>(256, 4));
+    double lru = run(std::make_unique<LruPolicy>(256));
+    EXPECT_NEAR(plru, lru, 0.02) << "PLRU approximates LRU";
+}
+
+} // namespace
+} // namespace zc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the replacement-process timing model against the paper's
+ * Fig. 1g example and its Section III-B properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/walk_timeline.hpp"
+#include "cache/z_array.hpp"
+
+namespace zc {
+namespace {
+
+TEST(WalkTimeline, PaperExampleTwentyCycles)
+{
+    // Fig. 1g: 3 ways, 3 levels, 4-cycle tag reads, 2 relocations at
+    // 4-cycle data slots: walk 12 cycles, total 20, hidden under the
+    // 100-cycle memory fill.
+    auto t = WalkTimelineModel::bfs(3, 3, 2, 4, 4);
+    EXPECT_EQ(t.walkCycles, 12u);
+    EXPECT_EQ(t.relocationCycles, 8u);
+    EXPECT_EQ(t.totalCycles, 20u);
+    EXPECT_TRUE(t.hiddenUnder(100));
+}
+
+TEST(WalkTimeline, MatchesZArrayStaticFormula)
+{
+    for (std::uint32_t w : {2u, 3u, 4u, 8u}) {
+        for (std::uint32_t l : {1u, 2u, 3u}) {
+            auto t = WalkTimelineModel::bfs(w, l, 0, 4, 4);
+            EXPECT_EQ(t.walkCycles, ZArray::walkLatency(w, l, 4));
+        }
+    }
+}
+
+TEST(WalkTimeline, WideFansCoverTagLatency)
+{
+    // Once a level issues more accesses than the tag latency, the
+    // level's duration is access-bound: W=5, levels of 1/4/16 accesses
+    // vs 4-cycle tags -> 4 + 4 + 16.
+    auto t = WalkTimelineModel::bfs(5, 3, 0, 4, 4);
+    EXPECT_EQ(t.walkCycles, 24u);
+}
+
+TEST(WalkTimeline, TypicalLlcConfigsHideUnderMemory)
+{
+    // Table I: 200-cycle memory; Z4/16 and Z4/52 with 4-6 cycle arrays
+    // must always complete in the shadow of the fill, even at maximum
+    // relocation depth.
+    for (std::uint32_t levels : {2u, 3u}) {
+        auto t = WalkTimelineModel::bfs(4, levels, levels - 1, 6, 6);
+        EXPECT_TRUE(t.hiddenUnder(200)) << "L=" << levels << " takes "
+                                        << t.totalCycles;
+    }
+}
+
+TEST(WalkTimeline, DfsSerializesTheWalk)
+{
+    // Same candidates, no pipelining: the Section III-D latency
+    // argument for BFS.
+    auto bfs = WalkTimelineModel::bfs(4, 3, 2, 4, 4);
+    auto dfs = WalkTimelineModel::dfs(
+        ZArray::nominalCandidates(4, 3), 12, 4, 4);
+    EXPECT_GT(dfs.walkCycles, 5 * bfs.walkCycles);
+    EXPECT_FALSE(dfs.hiddenUnder(100))
+        << "a 52-candidate DFS cannot hide under a 100-cycle miss";
+}
+
+} // namespace
+} // namespace zc
