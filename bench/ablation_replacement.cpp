@@ -19,6 +19,7 @@
 #include "cache/array_factory.hpp"
 #include "cache/cache_model.hpp"
 #include "cache/z_array.hpp"
+#include "common/stats_registry.hpp"
 #include "replacement/bucketed_lru.hpp"
 #include "replacement/lru.hpp"
 #include "trace/future_use.hpp"
@@ -33,7 +34,8 @@ namespace {
 double
 missRateWithPolicy(std::unique_ptr<ReplacementPolicy> policy,
                    std::uint32_t blocks, std::uint32_t levels,
-                   std::uint64_t accesses, bool opt_annotate)
+                   std::uint64_t accesses, bool opt_annotate,
+                   benchutil::JsonReport& report, const std::string& label)
 {
     ZArrayConfig cfg;
     cfg.ways = 4;
@@ -56,6 +58,18 @@ missRateWithPolicy(std::unique_ptr<ReplacementPolicy> policy,
             m.access(r.lineAddr, c);
         }
     }
+    if (report.enabled()) {
+        StatsRegistry reg;
+        StatGroup& sum = reg.root().group("summary", "headline metrics");
+        sum.addConst("accesses", "model accesses",
+                     JsonValue(m.stats().accesses));
+        sum.addConst("miss_rate", "model miss rate",
+                     JsonValue(m.stats().missRate()));
+        m.array().registerStats(reg.root().group("array", "zcache array"));
+        report.add({{"policy", JsonValue(label)},
+                    {"levels", JsonValue(levels)}},
+                   reg.toJson());
+    }
     return m.stats().missRate();
 }
 
@@ -68,10 +82,12 @@ main(int argc, char** argv)
         benchutil::flagU64(argc, argv, "blocks", 16384));
     std::uint64_t accesses =
         benchutil::flagU64(argc, argv, "accesses", 1500000);
+    benchutil::JsonReport report(argc, argv, "ablation_replacement");
 
     benchutil::banner("bucketed-LRU design space on Z4/16 (vs full LRU)");
     double full = missRateWithPolicy(std::make_unique<LruPolicy>(blocks),
-                                     blocks, 2, accesses, false);
+                                     blocks, 2, accesses, false, report,
+                                     "full-lru");
     std::printf("%-28s missrate %.4f (reference)\n", "full 64-bit LRU",
                 full);
     struct BLru
@@ -85,14 +101,13 @@ main(int argc, char** argv)
                                            {6, 0},
                                            {4, 0},
                                            {2, 0}}) {
+        std::string label = "bucketed n=" + std::to_string(b.bits) + " k=" +
+                            (b.k ? std::to_string(b.k) : std::string("5%"));
         double mr = missRateWithPolicy(
             std::make_unique<BucketedLruPolicy>(blocks, b.bits, b.k),
-            blocks, 2, accesses, false);
-        std::printf("%-28s missrate %.4f (+%.2f%%)\n",
-                    ("bucketed n=" + std::to_string(b.bits) + " k=" +
-                     (b.k ? std::to_string(b.k) : std::string("5%")))
-                        .c_str(),
-                    mr, 100.0 * (mr - full) / full);
+            blocks, 2, accesses, false, report, label);
+        std::printf("%-28s missrate %.4f (+%.2f%%)\n", label.c_str(), mr,
+                    100.0 * (mr - full) / full);
     }
 
     benchutil::banner("policy comparison on Z4/16 and Z4/52");
@@ -103,15 +118,17 @@ main(int argc, char** argv)
           PolicyKind::Lru, PolicyKind::Opt}) {
         double m2 = missRateWithPolicy(makePolicy(kind, blocks, 5), blocks,
                                        2, accesses,
-                                       kind == PolicyKind::Opt);
+                                       kind == PolicyKind::Opt, report,
+                                       policyKindName(kind));
         double m3 = missRateWithPolicy(makePolicy(kind, blocks, 5), blocks,
                                        3, accesses,
-                                       kind == PolicyKind::Opt);
+                                       kind == PolicyKind::Opt, report,
+                                       policyKindName(kind));
         std::printf("%-14s %12.4f %12.4f\n", policyKindName(kind), m2, m3);
     }
 
     std::printf("\nExpected shape: 8-bit/5%% bucketed LRU within noise of "
                 "full LRU; OPT lowest; random highest; higher R helps "
                 "every policy.\n");
-    return 0;
+    return report.writeIfRequested() ? 0 : 1;
 }

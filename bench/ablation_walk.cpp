@@ -26,6 +26,7 @@
 #include "assoc/eviction_tracker.hpp"
 #include "cache/cache_model.hpp"
 #include "cache/z_array.hpp"
+#include "common/stats_registry.hpp"
 #include "replacement/bucketed_lru.hpp"
 #include "trace/generator.hpp"
 
@@ -42,7 +43,8 @@ struct Variant
 };
 
 void
-runVariant(const Variant& v, std::uint32_t blocks, std::uint64_t accesses)
+runVariant(const Variant& v, std::uint32_t blocks, std::uint64_t accesses,
+           benchutil::JsonReport& report)
 {
     auto policy = std::make_unique<BucketedLruPolicy>(blocks);
     CacheModel m(std::make_unique<ZArray>(blocks, v.cfg, std::move(policy)));
@@ -60,6 +62,20 @@ runVariant(const Variant& v, std::uint32_t blocks, std::uint64_t accesses)
                 ws.avgCandidates(), ws.avgRelocations(),
                 static_cast<double>(ws.repeatsTotal),
                 tracker.histogram().mean(), m.stats().missRate());
+    if (report.enabled()) {
+        StatsRegistry reg;
+        StatGroup& sum = reg.root().group("summary", "headline metrics");
+        sum.addConst("accesses", "model accesses",
+                     JsonValue(m.stats().accesses));
+        sum.addConst("miss_rate", "model miss rate",
+                     JsonValue(m.stats().missRate()));
+        sum.addConst("mean_eviction_priority", "Section IV quality metric",
+                     JsonValue(tracker.histogram().mean()));
+        z.registerStats(reg.root().group("array", "zcache array"));
+        report.add({{"variant", JsonValue(v.label)},
+                    {"blocks", JsonValue(blocks)}},
+                   reg.toJson());
+    }
 }
 
 } // namespace
@@ -71,6 +87,7 @@ main(int argc, char** argv)
         benchutil::flagU64(argc, argv, "blocks", 16384));
     std::uint64_t accesses =
         benchutil::flagU64(argc, argv, "accesses", 600000);
+    benchutil::JsonReport report(argc, argv, "ablation_walk");
 
     auto base = [](WalkStrategy s, std::uint32_t levels,
                    std::uint32_t cap = 0, bool bloom = false) {
@@ -99,7 +116,7 @@ main(int argc, char** argv)
     benchutil::banner("walk-strategy ablation (Zipf 0.8, 8x footprint)");
     std::printf("%-24s %9s %9s %9s %10s %9s\n", "variant", "avgCands",
                 "avgReloc", "repeats", "mean-e", "missrate");
-    for (const auto& v : variants) runVariant(v, blocks, accesses);
+    for (const auto& v : variants) runVariant(v, blocks, accesses, report);
 
     benchutil::banner("small-array repeats (Bloom filter regime)");
     std::printf("%-24s %9s %9s %9s %10s %9s\n", "variant", "avgCands",
@@ -108,10 +125,10 @@ main(int argc, char** argv)
         {"BFS L=3 64-block", base(WalkStrategy::Bfs, 3)},
         {"BFS L=3 +bloom", base(WalkStrategy::Bfs, 3, 0, true)},
     };
-    for (const auto& v : small) runVariant(v, 64, accesses / 8);
+    for (const auto& v : small) runVariant(v, 64, accesses / 8, report);
 
     std::printf("\nExpected shape: DFS relocations >> BFS at equal R; "
                 "hybrid candidates ~2x BFS L=2; mean-e falls smoothly as "
                 "the cap shrinks.\n");
-    return 0;
+    return report.writeIfRequested() ? 0 : 1;
 }

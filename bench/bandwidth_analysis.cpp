@@ -31,6 +31,7 @@ main(int argc, char** argv)
     std::string suite_s = benchutil::flag(argc, argv, "workloads", "quick");
     std::uint64_t warmup = benchutil::flagU64(argc, argv, "warmup", 100000);
     std::uint64_t instr = benchutil::flagU64(argc, argv, "instr", 100000);
+    benchutil::JsonReport report(argc, argv, "bandwidth_analysis");
 
     std::vector<std::string> suite;
     if (suite_s == "all") {
@@ -70,6 +71,10 @@ main(int argc, char** argv)
         p.warmupInstr = warmup;
         p.measureInstr = instr;
         RunResult r = runExperiment(p);
+        report.add({{"workload", JsonValue(wl)},
+                    {"design", JsonValue("Z4/52")},
+                    {"walk_token_window", JsonValue(std::uint64_t{0})}},
+                   r.stats);
         points.push_back(
             {wl, r.loadPerBankCycle, r.tagPerBankCycle, r.missPerBankCycle,
              r.mpki});
@@ -122,6 +127,10 @@ main(int argc, char** argv)
         p.base.walkThrottle = window > 0;
         p.base.walkTokenWindow = window;
         RunResult r = runExperiment(p);
+        report.add({{"workload", JsonValue(std::string("mcf"))},
+                    {"design", JsonValue("Z4/52")},
+                    {"walk_token_window", JsonValue(std::uint64_t{window})}},
+                   r.stats);
         std::printf("%-10s %12.4f %12.4f %10.2f %12s\n",
                     window ? std::to_string(window).c_str() : "off",
                     r.tagPerBankCycle, r.tagPerBankCycle / 4.0, r.mpki,
@@ -129,5 +138,5 @@ main(int argc, char** argv)
     }
     std::printf("\nExpected shape: tighter windows shed walk tag traffic "
                 "with only marginal MPKI increase.\n");
-    return 0;
+    return report.writeIfRequested() ? 0 : 1;
 }

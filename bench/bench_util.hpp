@@ -1,9 +1,11 @@
 /**
  * @file
- * Shared helpers for the report harnesses: tiny flag parser and table
- * formatting. Each bench binary regenerates one of the paper's tables
- * or figures as text (rows/series), so results can be diffed against
- * EXPERIMENTS.md.
+ * Shared helpers for the report harnesses: tiny flag parser, table
+ * formatting, and the --json telemetry writer. Each bench binary
+ * regenerates one of the paper's tables or figures as text (rows/
+ * series), so results can be diffed against EXPERIMENTS.md; with
+ * --json=<path> it additionally serializes the runs' full stats trees
+ * for plotting and regression tooling (docs/observability.md).
  */
 
 #pragma once
@@ -12,8 +14,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/json.hpp"
 
 namespace zc::benchutil {
 
@@ -56,5 +62,67 @@ banner(const std::string& title)
 {
     std::printf("\n==== %s ====\n", title.c_str());
 }
+
+/**
+ * Accumulates run records for the --json=<path> output of a bench
+ * binary. Text stdout is untouched; the JSON file is written once at
+ * the end (writeIfRequested in a destructor would hide I/O errors, so
+ * benches call it explicitly). Layout:
+ *
+ *   { "report": <name>, "runs": [ { <tags...>, "stats": <tree> }, ... ] }
+ *
+ * where <tree> is the RunResult::stats dump of one experiment.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(int argc, char** argv, const std::string& name)
+        : path_(flag(argc, argv, "json", "")), name_(name)
+    {
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /**
+     * Append one run: @p tags identify it within the report (workload,
+     * design, ...), @p stats is the run's full stats tree.
+     */
+    void
+    add(std::vector<std::pair<std::string, JsonValue>> tags, JsonValue stats)
+    {
+        if (!enabled()) return;
+        JsonValue rec = JsonValue::object();
+        for (auto& [k, v] : tags) rec.set(k, std::move(v));
+        rec.set("stats", std::move(stats));
+        runs_.push_back(std::move(rec));
+    }
+
+    /** Write the report; returns false (with a stderr note) on failure. */
+    bool
+    writeIfRequested()
+    {
+        if (!enabled()) return true;
+        JsonValue doc = JsonValue::object();
+        doc.set("report", JsonValue(name_));
+        JsonValue arr = JsonValue::array();
+        for (auto& r : runs_) arr.push(std::move(r));
+        doc.set("runs", std::move(arr));
+        std::ofstream out(path_);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot open %s for writing\n",
+                         path_.c_str());
+            return false;
+        }
+        out << doc.str(2) << "\n";
+        std::fprintf(stderr, "wrote JSON report: %s (%zu runs)\n",
+                     path_.c_str(), runs_.size());
+        return out.good();
+    }
+
+  private:
+    std::string path_;
+    std::string name_;
+    std::vector<JsonValue> runs_;
+};
 
 } // namespace zc::benchutil

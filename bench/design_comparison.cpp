@@ -22,6 +22,7 @@
 #include "assoc/eviction_tracker.hpp"
 #include "cache/array_factory.hpp"
 #include "cache/cache_model.hpp"
+#include "common/stats_registry.hpp"
 #include "trace/generator.hpp"
 
 #include "bench_util.hpp"
@@ -38,7 +39,8 @@ struct Row
 };
 
 void
-runRow(const Row& row, std::uint64_t accesses, std::uint64_t footprint)
+runRow(const Row& row, std::uint64_t accesses, std::uint64_t footprint,
+       benchutil::JsonReport& report)
 {
     CacheModel m(makeArray(row.spec));
     EvictionPriorityTracker tracker(100, 8);
@@ -62,6 +64,18 @@ runRow(const Row& row, std::uint64_t accesses, std::uint64_t footprint)
                 static_cast<double>(s.tagReads + s.tagWrites) / per,
                 static_cast<double>(s.dataReads + s.dataWrites) / per,
                 row.overhead);
+    if (report.enabled()) {
+        StatsRegistry reg;
+        StatGroup& sum = reg.root().group("summary", "headline metrics");
+        sum.addConst("accesses", "model accesses",
+                     JsonValue(m.stats().accesses));
+        sum.addConst("miss_rate", "model miss rate",
+                     JsonValue(m.stats().missRate()));
+        sum.addConst("mean_eviction_priority", "Section IV quality metric",
+                     JsonValue(tracker.histogram().mean()));
+        m.array().registerStats(reg.root().group("array", "cache array"));
+        report.add({{"design", JsonValue(row.label)}}, reg.toJson());
+    }
 }
 
 } // namespace
@@ -74,6 +88,7 @@ main(int argc, char** argv)
     std::uint64_t accesses =
         benchutil::flagU64(argc, argv, "accesses", 1200000);
     std::uint64_t footprint = blocks * 5;
+    benchutil::JsonReport report(argc, argv, "design_comparison");
 
     auto spec = [&](ArrayKind kind, std::uint32_t ways,
                     std::uint32_t levels_or_cands, HashKind hk) {
@@ -128,11 +143,11 @@ main(int argc, char** argv)
                 "strided traffic, LRU)\n\n", blocks);
     std::printf("%-12s %9s %9s %10s %10s   %s\n", "design", "missrate",
                 "mean-e", "tag/acc", "data/acc", "structural overhead");
-    for (const auto& row : rows) runRow(row, accesses, footprint);
+    for (const auto& row : rows) runRow(row, accesses, footprint, report);
 
     std::printf("\nExpected shape: zcaches reach indirection-class miss "
                 "rates and candidate quality without 2x tags or extra hit "
                 "latency; the victim buffer only recovers short-reuse "
                 "conflicts; bit-select SA suffers the strided traffic.\n");
-    return 0;
+    return report.writeIfRequested() ? 0 : 1;
 }

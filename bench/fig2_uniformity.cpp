@@ -54,6 +54,7 @@ main(int argc, char** argv)
 {
     std::uint64_t accesses =
         benchutil::flagU64(argc, argv, "accesses", 400000);
+    benchutil::JsonReport report(argc, argv, "fig2_uniformity");
     const std::vector<std::uint32_t> ns{4, 8, 16, 64};
 
     benchutil::banner("Fig. 2: analytic CDFs F_A(x) = x^n");
@@ -89,6 +90,18 @@ main(int argc, char** argv)
             std::printf("%6u  %10.4f %10.4f %10.4f %10.4f   %.4f\n", n,
                         cdf[49], cdf[79], cdf[89], mean,
                         ksDistance(cdf, ideal));
+            if (report.enabled()) {
+                JsonValue stats = JsonValue::object();
+                stats.set("mean", JsonValue(mean));
+                stats.set("ks_vs_uniform", JsonValue(ksDistance(cdf, ideal)));
+                JsonValue c = JsonValue::array();
+                for (double v : cdf) c.push(JsonValue(v));
+                stats.set("cdf", std::move(c));
+                report.add({{"policy",
+                             JsonValue(std::string(policyKindName(policy)))},
+                            {"candidates", JsonValue(n)}},
+                           std::move(stats));
+            }
         }
         std::printf("(uniformity means: n/(n+1) = ");
         for (auto n : ns) std::printf("%.3f ", uniformityMean(n));
@@ -96,5 +109,5 @@ main(int argc, char** argv)
     }
     std::printf("\nExpected shape: empirical columns track x^n for every "
                 "policy; KS < ~0.02.\n");
-    return 0;
+    return report.writeIfRequested() ? 0 : 1;
 }

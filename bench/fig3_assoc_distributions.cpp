@@ -111,6 +111,7 @@ main(int argc, char** argv)
     std::uint64_t accesses =
         benchutil::flagU64(argc, argv, "accesses", full ? 120000 : 60000);
     std::uint64_t period = benchutil::flagU64(argc, argv, "period", 50);
+    benchutil::JsonReport report(argc, argv, "fig3_assoc_distributions");
 
     HashKind skewHash = strong ? HashKind::Sha1 : HashKind::H3;
 
@@ -190,6 +191,19 @@ main(int argc, char** argv)
                         ideal[79], uniformityMean(d.candidates), "-", "-");
             for (const auto& wl : workloads) {
                 Measurement m = measure(d, wl, accesses, period);
+                if (report.enabled()) {
+                    JsonValue stats = JsonValue::object();
+                    stats.set("candidates", JsonValue(d.candidates));
+                    stats.set("samples", JsonValue(m.samples));
+                    stats.set("mean", JsonValue(m.mean));
+                    stats.set("ks_vs_uniform", JsonValue(m.ks));
+                    JsonValue c = JsonValue::array();
+                    for (double v : m.cdf) c.push(JsonValue(v));
+                    stats.set("cdf", std::move(c));
+                    report.add({{"design", JsonValue(d.label)},
+                                {"workload", JsonValue(wl)}},
+                               std::move(stats));
+                }
                 if (m.samples == 0) {
                     std::printf("  %-14s (no L2 evictions — working set "
                                 "fits this organization)\n",
@@ -209,5 +223,5 @@ main(int argc, char** argv)
                 "(wupwise/apsi far above uniformity CDF = far worse); "
                 "(b) improves but stays above; (c)/(d) hug the uniformity "
                 "row for every workload.\n");
-    return 0;
+    return report.writeIfRequested() ? 0 : 1;
 }

@@ -25,7 +25,7 @@
  *    premium grows steeply with SA ways while zcaches keep it small.
  *
  * Flags: --policy=lru|opt|both  --workloads=quick|all  --verbose
- *        --warmup=N --instr=N  --serial-only
+ *        --warmup=N --instr=N  --serial-only  --json=PATH
  */
 
 #include <algorithm>
@@ -107,8 +107,9 @@ struct Key
 class Runner
 {
   public:
-    Runner(std::uint64_t warmup, std::uint64_t instr)
-        : warmup_(warmup), instr_(instr)
+    Runner(std::uint64_t warmup, std::uint64_t instr,
+           benchutil::JsonReport* report = nullptr)
+        : warmup_(warmup), instr_(instr), report_(report)
     {
     }
 
@@ -133,11 +134,20 @@ class Runner
                      workload.c_str(), d.label.c_str(),
                      serial ? "serial" : "parallel",
                      policyKindName(policy), r.mpki, r.ipc, r.bipsPerWatt);
+        if (report_) {
+            report_->add({{"workload", JsonValue(workload)},
+                          {"design", JsonValue(d.label)},
+                          {"serial_lookup", JsonValue(serial)},
+                          {"policy",
+                           JsonValue(std::string(policyKindName(policy)))}},
+                         r.stats);
+        }
         return cache_.emplace(k, r).first->second;
     }
 
   private:
     std::uint64_t warmup_, instr_;
+    benchutil::JsonReport* report_;
     std::map<Key, RunResult> cache_;
 };
 
@@ -307,7 +317,8 @@ main(int argc, char** argv)
                 suite.size(), static_cast<unsigned long long>(warmup),
                 static_cast<unsigned long long>(instr));
 
-    Runner runner(warmup, instr);
+    benchutil::JsonReport report(argc, argv, "fig4_fig5_performance");
+    Runner runner(warmup, instr, &report);
     std::vector<PolicyKind> policies;
     if (policy_s == "lru") {
         policies = {PolicyKind::BucketedLru};
@@ -321,5 +332,5 @@ main(int argc, char** argv)
         fig4(runner, suite, policy, verbose);
         fig5(runner, suite, policy, serial_only);
     }
-    return 0;
+    return report.writeIfRequested() ? 0 : 1;
 }

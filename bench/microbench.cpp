@@ -9,7 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cache/array_factory.hpp"
 #include "cache/cache_model.hpp"
@@ -98,4 +101,36 @@ BENCHMARK(BM_ZipfGenerator);
 } // namespace
 } // namespace zc
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so this binary honours the suite-wide --json=<path> flag:
+ * it is translated into google-benchmark's own JSON reporter flags
+ * (--benchmark_out / --benchmark_out_format) before initialization.
+ */
+int
+main(int argc, char** argv)
+{
+    std::vector<char*> args(argv, argv + argc);
+    std::string out_flag, fmt_flag;
+    for (auto it = args.begin(); it != args.end(); ++it) {
+        constexpr const char* kJson = "--json=";
+        if (std::strncmp(*it, kJson, std::strlen(kJson)) == 0) {
+            out_flag = std::string("--benchmark_out=") +
+                       (*it + std::strlen(kJson));
+            fmt_flag = "--benchmark_out_format=json";
+            args.erase(it);
+            break;
+        }
+    }
+    if (!out_flag.empty()) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

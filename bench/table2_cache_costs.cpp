@@ -39,7 +39,7 @@ struct Row
 
 void
 printTable(bool serial, const std::vector<Row>& rows,
-           std::uint64_t bank_bytes)
+           std::uint64_t bank_bytes, benchutil::JsonReport& report)
 {
     benchutil::banner(std::string(serial ? "serial" : "parallel") +
                       "-lookup designs");
@@ -78,6 +78,20 @@ printTable(bool serial, const std::vector<Row>& rows,
                     r.label.c_str(), r.ways, r.candidates, c.areaMm2,
                     c.hitLatencyNs, c.hitLatencyCycles, c.hitEnergyNj,
                     e_miss, c.leakageMw, t_repl);
+        if (report.enabled()) {
+            JsonValue stats = JsonValue::object();
+            stats.set("ways", JsonValue(r.ways));
+            stats.set("candidates", JsonValue(r.candidates));
+            stats.set("area_mm2", JsonValue(c.areaMm2));
+            stats.set("hit_latency_ns", JsonValue(c.hitLatencyNs));
+            stats.set("hit_latency_cycles", JsonValue(c.hitLatencyCycles));
+            stats.set("hit_energy_nj", JsonValue(c.hitEnergyNj));
+            stats.set("miss_energy_nj", JsonValue(e_miss));
+            stats.set("leakage_mw", JsonValue(c.leakageMw));
+            report.add({{"design", JsonValue(r.label)},
+                        {"serial_lookup", JsonValue(serial)}},
+                       std::move(stats));
+        }
     }
 }
 
@@ -88,6 +102,7 @@ main(int argc, char** argv)
 {
     std::uint64_t bank_bytes =
         benchutil::flagU64(argc, argv, "bank-bytes", 1 << 20);
+    benchutil::JsonReport report(argc, argv, "table2_cache_costs");
 
     std::vector<Row> rows{
         {"SA-4", 4, 4, 0},
@@ -102,8 +117,8 @@ main(int argc, char** argv)
     std::printf("Table II: L2 bank costs (CACTI-lite, %llu KB bank, 64 B "
                 "lines, 32 nm)\n",
                 static_cast<unsigned long long>(bank_bytes >> 10));
-    printTable(true, rows, bank_bytes);
-    printTable(false, rows, bank_bytes);
+    printTable(true, rows, bank_bytes, report);
+    printTable(false, rows, bank_bytes, report);
 
     // Headline ratios the paper quotes.
     auto ratio = [&](bool serial, auto field) {
@@ -130,5 +145,5 @@ main(int argc, char** argv)
                       [](const BankCosts& c) { return c.hitEnergyNj; }));
     std::printf("\nExpected shape: zcache rows keep 4-way (2-way for Z2/8) "
                 "hit costs at any R; E_miss grows mildly with R.\n");
-    return 0;
+    return report.writeIfRequested() ? 0 : 1;
 }

@@ -16,11 +16,13 @@ mkdir -p results
 echo "== tests =="
 ctest --test-dir build --output-on-failure | tee results/tests.txt
 
+# Benches get text into results/<name>.txt and, via --json, the runs'
+# full stats trees into results/<name>.json (docs/observability.md).
 run() {
     local name=$1
     shift
     echo "== $name =="
-    "$@" | tee "results/$name.txt"
+    "$@" "--json=results/$name.json" | tee "results/$name.txt"
 }
 
 run fig2_uniformity          ./build/bench/fig2_uniformity
@@ -40,9 +42,18 @@ run ablation_walk            ./build/bench/ablation_walk
 run ablation_replacement     ./build/bench/ablation_replacement
 run design_comparison        ./build/bench/design_comparison
 
-run quickstart               ./build/examples/quickstart
-run adaptive_assoc           ./build/examples/adaptive_assoc
-run pinned_buffering         ./build/examples/pinned_buffering
-run tlb_simulation           ./build/examples/tlb_simulation
+# Examples produce text only (no --json flag).
+runex() {
+    local name=$1
+    shift
+    echo "== $name =="
+    "$@" | tee "results/$name.txt"
+}
+
+runex quickstart             ./build/examples/quickstart
+runex adaptive_assoc         ./build/examples/adaptive_assoc
+runex pinned_buffering       ./build/examples/pinned_buffering
+runex tlb_simulation         ./build/examples/tlb_simulation
+runex stats_export           ./build/examples/stats_export results/stats_export.json
 
 echo "All outputs in results/."

@@ -53,6 +53,9 @@ struct ArraySpec
     std::uint32_t maxCandidates = 0; ///< zcache early-stop cap (0 = off)
     bool bloomRepeatFilter = false;
 
+    /** ZCache walk-event trace ring-buffer entries (0 = tracing off). */
+    std::uint32_t walkTraceCapacity = 0;
+
     /** VictimCache only: buffer entries on top of `blocks`. */
     std::uint32_t victimBlocks = 16;
 
@@ -120,6 +123,7 @@ makeArray(const ArraySpec& spec)
         cfg.bloomRepeatFilter = spec.bloomRepeatFilter;
         cfg.hashKind = spec.hashKind;
         cfg.seed = spec.seed;
+        cfg.traceCapacity = spec.walkTraceCapacity;
         return std::make_unique<ZArray>(spec.blocks, cfg, std::move(policy));
       }
       case ArrayKind::FullyAssoc:

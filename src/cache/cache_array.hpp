@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/log.hpp"
+#include "common/stats_registry.hpp"
 #include "common/types.hpp"
 #include "replacement/policy.hpp"
 
@@ -138,6 +139,36 @@ class CacheArray
 
     const ArrayStats& stats() const { return stats_; }
     virtual void resetStats() { stats_.reset(); }
+
+    /**
+     * Register this array's stats into @p g (zsim's initStats idiom).
+     * The base registers the common tag/data traffic counters and
+     * occupancy; subclasses extend with design-specific stats (walk
+     * statistics, victim-buffer hits, ...). Call at most once per array
+     * per group — names are unique and re-registration throws. The
+     * array must outlive the group.
+     */
+    virtual void
+    registerStats(StatGroup& g)
+    {
+        g.addString("name", "array configuration", [this] {
+            return name();
+        });
+        g.addCounter("blocks", "total block capacity",
+                     [this] { return std::uint64_t{numBlocks_}; });
+        g.addCounter("valid_blocks", "currently valid blocks", [this] {
+            return std::uint64_t{validCount()};
+        });
+        g.addCounter("tag_reads", "tag-array read operations",
+                     [this] { return stats_.tagReads; });
+        g.addCounter("tag_writes", "tag-array write operations",
+                     [this] { return stats_.tagWrites; });
+        g.addCounter("data_reads", "data-array read operations",
+                     [this] { return stats_.dataReads; });
+        g.addCounter("data_writes", "data-array write operations",
+                     [this] { return stats_.dataWrites; });
+        g.addResetHook([this] { resetStats(); });
+    }
 
     void setEvictionObserver(EvictionObserver obs) { observer_ = std::move(obs); }
 

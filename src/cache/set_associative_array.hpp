@@ -48,6 +48,15 @@ class SetAssociativeArray final : public CacheArray
     std::uint32_t ways() const { return ways_; }
     std::uint32_t sets() const { return sets_; }
 
+    void
+    registerStats(StatGroup& g) override
+    {
+        CacheArray::registerStats(g);
+        g.addConst("ways", "set size W (== candidates R)",
+                   JsonValue(ways_));
+        g.addConst("sets", "number of sets", JsonValue(sets_));
+    }
+
   private:
     std::uint64_t setOf(Addr lineAddr) const;
 

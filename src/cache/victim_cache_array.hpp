@@ -62,6 +62,18 @@ class VictimCacheArray final : public CacheArray
     /** Hits served by the victim buffer (swap-backs). */
     std::uint64_t victimHits() const { return victimHits_; }
 
+    void
+    registerStats(StatGroup& g) override
+    {
+        CacheArray::registerStats(g);
+        g.addConst("main_blocks", "main set-associative array capacity",
+                   JsonValue(mainBlocks_));
+        g.addConst("victim_blocks", "victim-buffer entries",
+                   JsonValue(victimBlocks_));
+        g.addCounter("victim_hits", "hits served by the victim buffer",
+                     [this] { return victimHits_; });
+    }
+
   private:
     std::uint64_t setOf(Addr lineAddr) const;
     BlockPos probeMain(Addr lineAddr) const;

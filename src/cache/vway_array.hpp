@@ -67,6 +67,17 @@ class VWayArray final : public CacheArray
     /** Fills lost to tag conflicts (should be rare — the design goal). */
     std::uint64_t tagConflictEvictions() const { return tagConflicts_; }
 
+    void
+    registerStats(StatGroup& g) override
+    {
+        CacheArray::registerStats(g);
+        g.addConst("tag_entries", "oversized tag-array entries",
+                   JsonValue(tagEntries()));
+        g.addCounter("tag_conflict_evictions",
+                     "fills lost to tag-set conflicts",
+                     [this] { return tagConflicts_; });
+    }
+
   private:
     static constexpr std::uint32_t kNoTag = static_cast<std::uint32_t>(-1);
 

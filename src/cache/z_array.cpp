@@ -384,8 +384,142 @@ ZArray::insert(Addr lineAddr, const AccessContext& ctx)
     }
 
     zc_assert(victim_idx >= 0);
+    if (cfg_.traceCapacity > 0) {
+        // Must run before commit(): eviction-priority rank compares
+        // policy state at the candidates' pre-relocation positions.
+        recordWalkEvent(static_cast<std::uint32_t>(victim_idx), candidates);
+    }
     return commit(lineAddr, ctx, static_cast<std::uint32_t>(victim_idx),
                   candidates);
+}
+
+std::uint32_t
+ZArray::nodeDepth(std::int32_t idx) const
+{
+    std::uint32_t d = 0;
+    for (std::int32_t i = nodes_[idx].parent; i != -1; i = nodes_[i].parent) {
+        d++;
+    }
+    return d;
+}
+
+void
+ZArray::recordWalkEvent(std::uint32_t victim_idx, std::uint32_t candidates)
+{
+    WalkEvent ev;
+    ev.candidates = candidates;
+    ev.capped = walkCapped_;
+
+    const WalkNode& victim = nodes_[victim_idx];
+    ev.victimDepth = nodeDepth(static_cast<std::int32_t>(victim_idx));
+    ev.emptyAbsorbed = victim.addr == kInvalidAddr;
+
+    // Deepest node expanded; nodes_ is in push order, so the maximum
+    // depth is reached by the last node for BFS/DFS and by scanning the
+    // (short) table in general.
+    std::uint32_t max_depth = 0;
+    std::unordered_set<BlockPos> seen;
+    for (std::size_t i = 0; i < nodes_.size(); i++) {
+        max_depth =
+            std::max(max_depth, nodeDepth(static_cast<std::int32_t>(i)));
+        // Eviction-priority rank: distinct valid candidates the policy
+        // preferred to evict over the chosen victim.
+        if (!ev.emptyAbsorbed && nodes_[i].addr != kInvalidAddr &&
+            nodes_[i].pos != victim.pos && seen.insert(nodes_[i].pos).second &&
+            policy_->ordersBefore(nodes_[i].pos, victim.pos)) {
+            ev.evictionRank++;
+        }
+    }
+    ev.levels = max_depth + 1;
+    ev.latencyCycles =
+        walkLatency(cfg_.ways, ev.levels, cfg_.traceTagCycles);
+    ev.hiddenUnderMissLatency =
+        ev.latencyCycles <= cfg_.traceMissLatencyCycles;
+
+    traceSummary_.events++;
+    if (ev.hiddenUnderMissLatency) traceSummary_.hidden++;
+    if (ev.capped) traceSummary_.capped++;
+    if (ev.emptyAbsorbed) traceSummary_.emptyAbsorbed++;
+    traceSummary_.candidates.record(ev.candidates);
+    traceSummary_.victimDepth.record(ev.victimDepth);
+    traceSummary_.evictionRank.record(ev.evictionRank);
+    traceSummary_.latencyCycles.record(ev.latencyCycles);
+
+    if (trace_.size() < cfg_.traceCapacity) {
+        trace_.push_back(ev);
+    } else {
+        trace_[traceHead_] = ev;
+        traceHead_ = (traceHead_ + 1) % trace_.size();
+    }
+}
+
+std::vector<WalkEvent>
+ZArray::walkTraceSnapshot() const
+{
+    std::vector<WalkEvent> out;
+    out.reserve(trace_.size());
+    for (std::size_t i = 0; i < trace_.size(); i++) {
+        out.push_back(trace_[(traceHead_ + i) % trace_.size()]);
+    }
+    return out;
+}
+
+void
+ZArray::registerStats(StatGroup& g)
+{
+    CacheArray::registerStats(g);
+    StatGroup& w = g.group("walk", "zcache replacement-walk statistics");
+    w.addCounter("walks", "replacements performed",
+                 [this] { return zstats_.walks; });
+    w.addCounter("candidates_total", "candidates summed over walks",
+                 [this] { return zstats_.candidatesTotal; });
+    w.addCounter("relocations_total", "relocations summed over walks",
+                 [this] { return zstats_.relocationsTotal; });
+    w.addCounter("repeats_total", "repeated/skipped candidates",
+                 [this] { return zstats_.repeatsTotal; });
+    w.addCounter("empty_absorbed", "fills absorbed by empty slots",
+                 [this] { return zstats_.emptyAbsorbed; });
+    w.addScalar("avg_candidates", "mean candidates per walk (R observed)",
+                [this] { return zstats_.avgCandidates(); });
+    w.addScalar("avg_relocations", "mean relocations per walk (m observed)",
+                [this] { return zstats_.avgRelocations(); });
+
+    if (!walkTraceEnabled()) return;
+    StatGroup& t = g.group("walk_trace",
+                           "per-replacement event trace (ring buffer)");
+    t.addCounter("events", "walk events traced",
+                 [this] { return traceSummary_.events; });
+    t.addCounter("hidden", "walks fitting under the miss latency",
+                 [this] { return traceSummary_.hidden; });
+    t.addCounter("capped", "walks early-stopped by the candidate cap",
+                 [this] { return traceSummary_.capped; });
+    t.addCounter("empty_absorbed", "walks absorbed by an empty slot",
+                 [this] { return traceSummary_.emptyAbsorbed; });
+    t.addScalar("victim_depth_mean", "mean victim level (== relocations)",
+                [this] { return traceSummary_.victimDepth.mean(); });
+    t.addScalar("eviction_rank_mean",
+                "mean candidates preferred over the chosen victim",
+                [this] { return traceSummary_.evictionRank.mean(); });
+    t.addScalar("candidates_stddev", "per-walk candidate-count jitter",
+                [this] { return traceSummary_.candidates.stddev(); });
+    t.addScalar("latency_cycles_mean", "mean estimated walk latency",
+                [this] { return traceSummary_.latencyCycles.mean(); });
+    t.addCustom("ring", "retained events, oldest first", [this] {
+        JsonValue out = JsonValue::array();
+        for (const WalkEvent& ev : walkTraceSnapshot()) {
+            JsonValue e = JsonValue::object();
+            e.set("candidates", JsonValue(ev.candidates));
+            e.set("levels", JsonValue(ev.levels));
+            e.set("victim_depth", JsonValue(ev.victimDepth));
+            e.set("eviction_rank", JsonValue(ev.evictionRank));
+            e.set("latency_cycles", JsonValue(ev.latencyCycles));
+            e.set("empty_absorbed", JsonValue(ev.emptyAbsorbed));
+            e.set("capped", JsonValue(ev.capped));
+            e.set("hidden", JsonValue(ev.hiddenUnderMissLatency));
+            out.push(std::move(e));
+        }
+        return out;
+    });
 }
 
 bool

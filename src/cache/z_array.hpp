@@ -32,6 +32,7 @@
 #include "cache/bloom_filter.hpp"
 #include "cache/cache_array.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "hash/hash_factory.hpp"
 #include "hash/hash_function.hpp"
 
@@ -73,6 +74,57 @@ struct ZArrayConfig
 
     /** Seed for hash matrices and the DFS path choice. */
     std::uint64_t seed = 0x5eed;
+
+    /**
+     * Walk-event trace: keep the last traceCapacity replacement events
+     * in a ring buffer (0 = tracing off, zero overhead). Gives direct
+     * visibility into the Section III-B replacement process: per walk,
+     * the levels expanded, candidates seen, victim depth, the victim's
+     * eviction-priority rank among the candidates, and whether the
+     * walk's latency hides under the triggering miss's memory latency.
+     */
+    std::uint32_t traceCapacity = 0;
+
+    /** Tag access latency (cycles) for the per-walk latency estimate. */
+    std::uint32_t traceTagCycles = 2;
+
+    /**
+     * Miss latency budget (cycles) a walk must fit under to count as
+     * hidden — Table I's 200-cycle memory latency by default.
+     */
+    std::uint32_t traceMissLatencyCycles = 200;
+};
+
+/** One traced replacement walk (ZArrayConfig::traceCapacity > 0). */
+struct WalkEvent
+{
+    std::uint32_t candidates = 0;  ///< replacement candidates examined
+    std::uint32_t levels = 0;      ///< walk-tree levels expanded
+    std::uint32_t victimDepth = 0; ///< victim's level == relocations done
+    /**
+     * Number of examined candidates the policy preferred to evict over
+     * the chosen victim (0 = victim was the best seen). Nonzero when an
+     * empty slot absorbed the fill mid-walk or a capped/hybrid walk
+     * settled for a worse block.
+     */
+    std::uint32_t evictionRank = 0;
+    std::uint32_t latencyCycles = 0; ///< estimated pipelined walk latency
+    bool emptyAbsorbed = false;      ///< fill landed in an empty slot
+    bool capped = false;             ///< early-stopped by maxCandidates
+    bool hiddenUnderMissLatency = false; ///< latency fits under the miss
+};
+
+/** Streaming aggregate over all traced walk events (not just the ring). */
+struct WalkTraceSummary
+{
+    std::uint64_t events = 0;
+    std::uint64_t hidden = 0;
+    std::uint64_t capped = 0;
+    std::uint64_t emptyAbsorbed = 0;
+    RunningStat candidates;
+    RunningStat victimDepth;
+    RunningStat evictionRank;
+    RunningStat latencyCycles;
 };
 
 /** Aggregate walk statistics (for energy and bandwidth analyses). */
@@ -138,11 +190,24 @@ class ZArray : public CacheArray
     const ZArrayConfig& config() const { return cfg_; }
     const ZWalkStats& walkStats() const { return zstats_; }
 
+    /** Streaming aggregate over every traced walk (tracing enabled). */
+    const WalkTraceSummary& walkTraceSummary() const { return traceSummary_; }
+
+    /** Retained ring-buffer events, oldest first. */
+    std::vector<WalkEvent> walkTraceSnapshot() const;
+
+    bool walkTraceEnabled() const { return cfg_.traceCapacity > 0; }
+
+    void registerStats(StatGroup& g) override;
+
     void
     resetStats() override
     {
         CacheArray::resetStats();
         zstats_ = ZWalkStats{};
+        trace_.clear();
+        traceHead_ = 0;
+        traceSummary_ = WalkTraceSummary{};
     }
 
     /**
@@ -192,6 +257,9 @@ class ZArray : public CacheArray
                              std::int32_t extra_idx);
     Replacement commit(Addr lineAddr, const AccessContext& ctx,
                        std::uint32_t victim_idx, std::uint32_t candidates);
+    std::uint32_t nodeDepth(std::int32_t idx) const;
+    void recordWalkEvent(std::uint32_t victim_idx,
+                         std::uint32_t candidates);
 
     ZArrayConfig cfg_;
     std::uint32_t linesPerWay_;
@@ -208,6 +276,11 @@ class ZArray : public CacheArray
     std::uint32_t walkCap_ = 0;
     bool walkFoundEmpty_ = false;
     bool walkCapped_ = false;
+
+    // Walk-event trace ring buffer (cfg_.traceCapacity entries).
+    std::vector<WalkEvent> trace_;
+    std::size_t traceHead_ = 0;
+    WalkTraceSummary traceSummary_;
 };
 
 } // namespace zc

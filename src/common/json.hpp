@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Minimal JSON document model: a tagged value with an order-preserving
+ * object representation, a compact/pretty writer, and a small
+ * recursive-descent parser.
+ *
+ * Exists so the stats registry (stats_registry.hpp) can serialize
+ * experiment telemetry without an external dependency. Deliberately not
+ * a general-purpose JSON library: numbers are stored as either uint64
+ * or double, object keys keep insertion order (stat dumps stay
+ * deterministic and diffable), and non-finite doubles serialize as
+ * null — JSON has no NaN/Inf, and a stats file with silent NaNs is
+ * worse than one with explicit holes.
+ */
+
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace zc {
+
+class JsonValue
+{
+  public:
+    using Array = std::vector<JsonValue>;
+    /** Order-preserving key/value list; keys are unique by convention. */
+    using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+    enum class Kind { Null, Bool, U64, F64, Str, Arr, Obj };
+
+    JsonValue() : v_(nullptr) {}
+    JsonValue(std::nullptr_t) : v_(nullptr) {}
+    JsonValue(bool b) : v_(b) {}
+    JsonValue(std::uint64_t n) : v_(n) {}
+    JsonValue(std::uint32_t n) : v_(std::uint64_t{n}) {}
+    JsonValue(int n) : v_(std::uint64_t(n < 0 ? 0 : n))
+    {
+        if (n < 0) v_ = static_cast<double>(n);
+    }
+    JsonValue(double d) : v_(d) {}
+    JsonValue(const char* s) : v_(std::string(s)) {}
+    JsonValue(std::string s) : v_(std::move(s)) {}
+
+    static JsonValue object() { return JsonValue(Object{}); }
+    static JsonValue array() { return JsonValue(Array{}); }
+
+    Kind
+    kind() const
+    {
+        switch (v_.index()) {
+          case 0: return Kind::Null;
+          case 1: return Kind::Bool;
+          case 2: return Kind::U64;
+          case 3: return Kind::F64;
+          case 4: return Kind::Str;
+          case 5: return Kind::Arr;
+          default: return Kind::Obj;
+        }
+    }
+
+    bool isNull() const { return kind() == Kind::Null; }
+    bool isObject() const { return kind() == Kind::Obj; }
+    bool isArray() const { return kind() == Kind::Arr; }
+    bool isNumber() const
+    {
+        return kind() == Kind::U64 || kind() == Kind::F64;
+    }
+
+    bool asBool() const { return std::get<bool>(v_); }
+    std::uint64_t asU64() const { return std::get<std::uint64_t>(v_); }
+    const std::string& asString() const { return std::get<std::string>(v_); }
+
+    double
+    asDouble() const
+    {
+        if (kind() == Kind::U64) {
+            return static_cast<double>(std::get<std::uint64_t>(v_));
+        }
+        return std::get<double>(v_);
+    }
+
+    Array& arr() { return std::get<Array>(v_); }
+    const Array& arr() const { return std::get<Array>(v_); }
+    Object& obj() { return std::get<Object>(v_); }
+    const Object& obj() const { return std::get<Object>(v_); }
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const JsonValue*
+    find(std::string_view key) const
+    {
+        if (!isObject()) return nullptr;
+        for (const auto& [k, v] : obj()) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+
+    /** Append/overwrite an object member (keeps first-set order). */
+    JsonValue&
+    set(std::string key, JsonValue value)
+    {
+        for (auto& [k, v] : obj()) {
+            if (k == key) {
+                v = std::move(value);
+                return v;
+            }
+        }
+        obj().emplace_back(std::move(key), std::move(value));
+        return obj().back().second;
+    }
+
+    void push(JsonValue value) { arr().push_back(std::move(value)); }
+
+    std::size_t
+    size() const
+    {
+        if (isArray()) return arr().size();
+        if (isObject()) return obj().size();
+        return 0;
+    }
+
+    /** Serialize; indent < 0 means compact single-line. */
+    std::string
+    str(int indent = -1) const
+    {
+        std::string out;
+        write(out, indent, 0);
+        return out;
+    }
+
+    /**
+     * Parse a complete JSON document (trailing garbage rejected).
+     * Returns nullopt on malformed input — callers decide whether that
+     * is fatal.
+     */
+    static std::optional<JsonValue>
+    parse(std::string_view text)
+    {
+        std::size_t pos = 0;
+        auto v = parseValue(text, pos);
+        if (!v) return std::nullopt;
+        skipWs(text, pos);
+        if (pos != text.size()) return std::nullopt;
+        return v;
+    }
+
+  private:
+    explicit JsonValue(Array a) : v_(std::move(a)) {}
+    explicit JsonValue(Object o) : v_(std::move(o)) {}
+
+    void
+    write(std::string& out, int indent, int depth) const
+    {
+        switch (kind()) {
+          case Kind::Null:
+            out += "null";
+            return;
+          case Kind::Bool:
+            out += asBool() ? "true" : "false";
+            return;
+          case Kind::U64: {
+            char buf[24];
+            std::snprintf(buf, sizeof buf, "%llu",
+                          static_cast<unsigned long long>(asU64()));
+            out += buf;
+            return;
+          }
+          case Kind::F64: {
+            double d = std::get<double>(v_);
+            if (!std::isfinite(d)) {
+                out += "null";
+                return;
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", d);
+            out += buf;
+            return;
+          }
+          case Kind::Str:
+            writeString(out, asString());
+            return;
+          case Kind::Arr: {
+            out += '[';
+            bool first = true;
+            for (const auto& v : arr()) {
+                if (!first) out += ',';
+                first = false;
+                newline(out, indent, depth + 1);
+                v.write(out, indent, depth + 1);
+            }
+            if (!arr().empty()) newline(out, indent, depth);
+            out += ']';
+            return;
+          }
+          case Kind::Obj: {
+            out += '{';
+            bool first = true;
+            for (const auto& [k, v] : obj()) {
+                if (!first) out += ',';
+                first = false;
+                newline(out, indent, depth + 1);
+                writeString(out, k);
+                out += indent >= 0 ? ": " : ":";
+                v.write(out, indent, depth + 1);
+            }
+            if (!obj().empty()) newline(out, indent, depth);
+            out += '}';
+            return;
+          }
+        }
+    }
+
+    static void
+    newline(std::string& out, int indent, int depth)
+    {
+        if (indent < 0) return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * depth, ' ');
+    }
+
+    static void
+    writeString(std::string& out, const std::string& s)
+    {
+        out += '"';
+        for (unsigned char c : s) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\r': out += "\\r"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+            }
+        }
+        out += '"';
+    }
+
+    static void
+    skipWs(std::string_view t, std::size_t& p)
+    {
+        while (p < t.size() && (t[p] == ' ' || t[p] == '\t' ||
+                                t[p] == '\n' || t[p] == '\r')) {
+            p++;
+        }
+    }
+
+    static bool
+    consume(std::string_view t, std::size_t& p, std::string_view lit)
+    {
+        if (t.substr(p, lit.size()) != lit) return false;
+        p += lit.size();
+        return true;
+    }
+
+    static std::optional<std::string>
+    parseString(std::string_view t, std::size_t& p)
+    {
+        if (p >= t.size() || t[p] != '"') return std::nullopt;
+        p++;
+        std::string out;
+        while (p < t.size() && t[p] != '"') {
+            char c = t[p];
+            if (c == '\\') {
+                if (p + 1 >= t.size()) return std::nullopt;
+                char e = t[p + 1];
+                p += 2;
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (p + 4 > t.size()) return std::nullopt;
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; i++) {
+                        char h = t[p + static_cast<std::size_t>(i)];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else return std::nullopt;
+                    }
+                    p += 4;
+                    // UTF-8 encode the BMP code point (surrogate pairs
+                    // are out of scope for stats files).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xc0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default: return std::nullopt;
+                }
+            } else {
+                out += c;
+                p++;
+            }
+        }
+        if (p >= t.size()) return std::nullopt;
+        p++; // closing quote
+        return out;
+    }
+
+    static std::optional<JsonValue>
+    parseNumber(std::string_view t, std::size_t& p)
+    {
+        std::size_t start = p;
+        bool neg = p < t.size() && t[p] == '-';
+        if (neg) p++;
+        bool integral = true;
+        while (p < t.size() &&
+               (std::isdigit(static_cast<unsigned char>(t[p])) ||
+                t[p] == '.' || t[p] == 'e' || t[p] == 'E' || t[p] == '+' ||
+                t[p] == '-')) {
+            if (t[p] == '.' || t[p] == 'e' || t[p] == 'E') integral = false;
+            p++;
+        }
+        std::string num(t.substr(start, p - start));
+        if (num.empty() || num == "-") return std::nullopt;
+        if (integral && !neg) {
+            errno = 0;
+            char* end = nullptr;
+            unsigned long long u = std::strtoull(num.c_str(), &end, 10);
+            if (errno == 0 && end == num.c_str() + num.size()) {
+                return JsonValue(static_cast<std::uint64_t>(u));
+            }
+        }
+        char* end = nullptr;
+        double d = std::strtod(num.c_str(), &end);
+        if (end != num.c_str() + num.size()) return std::nullopt;
+        return JsonValue(d);
+    }
+
+    static std::optional<JsonValue>
+    parseValue(std::string_view t, std::size_t& p)
+    {
+        skipWs(t, p);
+        if (p >= t.size()) return std::nullopt;
+        char c = t[p];
+        if (c == 'n') {
+            return consume(t, p, "null")
+                       ? std::optional<JsonValue>(JsonValue())
+                       : std::nullopt;
+        }
+        if (c == 't') {
+            return consume(t, p, "true")
+                       ? std::optional<JsonValue>(JsonValue(true))
+                       : std::nullopt;
+        }
+        if (c == 'f') {
+            return consume(t, p, "false")
+                       ? std::optional<JsonValue>(JsonValue(false))
+                       : std::nullopt;
+        }
+        if (c == '"') {
+            auto s = parseString(t, p);
+            if (!s) return std::nullopt;
+            return JsonValue(std::move(*s));
+        }
+        if (c == '[') {
+            p++;
+            JsonValue out = array();
+            skipWs(t, p);
+            if (p < t.size() && t[p] == ']') {
+                p++;
+                return out;
+            }
+            while (true) {
+                auto v = parseValue(t, p);
+                if (!v) return std::nullopt;
+                out.push(std::move(*v));
+                skipWs(t, p);
+                if (p >= t.size()) return std::nullopt;
+                if (t[p] == ',') {
+                    p++;
+                    continue;
+                }
+                if (t[p] == ']') {
+                    p++;
+                    return out;
+                }
+                return std::nullopt;
+            }
+        }
+        if (c == '{') {
+            p++;
+            JsonValue out = object();
+            skipWs(t, p);
+            if (p < t.size() && t[p] == '}') {
+                p++;
+                return out;
+            }
+            while (true) {
+                skipWs(t, p);
+                auto k = parseString(t, p);
+                if (!k) return std::nullopt;
+                skipWs(t, p);
+                if (p >= t.size() || t[p] != ':') return std::nullopt;
+                p++;
+                auto v = parseValue(t, p);
+                if (!v) return std::nullopt;
+                out.obj().emplace_back(std::move(*k), std::move(*v));
+                skipWs(t, p);
+                if (p >= t.size()) return std::nullopt;
+                if (t[p] == ',') {
+                    p++;
+                    continue;
+                }
+                if (t[p] == '}') {
+                    p++;
+                    return out;
+                }
+                return std::nullopt;
+            }
+        }
+        return parseNumber(t, p);
+    }
+
+    std::variant<std::nullptr_t, bool, std::uint64_t, double, std::string,
+                 Array, Object>
+        v_;
+};
+
+} // namespace zc

@@ -48,10 +48,18 @@ class UnitHistogram
         zc_assert(bins > 0);
     }
 
-    /** Record a sample; values are clamped to [0, 1]. */
+    /**
+     * Record a sample; finite values are clamped to [0, 1]. NaN samples
+     * are dropped (std::clamp on NaN is undefined) and tallied in
+     * nanSamples() so a producer emitting garbage stays visible.
+     */
     void
     record(double x)
     {
+        if (std::isnan(x)) {
+            nan_++;
+            return;
+        }
         x = std::clamp(x, 0.0, 1.0);
         auto bin = static_cast<std::size_t>(x * counts_.size());
         if (bin == counts_.size()) bin--;
@@ -60,6 +68,7 @@ class UnitHistogram
     }
 
     std::uint64_t samples() const { return total_; }
+    std::uint64_t nanSamples() const { return nan_; }
     std::size_t bins() const { return counts_.size(); }
     std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
 
@@ -100,14 +109,20 @@ class UnitHistogram
     {
         std::fill(counts_.begin(), counts_.end(), 0);
         total_ = 0;
+        nan_ = 0;
     }
 
   private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+    std::uint64_t nan_ = 0;
 };
 
-/** Streaming arithmetic mean / min / max over doubles. */
+/**
+ * Streaming arithmetic mean / min / max / variance over doubles.
+ * Variance uses Welford's online algorithm (numerically stable for
+ * long runs of near-equal samples, e.g. per-epoch miss rates).
+ */
 class RunningStat
 {
   public:
@@ -118,6 +133,9 @@ class RunningStat
         sum_ += x;
         min_ = std::min(min_, x);
         max_ = std::max(max_, x);
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
     }
 
     std::uint64_t count() const { return n_; }
@@ -126,9 +144,20 @@ class RunningStat
     double min() const { return n_ ? min_ : 0.0; }
     double max() const { return n_ ? max_ : 0.0; }
 
+    /** Population variance (M2/n); 0 with fewer than two samples. */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
   private:
     std::uint64_t n_ = 0;
     double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/stats_registry.hpp"
 #include "energy/cacti_lite.hpp"
 
 namespace zc {
@@ -121,6 +122,25 @@ class SystemEnergyModel
     }
 
     const SystemEnergyParams& params() const { return params_; }
+
+    /**
+     * Register the per-component energy breakdown of @p ev (snapshot
+     * values — energy is computed once at end of run, not pulled live).
+     */
+    void
+    registerStats(StatGroup& g, const EnergyEvents& ev) const
+    {
+        EnergyBreakdown b = energy(ev);
+        g.addConst("core_j", "core dynamic energy", JsonValue(b.coreJ));
+        g.addConst("l1_j", "L1 dynamic energy", JsonValue(b.l1J));
+        g.addConst("l2_j", "L2 tag+data dynamic energy", JsonValue(b.l2J));
+        g.addConst("noc_j", "network traversal energy", JsonValue(b.nocJ));
+        g.addConst("dram_j", "DRAM access energy", JsonValue(b.dramJ));
+        g.addConst("static_j", "leakage over the run", JsonValue(b.staticJ));
+        g.addConst("total_j", "total energy", JsonValue(b.totalJ()));
+        g.addConst("bips_per_watt", "Fig. 5 efficiency metric",
+                   JsonValue(bipsPerWatt(ev)));
+    }
 
   private:
     SystemEnergyParams params_;

@@ -29,6 +29,9 @@ CmpSystem::CmpSystem(const SystemConfig& cfg)
     for (std::uint32_t b = 0; b < cfg.l2Banks; b++) {
         spec.seed = cfg.seed + 0x100 * (b + 1);
         banks_.push_back(makeArray(spec));
+        if (auto* z = dynamic_cast<ZArray*>(banks_.back().get())) {
+            zbanks_.push_back(z);
+        }
     }
 
     if (cfg.walkThrottle) {
@@ -316,6 +319,52 @@ CmpSystem::stepCore(std::uint32_t core)
     cs.cycles += fetchInstructions(core, n);
     cs.cycles += dataAccess(core, rec.lineAddr,
                             rec.type == AccessType::Store, rec.nextUse);
+
+    if (cfg_.epochInstr > 0) {
+        instrSinceEpoch_ += n;
+        if (instrSinceEpoch_ >= cfg_.epochInstr) {
+            instrSinceEpoch_ -= cfg_.epochInstr;
+            takeEpochSample();
+        }
+    }
+}
+
+void
+CmpSystem::takeEpochSample()
+{
+    EpochBaseline now;
+    now.l2Accesses = stats_.l2Accesses;
+    now.l2Misses = stats_.l2Misses;
+    for (const auto& b : banks_) {
+        now.tagAccesses += b->stats().tagReads + b->stats().tagWrites;
+    }
+    for (ZArray* z : zbanks_) {
+        now.walks += z->walkStats().walks;
+        now.candidates += z->walkStats().candidatesTotal;
+        now.relocations += z->walkStats().relocationsTotal;
+    }
+
+    EpochSample s;
+    s.instructions = stats_.totalInstructions();
+    s.cycles = stats_.maxCycles();
+    s.l2Accesses = now.l2Accesses - epochBase_.l2Accesses;
+    s.l2Misses = now.l2Misses - epochBase_.l2Misses;
+    s.tagAccesses = now.tagAccesses - epochBase_.tagAccesses;
+    s.walks = now.walks - epochBase_.walks;
+    s.candidatesTotal = now.candidates - epochBase_.candidates;
+    s.relocations = now.relocations - epochBase_.relocations;
+    epochs_.push_back(s);
+    epochBase_ = now;
+}
+
+void
+CmpSystem::rebaseEpochs()
+{
+    epochs_.clear();
+    instrSinceEpoch_ = 0;
+    epochBase_ = EpochBaseline{};
+    // Bank counters were just reset (or are zero at construction), so
+    // the zero baseline matches the cumulative counters.
 }
 
 void
@@ -345,6 +394,7 @@ CmpSystem::resetStats()
     for (auto& c : cores) c = CoreStats{};
     stats_.cores = std::move(cores);
     for (auto& b : banks_) b->resetStats();
+    rebaseEpochs();
     // Core cycle counters restart at zero; the throttle clocks must
     // restart with them or token refills stall for the whole
     // measurement window.
@@ -379,6 +429,98 @@ CmpSystem::energyEvents() const
     ev.dramAccesses = stats_.dramAccesses;
     ev.cycles = stats_.maxCycles();
     return ev;
+}
+
+void
+CmpSystem::registerStats(StatGroup& g)
+{
+    g.addCounter("instructions", "total instructions across cores",
+                 [this] { return stats_.totalInstructions(); });
+    g.addCounter("cycles", "wall-clock cycles (max over cores)",
+                 [this] { return stats_.maxCycles(); });
+    g.addScalar("aggregate_ipc", "sum of per-core IPCs",
+                [this] { return stats_.aggregateIpc(); });
+
+    StatGroup& cores = g.group("cores", "per-core pipeline and L1 stats");
+    for (std::uint32_t c = 0; c < cfg_.numCores; c++) {
+        StatGroup& cg = cores.group("core" + std::to_string(c));
+        const CoreStats* cs = &stats_.cores[c];
+        cg.addCounter("instructions", "instructions retired",
+                      [cs] { return cs->instructions; });
+        cg.addCounter("cycles", "cycles elapsed",
+                      [cs] { return cs->cycles; });
+        cg.addScalar("ipc", "instructions per cycle",
+                     [cs] { return cs->ipc(); });
+        cg.addCounter("l1d_accesses", "L1D demand accesses",
+                      [cs] { return cs->l1dAccesses; });
+        cg.addCounter("l1d_misses", "L1D misses",
+                      [cs] { return cs->l1dMisses; });
+        cg.addCounter("l1i_accesses", "L1I line fetches",
+                      [cs] { return cs->l1iAccesses; });
+        cg.addCounter("l1i_misses", "L1I misses",
+                      [cs] { return cs->l1iMisses; });
+        l1d_[c].registerStats(cg.group("l1d"));
+        l1i_[c].registerStats(cg.group("l1i"));
+    }
+
+    StatGroup& l2 = g.group("l2", "shared inclusive L2");
+    l2.addCounter("accesses", "demand accesses",
+                  [this] { return stats_.l2Accesses; });
+    l2.addCounter("hits", "demand hits", [this] { return stats_.l2Hits; });
+    l2.addCounter("misses", "demand misses",
+                  [this] { return stats_.l2Misses; });
+    l2.addScalar("mpki", "misses per kilo-instruction",
+                 [this] { return stats_.l2Mpki(); });
+    l2.addCounter("evictions", "replacement evictions",
+                  [this] { return stats_.l2Evictions; });
+    l2.addCounter("writebacks", "dirty evictions to DRAM",
+                  [this] { return stats_.l2Writebacks; });
+    l2.addCounter("l1_writebacks", "dirty L1 evictions folded in",
+                  [this] { return stats_.l1Writebacks; });
+    l2.addCounter("throttled_walks", "walks capped below nominal R",
+                  [this] { return stats_.throttledWalks; });
+    for (std::uint32_t b = 0; b < numBanks(); b++) {
+        banks_[b]->registerStats(l2.group("bank" + std::to_string(b)));
+    }
+
+    StatGroup& dir = g.group("coherence", "MESI directory activity");
+    dir.addCounter("entries", "directory entries resident", [this] {
+        return std::uint64_t{directory_.size()};
+    });
+    dir.addCounter("invalidations", "L1 invalidations sent",
+                   [this] { return stats_.invalidations; });
+    dir.addCounter("upgrades", "Shared->Exclusive upgrades",
+                   [this] { return stats_.upgrades; });
+    dir.addCounter("downgrades", "Exclusive->Shared downgrades",
+                   [this] { return stats_.downgrades; });
+    dir.addCounter("dram_accesses", "DRAM accesses (fills + writebacks)",
+                   [this] { return stats_.dramAccesses; });
+
+    StatGroup& ep = g.group("epochs", "epoch-sampler time series");
+    ep.addConst("interval_instructions",
+                "total instructions between samples (0 = sampler off)",
+                JsonValue(cfg_.epochInstr));
+    ep.addCustom("samples",
+                 "interval counters per epoch; instructions/cycles are "
+                 "cumulative and monotone",
+                 [this] {
+                     JsonValue out = JsonValue::array();
+                     for (const EpochSample& s : epochs_) {
+                         JsonValue e = JsonValue::object();
+                         e.set("instructions", JsonValue(s.instructions));
+                         e.set("cycles", JsonValue(s.cycles));
+                         e.set("l2_accesses", JsonValue(s.l2Accesses));
+                         e.set("l2_misses", JsonValue(s.l2Misses));
+                         e.set("miss_rate", JsonValue(s.missRate()));
+                         e.set("tag_accesses", JsonValue(s.tagAccesses));
+                         e.set("walks", JsonValue(s.walks));
+                         e.set("avg_walk_candidates",
+                               JsonValue(s.avgWalkCandidates()));
+                         e.set("relocations", JsonValue(s.relocations));
+                         out.push(std::move(e));
+                     }
+                     return out;
+                 });
 }
 
 } // namespace zc

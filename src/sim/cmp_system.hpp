@@ -37,6 +37,41 @@
 
 namespace zc {
 
+/**
+ * One epoch-sampler snapshot (SystemConfig::epochInstr). Counter fields
+ * are *interval* values — deltas since the previous sample — so the
+ * series directly plots phase behaviour; `instructions` and `cycles`
+ * are cumulative and strictly monotone across the series.
+ */
+struct EpochSample
+{
+    std::uint64_t instructions = 0; ///< cumulative, across cores
+    std::uint64_t cycles = 0;       ///< cumulative max core cycles
+    std::uint64_t l2Accesses = 0;   ///< interval
+    std::uint64_t l2Misses = 0;     ///< interval
+    std::uint64_t tagAccesses = 0;  ///< interval, walks included
+    std::uint64_t walks = 0;        ///< interval zcache replacements
+    std::uint64_t relocations = 0;  ///< interval zcache relocations
+
+    double
+    missRate() const
+    {
+        return l2Accesses ? static_cast<double>(l2Misses) /
+                                static_cast<double>(l2Accesses)
+                          : 0.0;
+    }
+
+    double
+    avgWalkCandidates() const
+    {
+        return walks ? static_cast<double>(candidatesTotal) /
+                           static_cast<double>(walks)
+                     : 0.0;
+    }
+
+    std::uint64_t candidatesTotal = 0; ///< interval walk candidates
+};
+
 struct CoreStats
 {
     std::uint64_t instructions = 0;
@@ -140,6 +175,17 @@ class CmpSystem
     /** Aggregate event counts for the system energy model. */
     EnergyEvents energyEvents() const;
 
+    /** Epoch time series collected since the last resetStats(). */
+    const std::vector<EpochSample>& epochs() const { return epochs_; }
+
+    /**
+     * Register the full system stats tree under @p g: per-core counters
+     * and IPC, per-bank array stats (walk stats and trace included),
+     * L2/coherence aggregates, and the epoch time series. Call once per
+     * system per group; the system must outlive the group.
+     */
+    void registerStats(StatGroup& g);
+
   private:
     struct DirEntry
     {
@@ -175,6 +221,8 @@ class CmpSystem
     void handleL2Eviction(Addr lineAddr);
     void handleL1Victim(std::uint32_t core, const L1Cache::Victim& v);
     void stepCore(std::uint32_t core);
+    void takeEpochSample();
+    void rebaseEpochs();
 
     SystemConfig cfg_;
     std::uint32_t bankShift_;
@@ -193,6 +241,21 @@ class CmpSystem
     Cycle globalNow_ = 0;
     std::vector<double> bankTokens_;
     std::vector<Cycle> bankTokenStamp_;
+
+    // Epoch sampler: cumulative baseline of the previous sample.
+    struct EpochBaseline
+    {
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t tagAccesses = 0;
+        std::uint64_t walks = 0;
+        std::uint64_t candidates = 0;
+        std::uint64_t relocations = 0;
+    };
+    EpochBaseline epochBase_;
+    std::vector<EpochSample> epochs_;
+    std::uint64_t instrSinceEpoch_ = 0;
+    std::vector<ZArray*> zbanks_; ///< non-null entries only (walk stats)
 
     SystemStats stats_;
 };

@@ -73,6 +73,14 @@ struct SystemConfig
     bool walkThrottle = false;
     std::uint32_t walkTokenWindow = 16;
 
+    /**
+     * Epoch sampler: snapshot key counters (miss rate, walk candidates,
+     * relocations, tag bandwidth, IPC) every this many *total*
+     * instructions across all cores, building a time series that
+     * exposes phase behaviour the end-of-run aggregates hide. 0 = off.
+     */
+    std::uint64_t epochInstr = 0;
+
     std::uint64_t seed = 0x2cafe;
 
     std::uint32_t

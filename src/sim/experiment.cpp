@@ -55,6 +55,10 @@ runExperiment(const RunParams& params)
     cfg.l2Spec = params.l2Spec;
     cfg.l2SerialLookup = params.serialLookup;
     cfg.seed = params.seed ^ 0x5a5a;
+    cfg.l2Spec.walkTraceCapacity = params.walkTraceCapacity;
+    cfg.epochInstr = params.epochInstr
+                         ? params.epochInstr
+                         : cfg.numCores * params.measureInstr / 8;
 
     CmpSystem sys(cfg);
     sys.setGenerators(buildGenerators(params, cfg));
@@ -115,6 +119,46 @@ runExperiment(const RunParams& params)
         r.missPerBankCycle =
             static_cast<double>(st.l2Misses) / bank_cycles;
     }
+    r.epochs = sys.epochs();
+
+    // Full stats tree: every component registers into one registry and
+    // the dump becomes the run's machine-readable record.
+    StatsRegistry reg;
+    StatGroup& run = reg.root().group("run", "experiment parameters");
+    run.addConst("workload", "workload name", JsonValue(params.workload));
+    run.addConst("l2_design", "L2 organization label",
+                 JsonValue(cfg.l2Spec.label()));
+    run.addConst("policy", "replacement policy",
+                 JsonValue(std::string(policyKindName(cfg.l2Spec.policy))));
+    run.addConst("serial_lookup", "serial (vs parallel) L2 lookup",
+                 JsonValue(params.serialLookup));
+    run.addConst("warmup_instructions", "per-core warmup budget",
+                 JsonValue(params.warmupInstr));
+    run.addConst("measure_instructions", "per-core measurement budget",
+                 JsonValue(params.measureInstr));
+    run.addConst("seed", "experiment seed", JsonValue(params.seed));
+    run.addConst("bank_latency_cycles", "CACTI-lite L2 bank hit latency",
+                 JsonValue(sys.bankLatencyCycles()));
+
+    StatGroup& summary = reg.root().group("summary", "headline metrics");
+    summary.addConst("ipc", "aggregate IPC", JsonValue(r.ipc));
+    summary.addConst("mpki", "L2 MPKI", JsonValue(r.mpki));
+    summary.addConst("avg_walk_candidates", "mean R over walks",
+                     JsonValue(r.avgWalkCandidates));
+    summary.addConst("avg_relocations", "mean relocations per walk",
+                     JsonValue(r.avgRelocations));
+    summary.addConst("l2_tag_accesses", "tag ops, walks included",
+                     JsonValue(r.l2TagAccesses));
+    summary.addConst("load_per_bank_cycle", "Section VI-D demand load",
+                     JsonValue(r.loadPerBankCycle));
+    summary.addConst("tag_per_bank_cycle", "Section VI-D tag bandwidth",
+                     JsonValue(r.tagPerBankCycle));
+    summary.addConst("miss_per_bank_cycle", "Section VI-D miss bandwidth",
+                     JsonValue(r.missPerBankCycle));
+
+    sys.registerStats(reg.root().group("system", "CMP simulation state"));
+    em.registerStats(reg.root().group("energy", "energy breakdown"), ev);
+    r.stats = reg.toJson();
     return r;
 }
 

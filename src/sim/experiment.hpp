@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cache/array_factory.hpp"
+#include "common/json.hpp"
 #include "energy/system_energy.hpp"
 #include "sim/cmp_system.hpp"
 #include "sim/config.hpp"
@@ -27,6 +28,16 @@ struct RunParams
     std::uint64_t measureInstr = 150000; ///< per core
     std::uint64_t seed = 1;
     SystemConfig base;              ///< Table I defaults
+
+    /**
+     * Epoch-sampler interval in *total* instructions across cores;
+     * 0 = auto (numCores * measureInstr / 8, i.e. ~8 samples per run).
+     * Sampling is read-only — it never perturbs the simulation.
+     */
+    std::uint64_t epochInstr = 0;
+
+    /** L2 walk-event trace entries per bank (zcache only; 0 = off). */
+    std::uint32_t walkTraceCapacity = 0;
 };
 
 struct RunResult
@@ -55,6 +66,19 @@ struct RunResult
     double loadPerBankCycle = 0.0;    ///< core-demand L2 accesses
     double tagPerBankCycle = 0.0;     ///< total tag-array accesses
     double missPerBankCycle = 0.0;
+
+    /**
+     * The complete hierarchical stats tree of the run, dumped from the
+     * StatsRegistry every component registered into: run metadata and
+     * summary metrics, per-core counters and IPC, per-bank array stats
+     * (zcache walk counters and the opt-in walk trace), coherence and
+     * energy breakdowns, and the epoch time series. The scalar fields
+     * above are conveniences for benches; this tree is the full record
+     * and what --json outputs serialize.
+     */
+    JsonValue stats;
+
+    std::vector<EpochSample> epochs; ///< epoch series (measurement phase)
 };
 
 /** Run one experiment end to end. */

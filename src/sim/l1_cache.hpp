@@ -17,6 +17,7 @@
 
 #include "common/bitops.hpp"
 #include "common/log.hpp"
+#include "common/stats_registry.hpp"
 #include "common/types.hpp"
 
 namespace zc {
@@ -167,6 +168,40 @@ class L1Cache
 
     std::uint32_t sets() const { return sets_; }
     std::uint32_t ways() const { return ways_; }
+
+    std::uint32_t
+    validLines() const
+    {
+        std::uint32_t n = 0;
+        for (LineState s : state_) {
+            if (s != LineState::Invalid) n++;
+        }
+        return n;
+    }
+
+    std::uint32_t
+    dirtyLines() const
+    {
+        std::uint32_t n = 0;
+        for (std::uint8_t d : dirty_) n += d;
+        return n;
+    }
+
+    /**
+     * Register geometry and occupancy. Hit/miss counts live with the
+     * per-core stats (CmpSystem) — the L1 model itself stays counter-
+     * free on its hot path.
+     */
+    void
+    registerStats(StatGroup& g)
+    {
+        g.addConst("sets", "number of sets", JsonValue(sets_));
+        g.addConst("ways", "set associativity", JsonValue(ways_));
+        g.addCounter("valid_lines", "currently valid lines",
+                     [this] { return std::uint64_t{validLines()}; });
+        g.addCounter("dirty_lines", "currently dirty lines",
+                     [this] { return std::uint64_t{dirtyLines()}; });
+    }
 
   private:
     std::size_t

@@ -173,6 +173,35 @@ TEST(UnitHistogram, MeanApproximatesSampleMean)
     EXPECT_NEAR(h.mean(), acc / 20000.0, 0.01);
 }
 
+TEST(UnitHistogram, NanSamplesAreDroppedNotClamped)
+{
+    // Regression: std::clamp on NaN is UB; record() must drop NaN
+    // before clamping and keep the histogram untouched.
+    UnitHistogram h(4);
+    h.record(std::nan(""));
+    h.record(-std::nan(""));
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.nanSamples(), 2u);
+    for (std::size_t i = 0; i < h.bins(); i++) {
+        EXPECT_EQ(h.binCount(i), 0u);
+    }
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+    // Finite samples still work afterwards, and reset clears the tally.
+    h.record(0.5);
+    EXPECT_EQ(h.samples(), 1u);
+    EXPECT_EQ(h.nanSamples(), 2u);
+    h.reset();
+    EXPECT_EQ(h.nanSamples(), 0u);
+
+    // Infinities are finite-comparable and clamp as before.
+    h.record(std::numeric_limits<double>::infinity());
+    h.record(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.samples(), 2u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
 TEST(RunningStat, TracksMinMeanMax)
 {
     RunningStat s;
@@ -181,6 +210,37 @@ TEST(RunningStat, TracksMinMeanMax)
     EXPECT_DOUBLE_EQ(s.mean(), 2.5);
     EXPECT_DOUBLE_EQ(s.min(), 1.0);
     EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStat, VarianceMatchesClosedForm)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.record(v);
+    // Textbook population variance of this set is 4.
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStat, VarianceDegenerateCases)
+{
+    RunningStat s;
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    s.record(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.record(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, WelfordIsStableForLargeOffsets)
+{
+    // Naive sum-of-squares cancels catastrophically here; Welford must
+    // recover the exact small variance on top of a 1e9 offset.
+    RunningStat s;
+    for (int i = 0; i < 10000; i++) {
+        s.record(1e9 + (i % 2 ? 0.5 : -0.5));
+    }
+    EXPECT_NEAR(s.variance(), 0.25, 1e-6);
 }
 
 TEST(Geomean, MatchesClosedForm)
