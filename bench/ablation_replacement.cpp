@@ -10,6 +10,10 @@
  * Part 2 compares the set-ordering-free policies the paper cites as
  * natural zcache fits (bucketed LRU, NRU, SRRIP, LFU, random, OPT) on
  * Z4/16 and Z4/52.
+ *
+ * All configurations form one grid on the sweep engine (--jobs=N,
+ * docs/runner.md); each point builds its own array, policy, generator
+ * and (for OPT) annotated trace.
  */
 
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include "common/stats_registry.hpp"
 #include "replacement/bucketed_lru.hpp"
 #include "replacement/lru.hpp"
+#include "runner/sweep.hpp"
 #include "trace/future_use.hpp"
 #include "trace/generator.hpp"
 
@@ -31,20 +36,49 @@ using namespace zc;
 
 namespace {
 
-double
-missRateWithPolicy(std::unique_ptr<ReplacementPolicy> policy,
-                   std::uint32_t blocks, std::uint32_t levels,
-                   std::uint64_t accesses, bool opt_annotate,
-                   benchutil::JsonReport& report, const std::string& label)
+/** One grid point: a policy on a Z4/{16,52} under the Zipf stream. */
+struct Cell
+{
+    std::string label;   ///< report tag ("full-lru", "bucketed n=8 ...")
+    PolicyKind kind = PolicyKind::Lru;
+    bool bucketed = false;
+    std::uint32_t bucketBits = 0;
+    std::uint64_t bucketK = 0;
+    std::uint32_t levels = 2;
+    bool optAnnotate = false;
+};
+
+struct CellResult
+{
+    double missRate = 0.0;
+    JsonValue stats;
+};
+
+std::unique_ptr<ReplacementPolicy>
+makeCellPolicy(const Cell& c, std::uint32_t blocks)
+{
+    if (c.bucketed) {
+        return std::make_unique<BucketedLruPolicy>(blocks, c.bucketBits,
+                                                   c.bucketK);
+    }
+    if (c.kind == PolicyKind::Lru && c.label == "full-lru") {
+        return std::make_unique<LruPolicy>(blocks);
+    }
+    return makePolicy(c.kind, blocks, 5);
+}
+
+CellResult
+runCell(const Cell& c, std::uint32_t blocks, std::uint64_t accesses,
+        bool want_stats)
 {
     ZArrayConfig cfg;
     cfg.ways = 4;
-    cfg.levels = levels;
-    CacheModel m(
-        std::make_unique<ZArray>(blocks, cfg, std::move(policy)));
+    cfg.levels = c.levels;
+    CacheModel m(std::make_unique<ZArray>(blocks, cfg,
+                                          makeCellPolicy(c, blocks)));
 
     ZipfGenerator gen(0, blocks * 6, 0.9, 123);
-    if (!opt_annotate) {
+    if (!c.optAnnotate) {
         for (std::uint64_t i = 0; i < accesses; i++) {
             m.access(gen.next().lineAddr);
         }
@@ -52,13 +86,16 @@ missRateWithPolicy(std::unique_ptr<ReplacementPolicy> policy,
         auto trace = recordTrace(gen, accesses);
         FutureUseAnnotator::annotate(trace);
         for (const MemRecord& r : trace) {
-            AccessContext c;
-            c.lineAddr = r.lineAddr;
-            c.nextUse = r.nextUse;
-            m.access(r.lineAddr, c);
+            AccessContext ctx;
+            ctx.lineAddr = r.lineAddr;
+            ctx.nextUse = r.nextUse;
+            m.access(r.lineAddr, ctx);
         }
     }
-    if (report.enabled()) {
+
+    CellResult res;
+    res.missRate = m.stats().missRate();
+    if (want_stats) {
         StatsRegistry reg;
         StatGroup& sum = reg.root().group("summary", "headline metrics");
         sum.addConst("accesses", "model accesses",
@@ -66,11 +103,9 @@ missRateWithPolicy(std::unique_ptr<ReplacementPolicy> policy,
         sum.addConst("miss_rate", "model miss rate",
                      JsonValue(m.stats().missRate()));
         m.array().registerStats(reg.root().group("array", "zcache array"));
-        report.add({{"policy", JsonValue(label)},
-                    {"levels", JsonValue(levels)}},
-                   reg.toJson());
+        res.stats = reg.toJson();
     }
-    return m.stats().missRate();
+    return res;
 }
 
 } // namespace
@@ -84,51 +119,86 @@ main(int argc, char** argv)
         benchutil::flagU64(argc, argv, "accesses", 1500000);
     benchutil::JsonReport report(argc, argv, "ablation_replacement");
 
-    benchutil::banner("bucketed-LRU design space on Z4/16 (vs full LRU)");
-    double full = missRateWithPolicy(std::make_unique<LruPolicy>(blocks),
-                                     blocks, 2, accesses, false, report,
-                                     "full-lru");
-    std::printf("%-28s missrate %.4f (reference)\n", "full 64-bit LRU",
-                full);
+    // Grid: full LRU reference, the bucketed design space, then the
+    // policy comparison on both zcache depths.
+    std::vector<Cell> grid;
+    {
+        Cell full;
+        full.label = "full-lru";
+        full.kind = PolicyKind::Lru;
+        full.levels = 2;
+        grid.push_back(full);
+    }
     struct BLru
     {
         std::uint32_t bits;
         std::uint64_t k; // 0 = paper default (5% of blocks)
     };
-    for (const BLru& b : std::vector<BLru>{{8, 0},
-                                           {8, 1},
-                                           {8, 4096},
-                                           {6, 0},
-                                           {4, 0},
-                                           {2, 0}}) {
-        std::string label = "bucketed n=" + std::to_string(b.bits) + " k=" +
-                            (b.k ? std::to_string(b.k) : std::string("5%"));
-        double mr = missRateWithPolicy(
-            std::make_unique<BucketedLruPolicy>(blocks, b.bits, b.k),
-            blocks, 2, accesses, false, report, label);
-        std::printf("%-28s missrate %.4f (+%.2f%%)\n", label.c_str(), mr,
+    const std::vector<BLru> blrus{{8, 0}, {8, 1}, {8, 4096},
+                                  {6, 0}, {4, 0}, {2, 0}};
+    for (const BLru& b : blrus) {
+        Cell c;
+        c.label = "bucketed n=" + std::to_string(b.bits) + " k=" +
+                  (b.k ? std::to_string(b.k) : std::string("5%"));
+        c.bucketed = true;
+        c.bucketBits = b.bits;
+        c.bucketK = b.k;
+        c.levels = 2;
+        grid.push_back(c);
+    }
+    const std::vector<PolicyKind> kinds{
+        PolicyKind::Random, PolicyKind::Nru,         PolicyKind::Lfu,
+        PolicyKind::Srrip,  PolicyKind::Bip,         PolicyKind::BucketedLru,
+        PolicyKind::Lru,    PolicyKind::Opt};
+    std::size_t compare_begin = grid.size();
+    for (PolicyKind kind : kinds) {
+        for (std::uint32_t levels : {2u, 3u}) {
+            Cell c;
+            c.label = policyKindName(kind);
+            c.kind = kind;
+            c.levels = levels;
+            c.optAnnotate = kind == PolicyKind::Opt;
+            grid.push_back(c);
+        }
+    }
+
+    auto outcomes = runGrid<CellResult>(
+        grid.size(),
+        [&](std::size_t i) {
+            return runCell(grid[i], blocks, accesses, report.enabled());
+        },
+        benchutil::sweepOptions(argc, argv, "ablation_replacement"));
+    std::size_t failed =
+        benchutil::reportGridFailures(outcomes, "ablation_replacement");
+    for (std::size_t i = 0; i < grid.size(); i++) {
+        if (!outcomes[i].ok) continue;
+        report.add({{"policy", JsonValue(grid[i].label)},
+                    {"levels", JsonValue(grid[i].levels)}},
+                   std::move(outcomes[i].result.stats));
+    }
+
+    benchutil::banner("bucketed-LRU design space on Z4/16 (vs full LRU)");
+    double full = outcomes[0].result.missRate;
+    std::printf("%-28s missrate %.4f (reference)\n", "full 64-bit LRU",
+                full);
+    for (std::size_t i = 1; i < compare_begin; i++) {
+        double mr = outcomes[i].result.missRate;
+        std::printf("%-28s missrate %.4f (+%.2f%%)\n",
+                    grid[i].label.c_str(), mr,
                     100.0 * (mr - full) / full);
     }
 
     benchutil::banner("policy comparison on Z4/16 and Z4/52");
     std::printf("%-14s %12s %12s\n", "policy", "Z4/16", "Z4/52");
-    for (PolicyKind kind :
-         {PolicyKind::Random, PolicyKind::Nru, PolicyKind::Lfu,
-          PolicyKind::Srrip, PolicyKind::Bip, PolicyKind::BucketedLru,
-          PolicyKind::Lru, PolicyKind::Opt}) {
-        double m2 = missRateWithPolicy(makePolicy(kind, blocks, 5), blocks,
-                                       2, accesses,
-                                       kind == PolicyKind::Opt, report,
-                                       policyKindName(kind));
-        double m3 = missRateWithPolicy(makePolicy(kind, blocks, 5), blocks,
-                                       3, accesses,
-                                       kind == PolicyKind::Opt, report,
-                                       policyKindName(kind));
-        std::printf("%-14s %12.4f %12.4f\n", policyKindName(kind), m2, m3);
+    for (std::size_t k = 0; k < kinds.size(); k++) {
+        double m2 = outcomes[compare_begin + 2 * k].result.missRate;
+        double m3 = outcomes[compare_begin + 2 * k + 1].result.missRate;
+        std::printf("%-14s %12.4f %12.4f\n", policyKindName(kinds[k]), m2,
+                    m3);
     }
 
     std::printf("\nExpected shape: 8-bit/5%% bucketed LRU within noise of "
                 "full LRU; OPT lowest; random highest; higher R helps "
                 "every policy.\n");
-    return report.writeIfRequested() ? 0 : 1;
+    return (report.writeIfRequested() && failed == 0) ? 0 : 1;
 }

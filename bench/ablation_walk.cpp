@@ -7,7 +7,8 @@
  * BFS+DFS, early-stopped walks of several candidate budgets, and the
  * Bloom repeat filter. Reports candidates, relocations (the data-array
  * energy driver), mean eviction priority (associativity quality) and
- * miss rate.
+ * miss rate. Variants run concurrently on the sweep engine (--jobs=N,
+ * docs/runner.md); each owns its array, policy and generator.
  *
  * Expected shape:
  *  - BFS and DFS reach similar candidate counts, but DFS needs far
@@ -28,6 +29,7 @@
 #include "cache/z_array.hpp"
 #include "common/stats_registry.hpp"
 #include "replacement/bucketed_lru.hpp"
+#include "runner/sweep.hpp"
 #include "trace/generator.hpp"
 
 #include "bench_util.hpp"
@@ -40,29 +42,44 @@ struct Variant
 {
     std::string label;
     ZArrayConfig cfg;
+    std::uint32_t blocks = 0;   ///< grid point's array size
+    std::uint64_t accesses = 0; ///< grid point's stream length
 };
 
-void
-runVariant(const Variant& v, std::uint32_t blocks, std::uint64_t accesses,
-           benchutil::JsonReport& report)
+/** One completed variant: the printed row plus its stats tree. */
+struct VariantRow
 {
-    auto policy = std::make_unique<BucketedLruPolicy>(blocks);
-    CacheModel m(std::make_unique<ZArray>(blocks, v.cfg, std::move(policy)));
+    double avgCandidates = 0.0;
+    double avgRelocations = 0.0;
+    double repeats = 0.0;
+    double meanEvictionPriority = 0.0;
+    double missRate = 0.0;
+    JsonValue stats;
+};
+
+VariantRow
+runVariant(const Variant& v, bool want_stats)
+{
+    auto policy = std::make_unique<BucketedLruPolicy>(v.blocks);
+    CacheModel m(
+        std::make_unique<ZArray>(v.blocks, v.cfg, std::move(policy)));
     auto& z = dynamic_cast<ZArray&>(m.array());
     EvictionPriorityTracker tracker(100, 16);
     tracker.attach(m.array());
 
-    ZipfGenerator gen(0, blocks * 8, 0.8, 99);
-    for (std::uint64_t i = 0; i < accesses; i++) {
+    ZipfGenerator gen(0, v.blocks * 8, 0.8, 99);
+    for (std::uint64_t i = 0; i < v.accesses; i++) {
         m.access(gen.next().lineAddr);
     }
 
     const ZWalkStats& ws = z.walkStats();
-    std::printf("%-24s %9.2f %9.3f %9.0f %10.4f %9.3f\n", v.label.c_str(),
-                ws.avgCandidates(), ws.avgRelocations(),
-                static_cast<double>(ws.repeatsTotal),
-                tracker.histogram().mean(), m.stats().missRate());
-    if (report.enabled()) {
+    VariantRow row;
+    row.avgCandidates = ws.avgCandidates();
+    row.avgRelocations = ws.avgRelocations();
+    row.repeats = static_cast<double>(ws.repeatsTotal);
+    row.meanEvictionPriority = tracker.histogram().mean();
+    row.missRate = m.stats().missRate();
+    if (want_stats) {
         StatsRegistry reg;
         StatGroup& sum = reg.root().group("summary", "headline metrics");
         sum.addConst("accesses", "model accesses",
@@ -72,10 +89,17 @@ runVariant(const Variant& v, std::uint32_t blocks, std::uint64_t accesses,
         sum.addConst("mean_eviction_priority", "Section IV quality metric",
                      JsonValue(tracker.histogram().mean()));
         z.registerStats(reg.root().group("array", "zcache array"));
-        report.add({{"variant", JsonValue(v.label)},
-                    {"blocks", JsonValue(blocks)}},
-                   reg.toJson());
+        row.stats = reg.toJson();
     }
+    return row;
+}
+
+void
+printRow(const Variant& v, const VariantRow& r)
+{
+    std::printf("%-24s %9.2f %9.3f %9.0f %10.4f %9.3f\n", v.label.c_str(),
+                r.avgCandidates, r.avgRelocations, r.repeats,
+                r.meanEvictionPriority, r.missRate);
 }
 
 } // namespace
@@ -101,34 +125,62 @@ main(int argc, char** argv)
     };
 
     std::vector<Variant> variants{
-        {"BFS L=1 (skew)", base(WalkStrategy::Bfs, 1)},
-        {"BFS L=2 (Z4/16)", base(WalkStrategy::Bfs, 2)},
-        {"BFS L=3 (Z4/52)", base(WalkStrategy::Bfs, 3)},
-        {"DFS R=16", base(WalkStrategy::Dfs, 2)},
-        {"DFS R=52", base(WalkStrategy::Dfs, 3)},
-        {"Hybrid L=2", base(WalkStrategy::Hybrid, 2)},
-        {"BFS L=3 cap=32", base(WalkStrategy::Bfs, 3, 32)},
-        {"BFS L=3 cap=24", base(WalkStrategy::Bfs, 3, 24)},
-        {"BFS L=3 cap=12", base(WalkStrategy::Bfs, 3, 12)},
-        {"BFS L=3 +bloom", base(WalkStrategy::Bfs, 3, 0, true)},
+        {"BFS L=1 (skew)", base(WalkStrategy::Bfs, 1), 0, 0},
+        {"BFS L=2 (Z4/16)", base(WalkStrategy::Bfs, 2), 0, 0},
+        {"BFS L=3 (Z4/52)", base(WalkStrategy::Bfs, 3), 0, 0},
+        {"DFS R=16", base(WalkStrategy::Dfs, 2), 0, 0},
+        {"DFS R=52", base(WalkStrategy::Dfs, 3), 0, 0},
+        {"Hybrid L=2", base(WalkStrategy::Hybrid, 2), 0, 0},
+        {"BFS L=3 cap=32", base(WalkStrategy::Bfs, 3, 32), 0, 0},
+        {"BFS L=3 cap=24", base(WalkStrategy::Bfs, 3, 24), 0, 0},
+        {"BFS L=3 cap=12", base(WalkStrategy::Bfs, 3, 12), 0, 0},
+        {"BFS L=3 +bloom", base(WalkStrategy::Bfs, 3, 0, true), 0, 0},
     };
+    for (auto& v : variants) {
+        v.blocks = blocks;
+        v.accesses = accesses;
+    }
+
+    // The small-array regime (Bloom-filter territory) rides in the same
+    // grid with its own geometry.
+    std::vector<Variant> small{
+        {"BFS L=3 64-block", base(WalkStrategy::Bfs, 3), 64, accesses / 8},
+        {"BFS L=3 +bloom", base(WalkStrategy::Bfs, 3, 0, true), 64,
+         accesses / 8},
+    };
+
+    std::vector<Variant> grid = variants;
+    grid.insert(grid.end(), small.begin(), small.end());
+
+    auto outcomes = runGrid<VariantRow>(
+        grid.size(),
+        [&](std::size_t i) { return runVariant(grid[i], report.enabled()); },
+        benchutil::sweepOptions(argc, argv, "ablation_walk"));
+    std::size_t failed =
+        benchutil::reportGridFailures(outcomes, "ablation_walk");
+    for (std::size_t i = 0; i < grid.size(); i++) {
+        if (!outcomes[i].ok) continue;
+        report.add({{"variant", JsonValue(grid[i].label)},
+                    {"blocks", JsonValue(grid[i].blocks)}},
+                   std::move(outcomes[i].result.stats));
+    }
 
     benchutil::banner("walk-strategy ablation (Zipf 0.8, 8x footprint)");
     std::printf("%-24s %9s %9s %9s %10s %9s\n", "variant", "avgCands",
                 "avgReloc", "repeats", "mean-e", "missrate");
-    for (const auto& v : variants) runVariant(v, blocks, accesses, report);
+    for (std::size_t i = 0; i < variants.size(); i++) {
+        printRow(grid[i], outcomes[i].result);
+    }
 
     benchutil::banner("small-array repeats (Bloom filter regime)");
     std::printf("%-24s %9s %9s %9s %10s %9s\n", "variant", "avgCands",
                 "avgReloc", "repeats", "mean-e", "missrate");
-    std::vector<Variant> small{
-        {"BFS L=3 64-block", base(WalkStrategy::Bfs, 3)},
-        {"BFS L=3 +bloom", base(WalkStrategy::Bfs, 3, 0, true)},
-    };
-    for (const auto& v : small) runVariant(v, 64, accesses / 8, report);
+    for (std::size_t i = variants.size(); i < grid.size(); i++) {
+        printRow(grid[i], outcomes[i].result);
+    }
 
     std::printf("\nExpected shape: DFS relocations >> BFS at equal R; "
                 "hybrid candidates ~2x BFS L=2; mean-e falls smoothly as "
                 "the cap shrinks.\n");
-    return report.writeIfRequested() ? 0 : 1;
+    return (report.writeIfRequested() && failed == 0) ? 0 : 1;
 }

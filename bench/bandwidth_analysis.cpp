@@ -4,7 +4,10 @@
  *
  * For the Z4/52 L2, reports per-workload: average core-demand load per
  * bank-cycle, total tag-array accesses per bank-cycle (walks included),
- * and misses per bank-cycle. The paper's observations to reproduce:
+ * and misses per bank-cycle. Both parts (the per-workload table and the
+ * mcf walk-throttling sweep) are declared as one SweepSpec and executed
+ * in parallel by the SweepRunner (--jobs=N, docs/runner.md). The
+ * paper's observations to reproduce:
  *
  *  - the maximum average load per bank stays low (paper: 15.2% peak);
  *  - as misses/cycle rise, demand load *falls* (self-throttling: cores
@@ -18,8 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "runner/sweep.hpp"
+#include "runner/workload_suite.hpp"
 #include "sim/experiment.hpp"
-#include "trace/workloads.hpp"
 
 #include "bench_util.hpp"
 
@@ -33,17 +37,46 @@ main(int argc, char** argv)
     std::uint64_t instr = benchutil::flagU64(argc, argv, "instr", 100000);
     benchutil::JsonReport report(argc, argv, "bandwidth_analysis");
 
-    std::vector<std::string> suite;
-    if (suite_s == "all") {
-        for (const auto& w : WorkloadRegistry::all()) {
-            suite.push_back(w.name);
-        }
-    } else {
-        suite = {"blackscholes", "gamess",  "ammp",       "gcc",
-                 "soplex",       "milc",    "omnetpp",    "canneal",
-                 "cactusADM",    "lbm",     "libquantum", "mcf",
-                 "wupwise",      "sphinx3", "cpu2K6rand0"};
+    std::vector<std::string> wls =
+        suite::resolve(suite_s, suite::quickBandwidth());
+
+    auto z52 = [&](const std::string& workload) {
+        RunParams p;
+        p.workload = workload;
+        p.l2Spec.kind = ArrayKind::ZCache;
+        p.l2Spec.ways = 4;
+        p.l2Spec.levels = 3; // Z4/52
+        p.l2Spec.policy = PolicyKind::BucketedLru;
+        p.warmupInstr = warmup;
+        p.measureInstr = instr;
+        return p;
+    };
+
+    // Grid: the per-workload bandwidth table, then the mcf token-window
+    // sweep (Section III's early-stop knob, in-system).
+    SweepSpec spec;
+    spec.name = "bandwidth_analysis";
+    for (const auto& wl : wls) {
+        spec.add(z52(wl),
+                 {{"workload", JsonValue(wl)},
+                  {"design", JsonValue("Z4/52")},
+                  {"walk_token_window", JsonValue(std::uint64_t{0})}});
     }
+    const std::vector<std::uint32_t> windows{0u, 64u, 16u, 4u};
+    for (std::uint32_t window : windows) {
+        RunParams p = z52("mcf");
+        p.base.walkThrottle = window > 0;
+        p.base.walkTokenWindow = window;
+        spec.add(p,
+                 {{"workload", JsonValue(std::string("mcf"))},
+                  {"design", JsonValue("Z4/52")},
+                  {"walk_token_window", JsonValue(std::uint64_t{window})}});
+    }
+
+    SweepRunner runner(benchutil::sweepOptions(argc, argv, spec.name));
+    std::vector<RunOutcome> outcomes = runner.run(spec);
+    std::size_t failed = SweepRunner::reportFailures(spec, outcomes);
+    report.addSweep(spec, outcomes);
 
     benchutil::banner("Section VI-D: Z4/52 tag-array bandwidth");
     // The paper counts tag-array *operations*: one operation reads one
@@ -61,25 +94,12 @@ main(int argc, char** argv)
         double load, tag, miss, mpki;
     };
     std::vector<Point> points;
-    for (const auto& wl : suite) {
-        RunParams p;
-        p.workload = wl;
-        p.l2Spec.kind = ArrayKind::ZCache;
-        p.l2Spec.ways = 4;
-        p.l2Spec.levels = 3; // Z4/52
-        p.l2Spec.policy = PolicyKind::BucketedLru;
-        p.warmupInstr = warmup;
-        p.measureInstr = instr;
-        RunResult r = runExperiment(p);
-        report.add({{"workload", JsonValue(wl)},
-                    {"design", JsonValue("Z4/52")},
-                    {"walk_token_window", JsonValue(std::uint64_t{0})}},
-                   r.stats);
-        points.push_back(
-            {wl, r.loadPerBankCycle, r.tagPerBankCycle, r.missPerBankCycle,
-             r.mpki});
+    for (std::size_t i = 0; i < wls.size(); i++) {
+        const RunResult& r = outcomes[i].result;
+        points.push_back({wls[i], r.loadPerBankCycle, r.tagPerBankCycle,
+                          r.missPerBankCycle, r.mpki});
         std::printf("%-16s %12.4f %12.4f %12.4f %12.4f %10.2f\n",
-                    wl.c_str(), r.loadPerBankCycle, r.tagPerBankCycle,
+                    wls[i].c_str(), r.loadPerBankCycle, r.tagPerBankCycle,
                     r.tagPerBankCycle / 4.0, r.missPerBankCycle, r.mpki);
     }
 
@@ -110,27 +130,12 @@ main(int argc, char** argv)
                 "workloads show no higher demand load than low-miss "
                 "ones.\n");
 
-    // Section III's early-stop knob, in-system: throttled walks trade
-    // candidates for tag bandwidth at near-zero miss cost.
     benchutil::banner("walk throttling (token window sweep, mcf)");
     std::printf("%-10s %12s %12s %10s %12s\n", "window", "tag/bank-cy",
                 "tagops/b-cy", "mpki", "throttled");
-    for (std::uint32_t window : {0u, 64u, 16u, 4u}) {
-        RunParams p;
-        p.workload = "mcf";
-        p.l2Spec.kind = ArrayKind::ZCache;
-        p.l2Spec.ways = 4;
-        p.l2Spec.levels = 3;
-        p.l2Spec.policy = PolicyKind::BucketedLru;
-        p.warmupInstr = warmup;
-        p.measureInstr = instr;
-        p.base.walkThrottle = window > 0;
-        p.base.walkTokenWindow = window;
-        RunResult r = runExperiment(p);
-        report.add({{"workload", JsonValue(std::string("mcf"))},
-                    {"design", JsonValue("Z4/52")},
-                    {"walk_token_window", JsonValue(std::uint64_t{window})}},
-                   r.stats);
+    for (std::size_t i = 0; i < windows.size(); i++) {
+        std::uint32_t window = windows[i];
+        const RunResult& r = outcomes[wls.size() + i].result;
         std::printf("%-10s %12.4f %12.4f %10.2f %12s\n",
                     window ? std::to_string(window).c_str() : "off",
                     r.tagPerBankCycle, r.tagPerBankCycle / 4.0, r.mpki,
@@ -138,5 +143,5 @@ main(int argc, char** argv)
     }
     std::printf("\nExpected shape: tighter windows shed walk tag traffic "
                 "with only marginal MPKI increase.\n");
-    return report.writeIfRequested() ? 0 : 1;
+    return (report.writeIfRequested() && failed == 0) ? 0 : 1;
 }

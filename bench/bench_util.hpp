@@ -1,11 +1,16 @@
 /**
  * @file
  * Shared helpers for the report harnesses: tiny flag parser, table
- * formatting, and the --json telemetry writer. Each bench binary
- * regenerates one of the paper's tables or figures as text (rows/
- * series), so results can be diffed against EXPERIMENTS.md; with
- * --json=<path> it additionally serializes the runs' full stats trees
- * for plotting and regression tooling (docs/observability.md).
+ * formatting, the --json telemetry writer, and the glue between the
+ * parallel sweep engine (src/runner, docs/runner.md) and bench output.
+ * Each bench binary regenerates one of the paper's tables or figures as
+ * text (rows/series), so results can be diffed against EXPERIMENTS.md;
+ * with --json=<path> it additionally serializes the runs' full stats
+ * trees for plotting and regression tooling (docs/observability.md).
+ *
+ * Every driver accepts --jobs=N (0/absent = hardware concurrency) and
+ * --no-progress; the sweep engine guarantees text and JSON output are
+ * identical for any N.
  */
 
 #pragma once
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "runner/sweep.hpp"
 
 namespace zc::benchutil {
 
@@ -64,6 +70,40 @@ banner(const std::string& title)
 }
 
 /**
+ * Sweep-engine options from the shared flags: --jobs=N and
+ * --no-progress. @p label names the sweep in the progress line.
+ */
+inline zc::SweepOptions
+sweepOptions(int argc, char** argv, const std::string& label)
+{
+    zc::SweepOptions o;
+    o.jobs = static_cast<unsigned>(flagU64(argc, argv, "jobs", 0));
+    o.progress = !flagBool(argc, argv, "no-progress");
+    o.label = label;
+    return o;
+}
+
+/**
+ * Stderr note per failed grid point, for benches driving runGrid
+ * directly; returns the failure count (nonzero => exit code 1).
+ */
+template <typename Result>
+inline std::size_t
+reportGridFailures(const std::vector<zc::GridOutcome<Result>>& outcomes,
+                   const std::string& label)
+{
+    std::size_t failures = 0;
+    for (const auto& o : outcomes) {
+        if (o.ok) continue;
+        failures++;
+        std::fprintf(stderr,
+                     "%s: grid point %zu failed after %u attempts: %s\n",
+                     label.c_str(), o.index, o.attempts, o.error.c_str());
+    }
+    return failures;
+}
+
+/**
  * Accumulates run records for the --json=<path> output of a bench
  * binary. Text stdout is untouched; the JSON file is written once at
  * the end (writeIfRequested in a destructor would hide I/O errors, so
@@ -97,6 +137,27 @@ class JsonReport
         runs_.push_back(std::move(rec));
     }
 
+    /**
+     * Append a whole sweep's outcomes in grid order (failed points are
+     * skipped — their absence plus the "failed" count below records
+     * them). Grid order is what makes the JSON independent of --jobs.
+     */
+    void
+    addSweep(const zc::SweepSpec& spec,
+             const std::vector<zc::RunOutcome>& outcomes)
+    {
+        if (!enabled()) return;
+        sweepPoints_ += spec.size();
+        for (const auto& o : outcomes) {
+            if (!o.ok) {
+                sweepFailed_++;
+                continue;
+            }
+            add(spec.points[o.index].tags, o.result.stats);
+        }
+        haveSweep_ = true;
+    }
+
     /** Write the report; returns false (with a stderr note) on failure. */
     bool
     writeIfRequested()
@@ -104,6 +165,12 @@ class JsonReport
         if (!enabled()) return true;
         JsonValue doc = JsonValue::object();
         doc.set("report", JsonValue(name_));
+        if (haveSweep_) {
+            JsonValue sweep = JsonValue::object();
+            sweep.set("points", JsonValue(std::uint64_t{sweepPoints_}));
+            sweep.set("failed", JsonValue(std::uint64_t{sweepFailed_}));
+            doc.set("sweep", std::move(sweep));
+        }
         JsonValue arr = JsonValue::array();
         for (auto& r : runs_) arr.push(std::move(r));
         doc.set("runs", std::move(arr));
@@ -123,6 +190,9 @@ class JsonReport
     std::string path_;
     std::string name_;
     std::vector<JsonValue> runs_;
+    std::uint64_t sweepPoints_ = 0;
+    std::uint64_t sweepFailed_ = 0;
+    bool haveSweep_ = false;
 };
 
 } // namespace zc::benchutil

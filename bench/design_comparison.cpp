@@ -6,7 +6,8 @@
  * V-Way, skew-associative, zcaches, random-candidates and fully
  * associative. Reports miss rate, mean eviction priority (the Section
  * IV quality metric), tag/data traffic per access, and each design's
- * structural overhead.
+ * structural overhead. Rows run concurrently on the sweep engine
+ * (--jobs=N, docs/runner.md).
  *
  * Expected shape: quality ordering roughly
  *   SA < SA+hash ~ SA+victim < skew < V-Way ~ Z4/16 < Z4/52 < FA,
@@ -23,6 +24,7 @@
 #include "cache/array_factory.hpp"
 #include "cache/cache_model.hpp"
 #include "common/stats_registry.hpp"
+#include "runner/sweep.hpp"
 #include "trace/generator.hpp"
 
 #include "bench_util.hpp"
@@ -38,9 +40,18 @@ struct Row
     const char* overhead;
 };
 
-void
+struct RowResult
+{
+    double missRate = 0.0;
+    double meanEvictionPriority = 0.0;
+    double tagPerAccess = 0.0;
+    double dataPerAccess = 0.0;
+    JsonValue stats;
+};
+
+RowResult
 runRow(const Row& row, std::uint64_t accesses, std::uint64_t footprint,
-       benchutil::JsonReport& report)
+       bool want_stats)
 {
     CacheModel m(makeArray(row.spec));
     EvictionPriorityTracker tracker(100, 8);
@@ -58,13 +69,12 @@ runRow(const Row& row, std::uint64_t accesses, std::uint64_t footprint,
 
     const ArrayStats& s = m.array().stats();
     double per = static_cast<double>(m.stats().accesses);
-    std::printf("%-12s %9.4f %9.3f %10.2f %10.3f   %s\n",
-                row.label.c_str(), m.stats().missRate(),
-                tracker.histogram().mean(),
-                static_cast<double>(s.tagReads + s.tagWrites) / per,
-                static_cast<double>(s.dataReads + s.dataWrites) / per,
-                row.overhead);
-    if (report.enabled()) {
+    RowResult res;
+    res.missRate = m.stats().missRate();
+    res.meanEvictionPriority = tracker.histogram().mean();
+    res.tagPerAccess = static_cast<double>(s.tagReads + s.tagWrites) / per;
+    res.dataPerAccess = static_cast<double>(s.dataReads + s.dataWrites) / per;
+    if (want_stats) {
         StatsRegistry reg;
         StatGroup& sum = reg.root().group("summary", "headline metrics");
         sum.addConst("accesses", "model accesses",
@@ -74,8 +84,9 @@ runRow(const Row& row, std::uint64_t accesses, std::uint64_t footprint,
         sum.addConst("mean_eviction_priority", "Section IV quality metric",
                      JsonValue(tracker.histogram().mean()));
         m.array().registerStats(reg.root().group("array", "cache array"));
-        report.add({{"design", JsonValue(row.label)}}, reg.toJson());
+        res.stats = reg.toJson();
     }
+    return res;
 }
 
 } // namespace
@@ -139,15 +150,35 @@ main(int argc, char** argv)
     rows.push_back({"FA", spec(ArrayKind::FullyAssoc, 1, 0, HashKind::H3),
                     "(unrealizable reference)"});
 
+    auto outcomes = runGrid<RowResult>(
+        rows.size(),
+        [&](std::size_t i) {
+            return runRow(rows[i], accesses, footprint, report.enabled());
+        },
+        benchutil::sweepOptions(argc, argv, "design_comparison"));
+    std::size_t failed =
+        benchutil::reportGridFailures(outcomes, "design_comparison");
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        if (!outcomes[i].ok) continue;
+        report.add({{"design", JsonValue(rows[i].label)}},
+                   std::move(outcomes[i].result.stats));
+    }
+
     std::printf("Section II survey on equal capacity (%u blocks, zipf + "
                 "strided traffic, LRU)\n\n", blocks);
     std::printf("%-12s %9s %9s %10s %10s   %s\n", "design", "missrate",
                 "mean-e", "tag/acc", "data/acc", "structural overhead");
-    for (const auto& row : rows) runRow(row, accesses, footprint, report);
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        const RowResult& r = outcomes[i].result;
+        std::printf("%-12s %9.4f %9.3f %10.2f %10.3f   %s\n",
+                    rows[i].label.c_str(), r.missRate,
+                    r.meanEvictionPriority, r.tagPerAccess, r.dataPerAccess,
+                    rows[i].overhead);
+    }
 
     std::printf("\nExpected shape: zcaches reach indirection-class miss "
                 "rates and candidate quality without 2x tags or extra hit "
                 "latency; the victim buffer only recovers short-reuse "
                 "conflicts; bit-select SA suffers the strided traffic.\n");
-    return report.writeIfRequested() ? 0 : 1;
+    return (report.writeIfRequested() && failed == 0) ? 0 : 1;
 }

@@ -4,7 +4,8 @@
  * F_A(x) = x^n for n = 4, 8, 16, 64, in linear and semi-log form,
  * validated empirically with the random-candidates cache of Section
  * IV-B (which meets the assumption by construction) under several
- * replacement policies.
+ * replacement policies. The (policy x n) grid runs on the sweep engine
+ * (--jobs=N, docs/runner.md).
  *
  * Expected shape: every empirical column matches its analytic column to
  * sampling noise, for every policy — associativity is a property of the
@@ -20,6 +21,7 @@
 #include "cache/cache_model.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "runner/sweep.hpp"
 
 #include "bench_util.hpp"
 
@@ -56,6 +58,20 @@ main(int argc, char** argv)
         benchutil::flagU64(argc, argv, "accesses", 400000);
     benchutil::JsonReport report(argc, argv, "fig2_uniformity");
     const std::vector<std::uint32_t> ns{4, 8, 16, 64};
+    const std::vector<PolicyKind> policies{PolicyKind::Lru, PolicyKind::Lfu,
+                                           PolicyKind::Random};
+
+    // Measure every (policy, n) cell up front on the sweep engine; the
+    // tables below read completed results in declaration order.
+    auto outcomes = runGrid<std::vector<double>>(
+        policies.size() * ns.size(),
+        [&](std::size_t i) {
+            return empiricalCdf(ns[i % ns.size()], policies[i / ns.size()],
+                                accesses);
+        },
+        benchutil::sweepOptions(argc, argv, "fig2_uniformity"));
+    std::size_t failed =
+        benchutil::reportGridFailures(outcomes, "fig2_uniformity");
 
     benchutil::banner("Fig. 2: analytic CDFs F_A(x) = x^n");
     std::printf("%6s", "x");
@@ -73,14 +89,17 @@ main(int argc, char** argv)
 
     benchutil::banner(
         "Fig. 2 validation: random-candidates cache, empirical CDFs");
-    for (PolicyKind policy :
-         {PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::Random}) {
+    for (std::size_t p = 0; p < policies.size(); p++) {
+        PolicyKind policy = policies[p];
         std::printf("\npolicy = %s\n", policyKindName(policy));
         std::printf("%6s", "n");
         std::printf("  %10s %10s %10s %10s   %s\n", "cdf(0.5)", "cdf(0.8)",
                     "cdf(0.9)", "mean", "KS vs x^n");
-        for (auto n : ns) {
-            auto cdf = empiricalCdf(n, policy, accesses);
+        for (std::size_t k = 0; k < ns.size(); k++) {
+            std::uint32_t n = ns[k];
+            const auto& outcome = outcomes[p * ns.size() + k];
+            if (!outcome.ok) continue;
+            const std::vector<double>& cdf = outcome.result;
             auto ideal = uniformityCdf(n, 100);
             double mean = 0.0;
             // Mean from CDF: E[X] = 1 - sum cdf * dx (right Riemann).
@@ -109,5 +128,5 @@ main(int argc, char** argv)
     }
     std::printf("\nExpected shape: empirical columns track x^n for every "
                 "policy; KS < ~0.02.\n");
-    return report.writeIfRequested() ? 0 : 1;
+    return (report.writeIfRequested() && failed == 0) ? 0 : 1;
 }

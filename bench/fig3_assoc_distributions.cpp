@@ -24,6 +24,11 @@
  * --strong-hash swaps H3 for real SHA-1 indexing in the skew/zcache
  * designs — the paper's Section IV-C check that hash quality is not
  * what separates the measured curves from the uniformity assumption.
+ *
+ * The (design x workload) grid runs on the parallel sweep engine
+ * (--jobs=N, docs/runner.md); each grid point owns its array, L1s and
+ * tracker, so points are independent and the printed tables are
+ * byte-identical for any job count.
  */
 
 #include <cstdio>
@@ -36,6 +41,7 @@
 #include "cache/array_factory.hpp"
 #include "cache/cache_model.hpp"
 #include "common/stats.hpp"
+#include "runner/sweep.hpp"
 #include "sim/l1_cache.hpp"
 #include "trace/workloads.hpp"
 
@@ -176,6 +182,31 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(period),
                 strong ? ", strong hashing" : "");
 
+    // Flatten the (design, workload) grid and measure every cell on the
+    // sweep engine; the panel printout below reads completed results.
+    struct Cell
+    {
+        const DesignRow* design;
+        const std::string* workload;
+    };
+    std::vector<Cell> cells;
+    for (const auto& panel : panels) {
+        for (const auto& d : panel) {
+            for (const auto& wl : workloads) cells.push_back({&d, &wl});
+        }
+    }
+    WorkloadRegistry::prime();
+    auto outcomes = runGrid<Measurement>(
+        cells.size(),
+        [&](std::size_t i) {
+            return measure(*cells[i].design, *cells[i].workload, accesses,
+                           period);
+        },
+        benchutil::sweepOptions(argc, argv, "fig3_assoc_distributions"));
+    std::size_t failed =
+        benchutil::reportGridFailures(outcomes, "fig3_assoc_distributions");
+
+    std::size_t cell = 0;
     for (std::size_t p = 0; p < panels.size(); p++) {
         benchutil::banner(panel_names[p]);
         for (const auto& d : panels[p]) {
@@ -190,8 +221,9 @@ main(int argc, char** argv)
                         "[uniformity]", ideal[19], ideal[39], ideal[59],
                         ideal[79], uniformityMean(d.candidates), "-", "-");
             for (const auto& wl : workloads) {
-                Measurement m = measure(d, wl, accesses, period);
-                if (report.enabled()) {
+                const auto& outcome = outcomes[cell++];
+                const Measurement& m = outcome.result;
+                if (report.enabled() && outcome.ok) {
                     JsonValue stats = JsonValue::object();
                     stats.set("candidates", JsonValue(d.candidates));
                     stats.set("samples", JsonValue(m.samples));
@@ -223,5 +255,5 @@ main(int argc, char** argv)
                 "(wupwise/apsi far above uniformity CDF = far worse); "
                 "(b) improves but stays above; (c)/(d) hug the uniformity "
                 "row for every workload.\n");
-    return report.writeIfRequested() ? 0 : 1;
+    return (report.writeIfRequested() && failed == 0) ? 0 : 1;
 }

@@ -14,6 +14,11 @@
  * the 10 most L2-miss-intensive workloads, normalized to the serial
  * SA-4 baseline.
  *
+ * The whole workload x design x lookup x policy grid is declared as
+ * one SweepSpec and executed by the parallel SweepRunner (src/runner,
+ * docs/runner.md); the figures below print from the completed results,
+ * so output is byte-identical for any --jobs=N.
+ *
  * Expected shape:
  *  - MPKI improves monotonically with candidates; equal-R designs
  *    (SA-16 vs Z4/16) improve similarly (under OPT almost identically);
@@ -26,6 +31,7 @@
  *
  * Flags: --policy=lru|opt|both  --workloads=quick|all  --verbose
  *        --warmup=N --instr=N  --serial-only  --json=PATH
+ *        --jobs=N --no-progress
  */
 
 #include <algorithm>
@@ -36,8 +42,9 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "runner/sweep.hpp"
+#include "runner/workload_suite.hpp"
 #include "sim/experiment.hpp"
-#include "trace/workloads.hpp"
 
 #include "bench_util.hpp"
 
@@ -79,16 +86,6 @@ const std::vector<std::string> kFig5Workloads{
     "blackscholes", "gamess", "ammp", "canneal", "cactusADM",
 };
 
-/** Reduced suite for quick runs: spread of behaviours + Fig. 5 five. */
-const std::vector<std::string> kQuickSuite{
-    "blackscholes", "canneal",   "fluidanimate", "streamcluster",
-    "wupwise",      "apsi",      "ammp",         "art",
-    "gamess",       "mcf",       "cactusADM",    "lbm",
-    "libquantum",   "omnetpp",   "soplex",       "gcc",
-    "sphinx3",      "milc",      "xalancbmk",    "cpu2K6rand0",
-    "cpu2K6rand1",  "cpu2K6rand2",
-};
-
 struct Key
 {
     std::string workload;
@@ -104,51 +101,32 @@ struct Key
     }
 };
 
-class Runner
+/**
+ * Grid-order view of a completed sweep: figure printers look runs up by
+ * (workload, design, lookup, policy). A point that failed (isolated by
+ * the runner, already reported on stderr) reads as a zeroed RunResult.
+ */
+class ResultTable
 {
   public:
-    Runner(std::uint64_t warmup, std::uint64_t instr,
-           benchutil::JsonReport* report = nullptr)
-        : warmup_(warmup), instr_(instr), report_(report)
+    void
+    put(Key k, const RunResult* r)
     {
+        results_.emplace(std::move(k), r);
     }
 
     const RunResult&
     get(const std::string& workload, const Design& d, bool serial,
-        PolicyKind policy)
+        PolicyKind policy) const
     {
-        Key k{workload, d.label, serial, policy};
-        auto it = cache_.find(k);
-        if (it != cache_.end()) return it->second;
-
-        RunParams p;
-        p.workload = workload;
-        p.l2Spec = d.spec;
-        p.l2Spec.policy = policy;
-        p.serialLookup = serial;
-        p.warmupInstr = warmup_;
-        p.measureInstr = instr_;
-        RunResult r = runExperiment(p);
-        std::fprintf(stderr, "  ran %-14s %-6s %-8s %-4s mpki=%6.2f "
-                             "ipc=%5.2f bips/w=%5.2f\n",
-                     workload.c_str(), d.label.c_str(),
-                     serial ? "serial" : "parallel",
-                     policyKindName(policy), r.mpki, r.ipc, r.bipsPerWatt);
-        if (report_) {
-            report_->add({{"workload", JsonValue(workload)},
-                          {"design", JsonValue(d.label)},
-                          {"serial_lookup", JsonValue(serial)},
-                          {"policy",
-                           JsonValue(std::string(policyKindName(policy)))}},
-                         r.stats);
-        }
-        return cache_.emplace(k, r).first->second;
+        auto it = results_.find(Key{workload, d.label, serial, policy});
+        if (it == results_.end() || it->second == nullptr) return empty_;
+        return *it->second;
     }
 
   private:
-    std::uint64_t warmup_, instr_;
-    benchutil::JsonReport* report_;
-    std::map<Key, RunResult> cache_;
+    std::map<Key, const RunResult*> results_;
+    RunResult empty_;
 };
 
 void
@@ -168,7 +146,7 @@ printPercentiles(const std::string& label, std::vector<double> ratios)
 }
 
 void
-fig4(Runner& runner, const std::vector<std::string>& suite,
+fig4(const ResultTable& table, const std::vector<std::string>& suite,
      PolicyKind policy, bool verbose)
 {
     auto ds = designs();
@@ -183,8 +161,8 @@ fig4(Runner& runner, const std::vector<std::string>& suite,
         std::vector<double> mpki_ratio, ipc_ratio;
         std::vector<std::string> rows;
         for (const auto& wl : suite) {
-            const RunResult& b = runner.get(wl, base, true, policy);
-            const RunResult& r = runner.get(wl, ds[i], true, policy);
+            const RunResult& b = table.get(wl, base, true, policy);
+            const RunResult& r = table.get(wl, ds[i], true, policy);
             double mr = r.mpki > 1e-9 ? b.mpki / r.mpki : 1.0;
             double ir = b.ipc > 1e-9 ? r.ipc / b.ipc : 1.0;
             mpki_ratio.push_back(mr);
@@ -205,23 +183,20 @@ fig4(Runner& runner, const std::vector<std::string>& suite,
 }
 
 void
-fig5(Runner& runner, const std::vector<std::string>& suite,
+fig5(const ResultTable& table, const std::vector<std::string>& suite,
      PolicyKind policy, bool serial_only)
 {
     auto ds = designs();
     const Design& base = ds[0];
 
-    // Determine the 10 most miss-intensive workloads from the baseline.
-    std::vector<std::pair<double, std::string>> by_mpki;
-    for (const auto& wl : suite) {
-        by_mpki.emplace_back(runner.get(wl, base, true, policy).mpki, wl);
-    }
-    std::sort(by_mpki.rbegin(), by_mpki.rend());
-    std::vector<std::string> top10;
-    for (std::size_t i = 0; i < std::min<std::size_t>(10, by_mpki.size());
-         i++) {
-        top10.push_back(by_mpki[i].second);
-    }
+    // The 10 most miss-intensive workloads under the baseline (shared
+    // ranking rule: runner/workload_suite.hpp).
+    std::vector<std::string> top10 = suite::topByMetric(
+        suite,
+        [&](const std::string& wl) {
+            return table.get(wl, base, true, policy).mpki;
+        },
+        10);
 
     benchutil::banner(std::string("Fig. 5 (") + policyKindName(policy) +
                       "): IPC and BIPS/W vs serial SA-4+H3");
@@ -233,12 +208,12 @@ fig5(Runner& runner, const std::vector<std::string>& suite,
     {
         std::vector<double> i_all, b_all, i_top, b_top;
         for (const auto& wl : suite) {
-            const RunResult& r = runner.get(wl, base, true, policy);
+            const RunResult& r = table.get(wl, base, true, policy);
             i_all.push_back(r.ipc);
             b_all.push_back(r.bipsPerWatt);
         }
         for (const auto& wl : top10) {
-            const RunResult& r = runner.get(wl, base, true, policy);
+            const RunResult& r = table.get(wl, base, true, policy);
             i_top.push_back(r.ipc);
             b_top.push_back(r.bipsPerWatt);
         }
@@ -263,19 +238,19 @@ fig5(Runner& runner, const std::vector<std::string>& suite,
                 std::printf("  %-16s",
                             (d.label + (serial ? " ser" : " par")).c_str());
                 for (const auto& wl : kFig5Workloads) {
-                    const RunResult& b = runner.get(wl, base, true, policy);
-                    const RunResult& r = runner.get(wl, d, serial, policy);
+                    const RunResult& b = table.get(wl, base, true, policy);
+                    const RunResult& r = table.get(wl, d, serial, policy);
                     double num = ipc ? r.ipc : r.bipsPerWatt;
                     double den = ipc ? b.ipc : b.bipsPerWatt;
                     std::printf(" %12.3f", den > 0 ? num / den : 0.0);
                 }
                 std::vector<double> v_all, v_top;
                 for (const auto& wl : suite) {
-                    const RunResult& r = runner.get(wl, d, serial, policy);
+                    const RunResult& r = table.get(wl, d, serial, policy);
                     v_all.push_back(ipc ? r.ipc : r.bipsPerWatt);
                 }
                 for (const auto& wl : top10) {
-                    const RunResult& r = runner.get(wl, d, serial, policy);
+                    const RunResult& r = table.get(wl, d, serial, policy);
                     v_top.push_back(ipc ? r.ipc : r.bipsPerWatt);
                 }
                 std::printf(" %12.3f %12.3f\n",
@@ -300,25 +275,17 @@ main(int argc, char** argv)
     std::uint64_t warmup = benchutil::flagU64(argc, argv, "warmup", 120000);
     std::uint64_t instr = benchutil::flagU64(argc, argv, "instr", 120000);
 
-    std::vector<std::string> suite;
-    if (suite_s == "all") {
-        for (const auto& w : WorkloadRegistry::all()) {
-            suite.push_back(w.name);
-        }
-    } else {
-        suite = kQuickSuite;
-    }
+    std::vector<std::string> wls =
+        suite::resolve(suite_s, suite::quickPerformance());
 
     std::printf("Table I system: 32 in-order cores @2GHz, 32KB 4-way L1s, "
                 "8MB 8-bank shared L2 (organization under test), MESI "
                 "directory, 200-cycle memory\n");
     std::printf("suite: %zu workloads, %llu+%llu instr/core "
                 "(warmup+measure)\n",
-                suite.size(), static_cast<unsigned long long>(warmup),
+                wls.size(), static_cast<unsigned long long>(warmup),
                 static_cast<unsigned long long>(instr));
 
-    benchutil::JsonReport report(argc, argv, "fig4_fig5_performance");
-    Runner runner(warmup, instr, &report);
     std::vector<PolicyKind> policies;
     if (policy_s == "lru") {
         policies = {PolicyKind::BucketedLru};
@@ -327,10 +294,53 @@ main(int argc, char** argv)
     } else {
         policies = {PolicyKind::Opt, PolicyKind::BucketedLru};
     }
+    std::vector<bool> lookups{true};
+    if (!serial_only) lookups.push_back(false);
+
+    // Declare the full grid, run it once, then print both figures from
+    // the completed results.
+    auto ds = designs();
+    SweepSpec spec;
+    spec.name = "fig4_fig5_performance";
+    std::vector<Key> keys;
+    for (PolicyKind policy : policies) {
+        for (const auto& wl : wls) {
+            for (const auto& d : ds) {
+                for (bool serial : lookups) {
+                    RunParams p;
+                    p.workload = wl;
+                    p.l2Spec = d.spec;
+                    p.l2Spec.policy = policy;
+                    p.serialLookup = serial;
+                    p.warmupInstr = warmup;
+                    p.measureInstr = instr;
+                    spec.add(
+                        p,
+                        {{"workload", JsonValue(wl)},
+                         {"design", JsonValue(d.label)},
+                         {"serial_lookup", JsonValue(serial)},
+                         {"policy", JsonValue(std::string(
+                                        policyKindName(policy)))}});
+                    keys.push_back(Key{wl, d.label, serial, policy});
+                }
+            }
+        }
+    }
+
+    SweepRunner runner(benchutil::sweepOptions(argc, argv, spec.name));
+    std::vector<RunOutcome> outcomes = runner.run(spec);
+    std::size_t failed = SweepRunner::reportFailures(spec, outcomes);
+
+    ResultTable table;
+    for (std::size_t i = 0; i < outcomes.size(); i++) {
+        table.put(keys[i], outcomes[i].ok ? &outcomes[i].result : nullptr);
+    }
+    benchutil::JsonReport report(argc, argv, spec.name);
+    report.addSweep(spec, outcomes);
 
     for (PolicyKind policy : policies) {
-        fig4(runner, suite, policy, verbose);
-        fig5(runner, suite, policy, serial_only);
+        fig4(table, wls, policy, verbose);
+        fig5(table, wls, policy, serial_only);
     }
-    return report.writeIfRequested() ? 0 : 1;
+    return (report.writeIfRequested() && failed == 0) ? 0 : 1;
 }

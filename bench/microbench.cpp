@@ -102,23 +102,31 @@ BENCHMARK(BM_ZipfGenerator);
 } // namespace zc
 
 /**
- * Custom main so this binary honours the suite-wide --json=<path> flag:
- * it is translated into google-benchmark's own JSON reporter flags
- * (--benchmark_out / --benchmark_out_format) before initialization.
+ * Custom main so this binary honours the suite-wide flags: --json=<path>
+ * is translated into google-benchmark's own JSON reporter flags
+ * (--benchmark_out / --benchmark_out_format) before initialization, and
+ * the sweep-engine flags (--jobs=N, --no-progress) are stripped —
+ * google-benchmark times single-threaded hot loops, so there is nothing
+ * for a thread pool to do here.
  */
 int
 main(int argc, char** argv)
 {
     std::vector<char*> args(argv, argv + argc);
     std::string out_flag, fmt_flag;
-    for (auto it = args.begin(); it != args.end(); ++it) {
+    for (auto it = args.begin(); it != args.end();) {
         constexpr const char* kJson = "--json=";
+        constexpr const char* kJobs = "--jobs=";
         if (std::strncmp(*it, kJson, std::strlen(kJson)) == 0) {
             out_flag = std::string("--benchmark_out=") +
                        (*it + std::strlen(kJson));
             fmt_flag = "--benchmark_out_format=json";
-            args.erase(it);
-            break;
+            it = args.erase(it);
+        } else if (std::strncmp(*it, kJobs, std::strlen(kJobs)) == 0 ||
+                   std::strcmp(*it, "--no-progress") == 0) {
+            it = args.erase(it);
+        } else {
+            ++it;
         }
     }
     if (!out_flag.empty()) {

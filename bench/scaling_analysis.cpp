@@ -4,18 +4,21 @@
  *
  * Sweeps the shared L2 from 2 MB to 16 MB for the baseline 4-way SA,
  * the 32-way SA and the Z4/52 on capacity-sensitive workloads. The
- * expected shape: associativity's MPKI advantage is largest when the
- * working set sits *near* the cache size (replacement quality decides
- * what survives) and shrinks at both extremes — tiny caches thrash and
- * huge caches fit everything — while the zcache's advantage over
- * SA-32 in IPC persists everywhere because its hit latency never pays
- * the wide-tag tax.
+ * (workload x size x design) grid is declared as one SweepSpec and
+ * executed in parallel by the SweepRunner (--jobs=N, docs/runner.md).
+ * The expected shape: associativity's MPKI advantage is largest when
+ * the working set sits *near* the cache size (replacement quality
+ * decides what survives) and shrinks at both extremes — tiny caches
+ * thrash and huge caches fit everything — while the zcache's advantage
+ * over SA-32 in IPC persists everywhere because its hit latency never
+ * pays the wide-tag tax.
  */
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "runner/sweep.hpp"
 #include "sim/experiment.hpp"
 
 #include "bench_util.hpp"
@@ -24,22 +27,29 @@ using namespace zc;
 
 namespace {
 
-RunResult
-runCell(const std::string& workload, std::uint64_t l2_bytes,
-        ArrayKind kind, std::uint32_t ways, std::uint32_t levels,
-        std::uint64_t instr)
+struct Design
+{
+    const char* label;
+    ArrayKind kind;
+    std::uint32_t ways;
+    std::uint32_t levels;
+};
+
+RunParams
+cellParams(const std::string& workload, std::uint64_t l2_bytes,
+           const Design& d, std::uint64_t instr)
 {
     RunParams p;
     p.workload = workload;
     p.base.l2SizeBytes = l2_bytes;
-    p.l2Spec.kind = kind;
-    p.l2Spec.ways = ways;
-    p.l2Spec.levels = levels;
+    p.l2Spec.kind = d.kind;
+    p.l2Spec.ways = d.ways;
+    p.l2Spec.levels = d.levels;
     p.l2Spec.hashKind = HashKind::H3;
     p.l2Spec.policy = PolicyKind::BucketedLru;
     p.warmupInstr = instr;
     p.measureInstr = instr;
-    return runExperiment(p);
+    return p;
 }
 
 } // namespace
@@ -54,28 +64,42 @@ main(int argc, char** argv)
     const std::vector<std::uint64_t> sizes{
         std::uint64_t{2} << 20, std::uint64_t{4} << 20,
         std::uint64_t{8} << 20, std::uint64_t{16} << 20};
+    const std::vector<Design> designs{
+        {"SA-4", ArrayKind::SetAssoc, 4, 1},
+        {"SA-32", ArrayKind::SetAssoc, 32, 1},
+        {"Z4/52", ArrayKind::ZCache, 4, 3},
+    };
+
+    // Grid order: workload-major, then size, then design — the print
+    // loop below indexes cells as ((w * sizes) + s) * designs + d.
+    SweepSpec spec;
+    spec.name = "scaling_analysis";
+    for (const auto& wl : workloads) {
+        for (std::uint64_t bytes : sizes) {
+            for (const Design& d : designs) {
+                spec.add(cellParams(wl, bytes, d, instr),
+                         {{"workload", JsonValue(wl)},
+                          {"design", JsonValue(d.label)},
+                          {"l2_mb", JsonValue(std::uint64_t{bytes >> 20})}});
+            }
+        }
+    }
+
+    SweepRunner runner(benchutil::sweepOptions(argc, argv, spec.name));
+    std::vector<RunOutcome> outcomes = runner.run(spec);
+    std::size_t failed = SweepRunner::reportFailures(spec, outcomes);
+    report.addSweep(spec, outcomes);
 
     std::printf("capacity scaling: MPKI (and IPC) per design\n");
+    std::size_t cell = 0;
     for (const auto& wl : workloads) {
         benchutil::banner(wl);
         std::printf("%8s | %18s | %18s | %18s | %9s %9s\n", "L2", "SA-4+H3",
                     "SA-32+H3", "Z4/52", "mpki adv", "ipc adv");
         for (std::uint64_t bytes : sizes) {
-            RunResult sa4 =
-                runCell(wl, bytes, ArrayKind::SetAssoc, 4, 1, instr);
-            RunResult sa32 =
-                runCell(wl, bytes, ArrayKind::SetAssoc, 32, 1, instr);
-            RunResult z52 =
-                runCell(wl, bytes, ArrayKind::ZCache, 4, 3, instr);
-            auto record = [&](const char* design, const RunResult& r) {
-                report.add({{"workload", JsonValue(wl)},
-                            {"design", JsonValue(design)},
-                            {"l2_mb", JsonValue(std::uint64_t{bytes >> 20})}},
-                           r.stats);
-            };
-            record("SA-4", sa4);
-            record("SA-32", sa32);
-            record("Z4/52", z52);
+            const RunResult& sa4 = outcomes[cell++].result;
+            const RunResult& sa32 = outcomes[cell++].result;
+            const RunResult& z52 = outcomes[cell++].result;
             std::printf(
                 "%6lluMB | %8.2f (%7.2f) | %8.2f (%7.2f) | %8.2f "
                 "(%7.2f) | %8.2fx %8.3fx\n",
@@ -89,5 +113,5 @@ main(int argc, char** argv)
                 "the working set straddles the cache size; its IPC edge "
                 "over SA-32 holds at every size (no wide-tag hit-latency "
                 "tax).\n");
-    return report.writeIfRequested() ? 0 : 1;
+    return (report.writeIfRequested() && failed == 0) ? 0 : 1;
 }

@@ -103,6 +103,11 @@ main(int argc, char** argv)
     std::uint64_t bank_bytes =
         benchutil::flagU64(argc, argv, "bank-bytes", 1 << 20);
     benchutil::JsonReport report(argc, argv, "table2_cache_costs");
+    // --jobs is accepted for driver-interface uniformity (reproduce.sh
+    // passes it to every bench) but a closed-form analytical model has
+    // no grid to parallelize.
+    (void)benchutil::flagU64(argc, argv, "jobs", 0);
+    (void)benchutil::flagBool(argc, argv, "no-progress");
 
     std::vector<Row> rows{
         {"SA-4", 4, 4, 0},

@@ -2,11 +2,21 @@
 # Full reproduction driver: builds, tests, and regenerates every table
 # and figure into results/. Pass --full for the complete 72-workload /
 # 8MB-array sweeps (slower); the default runs reduced-but-same-shape
-# configurations.
+# configurations. Pass --jobs=N to set the sweep-engine worker count
+# (default: all cores); output is byte-identical for any N
+# (docs/runner.md).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-FULL=${1:-}
+FULL=
+JOBS=$(nproc)
+for arg in "$@"; do
+    case "$arg" in
+        --full)    FULL=--full ;;
+        --jobs=*)  JOBS=${arg#--jobs=} ;;
+        *) echo "usage: $0 [--full] [--jobs=N]" >&2; exit 2 ;;
+    esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
@@ -22,7 +32,7 @@ run() {
     local name=$1
     shift
     echo "== $name =="
-    "$@" "--json=results/$name.json" | tee "results/$name.txt"
+    "$@" "--jobs=$JOBS" "--json=results/$name.json" | tee "results/$name.txt"
 }
 
 run fig2_uniformity          ./build/bench/fig2_uniformity

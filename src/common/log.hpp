@@ -15,17 +15,25 @@
 
 namespace zc {
 
+// Both helpers format into a local buffer and emit with a single
+// stdio call: stdio locks per call, so concurrent sweep jobs failing
+// at once (src/runner) produce whole, unsheared lines.
+
 [[noreturn]] inline void
 panicImpl(const char* file, int line, const char* msg)
 {
-    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    char buf[1024];
+    std::snprintf(buf, sizeof buf, "panic: %s:%d: %s\n", file, line, msg);
+    std::fputs(buf, stderr);
     std::abort();
 }
 
 [[noreturn]] inline void
 fatalImpl(const char* file, int line, const char* msg)
 {
-    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    char buf[1024];
+    std::snprintf(buf, sizeof buf, "fatal: %s:%d: %s\n", file, line, msg);
+    std::fputs(buf, stderr);
     std::exit(1);
 }
 

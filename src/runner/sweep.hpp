@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Parallel sweep engine: declarative experiment grids executed on a
+ * thread pool with deterministic results and per-job fault isolation.
+ *
+ * Three layers (docs/runner.md):
+ *
+ *  - runGrid<R>(count, fn, opts): the generic engine. Runs fn(0..count)
+ *    on a ThreadPool, captures exceptions into GridOutcome records with
+ *    one bounded retry, reports live progress on stderr, and returns
+ *    the outcomes **in grid order** — never in completion order.
+ *  - SweepSpec: a grid of RunParams points with JSON tags identifying
+ *    each point in bench reports, plus an optional base seed from which
+ *    every point derives a deterministic seed (a pure function of the
+ *    grid index — independent of thread count and scheduling).
+ *  - SweepRunner: executes a SweepSpec's points through runExperiment.
+ *
+ * Determinism contract: given the same spec, the outcome vector (and
+ * every RunResult in it) is byte-identical for any --jobs=N, because
+ * (a) each point's parameters — seed included — are fixed before any
+ * job starts, (b) jobs share no mutable state (see the audit in
+ * docs/runner.md), and (c) results are indexed by grid position.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/experiment.hpp"
+
+namespace zc {
+
+/** Execution knobs shared by runGrid and SweepRunner. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency (the --jobs flag). */
+    unsigned jobs = 0;
+
+    /** Attempts per job: 2 = one bounded retry after a failure. */
+    std::uint32_t maxAttempts = 2;
+
+    /** Live progress line on stderr (completed/total, ETA, in flight). */
+    bool progress = true;
+
+    /** Progress label; SweepRunner defaults it to the spec name. */
+    std::string label = "sweep";
+};
+
+/** One grid point's execution record; `result` is valid iff `ok`. */
+template <typename Result>
+struct GridOutcome
+{
+    std::size_t index = 0;
+    bool ok = false;
+    std::uint32_t attempts = 0;
+    std::string error; ///< per-attempt messages, empty when clean
+    Result result{};
+};
+
+namespace detail {
+
+/**
+ * Thread-safe stderr progress line. On a TTY it rewrites one line in
+ * place; in logs (CI) it prints a full line roughly every tenth of the
+ * grid. Progress is cosmetic: it never touches stdout, so text reports
+ * stay byte-identical whether it is on or off.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(std::string label, std::size_t total, bool enabled);
+    void jobStarted();
+    void jobFinished(bool ok);
+    void finish();
+
+  private:
+    void emit(bool final_line);
+    std::string eta() const;
+
+    std::string label_;
+    std::size_t total_;
+    bool enabled_;
+    bool tty_;
+    std::chrono::steady_clock::time_point start_;
+    std::mutex mx_;
+    std::size_t started_ = 0;
+    std::size_t done_ = 0;
+    std::size_t failed_ = 0;
+    std::size_t nextMark_ = 0; ///< non-TTY: next `done_` worth a line
+};
+
+unsigned defaultJobs();
+
+/** Append one attempt's failure message to an outcome's error log. */
+void appendAttemptError(std::string& log, std::uint32_t attempt,
+                        const char* what);
+
+} // namespace detail
+
+/**
+ * Run fn(index) for every index in [0, count) on @p opts.jobs workers.
+ * Returns outcomes in grid order. A job that throws is retried up to
+ * opts.maxAttempts times; a job that keeps failing yields ok == false
+ * with the captured messages, and never aborts the rest of the sweep.
+ */
+template <typename Result, typename Fn>
+std::vector<GridOutcome<Result>>
+runGrid(std::size_t count, Fn fn, const SweepOptions& opts = {})
+{
+    std::vector<GridOutcome<Result>> out(count);
+    for (std::size_t i = 0; i < count; i++) out[i].index = i;
+    if (count == 0) return out;
+
+    unsigned jobs = opts.jobs ? opts.jobs : detail::defaultJobs();
+    if (jobs > count) jobs = static_cast<unsigned>(count);
+    detail::ProgressMeter meter(opts.label, count, opts.progress);
+    {
+        ThreadPool pool(jobs, 2 * static_cast<std::size_t>(jobs));
+        for (std::size_t i = 0; i < count; i++) {
+            pool.submit([&, i] {
+                meter.jobStarted();
+                GridOutcome<Result>& o = out[i];
+                for (std::uint32_t attempt = 1;
+                     attempt <= opts.maxAttempts && !o.ok; attempt++) {
+                    o.attempts = attempt;
+                    try {
+                        o.result = fn(i);
+                        o.ok = true;
+                    } catch (const std::exception& e) {
+                        detail::appendAttemptError(o.error, attempt,
+                                                   e.what());
+                    } catch (...) {
+                        detail::appendAttemptError(o.error, attempt,
+                                                   "non-standard exception");
+                    }
+                }
+                meter.jobFinished(o.ok);
+            });
+        }
+        pool.waitIdle();
+    }
+    meter.finish();
+    return out;
+}
+
+/** Failed-job count of any outcome vector. */
+template <typename Result>
+std::size_t
+gridFailures(const std::vector<GridOutcome<Result>>& outcomes)
+{
+    std::size_t n = 0;
+    for (const auto& o : outcomes) n += o.ok ? 0 : 1;
+    return n;
+}
+
+/** One experiment in a sweep: full parameters plus identifying tags. */
+struct SweepPoint
+{
+    RunParams params;
+    JsonValue::Object tags; ///< report keys (workload, design, ...)
+};
+
+/** A declarative grid of runExperiment calls. */
+struct SweepSpec
+{
+    std::string name; ///< report/progress label
+
+    /**
+     * When nonzero, every point's RunParams::seed is overridden with
+     * pointSeed(baseSeed, index) before execution. Zero (the default)
+     * keeps the seeds the points were declared with, so ported benches
+     * reproduce their historical outputs exactly.
+     */
+    std::uint64_t baseSeed = 0;
+
+    std::vector<SweepPoint> points;
+
+    SweepPoint&
+    add(RunParams params, JsonValue::Object tags = {})
+    {
+        points.push_back(SweepPoint{std::move(params), std::move(tags)});
+        return points.back();
+    }
+
+    std::size_t size() const { return points.size(); }
+
+    /**
+     * The per-job seed derivation: splitmix64 over (base, index), a
+     * pure function of the grid position. Stable across releases —
+     * recorded results depend on it.
+     */
+    static std::uint64_t pointSeed(std::uint64_t base, std::size_t index);
+};
+
+using RunOutcome = GridOutcome<RunResult>;
+
+/**
+ * Executes a SweepSpec. Primes shared lazy singletons (the workload
+ * registry) before spawning workers, so jobs are data-race-free by
+ * construction, then fans runExperiment out through runGrid.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {}) : opts_(std::move(opts)) {}
+
+    /** Run every point; outcomes are returned in grid order. */
+    std::vector<RunOutcome> run(const SweepSpec& spec) const;
+
+    /**
+     * Print one stderr line per failed outcome (index, tags, attempts,
+     * error) and return the failure count — benches turn this into a
+     * nonzero exit code without losing the completed points.
+     */
+    static std::size_t reportFailures(const SweepSpec& spec,
+                                      const std::vector<RunOutcome>& outs);
+
+  private:
+    SweepOptions opts_;
+};
+
+} // namespace zc

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Work-stealing thread pool for coarse-grained experiment jobs.
+ *
+ * Each worker (a std::jthread) owns a bounded deque; submit()
+ * round-robins tasks across the queues and blocks when every queue is
+ * at capacity, giving natural backpressure to producers that enumerate
+ * huge grids. Workers pop their own queue front-first and steal from
+ * other queues back-first, so a worker stuck on a long simulation never
+ * strands the jobs queued behind it.
+ *
+ * The pool makes no attempt at lock-free cleverness: sweep jobs are
+ * whole cache-simulation runs (milliseconds to minutes), so queue
+ * operations are nowhere near the critical path. Tasks must not throw —
+ * fault isolation belongs to the job wrapper (see sweep.hpp), which
+ * converts exceptions into JobOutcome records; a task that nevertheless
+ * leaks an exception panics with a clear message rather than
+ * std::terminate's silence.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stop_token>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace zc {
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * @param threads        worker count; 0 = hardware concurrency.
+     * @param queue_capacity bound on queued (not yet running) tasks
+     *                       across all workers; 0 = 4 per worker.
+     */
+    explicit ThreadPool(unsigned threads = 0, std::size_t queue_capacity = 0)
+    {
+        if (threads == 0) {
+            threads = std::thread::hardware_concurrency();
+            if (threads == 0) threads = 1;
+        }
+        if (queue_capacity == 0) queue_capacity = 4 * threads;
+        perQueueCap_ = (queue_capacity + threads - 1) / threads;
+        if (perQueueCap_ == 0) perQueueCap_ = 1;
+        for (unsigned i = 0; i < threads; i++) {
+            queues_.push_back(std::make_unique<WorkQueue>());
+        }
+        for (unsigned i = 0; i < threads; i++) {
+            workers_.emplace_back(
+                [this, i](std::stop_token st) { workerLoop(st, i); });
+        }
+    }
+
+    /** Drains every submitted task, then stops and joins the workers. */
+    ~ThreadPool()
+    {
+        waitIdle();
+        for (auto& w : workers_) w.request_stop();
+        {
+            // Taking the lock orders the stop request against a worker
+            // evaluating its wait predicate, so none sleeps through it.
+            std::lock_guard<std::mutex> g(mx_);
+        }
+        workCv_.notify_all();
+        // jthread joins on destruction.
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue @p task; blocks while all worker queues are full. Safe to
+     * call from multiple producer threads.
+     */
+    void
+    submit(Task task)
+    {
+        zc_assert(task);
+        inflight_.fetch_add(1, std::memory_order_relaxed);
+        std::size_t start = rr_.fetch_add(1, std::memory_order_relaxed) %
+                            queues_.size();
+        for (;;) {
+            for (std::size_t i = 0; i < queues_.size(); i++) {
+                WorkQueue& q = *queues_[(start + i) % queues_.size()];
+                std::unique_lock<std::mutex> lk(q.mx);
+                if (q.dq.size() >= perQueueCap_) continue;
+                q.dq.push_back(std::move(task));
+                lk.unlock();
+                {
+                    std::lock_guard<std::mutex> g(mx_);
+                    queued_++;
+                }
+                workCv_.notify_one();
+                return;
+            }
+            std::unique_lock<std::mutex> lk(mx_);
+            spaceCv_.wait(lk, [this] {
+                return queued_ < queues_.size() * perQueueCap_;
+            });
+        }
+    }
+
+    /** Block until every task submitted so far has finished running. */
+    void
+    waitIdle()
+    {
+        std::unique_lock<std::mutex> lk(mx_);
+        idleCv_.wait(lk, [this] {
+            return inflight_.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+  private:
+    struct WorkQueue
+    {
+        std::mutex mx;
+        std::deque<Task> dq;
+    };
+
+    bool
+    tryTake(std::size_t self, Task& out)
+    {
+        // Own queue first (front: submission order), then steal from
+        // the other queues' tails.
+        for (std::size_t i = 0; i < queues_.size(); i++) {
+            WorkQueue& q = *queues_[(self + i) % queues_.size()];
+            std::lock_guard<std::mutex> g(q.mx);
+            if (q.dq.empty()) continue;
+            if (i == 0) {
+                out = std::move(q.dq.front());
+                q.dq.pop_front();
+            } else {
+                out = std::move(q.dq.back());
+                q.dq.pop_back();
+            }
+            return true;
+        }
+        return false;
+    }
+
+    void
+    workerLoop(std::stop_token st, std::size_t self)
+    {
+        for (;;) {
+            Task task;
+            if (tryTake(self, task)) {
+                {
+                    std::lock_guard<std::mutex> g(mx_);
+                    queued_--;
+                }
+                spaceCv_.notify_one();
+                try {
+                    task();
+                } catch (...) {
+                    zc_panic("ThreadPool task leaked an exception; wrap "
+                             "jobs with runGrid for fault isolation");
+                }
+                if (inflight_.fetch_sub(1, std::memory_order_acq_rel) ==
+                    1) {
+                    {
+                        std::lock_guard<std::mutex> g(mx_);
+                    }
+                    idleCv_.notify_all();
+                }
+                continue;
+            }
+            std::unique_lock<std::mutex> lk(mx_);
+            bool have_work =
+                workCv_.wait(lk, st, [this] { return queued_ > 0; });
+            if (!have_work) return; // stop requested with nothing queued
+        }
+    }
+
+    std::vector<std::unique_ptr<WorkQueue>> queues_;
+    std::size_t perQueueCap_ = 1;
+
+    std::mutex mx_; ///< guards queued_ and the sleep/space/idle CVs
+    std::condition_variable_any workCv_;
+    std::condition_variable spaceCv_;
+    std::condition_variable idleCv_;
+    std::size_t queued_ = 0;            ///< queued, not yet running
+    std::atomic<std::size_t> inflight_{0}; ///< queued + running
+    std::atomic<std::size_t> rr_{0};
+
+    std::vector<std::jthread> workers_; ///< last member: joins first
+};
+
+} // namespace zc

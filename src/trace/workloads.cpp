@@ -229,6 +229,13 @@ WorkloadRegistry::spec2006()
     return profiles;
 }
 
+void
+WorkloadRegistry::prime()
+{
+    all();
+    spec2006();
+}
+
 const WorkloadProfile&
 WorkloadRegistry::byName(const std::string& name)
 {

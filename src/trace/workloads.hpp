@@ -87,6 +87,16 @@ class WorkloadRegistry
     static const std::vector<WorkloadProfile>& spec2006();
 
     /**
+     * Force the lazily-built profile tables to exist. all() and
+     * spec2006() use function-local statics whose initialization is
+     * already thread-safe, but the parallel sweep runner calls this
+     * before spawning workers so no job ever blocks on (or contends
+     * for) first-use construction — lookups from worker threads are
+     * then pure reads of immutable data.
+     */
+    static void prime();
+
+    /**
      * Build core @p core_id's generator for @p profile on a
      * @p num_cores-CMP. Deterministic under @p seed.
      */
