@@ -10,7 +10,19 @@
  *
  * Every driver accepts --jobs=N (0/absent = hardware concurrency) and
  * --no-progress; the sweep engine guarantees text and JSON output are
- * identical for any N.
+ * identical for any N. Sweep drivers additionally accept
+ * --job-timeout=<seconds> (per-point watchdog), --retry-backoff-ms=<ms>
+ * (exponential retry backoff), and --journal=<path> / --resume=<path>
+ * (crash-resumable sweeps, docs/robustness.md).
+ *
+ * Exit-code protocol (docs/robustness.md):
+ *   0  every sweep point succeeded and all requested outputs were
+ *      written;
+ *   1  one or more grid points failed (their errors are on stderr and
+ *      counted under "sweep.failed" in --json output) or an output file
+ *      could not be written;
+ *   2  usage error — unknown flag value (policy/design name) or a
+ *      structured journal refusal (corrupt header, wrong grid).
  */
 
 #pragma once
@@ -70,8 +82,9 @@ banner(const std::string& title)
 }
 
 /**
- * Sweep-engine options from the shared flags: --jobs=N and
- * --no-progress. @p label names the sweep in the progress line.
+ * Sweep-engine options from the shared flags: --jobs=N, --no-progress,
+ * --job-timeout=<seconds>, --retry-backoff-ms=<ms>, --journal=<path>,
+ * --resume=<path>. @p label names the sweep in the progress line.
  */
 inline zc::SweepOptions
 sweepOptions(int argc, char** argv, const std::string& label)
@@ -80,7 +93,28 @@ sweepOptions(int argc, char** argv, const std::string& label)
     o.jobs = static_cast<unsigned>(flagU64(argc, argv, "jobs", 0));
     o.progress = !flagBool(argc, argv, "no-progress");
     o.label = label;
+    o.jobTimeoutMs = flagU64(argc, argv, "job-timeout", 0) * 1000;
+    o.retryBackoffMs = flagU64(argc, argv, "retry-backoff-ms", 0);
+    o.journalPath = flag(argc, argv, "journal", "");
+    o.resumePath = flag(argc, argv, "resume", "");
     return o;
+}
+
+/**
+ * SweepRunner::run with the structured-refusal contract of the CLI:
+ * a journal that cannot be created or resumed (corrupt header, grid
+ * fingerprint mismatch) prints the diagnostic and exits 2 — a usage
+ * error, distinct from exit 1's "some points failed".
+ */
+inline std::vector<zc::RunOutcome>
+runSweep(const zc::SweepRunner& runner, const zc::SweepSpec& spec)
+{
+    try {
+        return runner.run(spec);
+    } catch (const zc::StatusError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+    }
 }
 
 /**
@@ -149,6 +183,7 @@ class JsonReport
         if (!enabled()) return;
         sweepPoints_ += spec.size();
         for (const auto& o : outcomes) {
+            if (o.timedOut) sweepTimedOut_++;
             if (!o.ok) {
                 sweepFailed_++;
                 continue;
@@ -169,6 +204,10 @@ class JsonReport
             JsonValue sweep = JsonValue::object();
             sweep.set("points", JsonValue(std::uint64_t{sweepPoints_}));
             sweep.set("failed", JsonValue(std::uint64_t{sweepFailed_}));
+            sweep.set("timed_out", JsonValue(std::uint64_t{sweepTimedOut_}));
+            // Regression tooling keys off this single flag instead of
+            // re-deriving it from the counts.
+            sweep.set("ok", JsonValue(sweepFailed_ == 0));
             doc.set("sweep", std::move(sweep));
         }
         JsonValue arr = JsonValue::array();
@@ -192,6 +231,7 @@ class JsonReport
     std::vector<JsonValue> runs_;
     std::uint64_t sweepPoints_ = 0;
     std::uint64_t sweepFailed_ = 0;
+    std::uint64_t sweepTimedOut_ = 0;
     bool haveSweep_ = false;
 };
 

@@ -291,8 +291,14 @@ main(int argc, char** argv)
         policies = {PolicyKind::BucketedLru};
     } else if (policy_s == "opt") {
         policies = {PolicyKind::Opt};
-    } else {
+    } else if (policy_s == "both") {
         policies = {PolicyKind::Opt, PolicyKind::BucketedLru};
+    } else {
+        std::fprintf(stderr,
+                     "error: --policy=%s: unknown value (valid: lru, "
+                     "opt, both)\n",
+                     policy_s.c_str());
+        return 2;
     }
     std::vector<bool> lookups{true};
     if (!serial_only) lookups.push_back(false);
@@ -328,7 +334,7 @@ main(int argc, char** argv)
     }
 
     SweepRunner runner(benchutil::sweepOptions(argc, argv, spec.name));
-    std::vector<RunOutcome> outcomes = runner.run(spec);
+    std::vector<RunOutcome> outcomes = benchutil::runSweep(runner, spec);
     std::size_t failed = SweepRunner::reportFailures(spec, outcomes);
 
     ResultTable table;

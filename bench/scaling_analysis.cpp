@@ -86,7 +86,7 @@ main(int argc, char** argv)
     }
 
     SweepRunner runner(benchutil::sweepOptions(argc, argv, spec.name));
-    std::vector<RunOutcome> outcomes = runner.run(spec);
+    std::vector<RunOutcome> outcomes = benchutil::runSweep(runner, spec);
     std::size_t failed = SweepRunner::reportFailures(spec, outcomes);
     report.addSweep(spec, outcomes);
 

@@ -5,16 +5,28 @@
 # configurations. Pass --jobs=N to set the sweep-engine worker count
 # (default: all cores); output is byte-identical for any N
 # (docs/runner.md).
+#
+# Robustness knobs (docs/robustness.md): the long sweeps are journaled
+# to results/<name>.zcj; after a crash or Ctrl-C, rerun with --resume
+# to re-run only the missing points (output stays byte-identical).
+# --job-timeout=N bounds each sweep point to N seconds of wall clock.
+# The script fails loudly — with the failed drivers and point counts —
+# when any sweep point fails or times out.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 FULL=
 JOBS=$(nproc)
+RESUME=
+JOB_TIMEOUT=
 for arg in "$@"; do
     case "$arg" in
-        --full)    FULL=--full ;;
-        --jobs=*)  JOBS=${arg#--jobs=} ;;
-        *) echo "usage: $0 [--full] [--jobs=N]" >&2; exit 2 ;;
+        --full)           FULL=--full ;;
+        --jobs=*)         JOBS=${arg#--jobs=} ;;
+        --resume)         RESUME=1 ;;
+        --job-timeout=*)  JOB_TIMEOUT=${arg#--job-timeout=} ;;
+        *) echo "usage: $0 [--full] [--jobs=N] [--resume] [--job-timeout=seconds]" >&2
+           exit 2 ;;
     esac
 done
 
@@ -26,13 +38,50 @@ mkdir -p results
 echo "== tests =="
 ctest --test-dir build --output-on-failure | tee results/tests.txt
 
+# Refuse to continue past a driver whose sweep lost points: the JSON
+# report carries a sweep.ok flag exactly for this check.
+check_sweep_ok() {
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sweep = doc.get('sweep')
+if sweep is not None and not sweep.get('ok', True):
+    sys.exit(f"error: {sys.argv[2]}: {sweep['failed']} sweep point(s) "
+             f"failed, {sweep.get('timed_out', 0)} of them timed out — "
+             f"per-point diagnostics are on stderr above")
+EOF
+}
+
 # Benches get text into results/<name>.txt and, via --json, the runs'
 # full stats trees into results/<name>.json (docs/observability.md).
 run() {
     local name=$1
     shift
     echo "== $name =="
-    "$@" "--jobs=$JOBS" "--json=results/$name.json" | tee "results/$name.txt"
+    if ! "$@" "--jobs=$JOBS" "--json=results/$name.json" \
+            | tee "results/$name.txt"; then
+        echo "error: $name exited nonzero — failed sweep points or an" \
+             "unwritable output (see results/$name.txt)" >&2
+        exit 1
+    fi
+    check_sweep_ok "results/$name.json" "$name"
+}
+
+# SweepRunner-based drivers additionally get a crash-resume journal
+# (and the per-point watchdog when requested).
+run_sweep() {
+    local name=$1
+    shift
+    local extra=()
+    if [ -n "$RESUME" ]; then
+        extra+=("--resume=results/$name.zcj")
+    else
+        extra+=("--journal=results/$name.zcj")
+    fi
+    if [ -n "$JOB_TIMEOUT" ]; then
+        extra+=("--job-timeout=$JOB_TIMEOUT")
+    fi
+    run "$name" "$@" "${extra[@]}"
 }
 
 run fig2_uniformity          ./build/bench/fig2_uniformity
@@ -40,12 +89,12 @@ run table2_cache_costs       ./build/bench/table2_cache_costs
 
 if [ "$FULL" = "--full" ]; then
     run fig3_assoc_distributions ./build/bench/fig3_assoc_distributions --full
-    run fig4_fig5_performance    ./build/bench/fig4_fig5_performance --workloads=all
-    run bandwidth_analysis       ./build/bench/bandwidth_analysis --workloads=all
+    run_sweep fig4_fig5_performance ./build/bench/fig4_fig5_performance --workloads=all
+    run_sweep bandwidth_analysis    ./build/bench/bandwidth_analysis --workloads=all
 else
     run fig3_assoc_distributions ./build/bench/fig3_assoc_distributions
-    run fig4_fig5_performance    ./build/bench/fig4_fig5_performance
-    run bandwidth_analysis       ./build/bench/bandwidth_analysis
+    run_sweep fig4_fig5_performance ./build/bench/fig4_fig5_performance
+    run_sweep bandwidth_analysis    ./build/bench/bandwidth_analysis
 fi
 
 run ablation_walk            ./build/bench/ablation_walk

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -18,7 +19,9 @@
 #include "cache/victim_cache_array.hpp"
 #include "cache/vway_array.hpp"
 #include "cache/z_array.hpp"
+#include "common/bitops.hpp"
 #include "common/log.hpp"
+#include "common/status.hpp"
 #include "hash/hash_factory.hpp"
 #include "replacement/policy_factory.hpp"
 
@@ -35,6 +38,50 @@ enum class ArrayKind {
     VWay,             ///< oversized tag array + indirection (Section II-B)
     ColumnAssoc,      ///< direct-mapped + rehash location (Section II-B)
 };
+
+inline const char*
+arrayKindName(ArrayKind k)
+{
+    switch (k) {
+      case ArrayKind::SetAssoc: return "set-assoc";
+      case ArrayKind::SkewAssoc: return "skew-assoc";
+      case ArrayKind::ZCache: return "zcache";
+      case ArrayKind::FullyAssoc: return "fully-assoc";
+      case ArrayKind::RandomCandidates: return "random-candidates";
+      case ArrayKind::VictimCache: return "victim-cache";
+      case ArrayKind::VWay: return "vway";
+      case ArrayKind::ColumnAssoc: return "column-assoc";
+    }
+    return "?";
+}
+
+/** Every ArrayKind, for name listings and parse diagnostics. */
+inline constexpr std::array<ArrayKind, 8> kAllArrayKinds{
+    ArrayKind::SetAssoc,    ArrayKind::SkewAssoc,
+    ArrayKind::ZCache,      ArrayKind::FullyAssoc,
+    ArrayKind::RandomCandidates, ArrayKind::VictimCache,
+    ArrayKind::VWay,        ArrayKind::ColumnAssoc,
+};
+
+/**
+ * Parse an array-design name (the strings arrayKindName emits);
+ * unknown names yield a structured NotFound error listing every valid
+ * name.
+ */
+inline Expected<ArrayKind>
+parseArrayKind(const std::string& name)
+{
+    for (ArrayKind k : kAllArrayKinds) {
+        if (name == arrayKindName(k)) return k;
+    }
+    std::string valid;
+    for (ArrayKind k : kAllArrayKinds) {
+        if (!valid.empty()) valid += ", ";
+        valid += arrayKindName(k);
+    }
+    return Status::notFound("array: unknown design '" + name +
+                            "' (valid: " + valid + ")");
+}
 
 /** Compact description of an array + policy configuration. */
 struct ArraySpec
@@ -94,9 +141,97 @@ struct ArraySpec
     }
 };
 
+/**
+ * Field-level validation of an ArraySpec against the constraints the
+ * array constructors enforce, with diagnostics naming the offending
+ * field and value. makeArray runs this first, so an impossible
+ * configuration surfaces as a recoverable StatusError — one failed
+ * sweep point — instead of an assertion abort.
+ */
+inline Status
+validateSpec(const ArraySpec& spec)
+{
+    const std::string kind = arrayKindName(spec.kind);
+    auto bad = [&](const std::string& msg) {
+        return Status::invalidArgument("array spec (" + kind + "): " + msg);
+    };
+
+    if (spec.blocks == 0) return bad("blocks must be > 0");
+
+    bool uses_ways = spec.kind == ArrayKind::SetAssoc ||
+                     spec.kind == ArrayKind::SkewAssoc ||
+                     spec.kind == ArrayKind::ZCache ||
+                     spec.kind == ArrayKind::VictimCache ||
+                     spec.kind == ArrayKind::VWay;
+    if (uses_ways) {
+        if (spec.ways == 0) return bad("ways must be > 0");
+        if (spec.kind != ArrayKind::VWay && spec.blocks % spec.ways != 0) {
+            return bad("blocks (" + std::to_string(spec.blocks) +
+                       ") must be divisible by ways (" +
+                       std::to_string(spec.ways) + ")");
+        }
+    }
+
+    switch (spec.kind) {
+      case ArrayKind::SkewAssoc:
+      case ArrayKind::ZCache: {
+        if (spec.ways < 2) {
+            return bad("ways (" + std::to_string(spec.ways) +
+                       ") must be >= 2 — one hashed way per candidate "
+                       "path");
+        }
+        if (spec.kind == ArrayKind::ZCache && spec.levels == 0) {
+            return bad("levels must be >= 1");
+        }
+        std::uint32_t lines_per_way = spec.blocks / spec.ways;
+        if (!isPow2(lines_per_way)) {
+            return bad("blocks/ways (" + std::to_string(lines_per_way) +
+                       ") must be a power of two");
+        }
+        break;
+      }
+      case ArrayKind::RandomCandidates:
+        if (spec.candidates == 0) return bad("candidates must be > 0");
+        if (spec.candidates > spec.blocks) {
+            return bad("candidates (" + std::to_string(spec.candidates) +
+                       ") must not exceed blocks (" +
+                       std::to_string(spec.blocks) + ")");
+        }
+        break;
+      case ArrayKind::VictimCache:
+        if (spec.victimBlocks == 0) {
+            return bad("victimBlocks must be > 0");
+        }
+        break;
+      case ArrayKind::VWay: {
+        if (spec.tagRatio == 0) return bad("tagRatio must be >= 1");
+        if (spec.candidates == 0) return bad("candidates must be > 0");
+        std::uint64_t tag_entries =
+            static_cast<std::uint64_t>(spec.blocks) * spec.tagRatio;
+        if (tag_entries % spec.ways != 0) {
+            return bad("blocks*tagRatio (" + std::to_string(tag_entries) +
+                       ") must be divisible by ways (" +
+                       std::to_string(spec.ways) + ")");
+        }
+        break;
+      }
+      case ArrayKind::ColumnAssoc:
+        if (spec.blocks < 2 || !isPow2(spec.blocks)) {
+            return bad("blocks (" + std::to_string(spec.blocks) +
+                       ") must be a power of two >= 2");
+        }
+        break;
+      case ArrayKind::SetAssoc:
+      case ArrayKind::FullyAssoc:
+        break;
+    }
+    return Status::ok();
+}
+
 inline std::unique_ptr<CacheArray>
 makeArray(const ArraySpec& spec)
 {
+    throwIfError(validateSpec(spec));
     std::uint32_t policy_blocks = spec.blocks;
     if (spec.kind == ArrayKind::VictimCache) {
         policy_blocks += spec.victimBlocks; // policy spans both arrays
@@ -104,7 +239,6 @@ makeArray(const ArraySpec& spec)
     auto policy = makePolicy(spec.policy, policy_blocks, spec.seed ^ 0x9d2c);
     switch (spec.kind) {
       case ArrayKind::SetAssoc: {
-        zc_assert(spec.blocks % spec.ways == 0);
         auto hash = makeHash(spec.hashKind, spec.blocks / spec.ways,
                              spec.seed);
         return std::make_unique<SetAssociativeArray>(
@@ -133,7 +267,6 @@ makeArray(const ArraySpec& spec)
         return std::make_unique<RandomCandidatesArray>(
             spec.blocks, spec.candidates, std::move(policy), spec.seed);
       case ArrayKind::VictimCache: {
-        zc_assert(spec.blocks % spec.ways == 0);
         auto hash = makeHash(spec.hashKind, spec.blocks / spec.ways,
                              spec.seed);
         return std::make_unique<VictimCacheArray>(

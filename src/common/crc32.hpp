@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding
+ * trace-file payloads (trace/trace_io.cpp) and sweep-journal records
+ * (runner/journal.cpp). Table-driven, incremental-friendly: feed
+ * chunks through Crc32::update and call value() at the end.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace zc {
+
+class Crc32
+{
+  public:
+    /** One-shot convenience over a contiguous buffer. */
+    static std::uint32_t
+    of(const void* data, std::size_t len)
+    {
+        Crc32 c;
+        c.update(data, len);
+        return c.value();
+    }
+
+    static std::uint32_t
+    of(std::string_view s)
+    {
+        return of(s.data(), s.size());
+    }
+
+    void
+    update(const void* data, std::size_t len)
+    {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        std::uint32_t crc = state_;
+        for (std::size_t i = 0; i < len; i++) {
+            crc = table()[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+        }
+        state_ = crc;
+    }
+
+    /** The finalized checksum of everything fed so far. */
+    std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+    void reset() { state_ = 0xffffffffu; }
+
+  private:
+    static const std::array<std::uint32_t, 256>&
+    table()
+    {
+        static const std::array<std::uint32_t, 256> t = [] {
+            std::array<std::uint32_t, 256> out{};
+            for (std::uint32_t i = 0; i < 256; i++) {
+                std::uint32_t c = i;
+                for (int k = 0; k < 8; k++) {
+                    c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+                }
+                out[i] = c;
+            }
+            return out;
+        }();
+        return t;
+    }
+
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+} // namespace zc

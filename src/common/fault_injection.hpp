@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Deterministic, seedable fault injection for exercising error paths.
+ *
+ * Library code marks recoverable failure sites with a named probe:
+ *
+ *     if (ZC_INJECT_FAULT("trace.read.short_read")) { ...fail path... }
+ *
+ * Sites are compiled in unconditionally but cost a single relaxed
+ * atomic load while nothing is enabled — the registry is armed only
+ * when a test calls FaultInjection::enable(). Firing is a pure
+ * function of the per-site hit counter and the FaultSpec (including
+ * the seeded probabilistic mode), so a failing test reproduces
+ * exactly under any scheduling.
+ *
+ * The site catalog lives in docs/robustness.md; tests use ScopedFault
+ * so a throwing assertion can never leave a site armed for the next
+ * test.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace zc {
+
+/** When and how often an enabled site fails. */
+struct FaultSpec
+{
+    /** Hits to let through before the first failure (0 = fail at once). */
+    std::uint64_t afterHits = 0;
+
+    /** Failures to inject once firing starts; 0 = every later hit. */
+    std::uint64_t failCount = 1;
+
+    /** Probability an eligible hit fails (seeded, deterministic). */
+    double probability = 1.0;
+
+    std::uint64_t seed = 1;
+};
+
+class FaultInjection
+{
+  public:
+    /** Fast gate: false whenever no site is enabled. */
+    static bool
+    armed()
+    {
+        return armedSites().load(std::memory_order_relaxed) > 0;
+    }
+
+    static void
+    enable(const std::string& site, FaultSpec spec = {})
+    {
+        std::lock_guard<std::mutex> g(mx());
+        auto [it, inserted] = sites().try_emplace(site);
+        if (inserted) armedSites().fetch_add(1, std::memory_order_relaxed);
+        it->second = SiteState{spec, 0, 0};
+    }
+
+    static void
+    disable(const std::string& site)
+    {
+        std::lock_guard<std::mutex> g(mx());
+        if (sites().erase(site) > 0) {
+            armedSites().fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+
+    static void
+    resetAll()
+    {
+        std::lock_guard<std::mutex> g(mx());
+        armedSites().fetch_sub(
+            static_cast<std::int64_t>(sites().size()),
+            std::memory_order_relaxed);
+        sites().clear();
+    }
+
+    /** Times an enabled @p site was consulted (0 when not enabled). */
+    static std::uint64_t
+    hitCount(const std::string& site)
+    {
+        std::lock_guard<std::mutex> g(mx());
+        auto it = sites().find(site);
+        return it == sites().end() ? 0 : it->second.hits;
+    }
+
+    /**
+     * Slow path behind ZC_INJECT_FAULT: count the hit and decide.
+     * Never called while no site is enabled.
+     */
+    static bool
+    shouldFail(const char* site)
+    {
+        std::lock_guard<std::mutex> g(mx());
+        auto it = sites().find(site);
+        if (it == sites().end()) return false;
+        SiteState& s = it->second;
+        std::uint64_t hit = s.hits++;
+        if (hit < s.spec.afterHits) return false;
+        if (s.spec.failCount != 0 && s.failures >= s.spec.failCount) {
+            return false;
+        }
+        if (s.spec.probability < 1.0 &&
+            toUnit(mix(s.spec.seed, hit)) >= s.spec.probability) {
+            return false;
+        }
+        s.failures++;
+        return true;
+    }
+
+  private:
+    struct SiteState
+    {
+        FaultSpec spec;
+        std::uint64_t hits = 0;
+        std::uint64_t failures = 0;
+    };
+
+    static std::uint64_t
+    mix(std::uint64_t seed, std::uint64_t n)
+    {
+        // splitmix64 over (seed, hit index): deterministic per site.
+        std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (n + 1);
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    static double
+    toUnit(std::uint64_t x)
+    {
+        return static_cast<double>(x >> 11) * 0x1.0p-53;
+    }
+
+    static std::atomic<std::int64_t>&
+    armedSites()
+    {
+        static std::atomic<std::int64_t> n{0};
+        return n;
+    }
+
+    static std::mutex&
+    mx()
+    {
+        static std::mutex m;
+        return m;
+    }
+
+    static std::map<std::string, SiteState>&
+    sites()
+    {
+        static std::map<std::string, SiteState> s;
+        return s;
+    }
+};
+
+/** RAII enable/disable for tests; never leaks an armed site. */
+class ScopedFault
+{
+  public:
+    explicit ScopedFault(std::string site, FaultSpec spec = {})
+        : site_(std::move(site))
+    {
+        FaultInjection::enable(site_, spec);
+    }
+
+    ~ScopedFault() { FaultInjection::disable(site_); }
+
+    ScopedFault(const ScopedFault&) = delete;
+    ScopedFault& operator=(const ScopedFault&) = delete;
+
+  private:
+    std::string site_;
+};
+
+} // namespace zc
+
+#define ZC_INJECT_FAULT(site)                                               \
+    (::zc::FaultInjection::armed() &&                                       \
+     ::zc::FaultInjection::shouldFail(site))

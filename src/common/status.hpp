@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Structured, recoverable errors: zc::Status and zc::Expected<T>.
+ *
+ * The repo's error-handling contract (docs/robustness.md):
+ *
+ *  - zc_panic  — a library invariant was violated (a bug). Aborts.
+ *  - zc_fatal  — reserved for truly unrecoverable process state.
+ *  - Status / Expected<T> — everything a caller could plausibly
+ *    recover from: malformed trace files, invalid configurations,
+ *    unknown factory names, journal corruption, job timeouts. These
+ *    carry a machine-checkable code plus a precise human diagnostic
+ *    (field name, file path, byte offset), so a sweep can record the
+ *    failure and keep going instead of killing hours of grid points.
+ *
+ * Deep call stacks (runExperiment -> makeArray -> ...) propagate a
+ * Status by throwing StatusError, which the sweep engine's per-job
+ * fault isolation (runner/sweep.hpp) catches and converts into a
+ * GridOutcome record. Leaf APIs (TraceIo, parse helpers, validate())
+ * return Status / Expected directly.
+ */
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/log.hpp"
+
+namespace zc {
+
+/** Machine-checkable failure category. */
+enum class ErrorCode {
+    Ok = 0,
+    InvalidArgument, ///< caller passed an impossible configuration
+    NotFound,        ///< unknown name (workload, policy, file, ...)
+    IoError,         ///< open/read/write/sync failure
+    Corruption,      ///< integrity check failed (CRC, framing, magic)
+    Truncated,       ///< input ends before its declared length
+    Unsupported,     ///< recognized but unhandled (e.g. future version)
+    ResourceExhausted, ///< allocation or capacity limit hit
+    Timeout,         ///< watchdog cancelled the operation
+    Internal,        ///< "should not happen" reachable from user input
+};
+
+inline const char*
+errorCodeName(ErrorCode c)
+{
+    switch (c) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::InvalidArgument: return "invalid-argument";
+      case ErrorCode::NotFound: return "not-found";
+      case ErrorCode::IoError: return "io-error";
+      case ErrorCode::Corruption: return "corruption";
+      case ErrorCode::Truncated: return "truncated";
+      case ErrorCode::Unsupported: return "unsupported";
+      case ErrorCode::ResourceExhausted: return "resource-exhausted";
+      case ErrorCode::Timeout: return "timeout";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+/**
+ * The result of an operation that can fail recoverably: an ErrorCode
+ * plus a complete diagnostic message. Cheap to move, comparable by
+ * code. An ok() Status carries no message.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    Status() = default;
+
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    static Status
+    invalidArgument(std::string msg)
+    {
+        return Status(ErrorCode::InvalidArgument, std::move(msg));
+    }
+
+    static Status
+    notFound(std::string msg)
+    {
+        return Status(ErrorCode::NotFound, std::move(msg));
+    }
+
+    static Status
+    ioError(std::string msg)
+    {
+        return Status(ErrorCode::IoError, std::move(msg));
+    }
+
+    static Status
+    corruption(std::string msg)
+    {
+        return Status(ErrorCode::Corruption, std::move(msg));
+    }
+
+    static Status
+    truncated(std::string msg)
+    {
+        return Status(ErrorCode::Truncated, std::move(msg));
+    }
+
+    static Status
+    unsupported(std::string msg)
+    {
+        return Status(ErrorCode::Unsupported, std::move(msg));
+    }
+
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return Status(ErrorCode::ResourceExhausted, std::move(msg));
+    }
+
+    static Status
+    timeout(std::string msg)
+    {
+        return Status(ErrorCode::Timeout, std::move(msg));
+    }
+
+    static Status
+    internal(std::string msg)
+    {
+        return Status(ErrorCode::Internal, std::move(msg));
+    }
+
+    bool isOk() const { return code_ == ErrorCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    ErrorCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "code: message" — what diagnostics and GridOutcome errors show. */
+    std::string
+    str() const
+    {
+        if (isOk()) return "ok";
+        return std::string(errorCodeName(code_)) + ": " + message_;
+    }
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Exception wrapper carrying a Status through call stacks that cannot
+ * thread return values (runExperiment and below). The sweep engine
+ * recognizes it: InvalidArgument / NotFound / Unsupported outcomes are
+ * permanent (no retry), Timeout marks the point as watchdog-cancelled.
+ */
+class StatusError : public std::runtime_error
+{
+  public:
+    explicit StatusError(Status status)
+        : std::runtime_error(status.str()), status_(std::move(status))
+    {
+    }
+
+    const Status& status() const { return status_; }
+    ErrorCode code() const { return status_.code(); }
+
+  private:
+    Status status_;
+};
+
+/** Throw StatusError iff @p s is an error; no-op on ok. */
+inline void
+throwIfError(Status s)
+{
+    if (!s.isOk()) throw StatusError(std::move(s));
+}
+
+/**
+ * Either a T or the Status explaining why there is none. The repo's
+ * lightweight stand-in for std::expected (C++23).
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    Expected(T value) : v_(std::move(value)) {}
+    Expected(Status status) : v_(std::move(status))
+    {
+        zc_assert(!std::get<Status>(v_).isOk());
+    }
+
+    bool hasValue() const { return v_.index() == 0; }
+    explicit operator bool() const { return hasValue(); }
+
+    /** The value; asserts on error (check first, or use valueOrThrow). */
+    T&
+    value()
+    {
+        zc_assert(hasValue());
+        return std::get<T>(v_);
+    }
+
+    const T&
+    value() const
+    {
+        zc_assert(hasValue());
+        return std::get<T>(v_);
+    }
+
+    T& operator*() { return value(); }
+    const T& operator*() const { return value(); }
+    T* operator->() { return &value(); }
+    const T* operator->() const { return &value(); }
+
+    /** The error; Status::ok() when a value is present. */
+    Status
+    status() const
+    {
+        return hasValue() ? Status::ok() : std::get<Status>(v_);
+    }
+
+    /** Move the value out, or throw the carried Status as StatusError. */
+    T
+    valueOrThrow() &&
+    {
+        if (!hasValue()) throw StatusError(std::get<Status>(v_));
+        return std::move(std::get<T>(v_));
+    }
+
+    T
+    valueOr(T fallback) &&
+    {
+        return hasValue() ? std::move(std::get<T>(v_))
+                          : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, Status> v_;
+};
+
+} // namespace zc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cooperative per-job wall-clock watchdog.
+ *
+ * The sweep engine arms a thread-local deadline around each grid job
+ * (--job-timeout, runner/sweep.hpp); long-running simulation loops
+ * call JobWatchdog::checkpoint() at natural boundaries (CmpSystem::run
+ * iterations, OPT trace pre-generation). When the deadline passes, the
+ * checkpoint throws StatusError(Timeout), unwinding the job cleanly —
+ * the pool worker survives, the point is recorded as hung, and the
+ * sweep continues. Cancellation is cooperative by design: killing a
+ * compute-bound thread non-cooperatively would leak the shared pool.
+ *
+ * checkpoint() costs a thread_local bool test while disarmed, and
+ * consults the clock only every kCheckInterval calls while armed.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace zc {
+
+class JobWatchdog
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Arm this thread's deadline @p timeout_ms from now. */
+    static void
+    arm(std::uint64_t timeout_ms)
+    {
+        state().deadline =
+            Clock::now() + std::chrono::milliseconds(timeout_ms);
+        state().timeoutMs = timeout_ms;
+        state().calls = 0;
+        state().armed = true;
+    }
+
+    static void disarm() { state().armed = false; }
+
+    static bool armed() { return state().armed; }
+
+    /** True iff armed and past the deadline (no throw). */
+    static bool
+    expired()
+    {
+        return state().armed && Clock::now() >= state().deadline;
+    }
+
+    /**
+     * Throw StatusError(Timeout) if this thread's deadline has passed.
+     * Cheap enough for per-iteration use in simulation loops.
+     */
+    static void
+    checkpoint()
+    {
+        State& s = state();
+        if (!s.armed) return;
+        if (++s.calls % kCheckInterval != 0) return;
+        if (Clock::now() < s.deadline) return;
+        throw StatusError(Status::timeout(
+            "job exceeded its " + std::to_string(s.timeoutMs) +
+            " ms wall-clock budget (cancelled by the watchdog)"));
+    }
+
+  private:
+    /** Clock polls are amortized over this many checkpoint() calls. */
+    static constexpr std::uint64_t kCheckInterval = 256;
+
+    struct State
+    {
+        bool armed = false;
+        Clock::time_point deadline{};
+        std::uint64_t timeoutMs = 0;
+        std::uint64_t calls = 0;
+    };
+
+    static State&
+    state()
+    {
+        thread_local State s;
+        return s;
+    }
+};
+
+/** RAII arm/disarm; 0 ms means "no deadline" (stays disarmed). */
+class ScopedWatchdog
+{
+  public:
+    explicit ScopedWatchdog(std::uint64_t timeout_ms)
+    {
+        if (timeout_ms > 0) JobWatchdog::arm(timeout_ms);
+    }
+
+    ~ScopedWatchdog() { JobWatchdog::disarm(); }
+
+    ScopedWatchdog(const ScopedWatchdog&) = delete;
+    ScopedWatchdog& operator=(const ScopedWatchdog&) = delete;
+};
+
+} // namespace zc

@@ -5,12 +5,14 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/status.hpp"
 #include "hash/bit_select_hash.hpp"
 #include "hash/folded_xor_hash.hpp"
 #include "hash/h3_hash.hpp"
@@ -40,6 +42,31 @@ hashKindName(HashKind k)
       case HashKind::Sha1: return "sha1";
     }
     return "?";
+}
+
+/** Every HashKind, for name listings and parse diagnostics. */
+inline constexpr std::array<HashKind, 5> kAllHashKinds{
+    HashKind::BitSelect, HashKind::FoldedXor, HashKind::H3,
+    HashKind::Strong, HashKind::Sha1,
+};
+
+/**
+ * Parse a hash-family name (the strings hashKindName emits); unknown
+ * names yield a structured NotFound error listing every valid name.
+ */
+inline Expected<HashKind>
+parseHashKind(const std::string& name)
+{
+    for (HashKind k : kAllHashKinds) {
+        if (name == hashKindName(k)) return k;
+    }
+    std::string valid;
+    for (HashKind k : kAllHashKinds) {
+        if (!valid.empty()) valid += ", ";
+        valid += hashKindName(k);
+    }
+    return Status::notFound("hash: unknown family '" + name +
+                            "' (valid: " + valid + ")");
 }
 
 /** Build a single hash function of the given kind. */

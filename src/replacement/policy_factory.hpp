@@ -5,11 +5,13 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "common/log.hpp"
+#include "common/status.hpp"
 #include "replacement/bip.hpp"
 #include "replacement/bucketed_lru.hpp"
 #include "replacement/lfu.hpp"
@@ -49,9 +51,40 @@ policyKindName(PolicyKind k)
     return "?";
 }
 
+/** Every PolicyKind, for name listings and parse diagnostics. */
+inline constexpr std::array<PolicyKind, 8> kAllPolicyKinds{
+    PolicyKind::Lru,  PolicyKind::BucketedLru, PolicyKind::Lfu,
+    PolicyKind::Random, PolicyKind::Opt,       PolicyKind::Nru,
+    PolicyKind::Srrip, PolicyKind::Bip,
+};
+
+/**
+ * Parse a policy name (the strings policyKindName emits). Unknown
+ * names yield a structured NotFound error listing every valid name —
+ * what CLI flags and config files surface to the user.
+ */
+inline Expected<PolicyKind>
+parsePolicyKind(const std::string& name)
+{
+    for (PolicyKind k : kAllPolicyKinds) {
+        if (name == policyKindName(k)) return k;
+    }
+    std::string valid;
+    for (PolicyKind k : kAllPolicyKinds) {
+        if (!valid.empty()) valid += ", ";
+        valid += policyKindName(k);
+    }
+    return Status::notFound("policy: unknown name '" + name +
+                            "' (valid: " + valid + ")");
+}
+
 inline std::unique_ptr<ReplacementPolicy>
 makePolicy(PolicyKind kind, std::uint32_t num_blocks, std::uint64_t seed = 1)
 {
+    if (num_blocks == 0) {
+        throw StatusError(Status::invalidArgument(
+            "policy: num_blocks must be > 0 (got 0)"));
+    }
     switch (kind) {
       case PolicyKind::Lru:
         return std::make_unique<LruPolicy>(num_blocks);

@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include "runner/journal.hpp"
 #include "trace/workloads.hpp"
 
 namespace zc {
@@ -146,16 +147,92 @@ SweepRunner::run(const SweepSpec& spec) const
 
     SweepOptions opts = opts_;
     if (!spec.name.empty()) opts.label = spec.name;
-    return runGrid<RunResult>(
-        spec.points.size(),
-        [&spec](std::size_t i) {
-            RunParams p = spec.points[i].params;
-            if (spec.baseSeed != 0) {
-                p.seed = SweepSpec::pointSeed(spec.baseSeed, i);
+
+    auto point = [&spec](std::size_t i) {
+        RunParams p = spec.points[i].params;
+        if (spec.baseSeed != 0) {
+            p.seed = SweepSpec::pointSeed(spec.baseSeed, i);
+        }
+        return runExperiment(p);
+    };
+
+    if (opts.journalPath.empty() && opts.resumePath.empty()) {
+        return runGrid<RunResult>(spec.points.size(), point, opts);
+    }
+
+    // Journaled path. Resume loads the completed points first; both
+    // paths then stream every newly finished point to disk.
+    const std::string path =
+        !opts.resumePath.empty() ? opts.resumePath : opts.journalPath;
+    bool resuming =
+        !opts.resumePath.empty() && ::access(path.c_str(), F_OK) == 0;
+    // The journaling happens here, through runGrid's outcome hook —
+    // strip the paths so the generic engine does not warn about them.
+    opts.journalPath.clear();
+    opts.resumePath.clear();
+
+    std::vector<RunOutcome> out(spec.size());
+    for (std::size_t i = 0; i < spec.size(); i++) out[i].index = i;
+    std::vector<char> done(spec.size(), 0);
+
+    SweepJournal journal;
+    if (resuming) {
+        auto resumed = SweepJournal::resume(path, spec);
+        if (!resumed.hasValue()) throw StatusError(resumed.status());
+        journal = std::move(resumed->journal);
+        for (SweepJournal::Entry& e : resumed->entries) {
+            RunOutcome& o = out[e.index];
+            o.ok = e.ok;
+            o.attempts = e.attempts;
+            o.timedOut = e.timedOut;
+            o.error = std::move(e.error);
+            o.result = std::move(e.result);
+            done[e.index] = 1;
+        }
+    } else {
+        auto fresh = SweepJournal::create(path, spec);
+        if (!fresh.hasValue()) throw StatusError(fresh.status());
+        journal = std::move(*fresh);
+    }
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < spec.size(); i++) {
+        if (!done[i]) pending.push_back(i);
+    }
+
+    // A journal append failure (disk full, injected fault) must not
+    // kill the sweep — the run's results are still good, only the
+    // ability to resume is lost. Warn once and keep going.
+    bool append_failed = false;
+    auto sub = runGrid<RunResult>(
+        pending.size(), [&](std::size_t j) { return point(pending[j]); },
+        opts, [&](const GridOutcome<RunResult>& so) {
+            SweepJournal::Entry e;
+            e.index = pending[so.index];
+            e.ok = so.ok;
+            e.attempts = so.attempts;
+            e.timedOut = so.timedOut;
+            e.error = so.error;
+            if (so.ok) e.result = so.result;
+            if (Status s = journal.append(e);
+                !s.isOk() && !append_failed) {
+                append_failed = true;
+                std::fprintf(stderr,
+                             "warning: sweep journaling lost (resume "
+                             "will re-run later points): %s\n",
+                             s.str().c_str());
             }
-            return runExperiment(p);
-        },
-        opts);
+        });
+
+    for (auto& so : sub) {
+        RunOutcome& o = out[pending[so.index]];
+        o.ok = so.ok;
+        o.attempts = so.attempts;
+        o.timedOut = so.timedOut;
+        o.error = std::move(so.error);
+        o.result = std::move(so.result);
+    }
+    return out;
 }
 
 std::size_t
@@ -174,9 +251,10 @@ SweepRunner::reportFailures(const SweepSpec& spec,
             }
         }
         std::fprintf(stderr,
-                     "sweep '%s': point %zu {%s} failed after %" PRIu32
-                     " attempts: %s\n",
-                     spec.name.c_str(), o.index, tags.c_str(), o.attempts,
+                     "sweep '%s': point %zu {%s} %s after %" PRIu32
+                     " attempt(s): %s\n",
+                     spec.name.c_str(), o.index, tags.c_str(),
+                     o.timedOut ? "timed out" : "failed", o.attempts,
                      o.error.c_str());
     }
     return failures;

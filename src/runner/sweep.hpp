@@ -27,12 +27,17 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/status.hpp"
+#include "common/watchdog.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
 
@@ -52,6 +57,32 @@ struct SweepOptions
 
     /** Progress label; SweepRunner defaults it to the spec name. */
     std::string label = "sweep";
+
+    /**
+     * Per-attempt wall-clock budget in milliseconds (--job-timeout).
+     * Armed as a cooperative JobWatchdog around each attempt; a job
+     * that blows it is recorded with timedOut set and never retried
+     * (a hung job would just hang again). 0 = no deadline.
+     */
+    std::uint64_t jobTimeoutMs = 0;
+
+    /**
+     * Exponential backoff before retries: attempt n sleeps
+     * retryBackoffMs * 2^(n-2) ms first. 0 (default) retries
+     * immediately — transient failures inside a single process rarely
+     * need a pause, but fault-injection and flaky-I/O sweeps do.
+     */
+    std::uint64_t retryBackoffMs = 0;
+
+    /**
+     * Crash-resume journal (runner/journal.hpp), SweepRunner only.
+     * journalPath starts a fresh journal (truncating any existing
+     * file); resumePath loads completed points from an existing
+     * journal first — or starts fresh when the file does not exist —
+     * then appends. Setting both is allowed; resumePath wins.
+     */
+    std::string journalPath;
+    std::string resumePath;
 };
 
 /** One grid point's execution record; `result` is valid iff `ok`. */
@@ -61,7 +92,8 @@ struct GridOutcome
     std::size_t index = 0;
     bool ok = false;
     std::uint32_t attempts = 0;
-    std::string error; ///< per-attempt messages, empty when clean
+    bool timedOut = false; ///< cancelled by the per-job watchdog
+    std::string error;     ///< per-attempt messages, empty when clean
     Result result{};
 };
 
@@ -103,25 +135,56 @@ unsigned defaultJobs();
 void appendAttemptError(std::string& log, std::uint32_t attempt,
                         const char* what);
 
+/**
+ * Failure categories that no amount of retrying fixes: the same
+ * impossible configuration or unknown name fails identically every
+ * attempt, so the engine records them after one try.
+ */
+inline bool
+isPermanentError(ErrorCode c)
+{
+    return c == ErrorCode::InvalidArgument || c == ErrorCode::NotFound ||
+           c == ErrorCode::Unsupported;
+}
+
 } // namespace detail
 
 /**
  * Run fn(index) for every index in [0, count) on @p opts.jobs workers.
- * Returns outcomes in grid order. A job that throws is retried up to
- * opts.maxAttempts times; a job that keeps failing yields ok == false
- * with the captured messages, and never aborts the rest of the sweep.
+ * Returns outcomes in grid order. A job that throws is retried (with
+ * exponential backoff when opts.retryBackoffMs is set) up to
+ * opts.maxAttempts times — except permanent errors (invalid-argument,
+ * not-found, unsupported), which fail once, and watchdog timeouts,
+ * which mark the outcome timedOut and are never retried. A job that
+ * keeps failing yields ok == false with every attempt's message, and
+ * never aborts the rest of the sweep.
+ *
+ * @p onOutcome, when set, is invoked once per finished job — success
+ * or failure — serialized under an internal mutex, in completion
+ * order. The sweep journal hooks in here; anything slow in the hook
+ * throttles the whole pool.
  */
 template <typename Result, typename Fn>
 std::vector<GridOutcome<Result>>
-runGrid(std::size_t count, Fn fn, const SweepOptions& opts = {})
+runGrid(std::size_t count, Fn fn, const SweepOptions& opts = {},
+        const std::function<void(const GridOutcome<Result>&)>& onOutcome = {})
 {
     std::vector<GridOutcome<Result>> out(count);
     for (std::size_t i = 0; i < count; i++) out[i].index = i;
+    if (!opts.journalPath.empty() || !opts.resumePath.empty()) {
+        // Journaling lives in SweepRunner (which knows how to persist a
+        // RunResult); a raw grid has no serializer for its Result type.
+        std::fprintf(stderr,
+                     "warning: %s: this driver does not journal its "
+                     "grid; ignoring --journal/--resume\n",
+                     opts.label.c_str());
+    }
     if (count == 0) return out;
 
     unsigned jobs = opts.jobs ? opts.jobs : detail::defaultJobs();
     if (jobs > count) jobs = static_cast<unsigned>(count);
     detail::ProgressMeter meter(opts.label, count, opts.progress);
+    std::mutex hook_mx;
     {
         ThreadPool pool(jobs, 2 * static_cast<std::size_t>(jobs));
         for (std::size_t i = 0; i < count; i++) {
@@ -131,9 +194,23 @@ runGrid(std::size_t count, Fn fn, const SweepOptions& opts = {})
                 for (std::uint32_t attempt = 1;
                      attempt <= opts.maxAttempts && !o.ok; attempt++) {
                     o.attempts = attempt;
+                    if (attempt > 1 && opts.retryBackoffMs > 0) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(opts.retryBackoffMs
+                                                      << (attempt - 2)));
+                    }
                     try {
+                        ScopedWatchdog wd(opts.jobTimeoutMs);
                         o.result = fn(i);
                         o.ok = true;
+                    } catch (const StatusError& e) {
+                        detail::appendAttemptError(o.error, attempt,
+                                                   e.what());
+                        if (e.code() == ErrorCode::Timeout) {
+                            o.timedOut = true;
+                            break;
+                        }
+                        if (detail::isPermanentError(e.code())) break;
                     } catch (const std::exception& e) {
                         detail::appendAttemptError(o.error, attempt,
                                                    e.what());
@@ -143,6 +220,10 @@ runGrid(std::size_t count, Fn fn, const SweepOptions& opts = {})
                     }
                 }
                 meter.jobFinished(o.ok);
+                if (onOutcome) {
+                    std::lock_guard<std::mutex> g(hook_mx);
+                    onOutcome(o);
+                }
             });
         }
         pool.waitIdle();
@@ -206,13 +287,27 @@ using RunOutcome = GridOutcome<RunResult>;
  * Executes a SweepSpec. Primes shared lazy singletons (the workload
  * registry) before spawning workers, so jobs are data-race-free by
  * construction, then fans runExperiment out through runGrid.
+ *
+ * With opts.journalPath or opts.resumePath set, every completed point
+ * streams into a crash-resume journal (runner/journal.hpp) as it
+ * finishes, and a resume run executes only the points the journal is
+ * missing — producing byte-identical outcomes (and hence stdout /
+ * --json reports) to an uninterrupted run, because journaled outcomes
+ * round-trip exactly and outcomes are ordered by grid index either
+ * way.
  */
 class SweepRunner
 {
   public:
     explicit SweepRunner(SweepOptions opts = {}) : opts_(std::move(opts)) {}
 
-    /** Run every point; outcomes are returned in grid order. */
+    /**
+     * Run every point; outcomes are returned in grid order. Throws
+     * StatusError when journaling is requested but the journal cannot
+     * be created, is corrupt beyond its header, or belongs to a
+     * different grid (fingerprint mismatch) — a structured refusal
+     * benches turn into a usage-error exit, never silent mixing.
+     */
     std::vector<RunOutcome> run(const SweepSpec& spec) const;
 
     /**

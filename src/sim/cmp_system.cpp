@@ -2,6 +2,7 @@
 
 #include "common/bitops.hpp"
 #include "common/log.hpp"
+#include "common/watchdog.hpp"
 
 namespace zc {
 
@@ -376,6 +377,9 @@ CmpSystem::run(std::uint64_t instr_per_core)
     }
     bool work = true;
     while (work) {
+        // Cooperative cancellation point: a sweep job that blows its
+        // wall-clock budget unwinds here as StatusError(Timeout).
+        JobWatchdog::checkpoint();
         work = false;
         for (std::uint32_t c = 0; c < cfg_.numCores; c++) {
             if (stats_.cores[c].instructions < target[c]) {

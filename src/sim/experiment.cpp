@@ -1,6 +1,13 @@
 #include "sim/experiment.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "common/bitops.hpp"
+#include "common/fault_injection.hpp"
 #include "common/log.hpp"
+#include "common/status.hpp"
+#include "common/watchdog.hpp"
 #include "trace/future_use.hpp"
 #include "trace/workloads.hpp"
 
@@ -31,11 +38,13 @@ buildGenerators(const RunParams& p, const SystemConfig& cfg)
             continue;
         }
         // Record until the instruction budget (plus slack for the
-        // interleaving overshoot) is covered.
+        // interleaving overshoot) is covered. OPT pre-generation can
+        // dominate a run's wall clock, so it honours the job watchdog.
         std::vector<MemRecord> trace;
         trace.reserve(instr_target / 4);
         std::uint64_t instr = 0;
         while (instr < instr_target + 10000) {
+            JobWatchdog::checkpoint();
             MemRecord r = gen->next();
             instr += r.instGap + 1;
             trace.push_back(r);
@@ -48,9 +57,80 @@ buildGenerators(const RunParams& p, const SystemConfig& cfg)
 
 } // namespace
 
+Status
+RunParams::validate() const
+{
+    auto bad = [](const char* field, const std::string& msg) {
+        return Status::invalidArgument(std::string("RunParams.") + field +
+                                       ": " + msg);
+    };
+
+    if (workload.empty()) return bad("workload", "must not be empty");
+    if (!WorkloadRegistry::find(workload)) {
+        return Status::notFound(
+            "RunParams.workload: unknown workload '" + workload +
+            "' (the suite is listed in trace/workloads.cpp)");
+    }
+    if (measureInstr == 0) return bad("measureInstr", "must be > 0");
+    if (base.numCores < 1 || base.numCores > 64) {
+        return bad("base.numCores",
+                   "(" + std::to_string(base.numCores) +
+                   ") must be in [1, 64]");
+    }
+    if (base.l2Banks == 0 || !isPow2(base.l2Banks)) {
+        return bad("base.l2Banks",
+                   "(" + std::to_string(base.l2Banks) +
+                   ") must be a power of two >= 1");
+    }
+    if (base.lineBytes == 0) return bad("base.lineBytes", "must be > 0");
+    if (!(base.frequencyGhz > 0)) {
+        return bad("base.frequencyGhz", "must be > 0");
+    }
+
+    // The system derives the per-bank block count from the L2 geometry
+    // (SystemConfig::l2BankLines overrides l2Spec.blocks), so validate
+    // the spec exactly as the bank constructors will see it.
+    std::uint32_t bank_lines = base.l2BankLines();
+    if (bank_lines == 0) {
+        return bad("base.l2SizeBytes",
+                   "(" + std::to_string(base.l2SizeBytes) +
+                   ") yields zero lines per bank with lineBytes=" +
+                   std::to_string(base.lineBytes) + ", l2Banks=" +
+                   std::to_string(base.l2Banks));
+    }
+    ArraySpec derived = l2Spec;
+    derived.blocks = bank_lines;
+    if (Status s = validateSpec(derived); !s.isOk()) {
+        return Status(s.code(),
+                      "RunParams.l2Spec (blocks derived as " +
+                          std::to_string(bank_lines) + " per bank): " +
+                          s.message());
+    }
+    return Status::ok();
+}
+
 RunResult
 runExperiment(const RunParams& params)
 {
+    throwIfError(params.validate());
+
+    if (ZC_INJECT_FAULT("job.exception")) {
+        throw StatusError(Status::internal(
+            "fault injection: induced job exception at site "
+            "'job.exception'"));
+    }
+    if (ZC_INJECT_FAULT("job.timeout")) {
+        // Model a hung job: stall until the armed watchdog's deadline
+        // passes, then surface the structured timeout. With no watchdog
+        // armed the site degrades to an immediate timeout error.
+        while (JobWatchdog::armed() && !JobWatchdog::expired()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        throw StatusError(Status::timeout(
+            "fault injection: job stalled past its deadline at site "
+            "'job.timeout'"));
+    }
+
     SystemConfig cfg = params.base;
     cfg.l2Spec = params.l2Spec;
     cfg.l2SerialLookup = params.serialLookup;
@@ -159,6 +239,190 @@ runExperiment(const RunParams& params)
     sys.registerStats(reg.root().group("system", "CMP simulation state"));
     em.registerStats(reg.root().group("energy", "energy breakdown"), ev);
     r.stats = reg.toJson();
+    return r;
+}
+
+JsonValue
+runResultToJson(const RunResult& r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("ipc", JsonValue(r.ipc));
+    o.set("mpki", JsonValue(r.mpki));
+    o.set("bips_per_watt", JsonValue(r.bipsPerWatt));
+    o.set("total_joules", JsonValue(r.totalJoules));
+    o.set("instructions", JsonValue(r.instructions));
+    o.set("cycles", JsonValue(r.cycles));
+    o.set("l2_accesses", JsonValue(r.l2Accesses));
+    o.set("l2_misses", JsonValue(r.l2Misses));
+    o.set("l2_tag_accesses", JsonValue(r.l2TagAccesses));
+    o.set("avg_walk_candidates", JsonValue(r.avgWalkCandidates));
+    o.set("avg_relocations", JsonValue(r.avgRelocations));
+    o.set("bank_latency_cycles", JsonValue(r.bankLatencyCycles));
+
+    JsonValue e = JsonValue::object();
+    e.set("core_j", JsonValue(r.energy.coreJ));
+    e.set("l1_j", JsonValue(r.energy.l1J));
+    e.set("l2_j", JsonValue(r.energy.l2J));
+    e.set("noc_j", JsonValue(r.energy.nocJ));
+    e.set("dram_j", JsonValue(r.energy.dramJ));
+    e.set("static_j", JsonValue(r.energy.staticJ));
+    o.set("energy", std::move(e));
+
+    o.set("load_per_bank_cycle", JsonValue(r.loadPerBankCycle));
+    o.set("tag_per_bank_cycle", JsonValue(r.tagPerBankCycle));
+    o.set("miss_per_bank_cycle", JsonValue(r.missPerBankCycle));
+
+    JsonValue epochs = JsonValue::array();
+    for (const EpochSample& s : r.epochs) {
+        JsonValue ep = JsonValue::object();
+        ep.set("instructions", JsonValue(s.instructions));
+        ep.set("cycles", JsonValue(s.cycles));
+        ep.set("l2_accesses", JsonValue(s.l2Accesses));
+        ep.set("l2_misses", JsonValue(s.l2Misses));
+        ep.set("tag_accesses", JsonValue(s.tagAccesses));
+        ep.set("walks", JsonValue(s.walks));
+        ep.set("relocations", JsonValue(s.relocations));
+        epochs.push(std::move(ep));
+    }
+    o.set("epochs", std::move(epochs));
+    o.set("stats", r.stats);
+    return o;
+}
+
+namespace {
+
+Status
+missingField(const char* key)
+{
+    return Status::corruption(
+        std::string("run result record: missing or mistyped field '") +
+        key + "'");
+}
+
+Expected<double>
+getF64(const JsonValue& o, const char* key)
+{
+    const JsonValue* v = o.find(key);
+    if (!v || !v->isNumber()) return missingField(key);
+    return v->asDouble();
+}
+
+Expected<std::uint64_t>
+getU64(const JsonValue& o, const char* key)
+{
+    const JsonValue* v = o.find(key);
+    if (!v || v->kind() != JsonValue::Kind::U64) return missingField(key);
+    return v->asU64();
+}
+
+} // namespace
+
+Expected<RunResult>
+runResultFromJson(const JsonValue& v)
+{
+    if (!v.isObject()) {
+        return Status::corruption("run result record: not a JSON object");
+    }
+    RunResult r;
+    // Each helper call short-circuits with the precise field name.
+    auto f64 = [&](const char* key, double& out) -> Status {
+        auto e = getF64(v, key);
+        if (!e) return e.status();
+        out = *e;
+        return Status::ok();
+    };
+    auto u64 = [&](const char* key, std::uint64_t& out) -> Status {
+        auto e = getU64(v, key);
+        if (!e) return e.status();
+        out = *e;
+        return Status::ok();
+    };
+
+    if (Status s = f64("ipc", r.ipc); !s.isOk()) return s;
+    if (Status s = f64("mpki", r.mpki); !s.isOk()) return s;
+    if (Status s = f64("bips_per_watt", r.bipsPerWatt); !s.isOk()) return s;
+    if (Status s = f64("total_joules", r.totalJoules); !s.isOk()) return s;
+    if (Status s = u64("instructions", r.instructions); !s.isOk()) return s;
+    if (Status s = u64("cycles", r.cycles); !s.isOk()) return s;
+    if (Status s = u64("l2_accesses", r.l2Accesses); !s.isOk()) return s;
+    if (Status s = u64("l2_misses", r.l2Misses); !s.isOk()) return s;
+    if (Status s = u64("l2_tag_accesses", r.l2TagAccesses); !s.isOk()) {
+        return s;
+    }
+    if (Status s = f64("avg_walk_candidates", r.avgWalkCandidates);
+        !s.isOk()) {
+        return s;
+    }
+    if (Status s = f64("avg_relocations", r.avgRelocations); !s.isOk()) {
+        return s;
+    }
+    std::uint64_t bank_latency = 0;
+    if (Status s = u64("bank_latency_cycles", bank_latency); !s.isOk()) {
+        return s;
+    }
+    r.bankLatencyCycles = static_cast<std::uint32_t>(bank_latency);
+
+    const JsonValue* e = v.find("energy");
+    if (!e || !e->isObject()) return missingField("energy");
+    auto ef64 = [&](const char* key, double& out) -> Status {
+        auto x = getF64(*e, key);
+        if (!x) return x.status();
+        out = *x;
+        return Status::ok();
+    };
+    if (Status s = ef64("core_j", r.energy.coreJ); !s.isOk()) return s;
+    if (Status s = ef64("l1_j", r.energy.l1J); !s.isOk()) return s;
+    if (Status s = ef64("l2_j", r.energy.l2J); !s.isOk()) return s;
+    if (Status s = ef64("noc_j", r.energy.nocJ); !s.isOk()) return s;
+    if (Status s = ef64("dram_j", r.energy.dramJ); !s.isOk()) return s;
+    if (Status s = ef64("static_j", r.energy.staticJ); !s.isOk()) return s;
+
+    if (Status s = f64("load_per_bank_cycle", r.loadPerBankCycle);
+        !s.isOk()) {
+        return s;
+    }
+    if (Status s = f64("tag_per_bank_cycle", r.tagPerBankCycle); !s.isOk()) {
+        return s;
+    }
+    if (Status s = f64("miss_per_bank_cycle", r.missPerBankCycle);
+        !s.isOk()) {
+        return s;
+    }
+
+    const JsonValue* epochs = v.find("epochs");
+    if (!epochs || !epochs->isArray()) return missingField("epochs");
+    r.epochs.reserve(epochs->arr().size());
+    for (const JsonValue& ej : epochs->arr()) {
+        EpochSample s;
+        auto epu64 = [&](const char* key, std::uint64_t& out) -> Status {
+            auto x = getU64(ej, key);
+            if (!x) return x.status();
+            out = *x;
+            return Status::ok();
+        };
+        if (Status st = epu64("instructions", s.instructions); !st.isOk()) {
+            return st;
+        }
+        if (Status st = epu64("cycles", s.cycles); !st.isOk()) return st;
+        if (Status st = epu64("l2_accesses", s.l2Accesses); !st.isOk()) {
+            return st;
+        }
+        if (Status st = epu64("l2_misses", s.l2Misses); !st.isOk()) {
+            return st;
+        }
+        if (Status st = epu64("tag_accesses", s.tagAccesses); !st.isOk()) {
+            return st;
+        }
+        if (Status st = epu64("walks", s.walks); !st.isOk()) return st;
+        if (Status st = epu64("relocations", s.relocations); !st.isOk()) {
+            return st;
+        }
+        r.epochs.push_back(s);
+    }
+
+    const JsonValue* stats = v.find("stats");
+    if (!stats) return missingField("stats");
+    r.stats = *stats;
     return r;
 }
 

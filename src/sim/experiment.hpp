@@ -38,6 +38,16 @@ struct RunParams
 
     /** L2 walk-event trace entries per bank (zcache only; 0 = off). */
     std::uint32_t walkTraceCapacity = 0;
+
+    /**
+     * Field-level validation: workload exists, instruction budgets are
+     * sane, the L2 spec satisfies the constraints its array constructor
+     * enforces (cache/array_factory.hpp validateSpec), and the base
+     * system config is self-consistent. Every error names the offending
+     * field and value. runExperiment() runs this first and throws the
+     * result as StatusError, so a bad point fails alone in a sweep.
+     */
+    Status validate() const;
 };
 
 struct RunResult
@@ -83,5 +93,18 @@ struct RunResult
 
 /** Run one experiment end to end. */
 RunResult runExperiment(const RunParams& params);
+
+/**
+ * Serialize a RunResult so it round-trips exactly: every scalar, the
+ * energy breakdown, the epoch series, and the full stats tree. The
+ * sweep journal (runner/journal.hpp) stores these records so a resumed
+ * sweep (--resume) reproduces byte-identical reports without re-running
+ * completed points — doubles survive because the JSON writer emits
+ * %.17g, which uniquely identifies the bit pattern.
+ */
+JsonValue runResultToJson(const RunResult& r);
+
+/** Inverse of runResultToJson; structured error on malformed input. */
+Expected<RunResult> runResultFromJson(const JsonValue& v);
 
 } // namespace zc

@@ -1,10 +1,14 @@
 #include "trace/trace_io.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <new>
 
-#include "common/log.hpp"
+#include "common/crc32.hpp"
+#include "common/fault_injection.hpp"
 
 namespace zc {
 
@@ -39,24 +43,93 @@ struct Header
     std::uint64_t count;
 };
 
+static_assert(sizeof(Header) == 16, "stable on-disk layout");
+
+struct Footer
+{
+    std::uint32_t crc;
+    std::uint32_t magic;
+};
+
+static_assert(sizeof(Footer) == 8, "stable on-disk layout");
+
+std::string
+describe(const std::string& path, std::uint64_t offset,
+         const std::string& what)
+{
+    return "trace file '" + path + "': " + what + " (byte offset " +
+           std::to_string(offset) + ")";
+}
+
+/**
+ * fwrite with the "trace.write.short_write" fault probe: an injected
+ * fault drops the final item, which callers observe as a short write —
+ * exactly what a full disk or yanked mount produces.
+ */
+std::size_t
+fwriteFaulty(const void* p, std::size_t size, std::size_t n, std::FILE* f)
+{
+    if (n > 0 && ZC_INJECT_FAULT("trace.write.short_write")) n -= 1;
+    return std::fwrite(p, size, n, f);
+}
+
+/** fread with the matching "trace.read.short_read" probe. */
+std::size_t
+freadFaulty(void* p, std::size_t size, std::size_t n, std::FILE* f)
+{
+    if (n > 0 && ZC_INJECT_FAULT("trace.read.short_read")) n -= 1;
+    return std::fread(p, size, n, f);
+}
+
+/** The on-disk size of a trace with @p count records at @p version. */
+std::uint64_t
+expectedFileSize(std::uint32_t version, std::uint64_t count)
+{
+    std::uint64_t n = sizeof(Header) + count * sizeof(DiskRecord);
+    if (version >= 2) n += sizeof(Footer);
+    return n;
+}
+
 } // namespace
 
-void
+Status
 TraceIo::write(const std::string& path,
                const std::vector<MemRecord>& records)
 {
     FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f) zc_fatal("cannot open trace file for writing");
+    if (!f || ZC_INJECT_FAULT("trace.write.open")) {
+        return Status::ioError("cannot open trace file '" + path +
+                               "' for writing: " + std::strerror(errno));
+    }
+
+    Crc32 crc;
+    std::uint64_t offset = 0;
 
     Header h{kMagic, kVersion, records.size()};
-    if (std::fwrite(&h, sizeof h, 1, f.get()) != 1) {
-        zc_fatal("trace header write failed");
+    if (fwriteFaulty(&h, sizeof h, 1, f.get()) != 1) {
+        return Status::ioError(
+            describe(path, offset, "header write failed"));
     }
+    crc.update(&h, sizeof h);
+    offset += sizeof h;
 
     // Buffered block writes.
     constexpr std::size_t kChunk = 4096;
     std::vector<DiskRecord> buf;
     buf.reserve(kChunk);
+    auto flush = [&]() -> Status {
+        if (buf.empty()) return Status::ok();
+        if (fwriteFaulty(buf.data(), sizeof(DiskRecord), buf.size(),
+                         f.get()) != buf.size()) {
+            return Status::ioError(
+                describe(path, offset, "record write failed"));
+        }
+        crc.update(buf.data(), buf.size() * sizeof(DiskRecord));
+        offset += buf.size() * sizeof(DiskRecord);
+        buf.clear();
+        return Status::ok();
+    };
+
     for (const MemRecord& r : records) {
         DiskRecord d{};
         d.lineAddr = r.lineAddr;
@@ -65,46 +138,120 @@ TraceIo::write(const std::string& path,
         d.type = static_cast<std::uint8_t>(r.type);
         buf.push_back(d);
         if (buf.size() == kChunk) {
-            if (std::fwrite(buf.data(), sizeof(DiskRecord), buf.size(),
-                            f.get()) != buf.size()) {
-                zc_fatal("trace write failed");
-            }
-            buf.clear();
+            if (Status s = flush(); !s.isOk()) return s;
         }
     }
-    if (!buf.empty() &&
-        std::fwrite(buf.data(), sizeof(DiskRecord), buf.size(), f.get()) !=
-            buf.size()) {
-        zc_fatal("trace write failed");
+    if (Status s = flush(); !s.isOk()) return s;
+
+    Footer foot{crc.value(), kFooterMagic};
+    if (fwriteFaulty(&foot, sizeof foot, 1, f.get()) != 1) {
+        return Status::ioError(
+            describe(path, offset, "footer write failed"));
     }
+    if (std::fflush(f.get()) != 0) {
+        return Status::ioError("trace file '" + path +
+                               "': flush failed: " + std::strerror(errno));
+    }
+    return Status::ok();
 }
 
-std::vector<MemRecord>
+Expected<std::vector<MemRecord>>
 TraceIo::read(const std::string& path)
 {
     FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f) zc_fatal("cannot open trace file for reading");
+    if (!f) {
+        return Status::ioError("cannot open trace file '" + path +
+                               "' for reading: " + std::strerror(errno));
+    }
+
+    // File size first: v2 headers declare the payload, and the two must
+    // agree *before* any allocation happens — a corrupt count field must
+    // not translate into a massive reserve().
+    if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+        return Status::ioError(
+            describe(path, 0, "cannot determine file size"));
+    }
+    long end = std::ftell(f.get());
+    if (end < 0) {
+        return Status::ioError(
+            describe(path, 0, "cannot determine file size"));
+    }
+    auto file_size = static_cast<std::uint64_t>(end);
+    std::rewind(f.get());
 
     Header h{};
-    if (std::fread(&h, sizeof h, 1, f.get()) != 1) {
-        zc_fatal("trace header read failed");
+    if (file_size < sizeof h ||
+        freadFaulty(&h, sizeof h, 1, f.get()) != 1) {
+        return Status::truncated(describe(
+            path, file_size,
+            "file ends inside the " + std::to_string(sizeof h) +
+                "-byte header"));
     }
-    if (h.magic != kMagic) zc_fatal("not a zcache trace file");
-    if (h.version != kVersion) zc_fatal("unsupported trace version");
+    if (h.magic != kMagic) {
+        return Status::corruption(
+            describe(path, 0, "not a zcache trace file (bad magic)"));
+    }
+    if (h.version != 1 && h.version != kVersion) {
+        return Status::unsupported(describe(
+            path, 4,
+            "unsupported trace version " + std::to_string(h.version) +
+                " (this build reads v1 and v2)"));
+    }
+
+    std::uint64_t expected = expectedFileSize(h.version, h.count);
+    if (file_size < expected) {
+        return Status::truncated(describe(
+            path, file_size,
+            "header declares " + std::to_string(h.count) +
+                " records (" + std::to_string(expected) +
+                " bytes) but the file holds only " +
+                std::to_string(file_size)));
+    }
+    if (file_size > expected) {
+        return Status::corruption(describe(
+            path, expected,
+            "payload length disagrees with the record count: header "
+            "declares " +
+                std::to_string(h.count) + " records (" +
+                std::to_string(expected) + " bytes) but the file holds " +
+                std::to_string(file_size)));
+    }
+
+    Crc32 crc;
+    crc.update(&h, sizeof h);
 
     std::vector<MemRecord> out;
-    out.reserve(h.count);
+    if (ZC_INJECT_FAULT("trace.read.alloc")) {
+        return Status::resourceExhausted(
+            "trace file '" + path + "': cannot allocate " +
+            std::to_string(h.count) + " records");
+    }
+    try {
+        out.reserve(h.count);
+    } catch (const std::bad_alloc&) {
+        return Status::resourceExhausted(
+            "trace file '" + path + "': cannot allocate " +
+            std::to_string(h.count) + " records");
+    }
+
     constexpr std::size_t kChunk = 4096;
-    std::vector<DiskRecord> buf(kChunk);
+    std::vector<DiskRecord> buf(static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunk, std::max<std::uint64_t>(h.count, 1))));
     std::uint64_t remaining = h.count;
+    std::uint64_t offset = sizeof h;
     while (remaining > 0) {
-        std::size_t want =
-            static_cast<std::size_t>(std::min<std::uint64_t>(kChunk,
-                                                             remaining));
-        if (std::fread(buf.data(), sizeof(DiskRecord), want, f.get()) !=
-            want) {
-            zc_fatal("trace truncated");
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kChunk, remaining));
+        std::size_t got =
+            freadFaulty(buf.data(), sizeof(DiskRecord), want, f.get());
+        if (got != want) {
+            return Status::truncated(describe(
+                path, offset + got * sizeof(DiskRecord),
+                "record region short read (" + std::to_string(remaining) +
+                    " of " + std::to_string(h.count) +
+                    " records outstanding)"));
         }
+        crc.update(buf.data(), want * sizeof(DiskRecord));
         for (std::size_t i = 0; i < want; i++) {
             MemRecord r;
             r.lineAddr = buf[i].lineAddr;
@@ -114,6 +261,30 @@ TraceIo::read(const std::string& path)
             out.push_back(r);
         }
         remaining -= want;
+        offset += want * sizeof(DiskRecord);
+    }
+
+    if (h.version >= 2) {
+        Footer foot{};
+        if (freadFaulty(&foot, sizeof foot, 1, f.get()) != 1) {
+            return Status::truncated(
+                describe(path, offset, "file ends inside the footer"));
+        }
+        if (foot.magic != kFooterMagic) {
+            return Status::corruption(describe(
+                path, offset + offsetof(Footer, magic),
+                "bad footer magic"));
+        }
+        if (foot.crc != crc.value()) {
+            char want[16], got[16];
+            std::snprintf(want, sizeof want, "%08x", crc.value());
+            std::snprintf(got, sizeof got, "%08x", foot.crc);
+            return Status::corruption(describe(
+                path, offset,
+                std::string("CRC-32 mismatch: computed ") + want +
+                    ", footer records " + got +
+                    " — the payload is bit-corrupted"));
+        }
     }
     return out;
 }

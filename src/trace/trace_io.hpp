@@ -5,8 +5,22 @@
  * Lets users capture reference streams once (from the synthetic
  * generators or from external tools converted to this format) and
  * replay them — e.g. to run OPT against a real application trace, the
- * paper's trace-driven mode. Format: a fixed header followed by packed
- * little-endian records (address, type, instruction gap, next-use).
+ * paper's trace-driven mode.
+ *
+ * Format v2 (docs/robustness.md):
+ *
+ *   Header  { magic "ZTCR", version = 2, record count }   16 bytes
+ *   Records packed little-endian 24-byte entries
+ *           (address, next-use, instruction gap, type)
+ *   Footer  { CRC-32 of header + records, magic "ZTCE" }   8 bytes
+ *
+ * The count lets a reader size the payload before allocating; the CRC
+ * detects bit corruption; both together detect truncation with exact
+ * byte-offset diagnostics. v1 files (no footer) remain readable.
+ *
+ * All failure paths are structured (common/status.hpp): read/write
+ * report what went wrong and where instead of killing the process, so
+ * a sweep job replaying a corrupt trace fails alone.
  */
 
 #pragma once
@@ -15,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "trace/mem_record.hpp"
 
 namespace zc {
@@ -22,15 +37,21 @@ namespace zc {
 class TraceIo
 {
   public:
-    static constexpr std::uint32_t kMagic = 0x5243545Au; // "ZTCR"
-    static constexpr std::uint32_t kVersion = 1;
+    static constexpr std::uint32_t kMagic = 0x5243545Au;       // "ZTCR"
+    static constexpr std::uint32_t kFooterMagic = 0x4543545Au; // "ZTCE"
+    static constexpr std::uint32_t kVersion = 2;
 
-    /** Write @p records to @p path; fatal on I/O failure. */
-    static void write(const std::string& path,
-                      const std::vector<MemRecord>& records);
+    /** Write @p records to @p path (v2: count header + CRC footer). */
+    static Status write(const std::string& path,
+                        const std::vector<MemRecord>& records);
 
-    /** Read a trace written by write(); fatal on malformed input. */
-    static std::vector<MemRecord> read(const std::string& path);
+    /**
+     * Read a trace written by write() — v2 or legacy v1. Returns a
+     * structured error (path, byte offset, expected vs actual) on
+     * missing files, foreign content, truncation, length/count
+     * disagreement, or CRC mismatch.
+     */
+    static Expected<std::vector<MemRecord>> read(const std::string& path);
 };
 
 } // namespace zc

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 
 namespace zc {
 
@@ -236,13 +237,23 @@ WorkloadRegistry::prime()
     spec2006();
 }
 
+const WorkloadProfile*
+WorkloadRegistry::find(const std::string& name)
+{
+    for (const auto& w : all()) {
+        if (w.name == name) return &w;
+    }
+    return nullptr;
+}
+
 const WorkloadProfile&
 WorkloadRegistry::byName(const std::string& name)
 {
-    for (const auto& w : all()) {
-        if (w.name == name) return w;
-    }
-    zc_fatal("unknown workload name");
+    if (const WorkloadProfile* w = find(name)) return *w;
+    throw StatusError(Status::notFound(
+        "workload: unknown name '" + name + "' (the suite has " +
+        std::to_string(all().size()) +
+        " profiles; see trace/workloads.cpp)"));
 }
 
 GeneratorPtr

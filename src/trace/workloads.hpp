@@ -80,8 +80,15 @@ class WorkloadRegistry
     /** All 72 profiles, in paper order (PARSEC, OMP, rate, mixes). */
     static const std::vector<WorkloadProfile>& all();
 
-    /** Profile by name; fatal if unknown. */
+    /**
+     * Profile by name; throws StatusError(NotFound) with a structured
+     * diagnostic if unknown — a sweep point naming a bad workload
+     * fails alone instead of killing the process.
+     */
     static const WorkloadProfile& byName(const std::string& name);
+
+    /** Profile by name without throwing; nullptr when unknown. */
+    static const WorkloadProfile* find(const std::string& name);
 
     /** The 26 single-program CPU2006 profiles (used to build mixes). */
     static const std::vector<WorkloadProfile>& spec2006();

@@ -1,6 +1,9 @@
 /**
  * @file
- * Round-trip and robustness tests for the binary trace format.
+ * Round-trip and robustness tests for the binary trace format (v2:
+ * record-count header + CRC-32 footer; structured errors instead of
+ * process exits). The deeper corruption / fault-injection matrix lives
+ * in tests/test_faults.cpp.
  */
 
 #include <gtest/gtest.h>
@@ -38,22 +41,25 @@ TEST_F(TraceIoTest, RoundTripPreservesEverything)
     auto trace = recordTrace(*gen, 5000);
     FutureUseAnnotator::annotate(trace);
 
-    TraceIo::write(path_, trace);
+    ASSERT_TRUE(TraceIo::write(path_, trace).isOk());
     auto back = TraceIo::read(path_);
+    ASSERT_TRUE(back.hasValue()) << back.status().str();
 
-    ASSERT_EQ(back.size(), trace.size());
+    ASSERT_EQ(back->size(), trace.size());
     for (std::size_t i = 0; i < trace.size(); i++) {
-        ASSERT_EQ(back[i].lineAddr, trace[i].lineAddr) << i;
-        ASSERT_EQ(back[i].type, trace[i].type) << i;
-        ASSERT_EQ(back[i].instGap, trace[i].instGap) << i;
-        ASSERT_EQ(back[i].nextUse, trace[i].nextUse) << i;
+        ASSERT_EQ((*back)[i].lineAddr, trace[i].lineAddr) << i;
+        ASSERT_EQ((*back)[i].type, trace[i].type) << i;
+        ASSERT_EQ((*back)[i].instGap, trace[i].instGap) << i;
+        ASSERT_EQ((*back)[i].nextUse, trace[i].nextUse) << i;
     }
 }
 
 TEST_F(TraceIoTest, EmptyTraceRoundTrips)
 {
-    TraceIo::write(path_, {});
-    EXPECT_TRUE(TraceIo::read(path_).empty());
+    ASSERT_TRUE(TraceIo::write(path_, {}).isOk());
+    auto back = TraceIo::read(path_);
+    ASSERT_TRUE(back.hasValue()) << back.status().str();
+    EXPECT_TRUE(back->empty());
 }
 
 TEST_F(TraceIoTest, LargeTraceCrossesChunkBoundaries)
@@ -61,33 +67,52 @@ TEST_F(TraceIoTest, LargeTraceCrossesChunkBoundaries)
     // > one 4096-record chunk, not a multiple of the chunk size.
     StridedGenerator gen(0, 1 << 20, 3);
     auto trace = recordTrace(gen, 10000);
-    TraceIo::write(path_, trace);
+    ASSERT_TRUE(TraceIo::write(path_, trace).isOk());
     auto back = TraceIo::read(path_);
-    ASSERT_EQ(back.size(), 10000u);
-    EXPECT_EQ(back.front().lineAddr, trace.front().lineAddr);
-    EXPECT_EQ(back.back().lineAddr, trace.back().lineAddr);
+    ASSERT_TRUE(back.hasValue()) << back.status().str();
+    ASSERT_EQ(back->size(), 10000u);
+    EXPECT_EQ(back->front().lineAddr, trace.front().lineAddr);
+    EXPECT_EQ(back->back().lineAddr, trace.back().lineAddr);
 }
 
-TEST_F(TraceIoTest, RejectsGarbage)
+TEST_F(TraceIoTest, RejectsGarbageWithStructuredError)
 {
     std::FILE* f = std::fopen(path_.c_str(), "wb");
     ASSERT_NE(f, nullptr);
-    std::fputs("definitely not a trace", f);
+    std::fputs("definitely not a trace, padded past the header size", f);
     std::fclose(f);
-    EXPECT_DEATH(TraceIo::read(path_), "trace");
+    auto back = TraceIo::read(path_);
+    ASSERT_FALSE(back.hasValue());
+    EXPECT_EQ(back.status().code(), ErrorCode::Corruption);
+    EXPECT_NE(back.status().message().find(path_), std::string::npos);
+    EXPECT_NE(back.status().message().find("magic"), std::string::npos);
 }
 
 TEST_F(TraceIoTest, RejectsMissingFile)
 {
-    EXPECT_DEATH(TraceIo::read("/nonexistent/zc.trc"), "trace");
+    auto back = TraceIo::read("/nonexistent/zc.trc");
+    ASSERT_FALSE(back.hasValue());
+    EXPECT_EQ(back.status().code(), ErrorCode::IoError);
+    EXPECT_NE(back.status().message().find("/nonexistent/zc.trc"),
+              std::string::npos);
+}
+
+TEST_F(TraceIoTest, ReportsUnwritablePath)
+{
+    Status s = TraceIo::write("/nonexistent-dir/zc.trc", {});
+    EXPECT_EQ(s.code(), ErrorCode::IoError);
+    EXPECT_NE(s.message().find("/nonexistent-dir/zc.trc"),
+              std::string::npos);
 }
 
 TEST_F(TraceIoTest, ReplaysThroughGenerator)
 {
     StridedGenerator gen(100, 64, 1);
     auto trace = recordTrace(gen, 200);
-    TraceIo::write(path_, trace);
-    ReplayGenerator replay(TraceIo::read(path_));
+    ASSERT_TRUE(TraceIo::write(path_, trace).isOk());
+    auto back = TraceIo::read(path_);
+    ASSERT_TRUE(back.hasValue()) << back.status().str();
+    ReplayGenerator replay(std::move(back).valueOrThrow());
     for (int i = 0; i < 200; i++) {
         EXPECT_EQ(replay.next().lineAddr,
                   static_cast<Addr>(100 + i % 64));
