@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/perf_telemetry.hpp"
 #include "runner/sweep.hpp"
 
 namespace zc::benchutil {
@@ -143,9 +144,16 @@ reportGridFailures(const std::vector<zc::GridOutcome<Result>>& outcomes,
  * the end (writeIfRequested in a destructor would hide I/O errors, so
  * benches call it explicitly). Layout:
  *
- *   { "report": <name>, "runs": [ { <tags...>, "stats": <tree> }, ... ] }
+ *   { "report": <name>, "perf": { <throughput counters> },
+ *     "runs": [ { <tags...>, "stats": <tree> }, ... ] }
  *
  * where <tree> is the RunResult::stats dump of one experiment.
+ *
+ * "perf" (common/perf_telemetry.hpp) carries the report's wall clock,
+ * simulated accesses/sec, walk candidates/sec and peak RSS. It is the
+ * ONLY nondeterministic block in the file: tooling that byte-compares
+ * reports across --jobs values or journal resumes must drop it first
+ * (the CI workflow does), and the perf-regression gate reads only it.
  */
 class JsonReport
 {
@@ -165,11 +173,15 @@ class JsonReport
     add(std::vector<std::pair<std::string, JsonValue>> tags, JsonValue stats)
     {
         if (!enabled()) return;
+        perf_.addRun(stats);
         JsonValue rec = JsonValue::object();
         for (auto& [k, v] : tags) rec.set(k, std::move(v));
         rec.set("stats", std::move(stats));
         runs_.push_back(std::move(rec));
     }
+
+    /** The report's throughput meter (running since construction). */
+    PerfMeter& perf() { return perf_; }
 
     /**
      * Append a whole sweep's outcomes in grid order (failed points are
@@ -200,6 +212,7 @@ class JsonReport
         if (!enabled()) return true;
         JsonValue doc = JsonValue::object();
         doc.set("report", JsonValue(name_));
+        doc.set("perf", perf_.toJson());
         if (haveSweep_) {
             JsonValue sweep = JsonValue::object();
             sweep.set("points", JsonValue(std::uint64_t{sweepPoints_}));
@@ -228,6 +241,7 @@ class JsonReport
   private:
     std::string path_;
     std::string name_;
+    PerfMeter perf_;
     std::vector<JsonValue> runs_;
     std::uint64_t sweepPoints_ = 0;
     std::uint64_t sweepFailed_ = 0;

@@ -333,6 +333,9 @@ main(int argc, char** argv)
         }
     }
 
+    // Construct the report before the sweep so its perf meter's wall
+    // clock covers the actual simulation work.
+    benchutil::JsonReport report(argc, argv, spec.name);
     SweepRunner runner(benchutil::sweepOptions(argc, argv, spec.name));
     std::vector<RunOutcome> outcomes = benchutil::runSweep(runner, spec);
     std::size_t failed = SweepRunner::reportFailures(spec, outcomes);
@@ -341,7 +344,6 @@ main(int argc, char** argv)
     for (std::size_t i = 0; i < outcomes.size(); i++) {
         table.put(keys[i], outcomes[i].ok ? &outcomes[i].result : nullptr);
     }
-    benchutil::JsonReport report(argc, argv, spec.name);
     report.addSweep(spec, outcomes);
 
     for (PolicyKind policy : policies) {

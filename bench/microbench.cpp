@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -22,15 +24,24 @@
 namespace zc {
 namespace {
 
+/**
+ * Artificial slowdown factor for the CI perf gate's failure drill
+ * (--inject-slowdown=F): the pinned profile performs F accesses per
+ * counted item, so reported items/sec drops ~F×. F=1 (default) is the
+ * real measurement. See scripts/perf_gate.py and docs/performance.md.
+ */
+int g_inject_slowdown = 1;
+
 CacheModel
-modelFor(ArrayKind kind, std::uint32_t ways, std::uint32_t levels)
+modelFor(ArrayKind kind, std::uint32_t ways, std::uint32_t levels,
+         PolicyKind policy = PolicyKind::BucketedLru)
 {
     ArraySpec spec;
     spec.kind = kind;
     spec.blocks = 16384;
     spec.ways = ways;
     spec.levels = levels;
-    spec.policy = PolicyKind::BucketedLru;
+    spec.policy = policy;
     return CacheModel(makeArray(spec));
 }
 
@@ -79,6 +90,31 @@ BM_ZCacheHitOnly(benchmark::State& state)
 }
 BENCHMARK(BM_ZCacheHitOnly)->Arg(2)->Arg(3);
 
+/**
+ * The pinned walk-heavy profile behind the CI perf-regression gate
+ * (docs/performance.md): Z 4/52 (4 ways, 3 levels) under SRRIP with a
+ * footprint 4× the array, so ~75% of accesses miss and replacement
+ * walks dominate — the configuration that exercises the walk dedup and
+ * batched hashing hardest. Keep the parameters FROZEN: the committed
+ * baseline in results/reference/perf_baseline.json is only comparable
+ * to runs of this exact profile.
+ */
+void
+BM_WalkHeavyPinned(benchmark::State& state)
+{
+    auto m = modelFor(ArrayKind::ZCache, 4, 3, PolicyKind::Srrip);
+    Pcg32 rng(42);
+    const std::uint64_t footprint = 65536;
+    for (int i = 0; i < 120000; i++) m.access(rng.next64() % footprint);
+    for (auto _ : state) {
+        for (int r = 0; r < g_inject_slowdown; r++) {
+            benchmark::DoNotOptimize(m.access(rng.next64() % footprint));
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WalkHeavyPinned);
+
 void
 BM_FullyAssocAccess(benchmark::State& state)
 {
@@ -117,10 +153,15 @@ main(int argc, char** argv)
     for (auto it = args.begin(); it != args.end();) {
         constexpr const char* kJson = "--json=";
         constexpr const char* kJobs = "--jobs=";
+        constexpr const char* kSlow = "--inject-slowdown=";
         if (std::strncmp(*it, kJson, std::strlen(kJson)) == 0) {
             out_flag = std::string("--benchmark_out=") +
                        (*it + std::strlen(kJson));
             fmt_flag = "--benchmark_out_format=json";
+            it = args.erase(it);
+        } else if (std::strncmp(*it, kSlow, std::strlen(kSlow)) == 0) {
+            zc::g_inject_slowdown =
+                std::max(1, std::atoi(*it + std::strlen(kSlow)));
             it = args.erase(it);
         } else if (std::strncmp(*it, kJobs, std::strlen(kJobs)) == 0 ||
                    std::strcmp(*it, "--no-progress") == 0) {

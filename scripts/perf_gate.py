@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the pinned walk-heavy microbenchmark.
+
+Runs ``microbench --benchmark_filter=^BM_WalkHeavyPinned$`` several
+times, takes the median items_per_second, and compares it against the
+committed baseline (results/reference/perf_baseline.json). The run
+fails (exit 1) when the median falls outside the baseline's tolerance
+band — by default +/-25%, wide enough to absorb shared-runner noise but
+narrow enough to catch a 2x regression immediately.
+
+Usage:
+  perf_gate.py --bench build/bench/microbench             # gate a build
+  perf_gate.py --bench ... --update-baseline              # recalibrate
+  perf_gate.py --bench ... --inject-slowdown=2            # failure drill
+
+The baseline MUST be calibrated on the runner class that executes the
+gate (see docs/performance.md): a laptop-calibrated number is
+meaningless on a CI VM. ``--update-baseline`` rewrites the baseline
+from the current machine's median; commit the result from a CI run.
+
+When GITHUB_STEP_SUMMARY is set, a markdown delta table is appended to
+it so the verdict shows up in the Actions job summary.
+"""
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+
+BENCH_NAME = "BM_WalkHeavyPinned"
+BASELINE = os.path.join("results", "reference", "perf_baseline.json")
+
+
+def run_once(bench, inject_slowdown):
+    """One microbench run; returns items_per_second of the pinned profile."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        cmd = [
+            bench,
+            f"--benchmark_filter=^{BENCH_NAME}$",
+            f"--json={out_path}",
+        ]
+        if inject_slowdown > 1:
+            cmd.append(f"--inject-slowdown={inject_slowdown}")
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(out_path) as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(out_path)
+    for b in doc.get("benchmarks", []):
+        if b.get("name") == BENCH_NAME:
+            return float(b["items_per_second"])
+    sys.exit(f"error: {BENCH_NAME} missing from benchmark output")
+
+
+def write_summary(lines):
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default=os.path.join("build", "bench",
+                                                    "microbench"),
+                    help="path to the microbench binary")
+    ap.add_argument("--baseline", default=BASELINE,
+                    help="committed baseline JSON")
+    ap.add_argument("--runs", type=int, default=3,
+                    help="repetitions to take the median over")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from this machine's median")
+    ap.add_argument("--inject-slowdown", type=int, default=1,
+                    help="artificial slowdown factor (failure drill only)")
+    args = ap.parse_args()
+
+    samples = []
+    for i in range(args.runs):
+        ips = run_once(args.bench, args.inject_slowdown)
+        print(f"run {i + 1}/{args.runs}: {ips:,.0f} items/sec")
+        samples.append(ips)
+    median = statistics.median(samples)
+    print(f"median: {median:,.0f} items/sec")
+
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        doc = {
+            "benchmark": BENCH_NAME,
+            "items_per_second": median,
+            "runs": args.runs,
+            "tolerance": 0.25,
+            "runner": {
+                "machine": platform.machine(),
+                "system": platform.system(),
+                "note": "calibrate on the runner class that runs the "
+                        "gate (docs/performance.md)",
+            },
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: no baseline at {args.baseline}; run with "
+                 "--update-baseline on the gate's runner class first")
+    ref = float(base["items_per_second"])
+    tol = float(base.get("tolerance", 0.25))
+    delta = (median - ref) / ref
+    lo, hi = ref * (1 - tol), ref * (1 + tol)
+    ok = lo <= median <= hi
+    verdict = "PASS" if ok else "FAIL"
+
+    print(f"baseline: {ref:,.0f} items/sec (tolerance +/-{tol:.0%})")
+    print(f"delta: {delta:+.1%} -> {verdict}")
+
+    write_summary([
+        "### Perf gate: pinned walk-heavy profile",
+        "",
+        "| metric | value |",
+        "|---|---|",
+        f"| median items/sec | {median:,.0f} |",
+        f"| baseline items/sec | {ref:,.0f} |",
+        f"| delta | {delta:+.1%} |",
+        f"| tolerance | +/-{tol:.0%} |",
+        f"| verdict | **{verdict}** |",
+    ])
+
+    if not ok:
+        direction = "regression" if median < lo else "speedup"
+        print(f"error: {direction} outside the +/-{tol:.0%} band — if "
+              "intentional, recalibrate with --update-baseline on the "
+              "CI runner (docs/performance.md)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,22 @@ ZArray::ZArray(std::uint32_t num_blocks, const ZArrayConfig& cfg,
         zc_assert(h != nullptr);
         zc_assert(h->buckets() == linesPerWay_);
     }
+    wayIndex_.build(hashes_, linesPerWay_);
+    seenEpoch_.assign(num_blocks, 0);
+    wayPos_.resize(cfg.ways);
     nodes_.reserve(256);
+    cands_.reserve(256);
+    candNode_.reserve(256);
+}
+
+std::uint32_t
+ZArray::nextDedupEpoch()
+{
+    if (++dedupEpoch_ == 0) {
+        std::fill(seenEpoch_.begin(), seenEpoch_.end(), 0u);
+        dedupEpoch_ = 1;
+    }
+    return dedupEpoch_;
 }
 
 std::uint32_t
@@ -65,8 +80,11 @@ ZArray::walkLatency(std::uint32_t ways, std::uint32_t levels,
 BlockPos
 ZArray::positionOf(std::uint32_t way, Addr lineAddr) const
 {
-    std::uint64_t line = hashes_[way]->hash(lineAddr);
-    return static_cast<BlockPos>(way * linesPerWay_ + line);
+    if (cfg_.referenceWalk) [[unlikely]] {
+        std::uint64_t line = hashes_[way]->hash(lineAddr);
+        return static_cast<BlockPos>(way * linesPerWay_ + line);
+    }
+    return wayIndex_.position(way, lineAddr);
 }
 
 BlockPos
@@ -74,8 +92,21 @@ ZArray::access(Addr lineAddr, const AccessContext& ctx)
 {
     // A lookup reads one tag per way (each way has its own index).
     stats_.tagReads += cfg_.ways;
+    if (cfg_.referenceWalk) [[unlikely]] {
+        for (std::uint32_t w = 0; w < cfg_.ways; w++) {
+            BlockPos pos = positionOf(w, lineAddr);
+            if (tags_[pos] == lineAddr) {
+                stats_.dataReads++;
+                policy_->onHit(pos, ctx);
+                return pos;
+            }
+        }
+        return kInvalidPos;
+    }
+    // All W way indices in one batched, devirtualized call.
+    wayIndex_.positionsAll(lineAddr, wayPos_.data());
     for (std::uint32_t w = 0; w < cfg_.ways; w++) {
-        BlockPos pos = positionOf(w, lineAddr);
+        BlockPos pos = wayPos_[w];
         if (tags_[pos] == lineAddr) {
             stats_.dataReads++;
             policy_->onHit(pos, ctx);
@@ -128,9 +159,13 @@ ZArray::expandNode(std::uint32_t node_idx)
         zstats_.repeatsTotal++;
         return; // Bloom filter: do not walk through repeats (III-D)
     }
+    // One batched call covers the W-1 sibling ways (the node's own way
+    // is computed too but skipped — cheaper than W-1 dispatches).
+    if (!cfg_.referenceWalk) wayIndex_.positionsAll(n.addr, wayPos_.data());
     for (std::uint32_t w = 0; w < cfg_.ways; w++) {
         if (w == n.way) continue;
-        BlockPos pos = positionOf(w, n.addr);
+        BlockPos pos =
+            cfg_.referenceWalk ? positionOf(w, n.addr) : wayPos_[w];
         if (onAncestorPath(static_cast<std::int32_t>(node_idx), pos)) {
             // A cycle back onto this node's own relocation path; such a
             // candidate could not be relocated consistently, so skip it.
@@ -167,8 +202,10 @@ ZArray::walkBfs(Addr incoming)
     // First-level candidates: the blocks conflicting with the incoming
     // address in each way. Their tags were already read by the missing
     // lookup, so they add no tag-array traffic here.
+    if (!cfg_.referenceWalk) wayIndex_.positionsAll(incoming, wayPos_.data());
     for (std::uint32_t w = 0; w < cfg_.ways && !walkCapped_; w++) {
-        pushNode(positionOf(w, incoming), w, -1);
+        pushNode(cfg_.referenceWalk ? positionOf(w, incoming) : wayPos_[w],
+                 w, -1);
         if (walkFoundEmpty_) break;
     }
     if (walkFoundEmpty_ || walkCapped_) {
@@ -194,8 +231,10 @@ ZArray::walkBfs(Addr incoming)
 std::uint32_t
 ZArray::walkDfs(Addr incoming)
 {
+    if (!cfg_.referenceWalk) wayIndex_.positionsAll(incoming, wayPos_.data());
     for (std::uint32_t w = 0; w < cfg_.ways && !walkCapped_; w++) {
-        pushNode(positionOf(w, incoming), w, -1);
+        pushNode(cfg_.referenceWalk ? positionOf(w, incoming) : wayPos_[w],
+                 w, -1);
         if (walkFoundEmpty_) break;
     }
     if (walkFoundEmpty_ || walkCapped_) {
@@ -250,31 +289,45 @@ ZArray::selectAmong(std::size_t begin, std::size_t end,
     // Deduplicate candidate positions (repeats across branches are legal
     // but must not be offered to the policy twice); keep the shallowest
     // node per position so the relocation chain is shortest.
-    static thread_local std::vector<BlockPos> cands;
-    static thread_local std::unordered_set<BlockPos> seen;
-    static thread_local std::vector<std::uint32_t> node_of;
-    cands.clear();
-    seen.clear();
-    node_of.clear();
+    cands_.clear();
+    candNode_.clear();
 
-    auto consider = [&](std::size_t i) {
-        const WalkNode& n = nodes_[i];
-        if (seen.insert(n.pos).second) {
-            cands.push_back(n.pos);
-            node_of.push_back(static_cast<std::uint32_t>(i));
-        } else {
-            zstats_.repeatsTotal++;
-        }
-    };
+    if (cfg_.referenceWalk) [[unlikely]] {
+        // Reference dedup: the unordered_set the flat table replaced.
+        static thread_local std::unordered_set<BlockPos> seen;
+        seen.clear();
+        auto consider = [&](std::size_t i) {
+            const WalkNode& n = nodes_[i];
+            if (seen.insert(n.pos).second) {
+                cands_.push_back(n.pos);
+                candNode_.push_back(static_cast<std::uint32_t>(i));
+            } else {
+                zstats_.repeatsTotal++;
+            }
+        };
+        if (extra_idx >= 0) consider(static_cast<std::size_t>(extra_idx));
+        for (std::size_t i = begin; i < end; i++) consider(i);
+    } else {
+        const std::uint32_t epoch = nextDedupEpoch();
+        auto consider = [&](std::size_t i) {
+            const WalkNode& n = nodes_[i];
+            if (seenEpoch_[n.pos] != epoch) {
+                seenEpoch_[n.pos] = epoch;
+                cands_.push_back(n.pos);
+                candNode_.push_back(static_cast<std::uint32_t>(i));
+            } else {
+                zstats_.repeatsTotal++;
+            }
+        };
+        if (extra_idx >= 0) consider(static_cast<std::size_t>(extra_idx));
+        for (std::size_t i = begin; i < end; i++) consider(i);
+    }
 
-    if (extra_idx >= 0) consider(static_cast<std::size_t>(extra_idx));
-    for (std::size_t i = begin; i < end; i++) consider(i);
-
-    zc_assert(!cands.empty());
-    BlockPos victim_pos = policy_->select(cands);
-    for (std::size_t i = 0; i < cands.size(); i++) {
-        if (cands[i] == victim_pos) {
-            return static_cast<std::int32_t>(node_of[i]);
+    zc_assert(!cands_.empty());
+    BlockPos victim_pos = policy_->select(cands_);
+    for (std::size_t i = 0; i < cands_.size(); i++) {
+        if (cands_[i] == victim_pos) {
+            return static_cast<std::int32_t>(candNode_[i]);
         }
     }
     zc_panic("policy selected a non-candidate position");
@@ -418,16 +471,36 @@ ZArray::recordWalkEvent(std::uint32_t victim_idx, std::uint32_t candidates)
     // depth is reached by the last node for BFS/DFS and by scanning the
     // (short) table in general.
     std::uint32_t max_depth = 0;
-    std::unordered_set<BlockPos> seen;
-    for (std::size_t i = 0; i < nodes_.size(); i++) {
-        max_depth =
-            std::max(max_depth, nodeDepth(static_cast<std::int32_t>(i)));
-        // Eviction-priority rank: distinct valid candidates the policy
-        // preferred to evict over the chosen victim.
-        if (!ev.emptyAbsorbed && nodes_[i].addr != kInvalidAddr &&
-            nodes_[i].pos != victim.pos && seen.insert(nodes_[i].pos).second &&
-            policy_->ordersBefore(nodes_[i].pos, victim.pos)) {
-            ev.evictionRank++;
+    if (cfg_.referenceWalk) [[unlikely]] {
+        std::unordered_set<BlockPos> seen;
+        for (std::size_t i = 0; i < nodes_.size(); i++) {
+            max_depth =
+                std::max(max_depth, nodeDepth(static_cast<std::int32_t>(i)));
+            // Eviction-priority rank: distinct valid candidates the
+            // policy preferred to evict over the chosen victim.
+            if (!ev.emptyAbsorbed && nodes_[i].addr != kInvalidAddr &&
+                nodes_[i].pos != victim.pos &&
+                seen.insert(nodes_[i].pos).second &&
+                policy_->ordersBefore(nodes_[i].pos, victim.pos)) {
+                ev.evictionRank++;
+            }
+        }
+    } else {
+        const std::uint32_t epoch = nextDedupEpoch();
+        for (std::size_t i = 0; i < nodes_.size(); i++) {
+            max_depth =
+                std::max(max_depth, nodeDepth(static_cast<std::int32_t>(i)));
+            // Same short-circuit order as the reference: the dedup stamp
+            // happens only for valid non-victim candidates, and the
+            // policy comparison only on first sight of a position.
+            if (!ev.emptyAbsorbed && nodes_[i].addr != kInvalidAddr &&
+                nodes_[i].pos != victim.pos &&
+                seenEpoch_[nodes_[i].pos] != epoch) {
+                seenEpoch_[nodes_[i].pos] = epoch;
+                if (policy_->ordersBefore(nodes_[i].pos, victim.pos)) {
+                    ev.evictionRank++;
+                }
+            }
         }
     }
     ev.levels = max_depth + 1;

@@ -35,6 +35,7 @@
 #include "common/stats.hpp"
 #include "hash/hash_factory.hpp"
 #include "hash/hash_function.hpp"
+#include "hash/way_index.hpp"
 
 namespace zc {
 
@@ -93,6 +94,16 @@ struct ZArrayConfig
      * hidden — Table I's 200-cycle memory latency by default.
      */
     std::uint32_t traceMissLatencyCycles = 200;
+
+    /**
+     * Test-only: run the pre-optimization reference implementation —
+     * per-way virtual hash() calls and std::unordered_set candidate
+     * dedup — instead of the batched WayIndexer + epoch-stamped flat
+     * dedup. The two paths must produce bit-identical walks, stats and
+     * victim choices; tests/test_walk_equivalence.cpp holds them to
+     * that. Never enable in production runs: it only costs speed.
+     */
+    bool referenceWalk = false;
 };
 
 /** One traced replacement walk (ZArrayConfig::traceCapacity > 0). */
@@ -246,6 +257,7 @@ class ZArray : public CacheArray
     };
 
     BlockPos positionOf(std::uint32_t way, Addr lineAddr) const;
+    std::uint32_t nextDedupEpoch();
     bool onAncestorPath(std::int32_t node, BlockPos pos) const;
     void pushNode(BlockPos pos, std::uint32_t way, std::int32_t parent);
     void expandNode(std::uint32_t node_idx);
@@ -264,6 +276,7 @@ class ZArray : public CacheArray
     ZArrayConfig cfg_;
     std::uint32_t linesPerWay_;
     std::vector<HashPtr> hashes_;
+    WayIndexer wayIndex_; ///< devirtualized/batched view of hashes_
     std::vector<Addr> tags_;
     std::uint32_t valid_ = 0;
     Pcg32 rng_;
@@ -276,6 +289,20 @@ class ZArray : public CacheArray
     std::uint32_t walkCap_ = 0;
     bool walkFoundEmpty_ = false;
     bool walkCapped_ = false;
+
+    // Epoch-stamped dedup table, sized to the bank: position p was seen
+    // in the current dedup pass iff seenEpoch_[p] == dedupEpoch_.
+    // Bumping the epoch empties the whole table in O(1) — no per-walk
+    // hashing or rehash allocation like the unordered_set it replaced.
+    // On uint32 wraparound the table is re-zeroed so stale stamps from
+    // 2^32 passes ago can never read as current.
+    std::vector<std::uint32_t> seenEpoch_;
+    std::uint32_t dedupEpoch_ = 0;
+
+    // More reusable walk scratch (candidate list + batched way indices).
+    std::vector<BlockPos> cands_;
+    std::vector<std::uint32_t> candNode_;
+    std::vector<BlockPos> wayPos_;
 
     // Walk-event trace ring buffer (cfg_.traceCapacity entries).
     std::vector<WalkEvent> trace_;

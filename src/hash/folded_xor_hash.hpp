@@ -52,6 +52,13 @@ class FoldedXorHash final : public HashFunction
 
     std::uint64_t buckets() const override { return buckets_; }
 
+    /**
+     * The internal additive constant (salt * golden ratio), i.e. exactly
+     * what hash() adds to the address. Exposed for WayIndexer's
+     * devirtualized evaluation (hash/way_index.hpp).
+     */
+    std::uint64_t saltConstant() const { return salt_; }
+
     std::string name() const override { return "FoldedXor"; }
 
   private:

@@ -72,6 +72,13 @@ class H3Hash final : public HashFunction
 
     std::uint64_t buckets() const override { return buckets_; }
 
+    /**
+     * The matrix rows (one per output bit). Exposed so WayIndexer can
+     * flatten several ways' matrices into one contiguous table and
+     * evaluate them without virtual dispatch (hash/way_index.hpp).
+     */
+    const std::vector<std::uint64_t>& rows() const { return rows_; }
+
     std::string
     name() const override
     {

@@ -43,6 +43,9 @@ class StrongHash final : public HashFunction
 
     std::uint64_t buckets() const override { return buckets_; }
 
+    /** Seed, exposed for WayIndexer's devirtualized evaluation. */
+    std::uint64_t seed() const { return seed_; }
+
     std::string
     name() const override
     {

@@ -19,17 +19,36 @@ namespace {
  * Build per-core generators. OPT runs pre-generate and annotate a trace
  * long enough to cover warmup + measurement (trace-driven mode, paper
  * Section VI-B); other policies stream directly from the generators.
+ * With RunParams::tracePath, records come from the file instead: still
+ * streamed for non-OPT (constant RSS), materialized only for OPT.
  */
 std::vector<GeneratorPtr>
 buildGenerators(const RunParams& p, const SystemConfig& cfg)
 {
-    const WorkloadProfile& w = WorkloadRegistry::byName(p.workload);
     std::vector<GeneratorPtr> gens;
     gens.reserve(cfg.numCores);
 
     bool opt = p.l2Spec.policy == PolicyKind::Opt;
     std::uint64_t instr_target = p.warmupInstr + p.measureInstr;
 
+    if (!p.tracePath.empty()) {
+        for (std::uint32_t c = 0; c < cfg.numCores; c++) {
+            if (!opt) {
+                gens.push_back(std::make_unique<StreamedTraceGenerator>(
+                    p.tracePath));
+                continue;
+            }
+            auto records = TraceIo::read(p.tracePath);
+            throwIfError(records.status());
+            std::vector<MemRecord> trace = std::move(*records);
+            FutureUseAnnotator::annotate(trace);
+            gens.push_back(
+                std::make_unique<ReplayGenerator>(std::move(trace)));
+        }
+        return gens;
+    }
+
+    const WorkloadProfile& w = WorkloadRegistry::byName(p.workload);
     for (std::uint32_t c = 0; c < cfg.numCores; c++) {
         auto gen = WorkloadRegistry::makeCoreGenerator(w, c, cfg.numCores,
                                                        p.seed);

@@ -40,6 +40,16 @@ struct RunParams
     std::uint32_t walkTraceCapacity = 0;
 
     /**
+     * Replay a recorded trace file (trace/trace_io.hpp) instead of the
+     * synthetic workload: every core replays the stream. Non-OPT runs
+     * stream records straight off disk through StreamedTraceGenerator —
+     * peak RSS stays at one chunk buffer however long the trace is.
+     * Only OPT materializes (its backward future-use pass needs the
+     * whole trace). Empty = synthetic generators (the default).
+     */
+    std::string tracePath;
+
+    /**
      * Field-level validation: workload exists, instruction budgets are
      * sane, the L2 spec satisfies the constraints its array constructor
      * enforces (cache/array_factory.hpp validateSpec), and the base

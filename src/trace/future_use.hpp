@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/status.hpp"
 #include "trace/generator.hpp"
 #include "trace/mem_record.hpp"
+#include "trace/trace_io.hpp"
 
 namespace zc {
 
@@ -70,6 +72,49 @@ class ReplayGenerator final : public AccessGenerator
   private:
     std::vector<MemRecord> records_;
     std::size_t pos_ = 0;
+};
+
+/**
+ * Streams records straight off a trace file — the non-OPT replay path.
+ * Unlike TraceIo::read + ReplayGenerator, peak RSS stays at one chunk
+ * buffer regardless of trace length; only OPT (whose backward
+ * future-use pass inherently needs the whole trace) must materialize.
+ *
+ * AccessGenerator has no error channel, so mid-stream corruption or
+ * exhaustion surfaces as a StatusError — the sweep engine already
+ * captures those per job (docs/robustness.md).
+ */
+class StreamedTraceGenerator final : public AccessGenerator
+{
+  public:
+    /** Throws StatusError if @p path fails validation on open. */
+    explicit StreamedTraceGenerator(const std::string& path) : path_(path)
+    {
+        throwIfError(reader_.open(path));
+    }
+
+    MemRecord
+    next() override
+    {
+        MemRecord r;
+        auto got = reader_.next(r);
+        if (!got) throw StatusError(got.status());
+        if (!*got) {
+            throw StatusError(Status::invalidArgument(
+                "trace file '" + path_ + "': stream exhausted after " +
+                std::to_string(reader_.consumed()) +
+                " records (the simulation asked for more)"));
+        }
+        return r;
+    }
+
+    /** Records the file declares / already delivered. */
+    std::uint64_t count() const { return reader_.count(); }
+    std::uint64_t consumed() const { return reader_.consumed(); }
+
+  private:
+    std::string path_;
+    TraceReader reader_;
 };
 
 /** Materialize @p n records from @p gen (for annotation or tests). */

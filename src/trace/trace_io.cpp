@@ -90,6 +90,9 @@ expectedFileSize(std::uint32_t version, std::uint64_t count)
     return n;
 }
 
+/** Records per buffered disk transfer (streaming read refills). */
+constexpr std::size_t kReadChunk = 4096;
+
 } // namespace
 
 Status
@@ -155,11 +158,30 @@ TraceIo::write(const std::string& path,
     return Status::ok();
 }
 
-Expected<std::vector<MemRecord>>
-TraceIo::read(const std::string& path)
+struct TraceReader::Impl
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f) {
+    FilePtr f;
+    std::string path;
+    Crc32 crc;
+    std::vector<DiskRecord> buf; ///< fixed chunk; RSS-independent of count
+    std::size_t bufPos = 0;
+    std::size_t bufLen = 0;
+    std::uint64_t remaining = 0; ///< records not yet read from disk
+    std::uint64_t offset = 0;    ///< byte offset of the next disk read
+    bool done = false;           ///< clean end-of-trace delivered
+};
+
+TraceReader::TraceReader() : impl_(std::make_unique<Impl>()) {}
+
+TraceReader::~TraceReader() = default;
+
+Status
+TraceReader::open(const std::string& path)
+{
+    Impl& im = *impl_;
+    im.path = path;
+    im.f.reset(std::fopen(path.c_str(), "rb"));
+    if (!im.f) {
         return Status::ioError("cannot open trace file '" + path +
                                "' for reading: " + std::strerror(errno));
     }
@@ -167,31 +189,31 @@ TraceIo::read(const std::string& path)
     // File size first: v2 headers declare the payload, and the two must
     // agree *before* any allocation happens — a corrupt count field must
     // not translate into a massive reserve().
-    if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    if (std::fseek(im.f.get(), 0, SEEK_END) != 0) {
         return Status::ioError(
             describe(path, 0, "cannot determine file size"));
     }
-    long end = std::ftell(f.get());
+    long end = std::ftell(im.f.get());
     if (end < 0) {
         return Status::ioError(
             describe(path, 0, "cannot determine file size"));
     }
     auto file_size = static_cast<std::uint64_t>(end);
-    std::rewind(f.get());
+    std::rewind(im.f.get());
 
     Header h{};
     if (file_size < sizeof h ||
-        freadFaulty(&h, sizeof h, 1, f.get()) != 1) {
+        freadFaulty(&h, sizeof h, 1, im.f.get()) != 1) {
         return Status::truncated(describe(
             path, file_size,
             "file ends inside the " + std::to_string(sizeof h) +
                 "-byte header"));
     }
-    if (h.magic != kMagic) {
+    if (h.magic != TraceIo::kMagic) {
         return Status::corruption(
             describe(path, 0, "not a zcache trace file (bad magic)"));
     }
-    if (h.version != 1 && h.version != kVersion) {
+    if (h.version != 1 && h.version != TraceIo::kVersion) {
         return Status::unsupported(describe(
             path, 4,
             "unsupported trace version " + std::to_string(h.version) +
@@ -217,74 +239,105 @@ TraceIo::read(const std::string& path)
                 std::to_string(file_size)));
     }
 
-    Crc32 crc;
-    crc.update(&h, sizeof h);
+    im.crc.update(&h, sizeof h);
+    im.buf.resize(static_cast<std::size_t>(std::min<std::uint64_t>(
+        kReadChunk, std::max<std::uint64_t>(h.count, 1))));
+    im.remaining = h.count;
+    im.offset = sizeof h;
+    count_ = h.count;
+    version_ = h.version;
+    consumed_ = 0;
+    return Status::ok();
+}
+
+Expected<bool>
+TraceReader::next(MemRecord& out)
+{
+    Impl& im = *impl_;
+    if (im.done) return false;
+
+    if (im.bufPos == im.bufLen) {
+        if (im.remaining == 0) {
+            // End of the record region: v2 proves integrity here.
+            if (version_ >= 2) {
+                Footer foot{};
+                if (freadFaulty(&foot, sizeof foot, 1, im.f.get()) != 1) {
+                    return Status::truncated(describe(
+                        im.path, im.offset, "file ends inside the footer"));
+                }
+                if (foot.magic != TraceIo::kFooterMagic) {
+                    return Status::corruption(
+                        describe(im.path, im.offset + offsetof(Footer, magic),
+                                 "bad footer magic"));
+                }
+                if (foot.crc != im.crc.value()) {
+                    char want[16], got[16];
+                    std::snprintf(want, sizeof want, "%08x",
+                                  im.crc.value());
+                    std::snprintf(got, sizeof got, "%08x", foot.crc);
+                    return Status::corruption(describe(
+                        im.path, im.offset,
+                        std::string("CRC-32 mismatch: computed ") + want +
+                            ", footer records " + got +
+                            " — the payload is bit-corrupted"));
+                }
+            }
+            im.done = true;
+            return false;
+        }
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kReadChunk, im.remaining));
+        std::size_t got = freadFaulty(im.buf.data(), sizeof(DiskRecord),
+                                      want, im.f.get());
+        if (got != want) {
+            return Status::truncated(describe(
+                im.path, im.offset + got * sizeof(DiskRecord),
+                "record region short read (" + std::to_string(im.remaining) +
+                    " of " + std::to_string(count_) +
+                    " records outstanding)"));
+        }
+        im.crc.update(im.buf.data(), want * sizeof(DiskRecord));
+        im.remaining -= want;
+        im.offset += want * sizeof(DiskRecord);
+        im.bufPos = 0;
+        im.bufLen = want;
+    }
+
+    const DiskRecord& d = im.buf[im.bufPos++];
+    out.lineAddr = d.lineAddr;
+    out.nextUse = d.nextUse;
+    out.instGap = d.instGap;
+    out.type = static_cast<AccessType>(d.type);
+    consumed_++;
+    return true;
+}
+
+Expected<std::vector<MemRecord>>
+TraceIo::read(const std::string& path)
+{
+    TraceReader reader;
+    if (Status s = reader.open(path); !s.isOk()) return s;
 
     std::vector<MemRecord> out;
     if (ZC_INJECT_FAULT("trace.read.alloc")) {
         return Status::resourceExhausted(
             "trace file '" + path + "': cannot allocate " +
-            std::to_string(h.count) + " records");
+            std::to_string(reader.count()) + " records");
     }
     try {
-        out.reserve(h.count);
+        out.reserve(reader.count());
     } catch (const std::bad_alloc&) {
         return Status::resourceExhausted(
             "trace file '" + path + "': cannot allocate " +
-            std::to_string(h.count) + " records");
+            std::to_string(reader.count()) + " records");
     }
 
-    constexpr std::size_t kChunk = 4096;
-    std::vector<DiskRecord> buf(static_cast<std::size_t>(
-        std::min<std::uint64_t>(kChunk, std::max<std::uint64_t>(h.count, 1))));
-    std::uint64_t remaining = h.count;
-    std::uint64_t offset = sizeof h;
-    while (remaining > 0) {
-        std::size_t want = static_cast<std::size_t>(
-            std::min<std::uint64_t>(kChunk, remaining));
-        std::size_t got =
-            freadFaulty(buf.data(), sizeof(DiskRecord), want, f.get());
-        if (got != want) {
-            return Status::truncated(describe(
-                path, offset + got * sizeof(DiskRecord),
-                "record region short read (" + std::to_string(remaining) +
-                    " of " + std::to_string(h.count) +
-                    " records outstanding)"));
-        }
-        crc.update(buf.data(), want * sizeof(DiskRecord));
-        for (std::size_t i = 0; i < want; i++) {
-            MemRecord r;
-            r.lineAddr = buf[i].lineAddr;
-            r.nextUse = buf[i].nextUse;
-            r.instGap = buf[i].instGap;
-            r.type = static_cast<AccessType>(buf[i].type);
-            out.push_back(r);
-        }
-        remaining -= want;
-        offset += want * sizeof(DiskRecord);
-    }
-
-    if (h.version >= 2) {
-        Footer foot{};
-        if (freadFaulty(&foot, sizeof foot, 1, f.get()) != 1) {
-            return Status::truncated(
-                describe(path, offset, "file ends inside the footer"));
-        }
-        if (foot.magic != kFooterMagic) {
-            return Status::corruption(describe(
-                path, offset + offsetof(Footer, magic),
-                "bad footer magic"));
-        }
-        if (foot.crc != crc.value()) {
-            char want[16], got[16];
-            std::snprintf(want, sizeof want, "%08x", crc.value());
-            std::snprintf(got, sizeof got, "%08x", foot.crc);
-            return Status::corruption(describe(
-                path, offset,
-                std::string("CRC-32 mismatch: computed ") + want +
-                    ", footer records " + got +
-                    " — the payload is bit-corrupted"));
-        }
+    MemRecord r;
+    for (;;) {
+        auto got = reader.next(r);
+        if (!got) return got.status();
+        if (!*got) break;
+        out.push_back(r);
     }
     return out;
 }

@@ -26,6 +26,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,8 +52,62 @@ class TraceIo
      * structured error (path, byte offset, expected vs actual) on
      * missing files, foreign content, truncation, length/count
      * disagreement, or CRC mismatch.
+     *
+     * Materializes the whole trace; replay paths that only need one
+     * record at a time should stream through TraceReader instead and
+     * keep peak RSS independent of trace length.
      */
     static Expected<std::vector<MemRecord>> read(const std::string& path);
+};
+
+/**
+ * Streaming trace reader: constant-memory record-at-a-time access to a
+ * v1/v2 trace file with exactly TraceIo::read's validation and
+ * diagnostics. open() checks magic/version and that the declared record
+ * count agrees with the file size *before* anything is consumed; next()
+ * refills a small fixed chunk buffer from disk; for v2 files the
+ * CRC-32 footer is verified when the last record has been delivered, so
+ * a fully drained stream gives the same corruption guarantees as the
+ * materializing read. (Streaming necessarily hands out records before
+ * the trailing CRC is seen — only the *end* of the stream proves
+ * integrity of the whole.)
+ *
+ * TraceIo::read() is a thin wrapper: open + drain into a vector.
+ */
+class TraceReader
+{
+  public:
+    TraceReader();
+    ~TraceReader();
+
+    TraceReader(const TraceReader&) = delete;
+    TraceReader& operator=(const TraceReader&) = delete;
+
+    /** Open @p path and validate header, size and version. */
+    Status open(const std::string& path);
+
+    /** Records the header declares (valid after open()). */
+    std::uint64_t count() const { return count_; }
+
+    /** On-disk format version, 1 or 2 (valid after open()). */
+    std::uint32_t version() const { return version_; }
+
+    /** Records handed out so far. */
+    std::uint64_t consumed() const { return consumed_; }
+
+    /**
+     * Pull the next record into @p out. Returns true on success, false
+     * at clean end-of-trace (v2: footer magic and CRC verified), or a
+     * structured error on truncation/corruption mid-stream.
+     */
+    Expected<bool> next(MemRecord& out);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    std::uint64_t count_ = 0;
+    std::uint32_t version_ = 0;
+    std::uint64_t consumed_ = 0;
 };
 
 } // namespace zc

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests of the throughput telemetry layer (common/perf_telemetry.hpp):
+ * PerfMeter's harvesting of both stats-tree shapes (full CMP dumps and
+ * array-level ablation dumps), the recursive walk-candidate sum, the
+ * counters' presence in a StatsRegistry dump and its schema, and the
+ * "perf" block's JSON shape that the CI gate and diff tooling key on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/perf_telemetry.hpp"
+#include "common/stats_registry.hpp"
+
+namespace zc {
+namespace {
+
+// A miniature CMP-shaped stats tree: system.instructions,
+// system.l2.accesses, and walk groups nested under two banks.
+JsonValue
+cmpTree()
+{
+    JsonValue walk0 = JsonValue::object();
+    walk0.set("candidates_total", JsonValue(std::uint64_t{100}));
+    JsonValue walk1 = JsonValue::object();
+    walk1.set("candidates_total", JsonValue(std::uint64_t{23}));
+    JsonValue bank0 = JsonValue::object();
+    bank0.set("walk", std::move(walk0));
+    JsonValue bank1 = JsonValue::object();
+    bank1.set("walk", std::move(walk1));
+    JsonValue l2 = JsonValue::object();
+    l2.set("accesses", JsonValue(std::uint64_t{5000}));
+    l2.set("bank0", std::move(bank0));
+    l2.set("bank1", std::move(bank1));
+    JsonValue sys = JsonValue::object();
+    sys.set("instructions", JsonValue(std::uint64_t{20000}));
+    sys.set("l2", std::move(l2));
+    JsonValue root = JsonValue::object();
+    root.set("system", std::move(sys));
+    return root;
+}
+
+// The ablation drivers' array-level shape: summary.accesses and a walk
+// group directly under "array".
+JsonValue
+ablationTree()
+{
+    JsonValue walk = JsonValue::object();
+    walk.set("candidates_total", JsonValue(std::uint64_t{77}));
+    JsonValue arr = JsonValue::object();
+    arr.set("walk", std::move(walk));
+    JsonValue summary = JsonValue::object();
+    summary.set("accesses", JsonValue(std::uint64_t{1234}));
+    JsonValue root = JsonValue::object();
+    root.set("summary", std::move(summary));
+    root.set("array", std::move(arr));
+    return root;
+}
+
+TEST(PerfMeter, HarvestsCmpShapedStats)
+{
+    PerfMeter m;
+    m.addRun(cmpTree());
+    EXPECT_EQ(m.runs(), 1u);
+    EXPECT_EQ(m.instructions(), 20000u);
+    EXPECT_EQ(m.accesses(), 5000u);
+    EXPECT_EQ(m.walkCandidates(), 123u); // both banks summed
+}
+
+TEST(PerfMeter, HarvestsAblationShapedStats)
+{
+    PerfMeter m;
+    m.addRun(ablationTree());
+    EXPECT_EQ(m.instructions(), 0u); // shape has no instruction count
+    EXPECT_EQ(m.accesses(), 1234u);
+    EXPECT_EQ(m.walkCandidates(), 77u);
+}
+
+TEST(PerfMeter, AccumulatesAcrossRunsAndDirectCounts)
+{
+    PerfMeter m;
+    m.addRun(cmpTree());
+    m.addRun(cmpTree());
+    m.addCounts(10, 20, 30);
+    EXPECT_EQ(m.runs(), 2u);
+    EXPECT_EQ(m.instructions(), 40010u);
+    EXPECT_EQ(m.accesses(), 10020u);
+    EXPECT_EQ(m.walkCandidates(), 276u);
+}
+
+TEST(PerfMeter, UnknownShapeContributesNothing)
+{
+    PerfMeter m;
+    JsonValue junk = JsonValue::object();
+    junk.set("whatever", JsonValue(std::uint64_t{9}));
+    m.addRun(junk);
+    EXPECT_EQ(m.runs(), 1u);
+    EXPECT_EQ(m.accesses(), 0u);
+    EXPECT_EQ(m.walkCandidates(), 0u);
+}
+
+TEST(PerfTelemetry, PeakRssIsNonzeroOnThisPlatform)
+{
+    EXPECT_GT(peakRssBytes(), 0u);
+}
+
+// The counters must show up in the stats tree a registry dumps, and in
+// the schema (docs/observability.md): dashboards discover them there.
+TEST(PerfTelemetry, CountersAppearInStatsTreeAndSchema)
+{
+    PerfMeter m;
+    m.addRun(cmpTree());
+    StatsRegistry reg;
+    m.registerStats(reg.root().group("perf", "throughput telemetry"));
+
+    JsonValue dump = reg.toJson();
+    const JsonValue* perf = dump.find("perf");
+    ASSERT_NE(perf, nullptr);
+    ASSERT_TRUE(perf->isObject());
+    for (const char* key :
+         {"runs", "instructions_total", "sim_accesses_total",
+          "walk_candidates_total", "wall_seconds", "instructions_per_sec",
+          "sim_accesses_per_sec", "walk_candidates_per_sec",
+          "peak_rss_bytes"}) {
+        EXPECT_NE(perf->find(key), nullptr) << "dump missing " << key;
+    }
+    EXPECT_EQ(perf->find("sim_accesses_total")->asU64(), 5000u);
+    EXPECT_EQ(perf->find("walk_candidates_total")->asU64(), 123u);
+    EXPECT_GT(perf->find("peak_rss_bytes")->asU64(), 0u);
+
+    JsonValue schema = reg.schema();
+    std::string text = schema.str(2);
+    for (const char* key :
+         {"sim_accesses_per_sec", "walk_candidates_per_sec",
+          "peak_rss_bytes", "wall_seconds"}) {
+        EXPECT_NE(text.find(key), std::string::npos)
+            << "schema missing " << key;
+    }
+}
+
+// The JSON block drivers embed: same keys, sane values, rates strictly
+// positive once any time has elapsed and work was metered.
+TEST(PerfTelemetry, ToJsonShape)
+{
+    PerfMeter m;
+    m.addRun(cmpTree());
+    JsonValue perf = m.toJson();
+    ASSERT_TRUE(perf.isObject());
+    EXPECT_EQ(perf.find("runs")->asU64(), 1u);
+    EXPECT_EQ(perf.find("instructions_total")->asU64(), 20000u);
+    EXPECT_EQ(perf.find("sim_accesses_total")->asU64(), 5000u);
+    EXPECT_GE(perf.find("wall_seconds")->asDouble(), 0.0);
+    EXPECT_GT(perf.find("sim_accesses_per_sec")->asDouble(), 0.0);
+}
+
+} // namespace
+} // namespace zc

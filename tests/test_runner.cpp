@@ -54,6 +54,46 @@ TEST(ThreadPool, DefaultsToHardwareConcurrency)
     EXPECT_GE(pool.threadCount(), 1u);
 }
 
+TEST(ThreadPool, ExplicitZeroThreadsClampsToAtLeastOne)
+{
+    // --jobs=0 means "auto". std::thread::hardware_concurrency() is
+    // allowed to return 0 (the value is only a hint), so the auto path
+    // must clamp to one worker — a pool with zero workers would accept
+    // tasks and never run them. This pins the clamp in place.
+    ThreadPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 16; i++) {
+        pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(Grid, DefaultJobsIsNeverZero)
+{
+    // Same clamp one layer up: the sweep engine's jobs=0 fallback.
+    EXPECT_GE(detail::defaultJobs(), 1u);
+}
+
+TEST(Grid, JobsZeroRunsTheWholeGrid)
+{
+    std::atomic<int> ran{0};
+    auto outs = runGrid<int>(
+        12,
+        [&](std::size_t i) {
+            ran.fetch_add(1);
+            return static_cast<int>(i) * 2;
+        },
+        quiet(0));
+    ASSERT_EQ(outs.size(), 12u);
+    EXPECT_EQ(ran.load(), 12);
+    for (std::size_t i = 0; i < outs.size(); i++) {
+        EXPECT_TRUE(outs[i].ok);
+        EXPECT_EQ(outs[i].result, static_cast<int>(i) * 2);
+    }
+}
+
 TEST(ThreadPool, TinyQueueCapacityStillDrainsEverything)
 {
     // Capacity 1 forces submit() to block on backpressure repeatedly;
@@ -315,6 +355,19 @@ TEST(SweepRunner, ZeroBaseSeedKeepsDeclaredSeeds)
     ASSERT_TRUE(outs[0].ok);
     EXPECT_NE(outs[0].result.stats.str(2).find("\"seed\": 123"),
               std::string::npos);
+}
+
+TEST(SweepRunner, JobsZeroRunsFullSweep)
+{
+    // End-to-end cover for the drivers' --jobs=0 default: the auto
+    // worker count must be clamped to >= 1 and the sweep must complete.
+    SweepSpec spec;
+    spec.name = "jobs0";
+    spec.add(tinyRun("gcc"));
+    spec.add(tinyRun("mcf"));
+    auto outs = SweepRunner(quiet(0)).run(spec);
+    ASSERT_EQ(outs.size(), 2u);
+    for (const auto& o : outs) EXPECT_TRUE(o.ok) << o.error;
 }
 
 } // namespace

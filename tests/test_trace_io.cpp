@@ -105,6 +105,96 @@ TEST_F(TraceIoTest, ReportsUnwritablePath)
               std::string::npos);
 }
 
+TEST_F(TraceIoTest, StreamingReaderMatchesMaterializedRead)
+{
+    // > one chunk so refills are exercised, not a multiple of 4096.
+    const auto& w = WorkloadRegistry::byName("soplex");
+    auto gen = WorkloadRegistry::makeCoreGenerator(w, 0, 32, 9);
+    auto trace = recordTrace(*gen, 9000);
+    ASSERT_TRUE(TraceIo::write(path_, trace).isOk());
+
+    TraceReader reader;
+    ASSERT_TRUE(reader.open(path_).isOk());
+    EXPECT_EQ(reader.count(), trace.size());
+    MemRecord r;
+    std::size_t i = 0;
+    for (;;) {
+        auto got = reader.next(r);
+        ASSERT_TRUE(got.hasValue()) << got.status().str();
+        if (!*got) break;
+        ASSERT_LT(i, trace.size());
+        ASSERT_EQ(r.lineAddr, trace[i].lineAddr) << i;
+        ASSERT_EQ(r.type, trace[i].type) << i;
+        ASSERT_EQ(r.instGap, trace[i].instGap) << i;
+        ASSERT_EQ(r.nextUse, trace[i].nextUse) << i;
+        i++;
+    }
+    EXPECT_EQ(i, trace.size());
+    EXPECT_EQ(reader.consumed(), trace.size());
+}
+
+TEST_F(TraceIoTest, StreamingReaderCatchesCorruptionAtEndOfStream)
+{
+    StridedGenerator gen(0, 1 << 16, 5);
+    auto trace = recordTrace(gen, 500);
+    ASSERT_TRUE(TraceIo::write(path_, trace).isOk());
+    // Flip one payload byte mid-file. Streaming validates the CRC at
+    // end-of-stream (it cannot know earlier without reading ahead), so
+    // records flow until the footer, where the error must surface.
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 16 + 24 * 100 + 3, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+
+    TraceReader reader;
+    ASSERT_TRUE(reader.open(path_).isOk());
+    MemRecord r;
+    Status err = Status::ok();
+    for (;;) {
+        auto got = reader.next(r);
+        if (!got.hasValue()) {
+            err = got.status();
+            break;
+        }
+        ASSERT_TRUE(*got) << "clean EOF despite bit corruption";
+    }
+    EXPECT_EQ(err.code(), ErrorCode::Corruption);
+    EXPECT_NE(err.message().find("CRC-32 mismatch"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, StreamedGeneratorReplaysAndReportsExhaustion)
+{
+    StridedGenerator gen(100, 64, 1);
+    auto trace = recordTrace(gen, 200);
+    ASSERT_TRUE(TraceIo::write(path_, trace).isOk());
+
+    StreamedTraceGenerator streamed(path_);
+    EXPECT_EQ(streamed.count(), 200u);
+    for (int i = 0; i < 200; i++) {
+        EXPECT_EQ(streamed.next().lineAddr,
+                  static_cast<Addr>(100 + i % 64));
+    }
+    EXPECT_EQ(streamed.consumed(), 200u);
+    // Asking for more than the trace holds is a caller error with a
+    // structured message, not an infinite loop or a silent wrap.
+    try {
+        streamed.next();
+        FAIL() << "expected StatusError on stream exhaustion";
+    } catch (const StatusError& e) {
+        EXPECT_NE(std::string(e.what()).find("exhausted"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(TraceIoTest, StreamedGeneratorRejectsMissingFile)
+{
+    EXPECT_THROW(StreamedTraceGenerator("/nonexistent/zc.trc"),
+                 StatusError);
+}
+
 TEST_F(TraceIoTest, ReplaysThroughGenerator)
 {
     StridedGenerator gen(100, 64, 1);
