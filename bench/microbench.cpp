@@ -19,6 +19,7 @@
 #include "cache/array_factory.hpp"
 #include "cache/cache_model.hpp"
 #include "common/rng.hpp"
+#include "store/zkv.hpp"
 #include "trace/generator.hpp"
 
 namespace zc {
@@ -122,6 +123,38 @@ BM_FullyAssocAccess(benchmark::State& state)
     runMix(state, m, 65536);
 }
 BENCHMARK(BM_FullyAssocAccess);
+
+/**
+ * Single-threaded zkv get/put mix (70/30) against a 4-shard zcache
+ * store with a footprint 2x capacity — the store-throughput row the
+ * perf gate can pin once it has CI history (docs/store.md).
+ */
+void
+BM_StoreGetPut(benchmark::State& state)
+{
+    ZkvConfig cfg;
+    cfg.shards = 4;
+    cfg.array.blocks = 4096;
+    auto store = ZkvStore::create(cfg);
+    zc_assert(store.hasValue());
+    ZkvStore& kv = **store;
+    Pcg32 rng(7);
+    const std::uint64_t footprint = 32768;
+    for (int i = 0; i < 60000; i++) {
+        std::uint64_t key = rng.next64() % footprint;
+        (void)kv.put(key, key);
+    }
+    for (auto _ : state) {
+        std::uint64_t key = rng.next64() % footprint;
+        if (rng.uniform() < 0.7) {
+            benchmark::DoNotOptimize(kv.get(key));
+        } else {
+            benchmark::DoNotOptimize(kv.put(key, key));
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreGetPut);
 
 void
 BM_ZipfGenerator(benchmark::State& state)

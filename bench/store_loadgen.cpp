@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Multithreaded closed-loop load generator for the zkv store
+ * (src/store, docs/store.md): the concurrent-throughput companion to
+ * the trace-driven simulator benches. Sweeps shard count, worker
+ * count, and array design (zcache vs set-associative vs
+ * skew-associative shards) over a synthetic workload key stream and
+ * reports aggregate + per-thread throughput and latency percentiles.
+ *
+ * Flags (all grid axes take comma-separated lists):
+ *   --threads=1,8        worker threads per point
+ *   --shards=4           store shards (banks)
+ *   --array=z            shard design: z | sa | skew
+ *   --ways=4             ways per shard array
+ *   --cands=0            zcache early-stop cap (0 = full walk)
+ *   --blocks=4096        blocks (keys) per shard
+ *   --levels=2           zcache walk levels
+ *   --policy=lru         replacement policy
+ *   --lock=mutex         shard lock: mutex | spin
+ *   --workload=canneal   WorkloadRegistry profile for key streams
+ *   --ops=200000         operations per thread
+ *   --get=0.7            get fraction   (rest after erase = puts)
+ *   --erase=0.05         erase fraction
+ *   --seed=1             base seed (per-point seeds derived)
+ *   --json=<path>        standard JSON report (docs/store.md schema)
+ *   --jobs=1             grid points in flight; points are themselves
+ *                        multithreaded, so the default measures one
+ *                        point at a time (unlike simulator sweeps,
+ *                        where --jobs defaults to all cores)
+ *   --no-progress        suppress the stderr progress meter
+ *
+ * Exit codes follow the bench protocol (docs/robustness.md): 0 clean,
+ * 1 failed grid points or unwritable output, 2 usage error.
+ *
+ * stdout is NOT deterministic — every row carries wall-clock-derived
+ * throughput. In the JSON report, run "stats" blocks are deterministic
+ * for threads=1 points; "timing" tags and the top-level "perf" block
+ * are wall-clock (docs/observability.md).
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "store/loadgen.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+using namespace zc;
+using namespace zc::benchutil;
+
+std::vector<std::uint64_t>
+parseU64List(const std::string& csv)
+{
+    std::vector<std::uint64_t> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos) comma = csv.size();
+        std::string item = csv.substr(pos, comma - pos);
+        if (!item.empty()) {
+            out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+Expected<ArrayKind>
+parseStoreArray(const std::string& name)
+{
+    if (name == "z") return ArrayKind::ZCache;
+    if (name == "sa") return ArrayKind::SetAssoc;
+    if (name == "skew") return ArrayKind::SkewAssoc;
+    return Status::invalidArgument("store_loadgen: unknown --array '" +
+                                   name + "' (valid: z, sa, skew)");
+}
+
+std::vector<std::string>
+parseStrList(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos) comma = csv.size();
+        std::string item = csv.substr(pos, comma - pos);
+        if (!item.empty()) out.push_back(item);
+        pos = comma + 1;
+    }
+    return out;
+}
+
+struct Point
+{
+    LoadGenConfig cfg;
+    std::string design; ///< shard array label
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    auto threads_list =
+        parseU64List(flag(argc, argv, "threads", "1"));
+    auto shards_list = parseU64List(flag(argc, argv, "shards", "4"));
+    auto ways_list = parseU64List(flag(argc, argv, "ways", "4"));
+    auto cands_list = parseU64List(flag(argc, argv, "cands", "0"));
+    auto array_list = parseStrList(flag(argc, argv, "array", "z"));
+    std::uint64_t blocks = flagU64(argc, argv, "blocks", 4096);
+    std::uint64_t levels = flagU64(argc, argv, "levels", 2);
+    std::uint64_t ops = flagU64(argc, argv, "ops", 200000);
+    double get_frac = std::atof(flag(argc, argv, "get", "0.7").c_str());
+    double erase_frac =
+        std::atof(flag(argc, argv, "erase", "0.05").c_str());
+    std::string policy_name = flag(argc, argv, "policy", "lru");
+    std::string lock_name = flag(argc, argv, "lock", "mutex");
+    std::string workload = flag(argc, argv, "workload", "canneal");
+    std::uint64_t seed = flagU64(argc, argv, "seed", 1);
+
+    auto policy = parsePolicyKind(policy_name);
+    if (!policy) {
+        std::fprintf(stderr, "error: %s\n", policy.status().str().c_str());
+        return 2;
+    }
+    if (lock_name != "mutex" && lock_name != "spin") {
+        std::fprintf(stderr,
+                     "error: unknown --lock '%s' (valid: mutex, spin)\n",
+                     lock_name.c_str());
+        return 2;
+    }
+    if (WorkloadRegistry::find(workload) == nullptr) {
+        std::fprintf(stderr, "error: unknown --workload '%s'\n",
+                     workload.c_str());
+        return 2;
+    }
+
+    // Grid: array x ways x cands x shards x threads, declared before
+    // execution so per-point seeds are pure functions of grid position.
+    std::vector<Point> grid;
+    for (const std::string& array_name : array_list) {
+        auto kind = parseStoreArray(array_name);
+        if (!kind) {
+            std::fprintf(stderr, "error: %s\n",
+                         kind.status().message().c_str());
+            return 2;
+        }
+        for (std::uint64_t ways : ways_list) {
+            for (std::uint64_t cands : cands_list) {
+                for (std::uint64_t shards : shards_list) {
+                    for (std::uint64_t threads : threads_list) {
+                        Point p;
+                        p.cfg.store.shards =
+                            static_cast<std::uint32_t>(shards);
+                        p.cfg.store.array.kind = *kind;
+                        p.cfg.store.array.blocks =
+                            static_cast<std::uint32_t>(blocks);
+                        p.cfg.store.array.ways =
+                            static_cast<std::uint32_t>(ways);
+                        p.cfg.store.array.levels =
+                            static_cast<std::uint32_t>(levels);
+                        p.cfg.store.array.maxCandidates =
+                            static_cast<std::uint32_t>(cands);
+                        p.cfg.store.array.policy = *policy;
+                        p.cfg.store.array.seed = SweepSpec::pointSeed(
+                            seed, grid.size());
+                        p.cfg.store.lock = lock_name == "spin"
+                                               ? ShardLockKind::Spin
+                                               : ShardLockKind::Mutex;
+                        p.cfg.threads =
+                            static_cast<std::uint32_t>(threads);
+                        p.cfg.opsPerThread = ops;
+                        p.cfg.getFrac = get_frac;
+                        p.cfg.eraseFrac = erase_frac;
+                        p.cfg.workload = workload;
+                        p.cfg.seed = SweepSpec::pointSeed(
+                            seed ^ 0x6c67ULL, grid.size());
+                        p.design = p.cfg.store.array.label();
+                        grid.push_back(std::move(p));
+                    }
+                }
+            }
+        }
+    }
+
+    JsonReport report(argc, argv, "store_loadgen");
+
+    SweepOptions opts = sweepOptions(argc, argv, "store_loadgen");
+    // Points are themselves multithreaded: measure one at a time
+    // unless the caller explicitly asks for overlap.
+    if (flag(argc, argv, "jobs", "").empty()) opts.jobs = 1;
+    opts.journalPath.clear();
+    opts.resumePath.clear();
+
+    auto outcomes = runGrid<LoadGenResult>(
+        grid.size(),
+        [&](std::size_t i) {
+            return std::move(runLoadGen(grid[i].cfg)).valueOrThrow();
+        },
+        opts);
+
+    banner("zkv store load generation (" + workload + ", " +
+           std::to_string(ops) + " ops/thread)");
+    std::printf("%-10s %7s %8s %6s %12s %7s %10s %10s %8s\n", "design",
+                "shards", "threads", "lock", "ops/s", "hit%", "p50_ns",
+                "p99_ns", "verify");
+    for (const auto& o : outcomes) {
+        if (!o.ok) continue;
+        const Point& p = grid[o.index];
+        const LoadGenResult& r = o.result;
+        ThreadStats agg = r.aggregate();
+        double hit_pct =
+            agg.gets ? 100.0 * static_cast<double>(agg.getHits) /
+                           static_cast<double>(agg.gets)
+                     : 0.0;
+        const JsonValue timing = r.timing();
+        const JsonValue* lat = timing.find("latency");
+        double p50 = lat->find("p50_ns")->asDouble();
+        double p99 = lat->find("p99_ns")->asDouble();
+        std::printf("%-10s %7u %8u %6s %12.0f %6.1f%% %10.0f %10.0f "
+                    "%8" PRIu64 "\n",
+                    p.design.c_str(), p.cfg.store.shards, p.cfg.threads,
+                    shardLockKindName(p.cfg.store.lock), r.opsPerSec,
+                    hit_pct, p50, p99, agg.verifyFailures);
+
+        report.add(
+            {
+                {"design", JsonValue(p.design)},
+                {"workload", JsonValue(p.cfg.workload)},
+                {"shards", JsonValue(std::uint64_t{p.cfg.store.shards})},
+                {"threads", JsonValue(std::uint64_t{p.cfg.threads})},
+                {"lock",
+                 JsonValue(std::string(
+                     shardLockKindName(p.cfg.store.lock)))},
+                {"ops_per_thread", JsonValue(p.cfg.opsPerThread)},
+                {"timing", timing},
+            },
+            r.storeStats);
+    }
+
+    std::size_t failures = reportGridFailures(outcomes, "store_loadgen");
+    bool wrote = report.writeIfRequested();
+    if (failures > 0 || !wrote) return 1;
+    return 0;
+}

@@ -228,15 +228,33 @@ validateSpec(const ArraySpec& spec)
     return Status::ok();
 }
 
-inline std::unique_ptr<CacheArray>
-makeArray(const ArraySpec& spec)
+/**
+ * Blocks the policy of a spec-built array must span: equal to
+ * spec.blocks for every design except the victim cache, whose policy
+ * covers the main array plus the victim buffer.
+ */
+inline std::uint32_t
+policyBlocksFor(const ArraySpec& spec)
 {
-    throwIfError(validateSpec(spec));
     std::uint32_t policy_blocks = spec.blocks;
     if (spec.kind == ArrayKind::VictimCache) {
         policy_blocks += spec.victimBlocks; // policy spans both arrays
     }
-    auto policy = makePolicy(spec.policy, policy_blocks, spec.seed ^ 0x9d2c);
+    return policy_blocks;
+}
+
+/**
+ * Build the array described by @p spec around a caller-supplied policy
+ * (sized policyBlocksFor(spec)). Lets callers interpose a decorating
+ * policy — the zkv store mirrors key/value payloads through one
+ * (src/store/zkv.hpp) — while the array construction stays shared.
+ */
+inline std::unique_ptr<CacheArray>
+makeArray(const ArraySpec& spec, std::unique_ptr<ReplacementPolicy> policy)
+{
+    throwIfError(validateSpec(spec));
+    zc_assert(policy != nullptr);
+    zc_assert(policy->numBlocks() == policyBlocksFor(spec));
     switch (spec.kind) {
       case ArrayKind::SetAssoc: {
         auto hash = makeHash(spec.hashKind, spec.blocks / spec.ways,
@@ -286,6 +304,14 @@ makeArray(const ArraySpec& spec)
       }
     }
     zc_panic("unknown array kind");
+}
+
+inline std::unique_ptr<CacheArray>
+makeArray(const ArraySpec& spec)
+{
+    throwIfError(validateSpec(spec));
+    return makeArray(spec, makePolicy(spec.policy, policyBlocksFor(spec),
+                                      spec.seed ^ 0x9d2c));
 }
 
 } // namespace zc

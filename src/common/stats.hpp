@@ -104,6 +104,22 @@ class UnitHistogram
         return acc / static_cast<double>(total_);
     }
 
+    /**
+     * Fold @p other's samples into this histogram. Both must have the
+     * same bin count; used to aggregate per-thread histograms after a
+     * parallel run (e.g. the store load generator's latency bins).
+     */
+    void
+    merge(const UnitHistogram& other)
+    {
+        zc_assert(counts_.size() == other.counts_.size());
+        for (std::size_t i = 0; i < counts_.size(); i++) {
+            counts_[i] += other.counts_[i];
+        }
+        total_ += other.total_;
+        nan_ += other.nan_;
+    }
+
     void
     reset()
     {
@@ -149,6 +165,30 @@ class RunningStat
     variance() const
     {
         return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    /**
+     * Fold @p other's samples into this stat (Chan et al. pairwise
+     * combination, the parallel form of Welford). Used to aggregate
+     * per-thread streams after a parallel run.
+     */
+    void
+    merge(const RunningStat& other)
+    {
+        if (other.n_ == 0) return;
+        if (n_ == 0) {
+            *this = other;
+            return;
+        }
+        double delta = other.mean_ - mean_;
+        auto n = static_cast<double>(n_);
+        auto m = static_cast<double>(other.n_);
+        m2_ += other.m2_ + delta * delta * n * m / (n + m);
+        mean_ += delta * m / (n + m);
+        n_ += other.n_;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
     }
 
     double stddev() const { return std::sqrt(variance()); }

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Load-generator implementation: deterministic per-thread key streams
+ * and op mixes, barrier-released workers, wall-clock aggregation.
+ */
+
+#include "store/loadgen.hpp"
+
+#include <barrier>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/stats_registry.hpp"
+#include "trace/workloads.hpp"
+
+namespace zc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Map an op latency to the [0,1] histogram domain: log2(1+ns)/32. */
+double
+latencyToUnit(double ns)
+{
+    return std::log2(1.0 + ns) / 32.0;
+}
+
+/** Invert latencyToUnit for approximate quantile reporting. */
+double
+unitToLatencyNs(double u)
+{
+    return std::exp2(32.0 * u) - 1.0;
+}
+
+/** Approximate quantile from histogram bins (right-edge inversion). */
+double
+histQuantileNs(const UnitHistogram& h, double q)
+{
+    if (h.samples() == 0) return 0.0;
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(h.samples()));
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < h.bins(); i++) {
+        acc += h.binCount(i);
+        if (acc > target) {
+            double edge = (static_cast<double>(i) + 1.0) /
+                          static_cast<double>(h.bins());
+            return unitToLatencyNs(edge);
+        }
+    }
+    return unitToLatencyNs(1.0);
+}
+
+JsonValue
+threadCountersJson(const ThreadStats& t)
+{
+    JsonValue o = JsonValue::object();
+    o.set("ops", JsonValue(t.ops));
+    o.set("gets", JsonValue(t.gets));
+    o.set("get_hits", JsonValue(t.getHits));
+    o.set("puts", JsonValue(t.puts));
+    o.set("put_errors", JsonValue(t.putErrors));
+    o.set("erases", JsonValue(t.erases));
+    o.set("erase_hits", JsonValue(t.eraseHits));
+    o.set("evictions", JsonValue(t.evictions));
+    o.set("verify_failures", JsonValue(t.verifyFailures));
+    return o;
+}
+
+JsonValue
+latencyJson(const ThreadStats& t)
+{
+    JsonValue lat = JsonValue::object();
+    lat.set("count", JsonValue(t.latencyNs.count()));
+    lat.set("mean_ns", JsonValue(t.latencyNs.mean()));
+    lat.set("min_ns", JsonValue(t.latencyNs.min()));
+    lat.set("max_ns", JsonValue(t.latencyNs.max()));
+    lat.set("stddev_ns", JsonValue(t.latencyNs.stddev()));
+    lat.set("p50_ns", JsonValue(histQuantileNs(t.latency, 0.50)));
+    lat.set("p95_ns", JsonValue(histQuantileNs(t.latency, 0.95)));
+    lat.set("p99_ns", JsonValue(histQuantileNs(t.latency, 0.99)));
+    JsonValue counts = JsonValue::array();
+    for (std::size_t i = 0; i < t.latency.bins(); i++) {
+        counts.push(JsonValue(t.latency.binCount(i)));
+    }
+    lat.set("hist_counts", std::move(counts));
+    return lat;
+}
+
+} // namespace
+
+Status
+LoadGenConfig::validate() const
+{
+    if (threads == 0) {
+        return Status::invalidArgument("loadgen: threads must be > 0");
+    }
+    if (opsPerThread == 0) {
+        return Status::invalidArgument(
+            "loadgen: ops-per-thread must be > 0");
+    }
+    if (getFrac < 0.0 || eraseFrac < 0.0 || getFrac + eraseFrac > 1.0) {
+        return Status::invalidArgument(
+            "loadgen: op mix needs getFrac, eraseFrac >= 0 and "
+            "getFrac + eraseFrac <= 1");
+    }
+    if (latencyBins == 0) {
+        return Status::invalidArgument(
+            "loadgen: latencyBins must be > 0");
+    }
+    return store.validate();
+}
+
+ThreadStats
+LoadGenResult::aggregate() const
+{
+    ThreadStats agg;
+    if (!perThread.empty()) {
+        agg.latency = UnitHistogram(perThread[0].latency.bins());
+    }
+    for (const ThreadStats& t : perThread) {
+        agg.ops += t.ops;
+        agg.gets += t.gets;
+        agg.getHits += t.getHits;
+        agg.puts += t.puts;
+        agg.putErrors += t.putErrors;
+        agg.erases += t.erases;
+        agg.eraseHits += t.eraseHits;
+        agg.evictions += t.evictions;
+        agg.verifyFailures += t.verifyFailures;
+        agg.seconds = std::max(agg.seconds, t.seconds);
+        agg.latency.merge(t.latency);
+        agg.latencyNs.merge(t.latencyNs);
+    }
+    return agg;
+}
+
+JsonValue
+LoadGenResult::timing() const
+{
+    ThreadStats agg = aggregate();
+    JsonValue o = JsonValue::object();
+    o.set("seconds", JsonValue(seconds));
+    o.set("ops_total", JsonValue(agg.ops));
+    o.set("ops_per_sec", JsonValue(opsPerSec));
+    o.set("latency", latencyJson(agg));
+    JsonValue per = JsonValue::array();
+    for (const ThreadStats& t : perThread) {
+        JsonValue rec = JsonValue::object();
+        rec.set("seconds", JsonValue(t.seconds));
+        rec.set("ops_per_sec",
+                JsonValue(t.seconds > 0.0
+                              ? static_cast<double>(t.ops) / t.seconds
+                              : 0.0));
+        rec.set("latency", latencyJson(t));
+        per.push(std::move(rec));
+    }
+    o.set("per_thread", std::move(per));
+    return o;
+}
+
+Expected<LoadGenResult>
+runLoadGen(const LoadGenConfig& cfg)
+{
+    if (Status s = cfg.validate(); !s.isOk()) return s;
+
+    const WorkloadProfile* profile = WorkloadRegistry::find(cfg.workload);
+    if (profile == nullptr) {
+        return Status::notFound("loadgen: unknown workload '" +
+                                cfg.workload + "'");
+    }
+
+    auto store_or = ZkvStore::create(cfg.store);
+    if (!store_or) return store_or.status();
+    std::unique_ptr<ZkvStore> store = std::move(*store_or);
+
+    LoadGenResult result;
+    result.perThread.resize(cfg.threads);
+    for (ThreadStats& t : result.perThread) {
+        t.latency = UnitHistogram(cfg.latencyBins);
+    }
+
+    // Lazily-built profile tables must exist before workers spawn
+    // (same prime() discipline as the sweep runner, docs/runner.md).
+    WorkloadRegistry::prime();
+
+    std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
+    std::vector<std::thread> workers;
+    workers.reserve(cfg.threads);
+    for (std::uint32_t tid = 0; tid < cfg.threads; tid++) {
+        workers.emplace_back([&, tid] {
+            ThreadStats& ts = result.perThread[tid];
+            GeneratorPtr gen = WorkloadRegistry::makeCoreGenerator(
+                *profile, tid, cfg.threads, cfg.seed);
+            // Op-mix stream independent of the key stream.
+            Pcg32 mix(zkvMix64(cfg.seed + tid),
+                      /*stream=*/0x6b76ULL + tid);
+
+            sync.arrive_and_wait();
+            auto t0 = Clock::now();
+            for (std::uint64_t i = 0; i < cfg.opsPerThread; i++) {
+                std::uint64_t key = gen->next().lineAddr;
+                double u = mix.uniform();
+                auto op0 = Clock::now();
+                if (u < cfg.getFrac) {
+                    ts.gets++;
+                    if (auto v = store->get(key)) {
+                        ts.getHits++;
+                        // Decode the writer thread from the payload.
+                        if (*v - zkvMix64(key) >= cfg.threads) {
+                            ts.verifyFailures++;
+                        }
+                    }
+                } else if (u < cfg.getFrac + cfg.eraseFrac) {
+                    ts.erases++;
+                    if (store->erase(key)) ts.eraseHits++;
+                } else {
+                    ts.puts++;
+                    auto pr = store->put(key, zkvMix64(key) + tid);
+                    if (!pr) {
+                        ts.putErrors++;
+                    } else if (pr->evicted) {
+                        ts.evictions++;
+                    }
+                }
+                auto op1 = Clock::now();
+                ts.ops++;
+                auto ns = static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        op1 - op0)
+                        .count());
+                ts.latencyNs.record(ns);
+                ts.latency.record(latencyToUnit(ns));
+            }
+            ts.seconds =
+                std::chrono::duration<double>(Clock::now() - t0).count();
+        });
+    }
+
+    sync.arrive_and_wait();
+    auto t0 = Clock::now();
+    for (std::thread& w : workers) w.join();
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    double total_ops = static_cast<double>(cfg.threads) *
+                       static_cast<double>(cfg.opsPerThread);
+    result.opsPerSec =
+        result.seconds > 0.0 ? total_ops / result.seconds : 0.0;
+
+    // Deterministic block: the store's stats tree plus per-thread
+    // operation counters (workers are joined — the dump is quiesced).
+    StatsRegistry reg;
+    store->registerStats(reg.root());
+    JsonValue det = reg.toJson();
+    JsonValue workers_json = JsonValue::array();
+    for (const ThreadStats& t : result.perThread) {
+        workers_json.push(threadCountersJson(t));
+    }
+    det.set("workers", std::move(workers_json));
+    result.storeStats = std::move(det);
+    return result;
+}
+
+} // namespace zc

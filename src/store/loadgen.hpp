@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Closed-loop multithreaded load generator for ZkvStore.
+ *
+ * Each worker thread draws keys from its own deterministic synthetic
+ * workload stream (src/trace generators via WorkloadRegistry — the same
+ * profiles the simulator benches replay) and issues a seeded get/put/
+ * erase mix against the shared store, timing every operation. Workers
+ * start together behind a std::barrier and run a fixed operation count
+ * (closed loop: the next request issues as soon as the previous one
+ * returns).
+ *
+ * Results split along the repo's determinism contract
+ * (docs/observability.md): LoadGenResult::storeStats — the store's
+ * stats tree plus per-thread operation counters — is a pure function of
+ * (config, seed) for a single-thread run, while wall-clock derived
+ * numbers (throughput, latency histogram/moments) live in timing().
+ * Put values encode (key, thread): value = zkvMix64(key) + tid, so
+ * every get hit is integrity-checked by decoding the writer thread; a
+ * mismatch counts in verifyFailures (always 0 unless the store loses
+ * or cross-wires a payload).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "store/zkv.hpp"
+
+namespace zc {
+
+/** One load-generation run's shape. */
+struct LoadGenConfig
+{
+    ZkvConfig store;
+
+    std::uint32_t threads = 1;
+    std::uint64_t opsPerThread = 100000;
+
+    /** Operation mix; the remainder after gets and erases is puts. */
+    double getFrac = 0.70;
+    double eraseFrac = 0.05;
+
+    /** Workload profile name (WorkloadRegistry) used as key stream. */
+    std::string workload = "canneal";
+
+    std::uint64_t seed = 1;
+
+    /** Latency histogram bins over log2(1+ns)/32 (64 ~= 0.5-bit bins). */
+    std::size_t latencyBins = 64;
+
+    Status validate() const;
+};
+
+/** One worker's counters; latency fields are wall-clock derived. */
+struct ThreadStats
+{
+    std::uint64_t ops = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t getHits = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t putErrors = 0; ///< puts rejected with a Status
+    std::uint64_t erases = 0;
+    std::uint64_t eraseHits = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t verifyFailures = 0;
+
+    /** Nondeterministic (timing) fields. */
+    double seconds = 0.0;
+    UnitHistogram latency{64};
+    RunningStat latencyNs;
+};
+
+struct LoadGenResult
+{
+    std::vector<ThreadStats> perThread;
+
+    /** Wall time from barrier release to last worker finish. */
+    double seconds = 0.0;
+
+    /** Aggregate ops (all threads) / seconds. */
+    double opsPerSec = 0.0;
+
+    /**
+     * Deterministic block: store stats tree + per-thread operation
+     * counters. Byte-identical across runs for threads == 1 and a
+     * fixed seed (the test_store determinism test).
+     */
+    JsonValue storeStats;
+
+    /** Merged per-thread counters (deterministic for 1 thread). */
+    ThreadStats aggregate() const;
+
+    /**
+     * Nondeterministic block: wall seconds, aggregate and per-thread
+     * throughput, latency histogram and moments. The store-report
+     * analogue of the bench reports' "perf" block.
+     */
+    JsonValue timing() const;
+};
+
+/**
+ * Run one closed-loop load generation. Fails with a structured Status
+ * for an unknown workload name, an invalid config, or a store-creation
+ * fault; per-operation store.walk faults are counted per thread (the
+ * run completes) rather than aborting the run.
+ */
+Expected<LoadGenResult> runLoadGen(const LoadGenConfig& cfg);
+
+} // namespace zc

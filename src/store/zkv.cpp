@@ -1,0 +1,335 @@
+/**
+ * @file
+ * ZkvStore implementation: the value-mirroring policy decorator and the
+ * shard operations built on the simulator's CacheArray protocol.
+ */
+
+#include "store/zkv.hpp"
+
+#include <utility>
+
+#include "common/fault_injection.hpp"
+#include "common/log.hpp"
+
+namespace zc {
+
+namespace {
+
+/**
+ * Decorates the shard's real replacement policy, forwarding every
+ * notification and ranking call unchanged — the array's walk decisions
+ * are bit-identical to a bare array with the same inner policy — while
+ * mirroring the value payload through the same position-based protocol:
+ *
+ *  - onInsert installs the pending put value at the new block's slot;
+ *  - onMove carries the value along a walk relocation (values travel
+ *    with blocks exactly like replacement metadata, Section II);
+ *  - onSwap exchanges the two values;
+ *  - onEvict captures the dying block's value so put() can report the
+ *    evicted key+value pair. ZArray::commit notifies onEvict before any
+ *    relocation touches the victim's slot, so the capture reads the
+ *    pre-walk value.
+ */
+class ValueMirror final : public ReplacementPolicy
+{
+  public:
+    explicit ValueMirror(std::unique_ptr<ReplacementPolicy> inner)
+        : ReplacementPolicy(inner->numBlocks()),
+          inner_(std::move(inner)),
+          values_(numBlocks(), 0)
+    {
+    }
+
+    void
+    onInsert(BlockPos pos, const AccessContext& ctx) override
+    {
+        values_[pos] = pending_;
+        inner_->onInsert(pos, ctx);
+    }
+
+    void
+    onHit(BlockPos pos, const AccessContext& ctx) override
+    {
+        inner_->onHit(pos, ctx);
+    }
+
+    void
+    onMove(BlockPos from, BlockPos to) override
+    {
+        values_[to] = values_[from];
+        inner_->onMove(from, to);
+    }
+
+    void
+    onSwap(BlockPos a, BlockPos b) override
+    {
+        std::swap(values_[a], values_[b]);
+        inner_->onSwap(a, b);
+    }
+
+    void
+    onEvict(BlockPos pos) override
+    {
+        lastEvicted_ = values_[pos];
+        inner_->onEvict(pos);
+    }
+
+    BlockPos
+    select(std::span<const BlockPos> cands) override
+    {
+        return inner_->select(cands);
+    }
+
+    double score(BlockPos pos) const override { return inner_->score(pos); }
+
+    std::uint64_t
+    tieBreaker(BlockPos pos) const override
+    {
+        return inner_->tieBreaker(pos);
+    }
+
+    std::string name() const override { return inner_->name(); }
+
+    void setPending(std::uint64_t v) { pending_ = v; }
+    std::uint64_t valueAt(BlockPos pos) const { return values_[pos]; }
+    void setValue(BlockPos pos, std::uint64_t v) { values_[pos] = v; }
+    std::uint64_t lastEvicted() const { return lastEvicted_; }
+
+  private:
+    std::unique_ptr<ReplacementPolicy> inner_;
+    std::vector<std::uint64_t> values_;
+    std::uint64_t pending_ = 0;
+    std::uint64_t lastEvicted_ = 0;
+};
+
+} // namespace
+
+struct ZkvStore::Shard
+{
+    explicit Shard(ShardLockKind lock_kind) : lock(lock_kind) {}
+
+    ShardLock lock;
+    std::unique_ptr<CacheArray> array;
+    ValueMirror* mirror = nullptr; ///< owned by array's policy chain
+    ZkvShardStats stats;
+};
+
+ZkvStore::ZkvStore(ZkvConfig cfg) : cfg_(cfg) {}
+
+ZkvStore::~ZkvStore() = default;
+
+Expected<std::unique_ptr<ZkvStore>>
+ZkvStore::create(const ZkvConfig& cfg)
+{
+    if (Status s = cfg.validate(); !s.isOk()) return s;
+
+    auto store = std::unique_ptr<ZkvStore>(new ZkvStore(cfg));
+    store->shards_.reserve(cfg.shards);
+    for (std::uint32_t i = 0; i < cfg.shards; i++) {
+        if (ZC_INJECT_FAULT("store.alloc")) {
+            return Status::resourceExhausted(
+                "zkv: injected shard allocation failure (site store.alloc, "
+                "shard " +
+                std::to_string(i) + ")");
+        }
+        ArraySpec spec = cfg.shardSpec(i);
+        // Same inner-policy construction as the one-argument makeArray,
+        // so a bare makeArray(shardSpec(i)) reproduces this shard's
+        // walk decisions exactly (tests/test_store.cpp relies on it).
+        auto mirror = std::make_unique<ValueMirror>(makePolicy(
+            spec.policy, policyBlocksFor(spec), spec.seed ^ 0x9d2c));
+        ValueMirror* mirror_ptr = mirror.get();
+        auto shard = std::make_unique<Shard>(cfg.lock);
+        shard->array = makeArray(spec, std::move(mirror));
+        shard->mirror = mirror_ptr;
+        store->shards_.push_back(std::move(shard));
+    }
+    return store;
+}
+
+std::uint32_t
+ZkvStore::numShards() const
+{
+    return cfg_.shards;
+}
+
+std::uint32_t
+ZkvStore::shardOf(std::uint64_t key) const
+{
+    // splitmix64 over (key, store seed): independent of the H3 way
+    // hashing inside the shard, so bank selection never correlates
+    // with candidate placement.
+    return static_cast<std::uint32_t>(zkvMix64(key ^ cfg_.array.seed) %
+                                      cfg_.shards);
+}
+
+std::optional<std::uint64_t>
+ZkvStore::get(std::uint64_t key)
+{
+    Shard& sh = *shards_[shardOf(key)];
+    std::lock_guard<ShardLock> g(sh.lock);
+    sh.stats.gets++;
+    AccessContext ctx{key, kNoNextUse};
+    BlockPos pos = sh.array->access(key, ctx);
+    if (pos == kInvalidPos) return std::nullopt;
+    sh.stats.getHits++;
+    return sh.mirror->valueAt(pos);
+}
+
+Expected<PutResult>
+ZkvStore::put(std::uint64_t key, std::uint64_t value)
+{
+    if (key == kReservedKey) {
+        return Status::invalidArgument(
+            "zkv: key " + std::to_string(key) +
+            " is reserved (array invalid-address sentinel)");
+    }
+    Shard& sh = *shards_[shardOf(key)];
+    std::lock_guard<ShardLock> g(sh.lock);
+    sh.stats.puts++;
+    AccessContext ctx{key, kNoNextUse};
+    PutResult res;
+
+    BlockPos pos = sh.array->access(key, ctx);
+    if (pos != kInvalidPos) {
+        sh.mirror->setValue(pos, value);
+        sh.stats.putUpdates++;
+        return res;
+    }
+
+    if (ZC_INJECT_FAULT("store.walk")) {
+        return Status::resourceExhausted(
+            "zkv: injected relocation-walk failure (site store.walk, "
+            "shard " +
+            std::to_string(shardOf(key)) + ")");
+    }
+
+    sh.mirror->setPending(value);
+    Replacement r = sh.array->insert(key, ctx);
+    res.inserted = true;
+    res.candidates = r.candidates;
+    res.relocations = r.relocations;
+    sh.stats.putInserts++;
+    sh.stats.walkCandidates += r.candidates;
+    sh.stats.relocations += r.relocations;
+    if (r.evictedValid()) {
+        res.evicted = true;
+        res.evictedKey = r.evictedAddr;
+        res.evictedValue = sh.mirror->lastEvicted();
+        sh.stats.evictions++;
+    }
+    return res;
+}
+
+bool
+ZkvStore::erase(std::uint64_t key)
+{
+    Shard& sh = *shards_[shardOf(key)];
+    std::lock_guard<ShardLock> g(sh.lock);
+    sh.stats.erases++;
+    bool hit = sh.array->invalidate(key);
+    if (hit) sh.stats.eraseHits++;
+    return hit;
+}
+
+std::uint64_t
+ZkvStore::size() const
+{
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_) {
+        std::lock_guard<ShardLock> g(sh->lock);
+        n += sh->array->validCount();
+    }
+    return n;
+}
+
+ZkvShardStats
+ZkvStore::shardStats(std::uint32_t shard) const
+{
+    zc_assert(shard < shards_.size());
+    Shard& sh = *shards_[shard];
+    std::lock_guard<ShardLock> g(sh.lock);
+    return sh.stats;
+}
+
+ZkvShardStats
+ZkvStore::totals() const
+{
+    ZkvShardStats t;
+    for (std::uint32_t i = 0; i < shards_.size(); i++) {
+        t.add(shardStats(i));
+    }
+    return t;
+}
+
+namespace {
+
+void
+registerShardCounters(StatGroup& g, const ZkvShardStats* s)
+{
+    g.addCounter("gets", "get operations", [s] { return s->gets; });
+    g.addCounter("get_hits", "gets that found the key",
+                 [s] { return s->getHits; });
+    g.addCounter("puts", "put operations", [s] { return s->puts; });
+    g.addCounter("put_inserts", "puts that installed a new key",
+                 [s] { return s->putInserts; });
+    g.addCounter("put_updates", "puts that updated in place",
+                 [s] { return s->putUpdates; });
+    g.addCounter("erases", "erase operations", [s] { return s->erases; });
+    g.addCounter("erase_hits", "erases that removed a key",
+                 [s] { return s->eraseHits; });
+    g.addCounter("evictions", "resident keys displaced by inserts",
+                 [s] { return s->evictions; });
+    g.addCounter("walk_candidates", "replacement candidates examined",
+                 [s] { return s->walkCandidates; });
+    g.addCounter("relocations", "walk relocations performed",
+                 [s] { return s->relocations; });
+}
+
+} // namespace
+
+void
+ZkvStore::registerStats(StatGroup& g)
+{
+    StatGroup& root = g.group("store", "zkv sharded key-value store");
+    root.addConst("shards", "shard (bank) count",
+                  JsonValue(std::uint64_t{cfg_.shards}));
+    root.addConst("array", "per-shard array configuration",
+                  JsonValue(cfg_.array.label()));
+    root.addConst("lock", "shard lock kind",
+                  JsonValue(std::string(shardLockKindName(cfg_.lock))));
+    root.addCounter("resident_keys", "valid keys across all shards",
+                    [this] { return size(); });
+
+    // Totals snapshot: one locked sweep per dumped counter keeps the
+    // getters trivially consistent with the per-shard groups below.
+    StatGroup& tot = root.group("totals", "summed over all shards");
+    tot.addCounter("gets", "get operations",
+                   [this] { return totals().gets; });
+    tot.addCounter("get_hits", "gets that found the key",
+                   [this] { return totals().getHits; });
+    tot.addCounter("puts", "put operations",
+                   [this] { return totals().puts; });
+    tot.addCounter("put_inserts", "puts that installed a new key",
+                   [this] { return totals().putInserts; });
+    tot.addCounter("put_updates", "puts that updated in place",
+                   [this] { return totals().putUpdates; });
+    tot.addCounter("erases", "erase operations",
+                   [this] { return totals().erases; });
+    tot.addCounter("erase_hits", "erases that removed a key",
+                   [this] { return totals().eraseHits; });
+    tot.addCounter("evictions", "resident keys displaced by inserts",
+                   [this] { return totals().evictions; });
+    tot.addCounter("walk_candidates", "replacement candidates examined",
+                   [this] { return totals().walkCandidates; });
+    tot.addCounter("relocations", "walk relocations performed",
+                   [this] { return totals().relocations; });
+
+    for (std::uint32_t i = 0; i < shards_.size(); i++) {
+        StatGroup& sh = root.group("shard" + std::to_string(i));
+        registerShardCounters(sh, &shards_[i]->stats);
+        shards_[i]->array->registerStats(sh.group("array"));
+    }
+}
+
+} // namespace zc

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * zkv: a concurrent, sharded in-memory key-value cache backed by the
+ * zcache array design.
+ *
+ * The paper argues that a zcache delivers high associativity with few
+ * ways and serial-latency lookups — properties that matter most in a
+ * real concurrent store, not just a trace simulator. zkv is that
+ * store: N independent shards (bank-per-shard), each a lock-guarded
+ * CacheArray built through the existing factory (ZCache by default;
+ * set-associative or skew-associative shards as comparison baselines),
+ * holding key->value payloads and evicting via the zcache relocation
+ * walk. The array/policy split is reused untouched: a shard interposes
+ * a *value-mirroring* decorator policy (defined in zkv.cpp) around the
+ * configured replacement policy, so payloads travel with blocks through
+ * walk relocations exactly as replacement metadata does — the walk
+ * logic itself is the simulator's, byte for byte.
+ *
+ * Concurrency model (docs/store.md): shard-level mutual exclusion, no
+ * shared mutable state across shards. Keys are distributed over shards
+ * with a splitmix64 mix of the key, independent of the in-shard H3
+ * hashing, so shard selection does not correlate with way indexing.
+ * Each shard's array seed is derived from the store seed and the shard
+ * index (ZkvConfig::shardSpec), making a shard's eviction sequence a
+ * pure function of the key sequence it receives — the property the
+ * determinism and walk-victim tests in tests/test_store.cpp pin down.
+ *
+ * Error model: structured Status/Expected (docs/robustness.md), with
+ * fault-injection sites store.alloc (shard construction) and
+ * store.walk (relocation-walk insert path).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/array_factory.hpp"
+#include "common/status.hpp"
+#include "common/stats_registry.hpp"
+#include "common/types.hpp"
+
+namespace zc {
+
+/** splitmix64 finalizer (Steele et al.) used for shard selection. */
+inline std::uint64_t
+zkvMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** How a shard serializes its operations. */
+enum class ShardLockKind {
+    Mutex, ///< std::mutex — friendly under oversubscription
+    Spin,  ///< test-and-set spinlock — lowest latency at low contention
+};
+
+inline const char*
+shardLockKindName(ShardLockKind k)
+{
+    return k == ShardLockKind::Mutex ? "mutex" : "spin";
+}
+
+/** Store-wide configuration. */
+struct ZkvConfig
+{
+    /** Independent shards (banks); keys are split across them. */
+    std::uint32_t shards = 4;
+
+    /**
+     * Per-shard array shape: kind (ZCache / SetAssoc / SkewAssoc / ...),
+     * blocks = per-shard capacity, ways/levels, policy, hash. The seed
+     * field is a base — each shard derives its own via shardSpec().
+     */
+    ArraySpec array;
+
+    ShardLockKind lock = ShardLockKind::Mutex;
+
+    /**
+     * The per-shard ArraySpec: identical to `array` except for a
+     * splitmix64-derived seed unique to @p shard. Public so tests can
+     * build a bare reference array with the exact seed a shard uses
+     * (the eviction-matches-walk-victim test in tests/test_store.cpp).
+     */
+    ArraySpec
+    shardSpec(std::uint32_t shard) const
+    {
+        ArraySpec s = array;
+        s.seed = zkvMix64(array.seed + 0x736864ULL * (shard + 1));
+        return s;
+    }
+
+    /** Field-level validation; create() runs this first. */
+    Status
+    validate() const
+    {
+        if (shards == 0) {
+            return Status::invalidArgument("zkv: shards must be > 0");
+        }
+        return validateSpec(array);
+    }
+};
+
+/** Outcome of a put(). */
+struct PutResult
+{
+    /** False when an existing key's value was updated in place. */
+    bool inserted = false;
+
+    /** True when installing the key evicted another resident key. */
+    bool evicted = false;
+    std::uint64_t evictedKey = 0;
+    std::uint64_t evictedValue = 0;
+
+    /** Walk cost of the insert (R and m of Section III-B); 0 on update. */
+    std::uint32_t candidates = 0;
+    std::uint32_t relocations = 0;
+};
+
+/** Per-shard operation counters (also used for store-wide totals). */
+struct ZkvShardStats
+{
+    std::uint64_t gets = 0;
+    std::uint64_t getHits = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t putInserts = 0;
+    std::uint64_t putUpdates = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t eraseHits = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t walkCandidates = 0;
+    std::uint64_t relocations = 0;
+
+    void
+    add(const ZkvShardStats& o)
+    {
+        gets += o.gets;
+        getHits += o.getHits;
+        puts += o.puts;
+        putInserts += o.putInserts;
+        putUpdates += o.putUpdates;
+        erases += o.erases;
+        eraseHits += o.eraseHits;
+        evictions += o.evictions;
+        walkCandidates += o.walkCandidates;
+        relocations += o.relocations;
+    }
+};
+
+/**
+ * Mutex-or-spinlock guard with a single type, so shards need no
+ * template parameter. Spin mode uses test-and-set with a relaxed
+ * test loop (TTAS) — adequate for short shard critical sections.
+ */
+class ShardLock
+{
+  public:
+    explicit ShardLock(ShardLockKind kind) : kind_(kind) {}
+
+    void
+    lock()
+    {
+        if (kind_ == ShardLockKind::Mutex) {
+            mx_.lock();
+            return;
+        }
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+            while (flag_.test(std::memory_order_relaxed)) {
+            }
+        }
+    }
+
+    void
+    unlock()
+    {
+        if (kind_ == ShardLockKind::Mutex) {
+            mx_.unlock();
+            return;
+        }
+        flag_.clear(std::memory_order_release);
+    }
+
+  private:
+    ShardLockKind kind_;
+    std::mutex mx_;
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/**
+ * The store. Operations are linearizable per key (each key lives in
+ * exactly one shard and every shard operation runs under that shard's
+ * lock). Construction is via create() so an impossible configuration
+ * or an injected allocation fault surfaces as a structured Status.
+ */
+class ZkvStore
+{
+  public:
+    static Expected<std::unique_ptr<ZkvStore>> create(const ZkvConfig& cfg);
+
+    ~ZkvStore();
+
+    ZkvStore(const ZkvStore&) = delete;
+    ZkvStore& operator=(const ZkvStore&) = delete;
+
+    /** Value for @p key, or nullopt on miss. Hits touch the policy. */
+    std::optional<std::uint64_t> get(std::uint64_t key);
+
+    /**
+     * Insert or update @p key. Inserting into a full shard evicts the
+     * relocation walk's victim (reported in PutResult). Fails with
+     * InvalidArgument for the reserved key and ResourceExhausted when
+     * the store.walk fault site fires.
+     */
+    Expected<PutResult> put(std::uint64_t key, std::uint64_t value);
+
+    /** Remove @p key; true iff it was resident. */
+    bool erase(std::uint64_t key);
+
+    std::uint32_t numShards() const;
+
+    /** Shard index for @p key (splitmix64 over key and store seed). */
+    std::uint32_t shardOf(std::uint64_t key) const;
+
+    /** Resident keys across all shards (locks each shard in turn). */
+    std::uint64_t size() const;
+
+    /** Snapshot of one shard's counters (locks that shard). */
+    ZkvShardStats shardStats(std::uint32_t shard) const;
+
+    /** Sum of all shards' counters. */
+    ZkvShardStats totals() const;
+
+    /**
+     * Register the store's stats tree under @p g: config strings, a
+     * totals group, and per-shard groups each containing the shard's
+     * operation counters plus the underlying array's own stats (tag
+     * traffic, walk statistics for zcache shards). Stats are pulled at
+     * dump time from live counters; quiesce worker threads before
+     * dumping (the load generator dumps after joining its workers).
+     */
+    void registerStats(StatGroup& g);
+
+    const ZkvConfig& config() const { return cfg_; }
+
+    /** Keys never storable: the array's invalid-address sentinel. */
+    static constexpr std::uint64_t kReservedKey =
+        static_cast<std::uint64_t>(kInvalidAddr);
+
+  private:
+    struct Shard;
+
+    explicit ZkvStore(ZkvConfig cfg);
+
+    ZkvConfig cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace zc

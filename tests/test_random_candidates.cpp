@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for RandomCandidatesArray, the Section IV-B reference design:
+ * replacement picks the best of n uniform random draws over the whole
+ * array, so its associativity distribution is analytically F_A(x) = x^n
+ * (Fig. 2). The tests pin that distribution empirically, plus the
+ * mechanical properties (victims are resident, seeds are load-bearing,
+ * the factory wires `candidates` through) that test_fully_assoc.cpp's
+ * smoke coverage does not reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "assoc/eviction_tracker.hpp"
+#include "cache/array_factory.hpp"
+#include "cache/random_candidates_array.hpp"
+#include "common/rng.hpp"
+#include "replacement/lru.hpp"
+
+namespace zc {
+namespace {
+
+/**
+ * Drive @p arr with a uniform random stream far larger than its
+ * capacity and return the tracked associativity CDF (100 bins).
+ */
+std::vector<double>
+measureCdf(CacheArray& arr, std::uint64_t footprint, int ops,
+           EvictionPriorityTracker& tracker)
+{
+    tracker.attach(arr);
+    AccessContext c;
+    Pcg32 rng(23);
+    for (int i = 0; i < ops; i++) {
+        Addr a = rng.next64() % footprint;
+        if (arr.access(a, c) != kInvalidPos) continue;
+        arr.insert(a, c);
+    }
+    return tracker.cdf();
+}
+
+TEST(RandomCandidates, MatchesAnalyticalAssociativityCdf)
+{
+    // n iid uniform draws evict the max-priority sample, so the eviction
+    // priority's CDF is x^n. Compare the empirical CDF against the
+    // analytical curve at every decile; with >5000 samples the KS
+    // deviation of a faithful implementation is ~0.02.
+    constexpr std::uint32_t kCands = 8;
+    auto arr = std::make_unique<RandomCandidatesArray>(
+        256, kCands, std::make_unique<LruPolicy>(256));
+    EvictionPriorityTracker tracker(100);
+    std::vector<double> cdf = measureCdf(*arr, 2048, 60000, tracker);
+    ASSERT_GT(tracker.samples(), 5000u);
+
+    for (int decile = 1; decile <= 9; decile++) {
+        double x = decile / 10.0;
+        double analytical = std::pow(x, static_cast<double>(kCands));
+        // cdf[i] accumulates through bin i's right edge.
+        double empirical = cdf[decile * 10 - 1];
+        EXPECT_NEAR(empirical, analytical, 0.06)
+            << "F_A(" << x << ") off the x^" << kCands << " curve";
+    }
+}
+
+TEST(RandomCandidates, SingleCandidateIsUniformRandomReplacement)
+{
+    // n = 1 degenerates to random replacement: F_A(x) = x.
+    auto arr = std::make_unique<RandomCandidatesArray>(
+        128, 1, std::make_unique<LruPolicy>(128));
+    EvictionPriorityTracker tracker(100);
+    std::vector<double> cdf = measureCdf(*arr, 1024, 40000, tracker);
+    ASSERT_GT(tracker.samples(), 5000u);
+    EXPECT_NEAR(cdf[24], 0.25, 0.06);
+    EXPECT_NEAR(cdf[49], 0.50, 0.06);
+    EXPECT_NEAR(cdf[74], 0.75, 0.06);
+}
+
+TEST(RandomCandidates, VictimIsAlwaysResident)
+{
+    auto arr = std::make_unique<RandomCandidatesArray>(
+        64, 4, std::make_unique<LruPolicy>(64));
+    AccessContext c;
+    Pcg32 rng(31);
+    std::set<Addr> resident;
+    std::uint64_t evictions = 0;
+    for (int i = 0; i < 4000; i++) {
+        Addr a = rng.next64() % 512;
+        if (arr->access(a, c) != kInvalidPos) {
+            ASSERT_TRUE(resident.count(a));
+            continue;
+        }
+        Replacement r = arr->insert(a, c);
+        if (r.evictedValid()) {
+            evictions++;
+            ASSERT_EQ(resident.erase(r.evictedAddr), 1u)
+                << "evicted a non-resident address at op " << i;
+        }
+        resident.insert(a);
+        ASSERT_EQ(arr->validCount(), resident.size());
+    }
+    EXPECT_GT(evictions, 2000u);
+}
+
+TEST(RandomCandidates, ReportsAccessorAndName)
+{
+    auto arr = std::make_unique<RandomCandidatesArray>(
+        64, 8, std::make_unique<LruPolicy>(64));
+    EXPECT_EQ(arr->numCandidates(), 8u);
+    EXPECT_NE(arr->name().find("RandomCandidates"), std::string::npos);
+    EXPECT_NE(arr->name().find("n=8"), std::string::npos);
+}
+
+TEST(RandomCandidates, FactorySpecWiresCandidateCountThrough)
+{
+    ArraySpec spec;
+    spec.kind = ArrayKind::RandomCandidates;
+    spec.blocks = 128;
+    spec.candidates = 16;
+    EXPECT_EQ(spec.label(), "Rand/16");
+
+    auto arr = makeArray(spec);
+    auto* rc = dynamic_cast<RandomCandidatesArray*>(arr.get());
+    ASSERT_NE(rc, nullptr);
+    EXPECT_EQ(rc->numCandidates(), 16u);
+}
+
+TEST(RandomCandidates, SpecValidationBoundsCandidates)
+{
+    ArraySpec spec;
+    spec.kind = ArrayKind::RandomCandidates;
+    spec.blocks = 64;
+    spec.candidates = 0;
+    EXPECT_EQ(validateSpec(spec).code(), ErrorCode::InvalidArgument);
+    spec.candidates = 65; // more draws than blocks makes no sense
+    EXPECT_EQ(validateSpec(spec).code(), ErrorCode::InvalidArgument);
+    spec.candidates = 64;
+    EXPECT_TRUE(validateSpec(spec).isOk());
+}
+
+TEST(RandomCandidates, SeedChangesVictimSequence)
+{
+    auto run = [](std::uint64_t seed) {
+        auto arr = std::make_unique<RandomCandidatesArray>(
+            32, 4, std::make_unique<LruPolicy>(32), seed);
+        AccessContext c;
+        Pcg32 rng(3);
+        std::vector<Addr> victims;
+        for (int i = 0; i < 2000; i++) {
+            Addr a = rng.next64() % 256;
+            if (arr->access(a, c) != kInvalidPos) continue;
+            Replacement r = arr->insert(a, c);
+            if (r.evictedValid()) victims.push_back(r.evictedAddr);
+        }
+        return victims;
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8));
+}
+
+} // namespace
+} // namespace zc

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * zkv store tests (docs/store.md): single-thread shard semantics
+ * (get/put/erase, eviction picks the relocation walk's victim),
+ * deterministic stats for a fixed seed, structured-error fault
+ * injection at store.alloc / store.walk, and concurrent
+ * read-your-writes under >= 4 threads over >= 2 shards (the target of
+ * the CI ThreadSanitizer job).
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "common/rng.hpp"
+#include "store/loadgen.hpp"
+#include "store/zkv.hpp"
+
+namespace zc {
+namespace {
+
+/** Small single-shard zcache store: evicts early, walk-heavy. */
+ZkvConfig
+tinyConfig(std::uint32_t shards = 1, std::uint32_t blocks = 64)
+{
+    ZkvConfig cfg;
+    cfg.shards = shards;
+    cfg.array.kind = ArrayKind::ZCache;
+    cfg.array.blocks = blocks;
+    cfg.array.ways = 4;
+    cfg.array.levels = 2;
+    cfg.array.policy = PolicyKind::Lru;
+    cfg.array.seed = 0xbeef;
+    return cfg;
+}
+
+std::unique_ptr<ZkvStore>
+mustCreate(const ZkvConfig& cfg)
+{
+    auto store = ZkvStore::create(cfg);
+    EXPECT_TRUE(store.hasValue()) << store.status().str();
+    return std::move(*store);
+}
+
+// ---------------------------------------------------------------------
+// Single-thread shard semantics.
+
+TEST(ZkvStore, GetPutEraseRoundTrip)
+{
+    auto kv = mustCreate(tinyConfig());
+
+    EXPECT_EQ(kv->get(10), std::nullopt);
+
+    auto put = kv->put(10, 111);
+    ASSERT_TRUE(put.hasValue());
+    EXPECT_TRUE(put->inserted);
+    EXPECT_FALSE(put->evicted);
+    EXPECT_EQ(kv->get(10), std::optional<std::uint64_t>(111));
+    EXPECT_EQ(kv->size(), 1u);
+
+    // Update in place: no insert, value replaced.
+    put = kv->put(10, 222);
+    ASSERT_TRUE(put.hasValue());
+    EXPECT_FALSE(put->inserted);
+    EXPECT_EQ(kv->get(10), std::optional<std::uint64_t>(222));
+    EXPECT_EQ(kv->size(), 1u);
+
+    EXPECT_TRUE(kv->erase(10));
+    EXPECT_EQ(kv->get(10), std::nullopt);
+    EXPECT_FALSE(kv->erase(10));
+    EXPECT_EQ(kv->size(), 0u);
+}
+
+TEST(ZkvStore, ReservedKeyRejectedStructurally)
+{
+    auto kv = mustCreate(tinyConfig());
+    auto put = kv->put(ZkvStore::kReservedKey, 1);
+    ASSERT_FALSE(put.hasValue());
+    EXPECT_EQ(put.status().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(ZkvStore, InvalidConfigRejected)
+{
+    ZkvConfig cfg = tinyConfig();
+    cfg.shards = 0;
+    auto store = ZkvStore::create(cfg);
+    ASSERT_FALSE(store.hasValue());
+    EXPECT_EQ(store.status().code(), ErrorCode::InvalidArgument);
+
+    cfg = tinyConfig();
+    cfg.array.blocks = 60; // blocks/ways not a power of two
+    store = ZkvStore::create(cfg);
+    ASSERT_FALSE(store.hasValue());
+    EXPECT_EQ(store.status().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(ZkvStore, ShardSelectionCoversAllShards)
+{
+    auto kv = mustCreate(tinyConfig(/*shards=*/4));
+    std::vector<std::uint64_t> hits(4, 0);
+    for (std::uint64_t k = 0; k < 4000; k++) {
+        std::uint32_t s = kv->shardOf(k);
+        ASSERT_LT(s, 4u);
+        hits[s]++;
+    }
+    for (std::uint64_t h : hits) {
+        EXPECT_GT(h, 700u); // ~1000 each; splitmix64 spreads uniformly
+    }
+}
+
+/**
+ * Eviction picks the walk victim: a shard must report exactly the
+ * eviction sequence a bare factory-built array with the shard's spec
+ * produces under the identical access/insert sequence — the value
+ * mirror may not perturb the walk.
+ */
+TEST(ZkvStore, EvictionPicksTheWalkVictim)
+{
+    ZkvConfig cfg = tinyConfig(/*shards=*/1, /*blocks=*/64);
+    auto kv = mustCreate(cfg);
+
+    // Reference: the same array + policy the shard builds (shardSpec
+    // exposes the derived per-shard seed).
+    auto bare = makeArray(cfg.shardSpec(0));
+
+    std::vector<std::uint64_t> store_evicted;
+    std::vector<std::uint64_t> bare_evicted;
+    Pcg32 rng(99);
+    for (int i = 0; i < 2000; i++) {
+        std::uint64_t key = rng.next64() % 256;
+        if (rng.uniform() < 0.5) {
+            // put: access (hit => update) else insert.
+            auto pr = kv->put(key, key * 3);
+            ASSERT_TRUE(pr.hasValue());
+            if (pr->evicted) store_evicted.push_back(pr->evictedKey);
+
+            AccessContext ctx{key, kNoNextUse};
+            if (bare->access(key, ctx) == kInvalidPos) {
+                Replacement r = bare->insert(key, ctx);
+                if (r.evictedValid()) {
+                    bare_evicted.push_back(r.evictedAddr);
+                }
+            }
+        } else {
+            (void)kv->get(key);
+            AccessContext ctx{key, kNoNextUse};
+            (void)bare->access(key, ctx);
+        }
+    }
+    ASSERT_GT(store_evicted.size(), 100u); // footprint 4x capacity
+    EXPECT_EQ(store_evicted, bare_evicted);
+}
+
+TEST(ZkvStore, EvictedValueTravelsWithTheKey)
+{
+    auto kv = mustCreate(tinyConfig(/*shards=*/1, /*blocks=*/16));
+    // Value = key * 7 + 1: when an insert displaces a resident key,
+    // the reported pair must still match — values must have followed
+    // their blocks through every walk relocation.
+    Pcg32 rng(3);
+    std::uint64_t evictions = 0;
+    for (int i = 0; i < 3000; i++) {
+        std::uint64_t key = rng.next64() % 64;
+        auto pr = kv->put(key, key * 7 + 1);
+        ASSERT_TRUE(pr.hasValue());
+        if (pr->evicted) {
+            evictions++;
+            EXPECT_EQ(pr->evictedValue, pr->evictedKey * 7 + 1)
+                << "value lost in relocation for key " << pr->evictedKey;
+        }
+    }
+    EXPECT_GT(evictions, 500u);
+}
+
+TEST(ZkvStore, SetAssociativeBaselineShards)
+{
+    ZkvConfig cfg = tinyConfig(/*shards=*/2, /*blocks=*/64);
+    cfg.array.kind = ArrayKind::SetAssoc;
+    auto kv = mustCreate(cfg);
+
+    std::uint64_t evictions = 0;
+    for (std::uint64_t k = 0; k < 1000; k++) {
+        auto pr = kv->put(k, k + 5);
+        ASSERT_TRUE(pr.hasValue());
+        if (pr->evicted) evictions++;
+    }
+    EXPECT_GT(evictions, 0u);
+    EXPECT_LE(kv->size(), 128u);
+    // Resident keys still read back exactly.
+    std::uint64_t hits = 0;
+    for (std::uint64_t k = 0; k < 1000; k++) {
+        if (auto v = kv->get(k)) {
+            hits++;
+            EXPECT_EQ(*v, k + 5);
+        }
+    }
+    EXPECT_GT(hits, 0u);
+}
+
+TEST(ZkvStore, SkewAssociativeShards)
+{
+    ZkvConfig cfg = tinyConfig(/*shards=*/2, /*blocks=*/64);
+    cfg.array.kind = ArrayKind::SkewAssoc;
+    auto kv = mustCreate(cfg);
+    for (std::uint64_t k = 0; k < 500; k++) {
+        ASSERT_TRUE(kv->put(k, ~k).hasValue());
+    }
+    std::uint64_t hits = 0;
+    for (std::uint64_t k = 0; k < 500; k++) {
+        if (auto v = kv->get(k)) {
+            hits++;
+            EXPECT_EQ(*v, ~k);
+        }
+    }
+    EXPECT_GT(hits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Stats.
+
+TEST(ZkvStore, StatsTreeShapeAndTotals)
+{
+    auto kv = mustCreate(tinyConfig(/*shards=*/2));
+    for (std::uint64_t k = 0; k < 100; k++) {
+        ASSERT_TRUE(kv->put(k, k).hasValue());
+    }
+    for (std::uint64_t k = 0; k < 100; k++) (void)kv->get(k);
+    (void)kv->erase(7);
+
+    StatsRegistry reg;
+    kv->registerStats(reg.root());
+    JsonValue dump = reg.toJson();
+
+    const JsonValue* store = dump.find("store");
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->find("shards")->asU64(), 2u);
+    ASSERT_NE(store->find("totals"), nullptr);
+    ASSERT_NE(store->find("shard0"), nullptr);
+    ASSERT_NE(store->find("shard1"), nullptr);
+    ASSERT_NE(store->find("shard0")->find("array"), nullptr);
+    // ZCache shards expose the walk group.
+    EXPECT_NE(store->find("shard0")->find("array")->find("walk"), nullptr);
+
+    ZkvShardStats tot = kv->totals();
+    EXPECT_EQ(tot.puts, 100u);
+    EXPECT_EQ(tot.gets, 100u);
+    EXPECT_EQ(tot.erases, 1u);
+    EXPECT_EQ(store->find("totals")->find("puts")->asU64(), tot.puts);
+    EXPECT_EQ(store->find("totals")->find("gets")->asU64(), tot.gets);
+    EXPECT_EQ(store->find("resident_keys")->asU64(), kv->size());
+
+    ZkvShardStats sum;
+    sum.add(kv->shardStats(0));
+    sum.add(kv->shardStats(1));
+    EXPECT_EQ(sum.puts, tot.puts);
+    EXPECT_EQ(sum.getHits, tot.getHits);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (docs/robustness.md sites store.alloc, store.walk).
+
+TEST(ZkvStore, AllocFaultFailsCreateStructurally)
+{
+    ScopedFault fault("store.alloc");
+    auto store = ZkvStore::create(tinyConfig(/*shards=*/4));
+    ASSERT_FALSE(store.hasValue());
+    EXPECT_EQ(store.status().code(), ErrorCode::ResourceExhausted);
+    EXPECT_NE(store.status().message().find("store.alloc"),
+              std::string::npos);
+}
+
+TEST(ZkvStore, WalkFaultSurfacesAsStatusNotCrash)
+{
+    auto kv = mustCreate(tinyConfig());
+    ASSERT_TRUE(kv->put(1, 10).hasValue());
+
+    {
+        ScopedFault fault("store.walk");
+        // Update path never walks: unaffected.
+        EXPECT_TRUE(kv->put(1, 11).hasValue());
+        // Insert path: the injected walk failure is a structured error.
+        auto pr = kv->put(2, 20);
+        ASSERT_FALSE(pr.hasValue());
+        EXPECT_EQ(pr.status().code(), ErrorCode::ResourceExhausted);
+        EXPECT_NE(pr.status().message().find("store.walk"),
+                  std::string::npos);
+        // The failed insert left no partial state.
+        EXPECT_EQ(kv->get(2), std::nullopt);
+        EXPECT_EQ(kv->get(1), std::optional<std::uint64_t>(11));
+    }
+
+    // Site disarmed: the same insert now succeeds.
+    ASSERT_TRUE(kv->put(2, 20).hasValue());
+    EXPECT_EQ(kv->get(2), std::optional<std::uint64_t>(20));
+}
+
+// ---------------------------------------------------------------------
+// Determinism: 1 thread + fixed seed => byte-identical stats.
+
+TEST(ZkvLoadGen, SingleThreadStatsAreByteIdentical)
+{
+    LoadGenConfig cfg;
+    cfg.store = tinyConfig(/*shards=*/2, /*blocks=*/256);
+    cfg.threads = 1;
+    cfg.opsPerThread = 20000;
+    cfg.seed = 42;
+    cfg.workload = "canneal";
+
+    auto a = runLoadGen(cfg);
+    ASSERT_TRUE(a.hasValue()) << a.status().str();
+    auto b = runLoadGen(cfg);
+    ASSERT_TRUE(b.hasValue()) << b.status().str();
+
+    EXPECT_EQ(a->storeStats.str(2), b->storeStats.str(2));
+    // And the run did real work.
+    ThreadStats agg = a->aggregate();
+    EXPECT_EQ(agg.ops, 20000u);
+    EXPECT_GT(agg.gets, 0u);
+    EXPECT_GT(agg.puts, 0u);
+    EXPECT_EQ(agg.verifyFailures, 0u);
+}
+
+TEST(ZkvLoadGen, DifferentSeedsDiverge)
+{
+    LoadGenConfig cfg;
+    cfg.store = tinyConfig(/*shards=*/2, /*blocks=*/256);
+    cfg.threads = 1;
+    cfg.opsPerThread = 20000;
+    cfg.workload = "canneal";
+
+    cfg.seed = 1;
+    auto a = runLoadGen(cfg);
+    ASSERT_TRUE(a.hasValue());
+    cfg.seed = 2;
+    auto b = runLoadGen(cfg);
+    ASSERT_TRUE(b.hasValue());
+    EXPECT_NE(a->storeStats.str(), b->storeStats.str());
+}
+
+TEST(ZkvLoadGen, UnknownWorkloadIsStructuredNotFound)
+{
+    LoadGenConfig cfg;
+    cfg.workload = "no-such-workload";
+    auto r = runLoadGen(cfg);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.status().code(), ErrorCode::NotFound);
+}
+
+TEST(ZkvLoadGen, InvalidMixRejected)
+{
+    LoadGenConfig cfg;
+    cfg.getFrac = 0.9;
+    cfg.eraseFrac = 0.2;
+    auto r = runLoadGen(cfg);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency (run under TSan in CI): >= 4 threads over >= 2 shards
+// with strict read-your-writes on per-thread key ranges.
+
+TEST(ZkvConcurrency, ReadYourWritesAcrossFourThreads)
+{
+    ZkvConfig cfg = tinyConfig(/*shards=*/4, /*blocks=*/1024);
+    auto kv = mustCreate(cfg);
+
+    constexpr std::uint32_t kThreads = 4;
+    constexpr std::uint64_t kKeysPerThread = 512;
+    constexpr std::uint64_t kOps = 20000;
+    std::vector<std::uint64_t> failures(kThreads, 0);
+
+    std::vector<std::thread> workers;
+    for (std::uint32_t tid = 0; tid < kThreads; tid++) {
+        workers.emplace_back([&, tid] {
+            // Disjoint key range per thread: only this thread writes
+            // these keys, so any hit must return exactly its last put.
+            const std::uint64_t base = 1 + tid * kKeysPerThread;
+            std::vector<std::uint64_t> last(kKeysPerThread, 0);
+            Pcg32 rng(tid + 1);
+            for (std::uint64_t i = 0; i < kOps; i++) {
+                std::uint64_t idx = rng.next64() % kKeysPerThread;
+                std::uint64_t key = base + idx;
+                double u = rng.uniform();
+                if (u < 0.5) {
+                    if (auto v = kv->get(key)) {
+                        if (last[idx] == 0 || *v != last[idx]) {
+                            failures[tid]++;
+                        }
+                    }
+                } else if (u < 0.9) {
+                    std::uint64_t val = (i << 8) | tid | 0x100;
+                    auto pr = kv->put(key, val);
+                    if (pr.hasValue()) {
+                        last[idx] = val;
+                    } else {
+                        failures[tid]++;
+                    }
+                } else {
+                    (void)kv->erase(key);
+                    last[idx] = 0; // next hit must be a fresh put
+                }
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+
+    for (std::uint32_t tid = 0; tid < kThreads; tid++) {
+        EXPECT_EQ(failures[tid], 0u) << "thread " << tid;
+    }
+    // All four threads really hammered the same store.
+    ZkvShardStats tot = kv->totals();
+    EXPECT_EQ(tot.gets + tot.puts + tot.erases, kThreads * kOps);
+}
+
+TEST(ZkvConcurrency, SpinLockModeIsEquallySafe)
+{
+    ZkvConfig cfg = tinyConfig(/*shards=*/2, /*blocks=*/256);
+    cfg.lock = ShardLockKind::Spin;
+    auto kv = mustCreate(cfg);
+
+    constexpr std::uint32_t kThreads = 4;
+    std::vector<std::thread> workers;
+    for (std::uint32_t tid = 0; tid < kThreads; tid++) {
+        workers.emplace_back([&, tid] {
+            Pcg32 rng(tid + 10);
+            for (int i = 0; i < 5000; i++) {
+                std::uint64_t key = 1 + rng.next64() % 512;
+                if (rng.uniform() < 0.5) {
+                    (void)kv->get(key);
+                } else {
+                    (void)kv->put(key, key);
+                }
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(kv->totals().gets + kv->totals().puts, kThreads * 5000u);
+}
+
+TEST(ZkvConcurrency, LoadGenMultithreadVerifiesPayloads)
+{
+    LoadGenConfig cfg;
+    cfg.store = tinyConfig(/*shards=*/2, /*blocks=*/512);
+    cfg.threads = 4;
+    cfg.opsPerThread = 10000;
+    cfg.seed = 7;
+    cfg.workload = "canneal";
+
+    auto r = runLoadGen(cfg);
+    ASSERT_TRUE(r.hasValue()) << r.status().str();
+    ASSERT_EQ(r->perThread.size(), 4u);
+    ThreadStats agg = r->aggregate();
+    EXPECT_EQ(agg.ops, 40000u);
+    EXPECT_EQ(agg.verifyFailures, 0u);
+    EXPECT_EQ(agg.putErrors, 0u);
+    EXPECT_GT(r->opsPerSec, 0.0);
+    EXPECT_GT(r->seconds, 0.0);
+    // Timing block carries aggregate + per-thread latency.
+    JsonValue timing = r->timing();
+    EXPECT_EQ(timing.find("ops_total")->asU64(), 40000u);
+    EXPECT_EQ(timing.find("per_thread")->arr().size(), 4u);
+    EXPECT_GT(timing.find("latency")->find("count")->asU64(), 0u);
+}
+
+} // namespace
+} // namespace zc
