@@ -31,7 +31,12 @@
  *
  * Flags: --policy=lru|opt|both  --workloads=quick|all  --verbose
  *        --warmup=N --instr=N  --serial-only  --json=PATH
- *        --jobs=N --no-progress
+ *        --jobs=N --no-progress  --metrics-out=PATH
+ *
+ * --metrics-out streams every grid point's epoch-sampler series into
+ * one NDJSON file (obs/metrics.hpp writeEpochSeries): one record per
+ * epoch per point, tagged with the point's grid tags, in grid order —
+ * deterministic for any --jobs=N, same contract as the report JSON.
  */
 
 #include <algorithm>
@@ -42,6 +47,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "runner/sweep.hpp"
 #include "runner/workload_suite.hpp"
 #include "sim/experiment.hpp"
@@ -263,6 +269,54 @@ fig5(const ResultTable& table, const std::vector<std::string>& suite,
     }
 }
 
+/**
+ * Stream the epoch-sampler series of every completed point into one
+ * NDJSON file, in grid order. Failed points are skipped (they have no
+ * epochs); returns false on any I/O error after reporting it.
+ */
+bool
+writeSweepEpochSeries(const std::string& path, const SweepSpec& spec,
+                      const std::vector<RunOutcome>& outcomes)
+{
+    bool first = true;
+    std::size_t records = 0;
+    for (std::size_t i = 0; i < outcomes.size(); i++) {
+        if (!outcomes[i].ok) continue;
+        const JsonValue* system = outcomes[i].result.stats.find("system");
+        const JsonValue* epochs =
+            system != nullptr ? system->find("epochs") : nullptr;
+        const JsonValue* samples =
+            epochs != nullptr ? epochs->find("samples") : nullptr;
+        if (samples == nullptr || !samples->isArray()) continue;
+        JsonValue tags = JsonValue::object();
+        tags.set("point", JsonValue(std::uint64_t{i}));
+        for (const auto& [k, v] : spec.points[i].tags) tags.set(k, v);
+        Status st = writeEpochSeries(path, *samples, tags, !first);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "error: --metrics-out: %s\n",
+                         st.message().c_str());
+            return false;
+        }
+        first = false;
+        records += samples->arr().size();
+    }
+    if (first) {
+        // No point produced samples; still leave a valid (empty) file.
+        Status st =
+            writeEpochSeries(path, JsonValue::array(), JsonValue::object());
+        if (!st.isOk()) {
+            std::fprintf(stderr, "error: --metrics-out: %s\n",
+                         st.message().c_str());
+            return false;
+        }
+    }
+    // Notice, not report output: stdout must stay byte-identical with or
+    // without the flag (docs/observability.md).
+    std::fprintf(stderr, "metrics: %zu epoch records (%zu points) -> %s\n",
+                 records, outcomes.size(), path.c_str());
+    return true;
+}
+
 } // namespace
 
 int
@@ -274,6 +328,8 @@ main(int argc, char** argv)
     bool serial_only = benchutil::flagBool(argc, argv, "serial-only");
     std::uint64_t warmup = benchutil::flagU64(argc, argv, "warmup", 120000);
     std::uint64_t instr = benchutil::flagU64(argc, argv, "instr", 120000);
+    std::string metrics_out =
+        benchutil::flag(argc, argv, "metrics-out", "");
 
     std::vector<std::string> wls =
         suite::resolve(suite_s, suite::quickPerformance());
@@ -346,9 +402,14 @@ main(int argc, char** argv)
     }
     report.addSweep(spec, outcomes);
 
+    bool metrics_ok = true;
+    if (!metrics_out.empty()) {
+        metrics_ok = writeSweepEpochSeries(metrics_out, spec, outcomes);
+    }
+
     for (PolicyKind policy : policies) {
         fig4(table, wls, policy, verbose);
         fig5(table, wls, policy, serial_only);
     }
-    return (report.writeIfRequested() && failed == 0) ? 0 : 1;
+    return (report.writeIfRequested() && failed == 0 && metrics_ok) ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include "cache/array_factory.hpp"
 #include "cache/cache_model.hpp"
 #include "common/rng.hpp"
+#include "obs/tracer.hpp"
 #include "store/zkv.hpp"
 #include "trace/generator.hpp"
 
@@ -155,6 +156,46 @@ BM_StoreGetPut(benchmark::State& state)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_StoreGetPut);
+
+/**
+ * BM_StoreGetPut with live telemetry on: instrumented op paths plus
+ * one trace record per op into a per-thread ring drained by the
+ * collector (count-only mode — no file I/O, so this measures the
+ * instrumentation itself). The tracing-on overhead vs BM_StoreGetPut
+ * is recorded in docs/performance.md with a <5% budget
+ * (docs/telemetry.md); the disabled path costs one predicted branch
+ * and stays inside BM_StoreGetPut's own noise.
+ */
+void
+BM_StoreGetPutTraced(benchmark::State& state)
+{
+    ZkvConfig cfg;
+    cfg.shards = 4;
+    cfg.array.blocks = 4096;
+    auto store = ZkvStore::create(cfg);
+    zc_assert(store.hasValue());
+    ZkvStore& kv = **store;
+    ObsTracerConfig tc; // empty path: count-only, no trace file
+    ObsTracer tracer(std::move(tc));
+    kv.enableObs(&tracer);
+    Pcg32 rng(7);
+    const std::uint64_t footprint = 32768;
+    for (int i = 0; i < 60000; i++) {
+        std::uint64_t key = rng.next64() % footprint;
+        (void)kv.put(key, key);
+    }
+    for (auto _ : state) {
+        std::uint64_t key = rng.next64() % footprint;
+        if (rng.uniform() < 0.7) {
+            benchmark::DoNotOptimize(kv.get(key));
+        } else {
+            benchmark::DoNotOptimize(kv.put(key, key));
+        }
+    }
+    kv.disableObs();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreGetPutTraced);
 
 void
 BM_ZipfGenerator(benchmark::State& state)

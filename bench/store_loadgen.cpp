@@ -23,6 +23,16 @@
  *   --erase=0.05         erase fraction
  *   --seed=1             base seed (per-point seeds derived)
  *   --json=<path>        standard JSON report (docs/store.md schema)
+ *
+ * Live telemetry (docs/telemetry.md; default off, zero overhead):
+ *   --trace-out=<path>       Chrome trace-event JSON (Perfetto-loadable)
+ *   --metrics-out=<path>     windowed metrics NDJSON
+ *   --prom-out=<path>        Prometheus text exposition (rewritten live)
+ *   --metrics-interval-ms=N  sampling window (default 100)
+ *   --ring-cap=N             per-thread trace ring capacity (default 64Ki)
+ * With more than one grid point, each point writes to
+ * <path>.pointN<ext> so traces are never interleaved.
+ *
  *   --jobs=1             grid points in flight; points are themselves
  *                        multithreaded, so the default measures one
  *                        point at a time (unlike simulator sweeps,
@@ -100,6 +110,26 @@ struct Point
     std::string design; ///< shard array label
 };
 
+/**
+ * Per-point output path: the base path for a single-point grid,
+ * "<stem>.pointN<ext>" otherwise, so concurrent or sequential points
+ * never clobber one another's telemetry files.
+ */
+std::string
+pointPath(const std::string& base, std::size_t index,
+          std::size_t grid_size)
+{
+    if (base.empty() || grid_size <= 1) return base;
+    std::size_t slash = base.find_last_of('/');
+    std::size_t dot = base.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return base + ".point" + std::to_string(index);
+    }
+    return base.substr(0, dot) + ".point" + std::to_string(index) +
+           base.substr(dot);
+}
+
 } // namespace
 
 int
@@ -121,6 +151,12 @@ main(int argc, char** argv)
     std::string lock_name = flag(argc, argv, "lock", "mutex");
     std::string workload = flag(argc, argv, "workload", "canneal");
     std::uint64_t seed = flagU64(argc, argv, "seed", 1);
+    std::string trace_out = flag(argc, argv, "trace-out", "");
+    std::string metrics_out = flag(argc, argv, "metrics-out", "");
+    std::string prom_out = flag(argc, argv, "prom-out", "");
+    std::uint64_t metrics_interval =
+        flagU64(argc, argv, "metrics-interval-ms", 100);
+    std::uint64_t ring_cap = flagU64(argc, argv, "ring-cap", 1u << 16);
 
     auto policy = parsePolicyKind(policy_name);
     if (!policy) {
@@ -179,12 +215,30 @@ main(int argc, char** argv)
                         p.cfg.workload = workload;
                         p.cfg.seed = SweepSpec::pointSeed(
                             seed ^ 0x6c67ULL, grid.size());
+                        p.cfg.obs.tracePath = trace_out;
+                        p.cfg.obs.metricsPath = metrics_out;
+                        p.cfg.obs.promPath = prom_out;
+                        p.cfg.obs.metricsIntervalMs =
+                            static_cast<std::uint32_t>(metrics_interval);
+                        p.cfg.obs.ringCapacity =
+                            static_cast<std::size_t>(ring_cap);
                         p.design = p.cfg.store.array.label();
                         grid.push_back(std::move(p));
                     }
                 }
             }
         }
+    }
+
+    // Per-point telemetry paths (suffixed when the grid has several
+    // points) must be fixed before execution so they are pure
+    // functions of grid position, like the per-point seeds.
+    for (std::size_t i = 0; i < grid.size(); i++) {
+        grid[i].cfg.obs.tracePath =
+            pointPath(trace_out, i, grid.size());
+        grid[i].cfg.obs.metricsPath =
+            pointPath(metrics_out, i, grid.size());
+        grid[i].cfg.obs.promPath = pointPath(prom_out, i, grid.size());
     }
 
     JsonReport report(argc, argv, "store_loadgen");
@@ -227,6 +281,16 @@ main(int argc, char** argv)
                     shardLockKindName(p.cfg.store.lock), r.opsPerSec,
                     hit_pct, p50, p99, agg.verifyFailures);
 
+        JsonValue obs = JsonValue::object();
+        if (p.cfg.obs.anyEnabled()) {
+            obs.set("trace_path", JsonValue(p.cfg.obs.tracePath));
+            obs.set("metrics_path", JsonValue(p.cfg.obs.metricsPath));
+            obs.set("ops_recorded", JsonValue(r.obsRecorded));
+            obs.set("ops_dropped", JsonValue(r.obsDropped));
+            obs.set("threads", JsonValue(r.obsThreads));
+            obs.set("metrics_windows", JsonValue(r.obsWindows));
+        }
+
         report.add(
             {
                 {"design", JsonValue(p.design)},
@@ -238,8 +302,24 @@ main(int argc, char** argv)
                      shardLockKindName(p.cfg.store.lock)))},
                 {"ops_per_thread", JsonValue(p.cfg.opsPerThread)},
                 {"timing", timing},
+                {"obs", std::move(obs)},
             },
             r.storeStats);
+    }
+
+    if (!trace_out.empty()) {
+        std::uint64_t rec = 0, drop = 0;
+        for (const auto& o : outcomes) {
+            if (!o.ok) continue;
+            rec += o.result.obsRecorded;
+            drop += o.result.obsDropped;
+        }
+        // Notice, not report output: stdout stays byte-identical with or
+        // without the flag (docs/observability.md).
+        std::fprintf(stderr,
+                     "trace: %" PRIu64 " op spans recorded, %" PRIu64
+                     " dropped (out of %" PRIu64 " ops) -> %s\n",
+                     rec, drop, rec + drop, trace_out.c_str());
     }
 
     std::size_t failures = reportGridFailures(outcomes, "store_loadgen");

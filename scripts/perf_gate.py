@@ -31,6 +31,11 @@ import subprocess
 import sys
 import tempfile
 
+try:
+    import resource
+except ImportError:  # non-POSIX: no RSS telemetry, gate still works
+    resource = None
+
 BENCH_NAME = "BM_WalkHeavyPinned"
 BASELINE = os.path.join("results", "reference", "perf_baseline.json")
 
@@ -89,6 +94,15 @@ def main():
     median = statistics.median(samples)
     print(f"median: {median:,.0f} items/sec")
 
+    # Peak RSS across the bench child processes (Linux: KiB), so memory
+    # creep in the hot paths shows up next to the throughput verdict.
+    peak_rss_mib = None
+    if resource is not None:
+        ru = resource.getrusage(resource.RUSAGE_CHILDREN)
+        scale = 1024.0 if platform.system() == "Darwin" else 1.0
+        peak_rss_mib = ru.ru_maxrss * scale / 1024.0
+        print(f"peak RSS (bench children): {peak_rss_mib:,.1f} MiB")
+
     if args.update_baseline:
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
         doc = {
@@ -125,7 +139,7 @@ def main():
     print(f"baseline: {ref:,.0f} items/sec (tolerance +/-{tol:.0%})")
     print(f"delta: {delta:+.1%} -> {verdict}")
 
-    write_summary([
+    summary = [
         "### Perf gate: pinned walk-heavy profile",
         "",
         "| metric | value |",
@@ -134,8 +148,11 @@ def main():
         f"| baseline items/sec | {ref:,.0f} |",
         f"| delta | {delta:+.1%} |",
         f"| tolerance | +/-{tol:.0%} |",
-        f"| verdict | **{verdict}** |",
-    ])
+    ]
+    if peak_rss_mib is not None:
+        summary.append(f"| peak RSS | {peak_rss_mib:,.1f} MiB |")
+    summary.append(f"| verdict | **{verdict}** |")
+    write_summary(summary)
 
     if not ok:
         direction = "regression" if median < lo else "speedup"

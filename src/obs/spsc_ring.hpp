@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fixed-capacity single-producer/single-consumer ring buffer for the
+ * live-telemetry layer (docs/telemetry.md).
+ *
+ * One ring per instrumented thread: the worker thread is the only
+ * producer, the collector thread the only consumer, so the queue needs
+ * exactly two atomic indices (acquire/release pairs) and no locks. A
+ * full ring never blocks the producer — tryPush fails, the caller
+ * counts a drop, and the hot path moves on. Capacity is rounded up to
+ * a power of two so the index math is a mask, not a modulo.
+ *
+ * The drop counter lives here (relaxed atomic, bumped by the producer,
+ * read by the collector) so "emitted + dropped == produced" is a local
+ * invariant of each ring, testable without global coordination
+ * (tests/test_obs.cpp).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace zc {
+
+/** Round @p n up to the next power of two (minimum 2). */
+inline std::size_t
+ceilPow2(std::size_t n)
+{
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : slots_(ceilPow2(capacity)), mask_(slots_.size() - 1)
+    {
+        zc_assert(capacity > 0);
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Producer side: enqueue @p v, or return false when the ring is
+     * full (the caller decides whether that is a counted drop). Never
+     * blocks, never allocates.
+     */
+    bool
+    tryPush(const T& v)
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        if (head - tail >= slots_.size()) return false;
+        slots_[head & mask_] = v;
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: dequeue up to @p max items into @p out (appended).
+     * Returns the number drained.
+     */
+    std::size_t
+    popBatch(std::vector<T>& out, std::size_t max)
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        std::uint64_t n = head - tail;
+        if (n > max) n = max;
+        for (std::uint64_t i = 0; i < n; i++) {
+            out.push_back(slots_[(tail + i) & mask_]);
+        }
+        tail_.store(tail + n, std::memory_order_release);
+        return static_cast<std::size_t>(n);
+    }
+
+    /** Items currently queued (approximate from either side). */
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(
+            head_.load(std::memory_order_acquire) -
+            tail_.load(std::memory_order_acquire));
+    }
+
+    /** Producer-side drop tally; read by the consumer at any time. */
+    void countDrop() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Items the producer successfully enqueued (relaxed tally). */
+    void countPush() { pushed_.fetch_add(1, std::memory_order_relaxed); }
+
+    std::uint64_t
+    pushed() const
+    {
+        return pushed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_;
+
+    // Producer writes head_, consumer writes tail_; keep them on
+    // separate cache lines so the SPSC pair never false-shares.
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    alignas(64) std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> pushed_{0};
+};
+
+} // namespace zc

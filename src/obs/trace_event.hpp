@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Compact per-operation trace record for the live-telemetry layer
+ * (docs/telemetry.md).
+ *
+ * The hot path emits exactly ONE fixed-size record per store operation
+ * — begin timestamp plus the attribution durations the instrumented
+ * path already measured (lock wait, hash/probe, relocation walk) and
+ * the walk's outcome. The collector expands each record into the
+ * Chrome trace-event spans a human wants to see (op span, nested
+ * lock_wait / probe / walk children, an eviction instant), so the ring
+ * carries 48 bytes per op instead of four variable events, and
+ * "op spans emitted + dropped == ops" is exact by construction.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define ZC_OBS_HAVE_TSC 1
+#endif
+
+namespace zc {
+
+/** Operation kinds the tracer knows how to label. */
+enum class ObsOp : std::uint8_t {
+    Get = 0,
+    Put = 1,
+    Erase = 2,
+};
+
+inline const char*
+obsOpName(ObsOp op)
+{
+    switch (op) {
+      case ObsOp::Get: return "get";
+      case ObsOp::Put: return "put";
+      default: return "erase";
+    }
+}
+
+/** Flag bits of ObsOpRecord::flags. */
+enum : std::uint8_t {
+    kObsFlagHit = 1u << 0,      ///< get/erase found the key
+    kObsFlagInserted = 1u << 1, ///< put installed a new key
+    kObsFlagEvicted = 1u << 2,  ///< insert displaced a resident key
+    kObsFlagError = 1u << 3,    ///< op failed with a structured Status
+};
+
+/** One operation's span + latency attribution (48 bytes). */
+struct ObsOpRecord
+{
+    std::uint64_t tsBeginNs = 0; ///< steady_clock ns at op begin
+    std::uint64_t key = 0;
+
+    std::uint32_t durNs = 0;      ///< whole-op duration
+    std::uint32_t lockWaitNs = 0; ///< shard-lock acquisition wait
+    std::uint32_t probeNs = 0;    ///< hash + tag probe (array access)
+    std::uint32_t walkNs = 0;     ///< relocation-walk insert (puts)
+
+    std::uint32_t candidates = 0;  ///< walk candidates examined
+    std::uint32_t relocations = 0; ///< walk relocations performed
+
+    std::uint16_t shard = 0;
+    ObsOp op = ObsOp::Get;
+    std::uint8_t flags = 0;
+};
+
+/** steady_clock now, in integer nanoseconds. */
+inline std::uint64_t
+obsSteadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+#ifdef ZC_OBS_HAVE_TSC
+namespace obs_detail {
+
+/**
+ * Calibrated TSC -> steady_clock-ns mapping. A traced op takes 3-4
+ * timestamps, and at ~25 ns per clock_gettime those dominate the
+ * instrumentation cost (docs/telemetry.md's overhead table); rdtsc is
+ * ~8 ns. Modern x86 has an invariant TSC (constant rate, synchronized
+ * across cores), so one process-wide affine map suffices. Calibration
+ * spins ~2 ms once, on the first traced op; the ~0.1% rate error only
+ * skews absolute span positions, never the producer-side durations,
+ * which are differences of nearby readings.
+ */
+struct TscClock
+{
+    std::uint64_t tsc0;
+    std::uint64_t ns0;
+    double nsPerTick;
+
+    TscClock()
+    {
+        ns0 = obsSteadyNowNs();
+        tsc0 = __rdtsc();
+        std::uint64_t ns1, tsc1;
+        do {
+            ns1 = obsSteadyNowNs();
+            tsc1 = __rdtsc();
+        } while (ns1 - ns0 < 2000000);
+        nsPerTick = static_cast<double>(ns1 - ns0) /
+                    static_cast<double>(tsc1 - tsc0);
+    }
+};
+
+inline const TscClock&
+tscClock()
+{
+    static const TscClock clock;
+    return clock;
+}
+
+} // namespace obs_detail
+#endif
+
+/**
+ * Trace timestamp in integer nanoseconds on the steady_clock epoch:
+ * a calibrated TSC read where the hardware supports it (~8 ns),
+ * steady_clock otherwise. All telemetry timestamps come from here so
+ * spans and metrics windows share one timeline.
+ */
+inline std::uint64_t
+obsNowNs()
+{
+#ifdef ZC_OBS_HAVE_TSC
+    const obs_detail::TscClock& c = obs_detail::tscClock();
+    return c.ns0 +
+           static_cast<std::uint64_t>(
+               static_cast<double>(__rdtsc() - c.tsc0) * c.nsPerTick);
+#else
+    return obsSteadyNowNs();
+#endif
+}
+
+/** Saturating ns delta for the record's uint32 duration fields. */
+inline std::uint32_t
+obsDurNs(std::uint64_t begin_ns, std::uint64_t end_ns)
+{
+    std::uint64_t d = end_ns >= begin_ns ? end_ns - begin_ns : 0;
+    return d > 0xffffffffULL ? 0xffffffffu
+                             : static_cast<std::uint32_t>(d);
+}
+
+} // namespace zc

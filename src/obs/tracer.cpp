@@ -1,0 +1,290 @@
+#include "obs/tracer.hpp"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "common/fault_injection.hpp"
+#include "common/log.hpp"
+
+namespace zc {
+
+namespace {
+
+/** Process-unique tracer ids so the thread-local channel cache can
+ *  tell "my cached channel belongs to THIS tracer" apart from a stale
+ *  pointer into a destroyed one. */
+std::atomic<std::uint64_t> g_nextTracerId{1};
+
+thread_local std::uint64_t t_cachedTracerId = 0;
+thread_local ObsThreadChannel* t_cachedChannel = nullptr;
+
+} // namespace
+
+bool
+ObsThreadChannel::record(const ObsOpRecord& rec)
+{
+    // The fault site models "ring full" deterministically so tests can
+    // pin the drop accounting without racing a slow collector.
+    if (ZC_INJECT_FAULT("collector.overflow") || !ring_.tryPush(rec)) {
+        ring_.countDrop();
+        return false;
+    }
+    ring_.countPush();
+    return true;
+}
+
+ObsTracer::ObsTracer(ObsTracerConfig cfg)
+    : cfg_(std::move(cfg)),
+      id_(g_nextTracerId.fetch_add(1, std::memory_order_relaxed)),
+      originNs_(obsNowNs())
+{
+    if (!cfg_.path.empty()) {
+        out_ = std::fopen(cfg_.path.c_str(), "wb");
+        if (out_ == nullptr) {
+            ioFailed_ = true;
+        } else {
+            std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n",
+                       out_);
+        }
+    }
+    collector_ = std::thread([this] { collectorMain(); });
+}
+
+ObsTracer::~ObsTracer()
+{
+    if (!finished_) (void)finish(0);
+}
+
+ObsThreadChannel*
+ObsTracer::channel()
+{
+    if (t_cachedTracerId == id_ && t_cachedChannel != nullptr) {
+        return t_cachedChannel;
+    }
+    std::string name;
+    {
+        std::lock_guard<std::mutex> g(channelsMx_);
+        name = "worker-" + std::to_string(channels_.size());
+    }
+    return registerThread(name);
+}
+
+ObsThreadChannel*
+ObsTracer::registerThread(const std::string& name)
+{
+    std::lock_guard<std::mutex> g(channelsMx_);
+    auto tid = static_cast<std::uint32_t>(channels_.size() + 1);
+    channels_.push_back(std::make_unique<ObsThreadChannel>(
+        tid, name, cfg_.ringCapacity));
+    ObsThreadChannel* ch = channels_.back().get();
+    t_cachedTracerId = id_;
+    t_cachedChannel = ch;
+    return ch;
+}
+
+std::uint64_t
+ObsTracer::dropped() const
+{
+    std::lock_guard<std::mutex> g(channelsMx_);
+    std::uint64_t n = 0;
+    for (const auto& ch : channels_) n += ch->dropped();
+    return n;
+}
+
+void
+ObsTracer::collectorMain()
+{
+    std::vector<ObsOpRecord> batch;
+    batch.reserve(4096);
+    while (!stop_.load(std::memory_order_acquire)) {
+        drainAll(batch);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(cfg_.drainIntervalUs));
+    }
+}
+
+void
+ObsTracer::drainAll(std::vector<ObsOpRecord>& batch)
+{
+    // Snapshot the channel list; channels are never removed while the
+    // tracer lives, so the raw pointers stay valid outside the lock.
+    std::vector<ObsThreadChannel*> chans;
+    {
+        std::lock_guard<std::mutex> g(channelsMx_);
+        chans.reserve(channels_.size());
+        for (const auto& ch : channels_) chans.push_back(ch.get());
+    }
+    for (ObsThreadChannel* ch : chans) {
+        for (;;) {
+            batch.clear();
+            if (ch->ring_.popBatch(batch, 4096) == 0) break;
+            for (const ObsOpRecord& rec : batch) {
+                writeRecord(ch->tid(), rec);
+            }
+            recorded_.fetch_add(batch.size(),
+                                std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+ObsTracer::writeEvent(const std::string& json)
+{
+    if (out_ == nullptr) return;
+    if (wroteEvent_) {
+        if (std::fputs(",\n", out_) < 0) ioFailed_ = true;
+    }
+    if (std::fputs(json.c_str(), out_) < 0) ioFailed_ = true;
+    wroteEvent_ = true;
+}
+
+void
+ObsTracer::writeRecord(std::uint32_t tid, const ObsOpRecord& rec)
+{
+    if (out_ == nullptr) return; // count-only mode
+
+    char buf[512];
+    const double ts = static_cast<double>(rec.tsBeginNs - originNs_) / 1e3;
+    const double dur = static_cast<double>(rec.durNs) / 1e3;
+
+    // Whole-op span with the attribution + outcome in args.
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{"
+        "\"key\":%" PRIu64 ",\"shard\":%u,\"hit\":%s,\"inserted\":%s,"
+        "\"evicted\":%s,\"error\":%s}}",
+        obsOpName(rec.op), ts, dur, tid, rec.key,
+        static_cast<unsigned>(rec.shard),
+        (rec.flags & kObsFlagHit) ? "true" : "false",
+        (rec.flags & kObsFlagInserted) ? "true" : "false",
+        (rec.flags & kObsFlagEvicted) ? "true" : "false",
+        (rec.flags & kObsFlagError) ? "true" : "false");
+    writeEvent(buf);
+
+    // Nested attribution children, laid out sequentially inside the op
+    // span: [lock_wait][probe][walk]. Zero-length phases are elided.
+    double cursor = ts;
+    if (rec.lockWaitNs > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"lock_wait\",\"cat\":\"phase\","
+                      "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":1,\"tid\":%u}",
+                      cursor, static_cast<double>(rec.lockWaitNs) / 1e3,
+                      tid);
+        writeEvent(buf);
+    }
+    cursor += static_cast<double>(rec.lockWaitNs) / 1e3;
+    if (rec.probeNs > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"probe\",\"cat\":\"phase\","
+                      "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":1,\"tid\":%u}",
+                      cursor, static_cast<double>(rec.probeNs) / 1e3,
+                      tid);
+        writeEvent(buf);
+    }
+    cursor += static_cast<double>(rec.probeNs) / 1e3;
+    if (rec.walkNs > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"walk\",\"cat\":\"phase\","
+                      "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":1,\"tid\":%u,\"args\":{"
+                      "\"candidates\":%u,\"relocations\":%u}}",
+                      cursor, static_cast<double>(rec.walkNs) / 1e3, tid,
+                      rec.candidates, rec.relocations);
+        writeEvent(buf);
+    }
+    if (rec.flags & kObsFlagEvicted) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"evict\",\"cat\":\"event\","
+                      "\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\","
+                      "\"pid\":1,\"tid\":%u}",
+                      ts + dur, tid);
+        writeEvent(buf);
+    }
+}
+
+void
+ObsTracer::writeMetadata()
+{
+    if (out_ == nullptr) return;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  cfg_.processName.c_str());
+    writeEvent(buf);
+    std::lock_guard<std::mutex> g(channelsMx_);
+    for (const auto& ch : channels_) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                      ch->tid(), ch->name().c_str());
+        writeEvent(buf);
+    }
+}
+
+Expected<ObsSummary>
+ObsTracer::finish(std::uint64_t expected_ops)
+{
+    if (finished_) return summary_;
+    finished_ = true;
+
+    stop_.store(true, std::memory_order_release);
+    if (collector_.joinable()) collector_.join();
+
+    // Producers have quiesced (contract) and the collector is gone, so
+    // this final drain on the caller's thread empties every ring.
+    std::vector<ObsOpRecord> batch;
+    batch.reserve(4096);
+    drainAll(batch);
+
+    ObsSummary sum;
+    sum.recorded = recorded_.load(std::memory_order_relaxed);
+    sum.dropped = dropped();
+    {
+        std::lock_guard<std::mutex> g(channelsMx_);
+        sum.threads = channels_.size();
+    }
+
+    if (out_ != nullptr) {
+        writeMetadata();
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "\n],\"otherData\":{\"ops_recorded\":%" PRIu64
+                      ",\"ops_dropped\":%" PRIu64
+                      ",\"ops_expected\":%" PRIu64
+                      ",\"ts_origin_ns\":%" PRIu64 "}}\n",
+                      sum.recorded, sum.dropped, expected_ops, originNs_);
+        if (std::fputs(buf, out_) < 0) ioFailed_ = true;
+        if (std::fclose(out_) != 0) ioFailed_ = true;
+        out_ = nullptr;
+    }
+
+    if (ioFailed_) {
+        summary_ = Status::ioError("obs tracer: failed writing trace '" +
+                                   cfg_.path + "'");
+    } else {
+        summary_ = sum;
+    }
+    return summary_;
+}
+
+void
+ObsTracer::registerStats(StatGroup& g)
+{
+    StatGroup& t = g.group("tracer", "span-tracing collector");
+    t.addCounter("recorded", "op records drained into the trace",
+                 [this] { return recorded(); });
+    t.addCounter("dropped", "op records lost to full rings",
+                 [this] { return dropped(); });
+    t.addCounter("threads", "producer channels registered", [this] {
+        std::lock_guard<std::mutex> lg(channelsMx_);
+        return static_cast<std::uint64_t>(channels_.size());
+    });
+    t.addConst("ring_capacity", "per-thread ring capacity (records)",
+               JsonValue(std::uint64_t{ceilPow2(cfg_.ringCapacity)}));
+}
+
+} // namespace zc

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Live span tracing for concurrent code paths (docs/telemetry.md).
+ *
+ * Producers (store worker threads) write one fixed-size ObsOpRecord
+ * per operation into a per-thread SPSC ring; a background collector
+ * thread drains every ring every few milliseconds and streams the
+ * records out as Chrome trace-event JSON — loadable in Perfetto /
+ * chrome://tracing — expanding each record into an op span with nested
+ * lock_wait / probe / walk child spans and an eviction instant.
+ *
+ * Invariants the tests pin down (tests/test_obs.cpp):
+ *  - the hot path NEVER blocks: a full ring counts a drop and moves on;
+ *  - per ring, pushed + dropped == records produced, and the collector
+ *    drains every pushed record by the time finish() returns — so
+ *    "op spans in the file + dropped == ops" reconciles exactly;
+ *  - the fault site `collector.overflow` (docs/robustness.md) forces
+ *    the drop path deterministically so the accounting is testable
+ *    without actually racing the collector.
+ *
+ * Threads register lazily: the first record() from a thread allocates
+ * its channel. A thread should produce into one tracer at a time —
+ * interleaving two live tracers from the same thread is correct but
+ * allocates a fresh channel on each switch.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats_registry.hpp"
+#include "common/status.hpp"
+#include "obs/spsc_ring.hpp"
+#include "obs/trace_event.hpp"
+
+namespace zc {
+
+struct ObsTracerConfig
+{
+    /** Chrome trace-event JSON output; empty = count-only (no file). */
+    std::string path;
+
+    /** Per-thread ring capacity in records (rounded up to 2^k). */
+    std::size_t ringCapacity = 1u << 16;
+
+    /** Collector poll interval while rings are empty. */
+    std::uint32_t drainIntervalUs = 2000;
+
+    /** Process label in the trace ("zkv" for the store). */
+    std::string processName = "zkv";
+};
+
+/** End-of-run accounting returned by ObsTracer::finish(). */
+struct ObsSummary
+{
+    std::uint64_t recorded = 0; ///< records drained into the trace
+    std::uint64_t dropped = 0;  ///< records lost to full rings
+    std::uint64_t threads = 0;  ///< producer channels registered
+};
+
+/**
+ * One producer thread's lane: its ring plus identity. Obtained from
+ * ObsTracer::channel() (lazily, thread-local) or registerThread().
+ */
+class ObsThreadChannel
+{
+  public:
+    ObsThreadChannel(std::uint32_t tid, std::string name,
+                     std::size_t ring_capacity)
+        : tid_(tid), name_(std::move(name)), ring_(ring_capacity)
+    {
+    }
+
+    /**
+     * Producer hot path: enqueue @p rec, counting a drop on a full
+     * ring (or when the `collector.overflow` fault site fires).
+     * Returns false on drop.
+     */
+    bool record(const ObsOpRecord& rec);
+
+    std::uint32_t tid() const { return tid_; }
+    const std::string& name() const { return name_; }
+    std::uint64_t dropped() const { return ring_.dropped(); }
+    std::uint64_t pushed() const { return ring_.pushed(); }
+
+  private:
+    friend class ObsTracer;
+
+    std::uint32_t tid_;
+    std::string name_;
+    SpscRing<ObsOpRecord> ring_;
+};
+
+class ObsTracer
+{
+  public:
+    explicit ObsTracer(ObsTracerConfig cfg);
+
+    /** Finishes (discarding the summary) if finish() was never called. */
+    ~ObsTracer();
+
+    ObsTracer(const ObsTracer&) = delete;
+    ObsTracer& operator=(const ObsTracer&) = delete;
+
+    /**
+     * The calling thread's channel, created on first use. The pointer
+     * stays valid for the tracer's lifetime.
+     */
+    ObsThreadChannel* channel();
+
+    /** Explicit registration with a display name for the trace. */
+    ObsThreadChannel* registerThread(const std::string& name);
+
+    /**
+     * Stop the collector, drain every ring to the file, close the
+     * JSON document and return the accounting. Producers must have
+     * quiesced (no record() in flight) before finish() — the load
+     * generator calls it after joining its workers. Idempotent; the
+     * second call returns the first call's summary. @p expected_ops,
+     * when nonzero, is written into the trace's otherData block so
+     * offline tooling (scripts/trace_report.py) can reconcile
+     * recorded + dropped == expected without out-of-band data.
+     */
+    Expected<ObsSummary> finish(std::uint64_t expected_ops = 0);
+
+    /** Records drained so far (collector-side tally). */
+    std::uint64_t recorded() const
+    {
+        return recorded_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of all channels' producer-side drop counters. */
+    std::uint64_t dropped() const;
+
+    /**
+     * Register collector counters under @p g (events recorded/dropped,
+     * channels). Values are live; dump after finish() for finals.
+     */
+    void registerStats(StatGroup& g);
+
+    const ObsTracerConfig& config() const { return cfg_; }
+
+  private:
+    void collectorMain();
+    void drainAll(std::vector<ObsOpRecord>& batch);
+    void writeRecord(std::uint32_t tid, const ObsOpRecord& rec);
+    void writeEvent(const std::string& json);
+    void writeMetadata();
+
+    ObsTracerConfig cfg_;
+    std::uint64_t id_; ///< process-unique, for the thread-local cache
+    std::uint64_t originNs_; ///< ts origin: trace times start near 0
+
+    mutable std::mutex channelsMx_;
+    std::vector<std::unique_ptr<ObsThreadChannel>> channels_;
+
+    std::FILE* out_ = nullptr;
+    bool wroteEvent_ = false;
+    bool ioFailed_ = false;
+
+    std::atomic<std::uint64_t> recorded_{0};
+    std::atomic<bool> stop_{false};
+    std::thread collector_;
+
+    bool finished_ = false;
+    Expected<ObsSummary> summary_ = ObsSummary{};
+};
+
+} // namespace zc

@@ -6,6 +6,7 @@
 
 #include "store/loadgen.hpp"
 
+#include <atomic>
 #include <barrier>
 #include <chrono>
 #include <cmath>
@@ -13,6 +14,9 @@
 
 #include "common/rng.hpp"
 #include "common/stats_registry.hpp"
+#include "obs/latency_scale.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "trace/workloads.hpp"
 
 namespace zc {
@@ -21,38 +25,9 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/** Map an op latency to the [0,1] histogram domain: log2(1+ns)/32. */
-double
-latencyToUnit(double ns)
-{
-    return std::log2(1.0 + ns) / 32.0;
-}
-
-/** Invert latencyToUnit for approximate quantile reporting. */
-double
-unitToLatencyNs(double u)
-{
-    return std::exp2(32.0 * u) - 1.0;
-}
-
-/** Approximate quantile from histogram bins (right-edge inversion). */
-double
-histQuantileNs(const UnitHistogram& h, double q)
-{
-    if (h.samples() == 0) return 0.0;
-    auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(h.samples()));
-    std::uint64_t acc = 0;
-    for (std::size_t i = 0; i < h.bins(); i++) {
-        acc += h.binCount(i);
-        if (acc > target) {
-            double edge = (static_cast<double>(i) + 1.0) /
-                          static_cast<double>(h.bins());
-            return unitToLatencyNs(edge);
-        }
-    }
-    return unitToLatencyNs(1.0);
-}
+// The log-latency helpers (latencyToUnit / histQuantileNs) moved to
+// obs/latency_scale.hpp so the live metrics snapshotter reports
+// percentiles on exactly the scale these end-of-run reports use.
 
 JsonValue
 threadCountersJson(const ThreadStats& t)
@@ -111,16 +86,21 @@ LoadGenConfig::validate() const
         return Status::invalidArgument(
             "loadgen: latencyBins must be > 0");
     }
+    if (obs.anyEnabled() && obs.metricsIntervalMs == 0) {
+        return Status::invalidArgument(
+            "loadgen: obs.metricsIntervalMs must be > 0");
+    }
+    if (obs.anyEnabled() && obs.ringCapacity == 0) {
+        return Status::invalidArgument(
+            "loadgen: obs.ringCapacity must be > 0");
+    }
     return store.validate();
 }
 
 ThreadStats
 LoadGenResult::aggregate() const
 {
-    ThreadStats agg;
-    if (!perThread.empty()) {
-        agg.latency = UnitHistogram(perThread[0].latency.bins());
-    }
+    ThreadStats agg(perThread.empty() ? 64 : perThread[0].latency.bins());
     for (const ThreadStats& t : perThread) {
         agg.ops += t.ops;
         agg.gets += t.gets;
@@ -178,9 +158,67 @@ runLoadGen(const LoadGenConfig& cfg)
     std::unique_ptr<ZkvStore> store = std::move(*store_or);
 
     LoadGenResult result;
-    result.perThread.resize(cfg.threads);
-    for (ThreadStats& t : result.perThread) {
-        t.latency = UnitHistogram(cfg.latencyBins);
+    result.perThread.assign(cfg.threads, ThreadStats(cfg.latencyBins));
+
+    // Live telemetry (docs/telemetry.md): the tracer receives one
+    // compact record per op from the instrumented store paths; the
+    // snapshotter samples store totals plus the per-thread live
+    // histogram bins below into windowed NDJSON. Both are absent (and
+    // the store keeps its uninstrumented paths) unless cfg.obs asks.
+    const bool obs_on = cfg.obs.anyEnabled();
+    std::unique_ptr<ObsTracer> tracer;
+    if (obs_on) {
+        ObsTracerConfig tc;
+        tc.path = cfg.obs.tracePath;
+        tc.ringCapacity = cfg.obs.ringCapacity;
+        tracer = std::make_unique<ObsTracer>(std::move(tc));
+        store->enableObs(tracer.get());
+    }
+
+    // Per-thread atomic copies of the latency bin counts, updated by
+    // workers only when obs is on, so the snapshotter can read windowed
+    // percentiles mid-run without racing the plain ThreadStats
+    // histograms (which stay single-owner until join).
+    const std::size_t bins = cfg.latencyBins;
+    std::vector<std::atomic<std::uint64_t>> liveBins(
+        obs_on ? static_cast<std::size_t>(cfg.threads) * bins : 0);
+
+    std::unique_ptr<MetricsSnapshotter> snap;
+    if (obs_on &&
+        (!cfg.obs.metricsPath.empty() || !cfg.obs.promPath.empty())) {
+        MetricsSnapshotterConfig mc;
+        mc.ndjsonPath = cfg.obs.metricsPath;
+        mc.promPath = cfg.obs.promPath;
+        mc.intervalMs = cfg.obs.metricsIntervalMs;
+        ZkvStore* st = store.get();
+        auto* live = liveBins.data();
+        const std::size_t nthreads = cfg.threads;
+        snap = std::make_unique<MetricsSnapshotter>(
+            std::move(mc), [st, live, bins, nthreads] {
+                MetricsSample s;
+                ZkvShardStats t = st->totals();
+                s.counters = {
+                    {"ops", t.gets + t.puts + t.erases},
+                    {"gets", t.gets},
+                    {"get_hits", t.getHits},
+                    {"puts", t.puts},
+                    {"put_inserts", t.putInserts},
+                    {"erases", t.erases},
+                    {"evictions", t.evictions},
+                    {"walk_candidates", t.walkCandidates},
+                    {"relocations", t.relocations},
+                };
+                ZkvShardObs o = st->obsTotals();
+                s.counters.emplace_back("lock_contended",
+                                        o.lockContended);
+                s.counters.emplace_back("lock_wait_ns", o.lockWaitNs);
+                s.latencyBins.assign(bins, 0);
+                for (std::size_t i = 0; i < nthreads * bins; i++) {
+                    s.latencyBins[i % bins] +=
+                        live[i].load(std::memory_order_relaxed);
+                }
+                return s;
+            });
     }
 
     // Lazily-built profile tables must exist before workers spawn
@@ -198,6 +236,15 @@ runLoadGen(const LoadGenConfig& cfg)
             // Op-mix stream independent of the key stream.
             Pcg32 mix(zkvMix64(cfg.seed + tid),
                       /*stream=*/0x6b76ULL + tid);
+            if (tracer) {
+                // Pre-register with a stable name so trace tids are
+                // worker indices, and ops land in this thread's ring.
+                tracer->registerThread("worker-" + std::to_string(tid));
+            }
+            std::atomic<std::uint64_t>* myBins =
+                obs_on ? liveBins.data() +
+                             static_cast<std::size_t>(tid) * bins
+                       : nullptr;
 
             sync.arrive_and_wait();
             auto t0 = Clock::now();
@@ -234,12 +281,17 @@ runLoadGen(const LoadGenConfig& cfg)
                         .count());
                 ts.latencyNs.record(ns);
                 ts.latency.record(latencyToUnit(ns));
+                if (myBins != nullptr) {
+                    myBins[latencyBinIndex(ns, bins)].fetch_add(
+                        1, std::memory_order_relaxed);
+                }
             }
             ts.seconds =
                 std::chrono::duration<double>(Clock::now() - t0).count();
         });
     }
 
+    if (snap) snap->start();
     sync.arrive_and_wait();
     auto t0 = Clock::now();
     for (std::thread& w : workers) w.join();
@@ -249,6 +301,26 @@ runLoadGen(const LoadGenConfig& cfg)
                        static_cast<double>(cfg.opsPerThread);
     result.opsPerSec =
         result.seconds > 0.0 ? total_ops / result.seconds : 0.0;
+
+    // Telemetry teardown order matters: workers are joined (quiesced),
+    // so (1) the snapshotter's final window captures the end-of-run
+    // totals, (2) the store detaches from the tracer, (3) finish()
+    // drains every ring and closes the trace with the exact
+    // recorded/dropped accounting against the known op total.
+    if (snap) {
+        Status s = snap->stop();
+        result.obsWindows = snap->windowsEmitted();
+        if (!s.isOk()) return s;
+    }
+    if (tracer) {
+        store->disableObs();
+        auto sum_or =
+            tracer->finish(static_cast<std::uint64_t>(total_ops));
+        if (!sum_or) return sum_or.status();
+        result.obsRecorded = sum_or->recorded;
+        result.obsDropped = sum_or->dropped;
+        result.obsThreads = sum_or->threads;
+    }
 
     // Deterministic block: the store's stats tree plus per-thread
     // operation counters (workers are joined — the dump is quiesced).

@@ -34,6 +34,42 @@
 
 namespace zc {
 
+/**
+ * Live-telemetry knobs for a load-generation run (docs/telemetry.md).
+ * Default-disabled: the store runs its uninstrumented op paths and the
+ * run is bit-identical to one without this struct.
+ */
+struct LoadGenObsConfig
+{
+    /**
+     * Master switch: route ops through the instrumented store paths
+     * (latency attribution + contention counters). Setting any path
+     * below implies enabling; enabled with no paths = counters only.
+     */
+    bool enabled = false;
+
+    /** Chrome trace-event JSON (Perfetto-loadable); empty = no trace. */
+    std::string tracePath;
+
+    /** Windowed metrics NDJSON, one record per window; empty = none. */
+    std::string metricsPath;
+
+    /** Prometheus text exposition, rewritten per window; empty = none. */
+    std::string promPath;
+
+    std::uint32_t metricsIntervalMs = 100;
+
+    /** Per-thread trace ring capacity in records. */
+    std::size_t ringCapacity = 1 << 16;
+
+    bool
+    anyEnabled() const
+    {
+        return enabled || !tracePath.empty() || !metricsPath.empty() ||
+               !promPath.empty();
+    }
+};
+
 /** One load-generation run's shape. */
 struct LoadGenConfig
 {
@@ -54,12 +90,21 @@ struct LoadGenConfig
     /** Latency histogram bins over log2(1+ns)/32 (64 ~= 0.5-bit bins). */
     std::size_t latencyBins = 64;
 
+    LoadGenObsConfig obs;
+
     Status validate() const;
 };
 
 /** One worker's counters; latency fields are wall-clock derived. */
 struct ThreadStats
 {
+    /** Bin count must match LoadGenConfig::latencyBins (regression-
+     *  tested in tests/test_store.cpp with a non-default count). */
+    explicit ThreadStats(std::size_t latency_bins = 64)
+        : latency(latency_bins)
+    {
+    }
+
     std::uint64_t ops = 0;
     std::uint64_t gets = 0;
     std::uint64_t getHits = 0;
@@ -72,7 +117,7 @@ struct ThreadStats
 
     /** Nondeterministic (timing) fields. */
     double seconds = 0.0;
-    UnitHistogram latency{64};
+    UnitHistogram latency;
     RunningStat latencyNs;
 };
 
@@ -102,6 +147,17 @@ struct LoadGenResult
      * analogue of the bench reports' "perf" block.
      */
     JsonValue timing() const;
+
+    /**
+     * Telemetry accounting when LoadGenConfig::obs was enabled (all
+     * zeros otherwise). obsRecorded + obsDropped == total ops whenever
+     * a tracer ran — the reconciliation invariant trace_report.py and
+     * tests/test_obs.cpp check against the trace file.
+     */
+    std::uint64_t obsRecorded = 0;
+    std::uint64_t obsDropped = 0;
+    std::uint64_t obsThreads = 0;
+    std::uint64_t obsWindows = 0; ///< metrics windows emitted
 };
 
 /**

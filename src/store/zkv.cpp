@@ -10,6 +10,7 @@
 
 #include "common/fault_injection.hpp"
 #include "common/log.hpp"
+#include "obs/tracer.hpp"
 
 namespace zc {
 
@@ -112,6 +113,7 @@ struct ZkvStore::Shard
     std::unique_ptr<CacheArray> array;
     ValueMirror* mirror = nullptr; ///< owned by array's policy chain
     ZkvShardStats stats;
+    ZkvShardObs obs; ///< written only on the instrumented op paths
 };
 
 ZkvStore::ZkvStore(ZkvConfig cfg) : cfg_(cfg) {}
@@ -166,6 +168,7 @@ ZkvStore::shardOf(std::uint64_t key) const
 std::optional<std::uint64_t>
 ZkvStore::get(std::uint64_t key)
 {
+    if (obsEnabled_) return getTraced(key);
     Shard& sh = *shards_[shardOf(key)];
     std::lock_guard<ShardLock> g(sh.lock);
     sh.stats.gets++;
@@ -179,6 +182,7 @@ ZkvStore::get(std::uint64_t key)
 Expected<PutResult>
 ZkvStore::put(std::uint64_t key, std::uint64_t value)
 {
+    if (obsEnabled_) return putTraced(key, value);
     if (key == kReservedKey) {
         return Status::invalidArgument(
             "zkv: key " + std::to_string(key) +
@@ -224,11 +228,230 @@ ZkvStore::put(std::uint64_t key, std::uint64_t value)
 bool
 ZkvStore::erase(std::uint64_t key)
 {
+    if (obsEnabled_) return eraseTraced(key);
     Shard& sh = *shards_[shardOf(key)];
     std::lock_guard<ShardLock> g(sh.lock);
     sh.stats.erases++;
     bool hit = sh.array->invalidate(key);
     if (hit) sh.stats.eraseHits++;
+    return hit;
+}
+
+void
+ZkvStore::enableObs(ObsTracer* tracer)
+{
+    tracer_ = tracer;
+    obsEnabled_ = true;
+}
+
+void
+ZkvStore::disableObs()
+{
+    obsEnabled_ = false;
+    tracer_ = nullptr;
+}
+
+ZkvShardObs
+ZkvStore::shardObs(std::uint32_t shard) const
+{
+    zc_assert(shard < shards_.size());
+    Shard& sh = *shards_[shard];
+    std::lock_guard<ShardLock> g(sh.lock);
+    return sh.obs;
+}
+
+ZkvShardObs
+ZkvStore::obsTotals() const
+{
+    ZkvShardObs t;
+    for (std::uint32_t i = 0; i < shards_.size(); i++) {
+        t.add(shardObs(i));
+    }
+    return t;
+}
+
+/*
+ * The traced twins below mirror the plain paths exactly — same stats,
+ * same fault sites, same array calls — plus timestamps at the phase
+ * boundaries (lock acquired, probe done, walk done), the per-shard
+ * attribution counters, and one ObsOpRecord pushed to the tracer's
+ * per-thread ring after the shard lock is released. Keep any
+ * behavioral change to the plain paths in sync here (the equivalence
+ * test in tests/test_obs.cpp compares the two paths' results).
+ */
+
+std::optional<std::uint64_t>
+ZkvStore::getTraced(std::uint64_t key)
+{
+    ObsOpRecord rec;
+    rec.op = ObsOp::Get;
+    rec.key = key;
+    std::uint32_t shard = shardOf(key);
+    rec.shard = static_cast<std::uint16_t>(shard);
+    rec.tsBeginNs = obsNowNs();
+
+    Shard& sh = *shards_[shard];
+    ShardLock::Acquire acq = sh.lock.lockInstrumented();
+    // Timestamp the acquire only when it contended: an uncontended
+    // lock costs ~15 ns, below the clock's own resolution, and
+    // skipping the read saves one of the 3-4 timestamps per op
+    // (docs/telemetry.md overhead table). The acquire cost folds into
+    // the probe phase in that case.
+    std::uint64_t tLocked = acq.contended ? obsNowNs() : rec.tsBeginNs;
+    if (acq.contended) {
+        rec.lockWaitNs = obsDurNs(rec.tsBeginNs, tLocked);
+    }
+
+    std::optional<std::uint64_t> out;
+    {
+        std::lock_guard<ShardLock> g(sh.lock, std::adopt_lock);
+        sh.stats.gets++;
+        AccessContext ctx{key, kNoNextUse};
+        BlockPos pos = sh.array->access(key, ctx);
+        std::uint64_t tProbed = obsNowNs();
+        rec.probeNs = obsDurNs(tLocked, tProbed);
+        if (pos != kInvalidPos) {
+            sh.stats.getHits++;
+            rec.flags |= kObsFlagHit;
+            out = sh.mirror->valueAt(pos);
+        }
+        rec.durNs = obsDurNs(rec.tsBeginNs, tProbed);
+        sh.obs.lockAcquisitions++;
+        sh.obs.lockContended += acq.contended ? 1 : 0;
+        sh.obs.lockSpinIters += acq.spins;
+        sh.obs.lockWaitNs += rec.lockWaitNs;
+        sh.obs.probeNs += rec.probeNs;
+        sh.obs.opNs += rec.durNs;
+    }
+    if (tracer_ != nullptr) tracer_->channel()->record(rec);
+    return out;
+}
+
+Expected<PutResult>
+ZkvStore::putTraced(std::uint64_t key, std::uint64_t value)
+{
+    if (key == kReservedKey) {
+        return Status::invalidArgument(
+            "zkv: key " + std::to_string(key) +
+            " is reserved (array invalid-address sentinel)");
+    }
+    ObsOpRecord rec;
+    rec.op = ObsOp::Put;
+    rec.key = key;
+    std::uint32_t shard = shardOf(key);
+    rec.shard = static_cast<std::uint16_t>(shard);
+    rec.tsBeginNs = obsNowNs();
+
+    Shard& sh = *shards_[shard];
+    ShardLock::Acquire acq = sh.lock.lockInstrumented();
+    // Timestamp the acquire only when it contended: an uncontended
+    // lock costs ~15 ns, below the clock's own resolution, and
+    // skipping the read saves one of the 3-4 timestamps per op
+    // (docs/telemetry.md overhead table). The acquire cost folds into
+    // the probe phase in that case.
+    std::uint64_t tLocked = acq.contended ? obsNowNs() : rec.tsBeginNs;
+    if (acq.contended) {
+        rec.lockWaitNs = obsDurNs(rec.tsBeginNs, tLocked);
+    }
+
+    Expected<PutResult> out = PutResult{};
+    {
+        std::lock_guard<ShardLock> g(sh.lock, std::adopt_lock);
+        sh.stats.puts++;
+        AccessContext ctx{key, kNoNextUse};
+        BlockPos pos = sh.array->access(key, ctx);
+        std::uint64_t tProbed = obsNowNs();
+        rec.probeNs = obsDurNs(tLocked, tProbed);
+
+        std::uint64_t tEnd = tProbed;
+        if (pos != kInvalidPos) {
+            sh.mirror->setValue(pos, value);
+            sh.stats.putUpdates++;
+            rec.flags |= kObsFlagHit;
+        } else if (ZC_INJECT_FAULT("store.walk")) {
+            out = Status::resourceExhausted(
+                "zkv: injected relocation-walk failure (site store.walk, "
+                "shard " +
+                std::to_string(shard) + ")");
+            rec.flags |= kObsFlagError;
+        } else {
+            sh.mirror->setPending(value);
+            Replacement r = sh.array->insert(key, ctx);
+            tEnd = obsNowNs();
+            rec.walkNs = obsDurNs(tProbed, tEnd);
+            rec.candidates = r.candidates;
+            rec.relocations = r.relocations;
+            rec.flags |= kObsFlagInserted;
+            PutResult& res = *out;
+            res.inserted = true;
+            res.candidates = r.candidates;
+            res.relocations = r.relocations;
+            sh.stats.putInserts++;
+            sh.stats.walkCandidates += r.candidates;
+            sh.stats.relocations += r.relocations;
+            if (r.evictedValid()) {
+                res.evicted = true;
+                res.evictedKey = r.evictedAddr;
+                res.evictedValue = sh.mirror->lastEvicted();
+                sh.stats.evictions++;
+                rec.flags |= kObsFlagEvicted;
+            }
+        }
+        rec.durNs = obsDurNs(rec.tsBeginNs, tEnd);
+        sh.obs.lockAcquisitions++;
+        sh.obs.lockContended += acq.contended ? 1 : 0;
+        sh.obs.lockSpinIters += acq.spins;
+        sh.obs.lockWaitNs += rec.lockWaitNs;
+        sh.obs.probeNs += rec.probeNs;
+        sh.obs.walkNs += rec.walkNs;
+        sh.obs.opNs += rec.durNs;
+    }
+    if (tracer_ != nullptr) tracer_->channel()->record(rec);
+    return out;
+}
+
+bool
+ZkvStore::eraseTraced(std::uint64_t key)
+{
+    ObsOpRecord rec;
+    rec.op = ObsOp::Erase;
+    rec.key = key;
+    std::uint32_t shard = shardOf(key);
+    rec.shard = static_cast<std::uint16_t>(shard);
+    rec.tsBeginNs = obsNowNs();
+
+    Shard& sh = *shards_[shard];
+    ShardLock::Acquire acq = sh.lock.lockInstrumented();
+    // Timestamp the acquire only when it contended: an uncontended
+    // lock costs ~15 ns, below the clock's own resolution, and
+    // skipping the read saves one of the 3-4 timestamps per op
+    // (docs/telemetry.md overhead table). The acquire cost folds into
+    // the probe phase in that case.
+    std::uint64_t tLocked = acq.contended ? obsNowNs() : rec.tsBeginNs;
+    if (acq.contended) {
+        rec.lockWaitNs = obsDurNs(rec.tsBeginNs, tLocked);
+    }
+
+    bool hit = false;
+    {
+        std::lock_guard<ShardLock> g(sh.lock, std::adopt_lock);
+        sh.stats.erases++;
+        hit = sh.array->invalidate(key);
+        std::uint64_t tEnd = obsNowNs();
+        rec.probeNs = obsDurNs(tLocked, tEnd);
+        if (hit) {
+            sh.stats.eraseHits++;
+            rec.flags |= kObsFlagHit;
+        }
+        rec.durNs = obsDurNs(rec.tsBeginNs, tEnd);
+        sh.obs.lockAcquisitions++;
+        sh.obs.lockContended += acq.contended ? 1 : 0;
+        sh.obs.lockSpinIters += acq.spins;
+        sh.obs.lockWaitNs += rec.lockWaitNs;
+        sh.obs.probeNs += rec.probeNs;
+        sh.obs.opNs += rec.durNs;
+    }
+    if (tracer_ != nullptr) tracer_->channel()->record(rec);
     return hit;
 }
 
@@ -263,6 +486,25 @@ ZkvStore::totals() const
 }
 
 namespace {
+
+void
+registerShardObsCounters(StatGroup& g, const ZkvShardObs* s)
+{
+    g.addCounter("lock_acquisitions", "instrumented shard-lock takes",
+                 [s] { return s->lockAcquisitions; });
+    g.addCounter("lock_contended", "lock takes that had to wait",
+                 [s] { return s->lockContended; });
+    g.addCounter("lock_spin_iters", "TTAS relaxed-test spin iterations",
+                 [s] { return s->lockSpinIters; });
+    g.addCounter("lock_wait_ns", "summed lock-acquisition wait",
+                 [s] { return s->lockWaitNs; });
+    g.addCounter("probe_ns", "summed hash+tag probe time",
+                 [s] { return s->probeNs; });
+    g.addCounter("walk_ns", "summed relocation-walk time",
+                 [s] { return s->walkNs; });
+    g.addCounter("op_ns", "summed whole-op time",
+                 [s] { return s->opNs; });
+}
 
 void
 registerShardCounters(StatGroup& g, const ZkvShardStats* s)
@@ -325,9 +567,31 @@ ZkvStore::registerStats(StatGroup& g)
     tot.addCounter("relocations", "walk relocations performed",
                    [this] { return totals().relocations; });
 
+    // Latency attribution + lock contention (docs/telemetry.md). All
+    // zeros while obs is disabled (the default), so the default stats
+    // dump stays deterministic; with obs enabled the *_ns values are
+    // wall-clock and belong in the nondeterministic class.
+    StatGroup& obs = root.group(
+        "obs", "latency attribution and lock contention (traced paths)");
+    obs.addCounter("lock_acquisitions", "instrumented shard-lock takes",
+                   [this] { return obsTotals().lockAcquisitions; });
+    obs.addCounter("lock_contended", "lock takes that had to wait",
+                   [this] { return obsTotals().lockContended; });
+    obs.addCounter("lock_spin_iters", "TTAS relaxed-test spin iterations",
+                   [this] { return obsTotals().lockSpinIters; });
+    obs.addCounter("lock_wait_ns", "summed lock-acquisition wait",
+                   [this] { return obsTotals().lockWaitNs; });
+    obs.addCounter("probe_ns", "summed hash+tag probe time",
+                   [this] { return obsTotals().probeNs; });
+    obs.addCounter("walk_ns", "summed relocation-walk time",
+                   [this] { return obsTotals().walkNs; });
+    obs.addCounter("op_ns", "summed whole-op time",
+                   [this] { return obsTotals().opNs; });
+
     for (std::uint32_t i = 0; i < shards_.size(); i++) {
         StatGroup& sh = root.group("shard" + std::to_string(i));
         registerShardCounters(sh, &shards_[i]->stats);
+        registerShardObsCounters(sh.group("obs"), &shards_[i]->obs);
         shards_[i]->array->registerStats(sh.group("array"));
     }
 }

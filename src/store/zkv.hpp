@@ -47,6 +47,8 @@
 
 namespace zc {
 
+class ObsTracer;
+
 /** splitmix64 finalizer (Steele et al.) used for shard selection. */
 inline std::uint64_t
 zkvMix64(std::uint64_t x)
@@ -156,6 +158,36 @@ struct ZkvShardStats
 };
 
 /**
+ * Per-shard latency attribution and lock-contention counters
+ * (docs/telemetry.md). Written only on the instrumented op paths —
+ * all zeros while observability is disabled (the default), which
+ * keeps stats dumps deterministic; with obs enabled the *_ns fields
+ * are wall-clock and belong in the nondeterministic class.
+ */
+struct ZkvShardObs
+{
+    std::uint64_t lockAcquisitions = 0; ///< instrumented lock takes
+    std::uint64_t lockContended = 0;    ///< takes that had to wait
+    std::uint64_t lockSpinIters = 0;    ///< TTAS relaxed-test spins
+    std::uint64_t lockWaitNs = 0;       ///< summed acquisition wait
+    std::uint64_t probeNs = 0;          ///< summed hash+tag probe time
+    std::uint64_t walkNs = 0;           ///< summed relocation-walk time
+    std::uint64_t opNs = 0;             ///< summed whole-op time
+
+    void
+    add(const ZkvShardObs& o)
+    {
+        lockAcquisitions += o.lockAcquisitions;
+        lockContended += o.lockContended;
+        lockSpinIters += o.lockSpinIters;
+        lockWaitNs += o.lockWaitNs;
+        probeNs += o.probeNs;
+        walkNs += o.walkNs;
+        opNs += o.opNs;
+    }
+};
+
+/**
  * Mutex-or-spinlock guard with a single type, so shards need no
  * template parameter. Spin mode uses test-and-set with a relaxed
  * test loop (TTAS) — adequate for short shard critical sections.
@@ -176,6 +208,33 @@ class ShardLock
             while (flag_.test(std::memory_order_relaxed)) {
             }
         }
+    }
+
+    /** What an instrumented acquisition observed. */
+    struct Acquire
+    {
+        bool contended = false;   ///< the uncontended fast path failed
+        std::uint32_t spins = 0;  ///< TTAS relaxed-test iterations
+    };
+
+    /**
+     * lock() that reports whether it had to wait. The traced op paths
+     * use this; plain lock() stays the zero-overhead default.
+     */
+    Acquire
+    lockInstrumented()
+    {
+        if (kind_ == ShardLockKind::Mutex) {
+            if (mx_.try_lock()) return {};
+            mx_.lock();
+            return {true, 0};
+        }
+        if (!flag_.test_and_set(std::memory_order_acquire)) return {};
+        Acquire a{true, 0};
+        do {
+            while (flag_.test(std::memory_order_relaxed)) a.spins++;
+        } while (flag_.test_and_set(std::memory_order_acquire));
+        return a;
     }
 
     void
@@ -239,6 +298,29 @@ class ZkvStore
     ZkvShardStats totals() const;
 
     /**
+     * Switch the op paths onto their instrumented twins: latency
+     * attribution (lock-wait / probe / walk split) and lock-contention
+     * counters always, plus one ObsOpRecord per op into @p tracer's
+     * per-thread ring when non-null (attribution-only mode otherwise).
+     * Not thread-safe against in-flight ops — call before workers
+     * start, as the load generator does. The tracer must outlive the
+     * store or a disableObs() call. Disabled (the default) costs one
+     * predicted-not-taken branch per op.
+     */
+    void enableObs(ObsTracer* tracer);
+
+    /** Back to the uninstrumented paths (same thread-safety caveat). */
+    void disableObs();
+
+    bool obsEnabled() const { return obsEnabled_; }
+
+    /** Snapshot of one shard's attribution counters (locks it). */
+    ZkvShardObs shardObs(std::uint32_t shard) const;
+
+    /** Sum of all shards' attribution counters. */
+    ZkvShardObs obsTotals() const;
+
+    /**
      * Register the store's stats tree under @p g: config strings, a
      * totals group, and per-shard groups each containing the shard's
      * operation counters plus the underlying array's own stats (tag
@@ -259,8 +341,15 @@ class ZkvStore
 
     explicit ZkvStore(ZkvConfig cfg);
 
+    std::optional<std::uint64_t> getTraced(std::uint64_t key);
+    Expected<PutResult> putTraced(std::uint64_t key, std::uint64_t value);
+    bool eraseTraced(std::uint64_t key);
+
     ZkvConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    bool obsEnabled_ = false;
+    ObsTracer* tracer_ = nullptr;
 };
 
 } // namespace zc

@@ -360,6 +360,30 @@ TEST(ZkvLoadGen, InvalidMixRejected)
     EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
 }
 
+/**
+ * Regression: ThreadStats once hardcoded 64 latency bins regardless of
+ * LoadGenConfig::latencyBins — a non-default bin count must propagate
+ * into every per-thread histogram and the aggregate.
+ */
+TEST(ZkvLoadGen, LatencyBinsConfigPropagates)
+{
+    LoadGenConfig cfg;
+    cfg.store = tinyConfig(/*shards=*/2, /*blocks=*/256);
+    cfg.threads = 2;
+    cfg.opsPerThread = 2000;
+    cfg.workload = "canneal";
+    cfg.latencyBins = 32;
+
+    auto r = runLoadGen(cfg);
+    ASSERT_TRUE(r.hasValue()) << r.status().str();
+    ASSERT_EQ(r->perThread.size(), 2u);
+    for (const ThreadStats& t : r->perThread) {
+        EXPECT_EQ(t.latency.bins(), 32u);
+        EXPECT_GT(t.latency.samples(), 0u);
+    }
+    EXPECT_EQ(r->aggregate().latency.bins(), 32u);
+}
+
 // ---------------------------------------------------------------------
 // Concurrency (run under TSan in CI): >= 4 threads over >= 2 shards
 // with strict read-your-writes on per-thread key ranges.
