@@ -24,6 +24,16 @@
  *   --seed=1             base seed (per-point seeds derived)
  *   --json=<path>        standard JSON report (docs/store.md schema)
  *
+ * Open-loop mode (net/openloop.hpp, docs/server.md):
+ *   --open-loop --rate=N  issue ops at scheduled arrival times (N
+ *                         TOTAL ops/sec across threads) and measure
+ *                         latency from the INTENDED arrival — the
+ *                         coordinated-omission-safe measurement
+ *                         bench/net_loadgen.cpp makes over the wire,
+ *                         here without the network. --rate=N alone
+ *                         implies --open-loop.
+ *   --arrivals=poisson    arrival process: poisson | fixed
+ *
  * Live telemetry (docs/telemetry.md; default off, zero overhead):
  *   --trace-out=<path>       Chrome trace-event JSON (Perfetto-loadable)
  *   --metrics-out=<path>     windowed metrics NDJSON
@@ -151,6 +161,9 @@ main(int argc, char** argv)
     std::string lock_name = flag(argc, argv, "lock", "mutex");
     std::string workload = flag(argc, argv, "workload", "canneal");
     std::uint64_t seed = flagU64(argc, argv, "seed", 1);
+    bool open_loop = flagBool(argc, argv, "open-loop");
+    double open_rate = std::atof(flag(argc, argv, "rate", "0").c_str());
+    std::string arrivals_name = flag(argc, argv, "arrivals", "poisson");
     std::string trace_out = flag(argc, argv, "trace-out", "");
     std::string metrics_out = flag(argc, argv, "metrics-out", "");
     std::string prom_out = flag(argc, argv, "prom-out", "");
@@ -172,6 +185,17 @@ main(int argc, char** argv)
     if (WorkloadRegistry::find(workload) == nullptr) {
         std::fprintf(stderr, "error: unknown --workload '%s'\n",
                      workload.c_str());
+        return 2;
+    }
+    if (open_loop && open_rate <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --open-loop needs --rate=N (ops/sec)\n");
+        return 2;
+    }
+    auto arrivals = parseArrivalKind(arrivals_name);
+    if (!arrivals) {
+        std::fprintf(stderr, "error: %s\n",
+                     arrivals.status().str().c_str());
         return 2;
     }
 
@@ -213,6 +237,8 @@ main(int argc, char** argv)
                         p.cfg.getFrac = get_frac;
                         p.cfg.eraseFrac = erase_frac;
                         p.cfg.workload = workload;
+                        p.cfg.openLoopRate = open_rate;
+                        p.cfg.arrivals = *arrivals;
                         p.cfg.seed = SweepSpec::pointSeed(
                             seed ^ 0x6c67ULL, grid.size());
                         p.cfg.obs.tracePath = trace_out;
@@ -301,6 +327,10 @@ main(int argc, char** argv)
                  JsonValue(std::string(
                      shardLockKindName(p.cfg.store.lock)))},
                 {"ops_per_thread", JsonValue(p.cfg.opsPerThread)},
+                {"open_loop_rate", JsonValue(p.cfg.openLoopRate)},
+                {"arrivals",
+                 JsonValue(std::string(
+                     arrivalKindName(p.cfg.arrivals)))},
                 {"timing", timing},
                 {"obs", std::move(obs)},
             },

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * zkv_server: the networked zkv daemon (src/net, docs/server.md) — an
+ * epoll event loop serving the wire protocol over TCP with batched
+ * shard dispatch into a ZkvStore.
+ *
+ * Flags:
+ *   --host=127.0.0.1       bind address
+ *   --port=0               TCP port; 0 = kernel-assigned ephemeral
+ *                          (the hermetic-CI mode; pair with
+ *                          --port-file so clients learn the port)
+ *   --port-file=<path>     write the resolved port as one line
+ *   --shards=4 --array=z --ways=4 --cands=0 --blocks=4096 --levels=2
+ *   --policy=lru --lock=mutex --seed=1     store shape (docs/store.md)
+ *   --max-conns=1024       concurrent connection ceiling
+ *   --drain-timeout-ms=2000  grace budget after SIGTERM/SIGINT
+ *   --duration-s=N         self-shutdown after N seconds (0 = run
+ *                          until a signal; tests use SIGTERM)
+ *   --stats-out=<path>     full stats-registry JSON written at exit
+ *   --fault=<site[:after[:count]]>  arm a fault-injection site
+ *                          (net.accept/net.read/net.write/net.frame,
+ *                          store.walk, ... — docs/robustness.md);
+ *                          repeatable via comma separation
+ *
+ * Live telemetry (docs/telemetry.md):
+ *   --trace-out=<path>     Chrome trace-event JSON (net phase spans)
+ *   --metrics-out=<path>   windowed metrics NDJSON
+ *   --prom-out=<path>      Prometheus text exposition
+ *   --metrics-interval-ms=N --ring-cap=N
+ *
+ * SIGTERM/SIGINT ring the server's eventfd doorbell (async-signal-
+ * safe) and the loop drains: buffered requests execute, their
+ * responses flush, then connections close. Exit 0 after a clean
+ * drain, 1 on a serve/teardown error, 2 on a usage error.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <atomic>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/fault_injection.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+using namespace zc;
+using namespace zc::benchutil;
+
+std::atomic<net::ZkvServer*> g_server{nullptr};
+
+void
+onSignal(int)
+{
+    net::ZkvServer* srv = g_server.load(std::memory_order_acquire);
+    if (srv != nullptr) srv->shutdown();
+}
+
+/** "site[:after[:count]]", comma-separated list. */
+void
+armFaults(const std::string& spec_csv)
+{
+    std::size_t pos = 0;
+    while (pos <= spec_csv.size()) {
+        std::size_t comma = spec_csv.find(',', pos);
+        if (comma == std::string::npos) comma = spec_csv.size();
+        std::string item = spec_csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty()) continue;
+        FaultSpec fs;
+        std::size_t c1 = item.find(':');
+        std::string site = item.substr(0, c1);
+        if (c1 != std::string::npos) {
+            std::size_t c2 = item.find(':', c1 + 1);
+            fs.afterHits = std::strtoull(
+                item.substr(c1 + 1, c2 - c1 - 1).c_str(), nullptr, 10);
+            if (c2 != std::string::npos) {
+                fs.failCount = std::strtoull(
+                    item.substr(c2 + 1).c_str(), nullptr, 10);
+            }
+        }
+        FaultInjection::enable(site, fs);
+        std::fprintf(stderr,
+                     "zkv_server: armed fault site '%s' (after=%llu "
+                     "count=%llu)\n",
+                     site.c_str(),
+                     static_cast<unsigned long long>(fs.afterHits),
+                     static_cast<unsigned long long>(fs.failCount));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    net::ZkvServerConfig cfg;
+    cfg.host = flag(argc, argv, "host", "127.0.0.1");
+    cfg.port = static_cast<std::uint16_t>(flagU64(argc, argv, "port", 0));
+    cfg.store.shards =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "shards", 4));
+    std::string array_name = flag(argc, argv, "array", "z");
+    if (array_name == "z") {
+        cfg.store.array.kind = ArrayKind::ZCache;
+    } else if (array_name == "sa") {
+        cfg.store.array.kind = ArrayKind::SetAssoc;
+    } else if (array_name == "skew") {
+        cfg.store.array.kind = ArrayKind::SkewAssoc;
+    } else {
+        std::fprintf(stderr,
+                     "error: unknown --array '%s' (valid: z, sa, skew)\n",
+                     array_name.c_str());
+        return 2;
+    }
+    cfg.store.array.blocks =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "blocks", 4096));
+    cfg.store.array.ways =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "ways", 4));
+    cfg.store.array.levels =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "levels", 2));
+    cfg.store.array.maxCandidates =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "cands", 0));
+    auto policy = parsePolicyKind(flag(argc, argv, "policy", "lru"));
+    if (!policy) {
+        std::fprintf(stderr, "error: %s\n",
+                     policy.status().str().c_str());
+        return 2;
+    }
+    cfg.store.array.policy = *policy;
+    cfg.store.array.seed = flagU64(argc, argv, "seed", 1);
+    std::string lock_name = flag(argc, argv, "lock", "mutex");
+    if (lock_name != "mutex" && lock_name != "spin") {
+        std::fprintf(stderr,
+                     "error: unknown --lock '%s' (valid: mutex, spin)\n",
+                     lock_name.c_str());
+        return 2;
+    }
+    cfg.store.lock = lock_name == "spin" ? ShardLockKind::Spin
+                                         : ShardLockKind::Mutex;
+    cfg.maxConnections = static_cast<std::uint32_t>(
+        flagU64(argc, argv, "max-conns", 1024));
+    cfg.drainTimeoutMs = static_cast<std::uint32_t>(
+        flagU64(argc, argv, "drain-timeout-ms", 2000));
+    cfg.obs.tracePath = flag(argc, argv, "trace-out", "");
+    cfg.obs.metricsPath = flag(argc, argv, "metrics-out", "");
+    cfg.obs.promPath = flag(argc, argv, "prom-out", "");
+    cfg.obs.metricsIntervalMs = static_cast<std::uint32_t>(
+        flagU64(argc, argv, "metrics-interval-ms", 100));
+    cfg.obs.ringCapacity = static_cast<std::uint32_t>(
+        flagU64(argc, argv, "ring-cap", 1u << 16));
+
+    std::string port_file = flag(argc, argv, "port-file", "");
+    std::string stats_out = flag(argc, argv, "stats-out", "");
+    std::uint64_t duration_s = flagU64(argc, argv, "duration-s", 0);
+    std::string faults = flag(argc, argv, "fault", "");
+    if (!faults.empty()) armFaults(faults);
+
+    auto srv_or = net::ZkvServer::create(cfg);
+    if (!srv_or) {
+        std::fprintf(stderr, "error: %s\n",
+                     srv_or.status().str().c_str());
+        return srv_or.status().code() == ErrorCode::InvalidArgument ? 2
+                                                                    : 1;
+    }
+    std::unique_ptr<net::ZkvServer> srv = std::move(*srv_or);
+
+    if (!port_file.empty()) {
+        std::ofstream out(port_file);
+        out << srv->port() << "\n";
+        if (!out.good()) {
+            std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                         port_file.c_str());
+            return 1;
+        }
+    }
+    std::fprintf(stderr, "zkv_server: listening on %s:%u (%s, %u "
+                         "shards, lock=%s)\n",
+                 cfg.host.c_str(), srv->port(),
+                 cfg.store.array.label().c_str(), cfg.store.shards,
+                 shardLockKindName(cfg.store.lock));
+
+    g_server.store(srv.get(), std::memory_order_release);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::thread timer;
+    if (duration_s > 0) {
+        net::ZkvServer* raw = srv.get();
+        timer = std::thread([raw, duration_s] {
+            std::this_thread::sleep_for(
+                std::chrono::seconds(duration_s));
+            raw->shutdown();
+        });
+    }
+
+    Status serve_status = srv->serve();
+    if (timer.joinable()) timer.join();
+    g_server.store(nullptr, std::memory_order_release);
+
+    net::ZkvServerStats st = srv->stats();
+    std::fprintf(stderr,
+                 "zkv_server: served %llu frames (%llu ops in %llu "
+                 "batches, %llu pings) over %llu connections; drained "
+                 "%llu, aborted %llu\n",
+                 static_cast<unsigned long long>(st.framesIn),
+                 static_cast<unsigned long long>(st.batchedOps),
+                 static_cast<unsigned long long>(st.batches),
+                 static_cast<unsigned long long>(st.pings),
+                 static_cast<unsigned long long>(st.accepted),
+                 static_cast<unsigned long long>(st.drained),
+                 static_cast<unsigned long long>(st.drainAborted));
+
+    if (!stats_out.empty()) {
+        StatsRegistry reg;
+        srv->registerStats(reg.root());
+        if (!reg.writeJsonFile(stats_out)) {
+            std::fprintf(stderr, "error: cannot write --stats-out %s\n",
+                         stats_out.c_str());
+            return 1;
+        }
+    }
+
+    if (!serve_status.isOk()) {
+        std::fprintf(stderr, "error: %s\n", serve_status.str().c_str());
+        return 1;
+    }
+    return 0;
+}

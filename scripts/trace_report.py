@@ -4,7 +4,7 @@
 Consumes the Chrome trace-event JSON written by the store's tracer
 (``store_loadgen --trace-out=...``) and, optionally, the windowed
 metrics NDJSON (``--metrics-out=...``), and prints a per-phase latency
-summary: op counts by kind, total/lock-wait/probe/walk time, drop
+summary: op counts by kind, total/net/lock-wait/probe/walk time, drop
 accounting, and per-thread span counts. Under ``--validate`` it checks
 the structural invariants the C++ tests pin down (tests/test_obs.cpp,
 docs/telemetry.md) and exits nonzero on any violation — the CI smoke
@@ -12,7 +12,7 @@ job runs it against a fresh trace on every push:
 
   - the file is valid JSON with a ``traceEvents`` array;
   - every event has the required keys for its phase type, and child
-    spans (lock_wait/probe/walk) nest inside their op span's interval;
+    spans (net/lock_wait/probe/walk) nest inside their op span's interval;
   - ``otherData`` reconciles: ops_recorded + ops_dropped == ops_expected
     (when the producer supplied an expected count), and ops_recorded
     equals the op spans actually present in the file;
@@ -33,7 +33,7 @@ import json
 import sys
 
 OP_NAMES = ("get", "put", "erase")
-PHASE_NAMES = ("lock_wait", "probe", "walk")
+PHASE_NAMES = ("net", "lock_wait", "probe", "walk")
 
 
 def fail(msg):

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Wire-protocol encode/decode (see protocol.hpp for the byte layout).
+ * Encoding is explicit byte-at-a-time little-endian so frames are
+ * identical across host endianness; the CRC is computed over the body
+ * (header + payload) exactly as it appears on the wire.
+ */
+
+#include "net/protocol.hpp"
+
+#include <cstdio>
+
+#include "common/crc32.hpp"
+
+namespace zc::net {
+
+namespace {
+
+void
+putU8(std::vector<std::uint8_t>& b, std::uint8_t v)
+{
+    b.push_back(v);
+}
+
+void
+putU32(std::vector<std::uint8_t>& b, std::uint32_t v)
+{
+    b.push_back(static_cast<std::uint8_t>(v));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+    b.push_back(static_cast<std::uint8_t>(v >> 16));
+    b.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void
+putU64(std::vector<std::uint8_t>& b, std::uint64_t v)
+{
+    putU32(b, static_cast<std::uint32_t>(v));
+    putU32(b, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+getU32(const std::uint8_t* p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+getU64(const std::uint8_t* p)
+{
+    return static_cast<std::uint64_t>(getU32(p)) |
+           (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
+std::size_t
+requestPayloadBytes(MsgType t)
+{
+    switch (t) {
+      case MsgType::Get:
+      case MsgType::Erase: return 8;
+      case MsgType::Put: return 16;
+      case MsgType::Ping: return 0;
+    }
+    return 0;
+}
+
+std::size_t
+responsePayloadBytes(MsgType t, ErrorCode status)
+{
+    // Every response starts with [status u8][rflags u8]; error
+    // responses stop there.
+    if (status != ErrorCode::Ok) return 2;
+    switch (t) {
+      case MsgType::Get: return 2 + 8;
+      case MsgType::Put: return 2 + 4 + 4 + 8 + 8;
+      case MsgType::Erase:
+      case MsgType::Ping: return 2;
+    }
+    return 2;
+}
+
+void
+finishFrame(std::vector<std::uint8_t>& out, std::size_t frame_start,
+            bool with_crc)
+{
+    if (with_crc) {
+        std::uint32_t crc = Crc32::of(out.data() + frame_start + 4,
+                                      out.size() - frame_start - 4);
+        putU32(out, crc);
+    }
+    std::uint32_t body =
+        static_cast<std::uint32_t>(out.size() - frame_start - 4);
+    out[frame_start + 0] = static_cast<std::uint8_t>(body);
+    out[frame_start + 1] = static_cast<std::uint8_t>(body >> 8);
+    out[frame_start + 2] = static_cast<std::uint8_t>(body >> 16);
+    out[frame_start + 3] = static_cast<std::uint8_t>(body >> 24);
+}
+
+/**
+ * Shared header validation: consumes nothing; on success sets *body to
+ * the frame's body length (the window is known to hold it all).
+ * Returns consumed=0 ("need more bytes") via the bool.
+ */
+Expected<bool>
+checkFrame(const std::uint8_t* p, std::size_t n, bool expect_response,
+           std::size_t* body_out)
+{
+    if (n < 4) return false;
+    std::size_t body = getU32(p);
+    if (body > kMaxFrameBody) {
+        return Status::invalidArgument(
+            "net: oversized frame (body " + std::to_string(body) +
+            " > max " + std::to_string(kMaxFrameBody) + ")");
+    }
+    if (body < kHeaderBytes) {
+        return Status::corruption(
+            "net: frame body " + std::to_string(body) +
+            " shorter than the " + std::to_string(kHeaderBytes) +
+            "-byte header");
+    }
+    if (n < 4 + body) return false;
+
+    const std::uint8_t* h = p + 4;
+    if (h[0] != kProtoMagic) {
+        return Status::corruption("net: bad frame magic 0x" + [&] {
+            char buf[3];
+            std::snprintf(buf, sizeof(buf), "%02x", h[0]);
+            return std::string(buf);
+        }());
+    }
+    if (h[1] != kProtoVersion) {
+        return Status::unsupported(
+            "net: protocol version " + std::to_string(h[1]) +
+            " (this build speaks version " +
+            std::to_string(kProtoVersion) + ")");
+    }
+    if (h[2] > static_cast<std::uint8_t>(MsgType::Ping)) {
+        return Status::invalidArgument("net: unknown message type " +
+                                       std::to_string(h[2]));
+    }
+    const std::uint8_t flags = h[3];
+    const bool is_resp = (flags & kFrameFlagResp) != 0;
+    if (is_resp != expect_response) {
+        return Status::corruption(
+            is_resp ? "net: response frame on the request stream"
+                    : "net: request frame on the response stream");
+    }
+    if (flags & kFrameFlagCrc) {
+        if (body < kHeaderBytes + 4) {
+            return Status::corruption(
+                "net: CRC flag set on a frame too short to carry one");
+        }
+        std::uint32_t want = getU32(p + 4 + body - 4);
+        std::uint32_t got = Crc32::of(p + 4, body - 4);
+        if (want != got) {
+            return Status::corruption(
+                "net: frame CRC mismatch (stored " +
+                std::to_string(want) + ", computed " +
+                std::to_string(got) + ")");
+        }
+    }
+    *body_out = body;
+    return true;
+}
+
+} // namespace
+
+void
+encodeRequest(const Request& req, std::vector<std::uint8_t>& out)
+{
+    const std::size_t start = out.size();
+    putU32(out, 0); // length back-patched by finishFrame
+    putU8(out, kProtoMagic);
+    putU8(out, kProtoVersion);
+    putU8(out, static_cast<std::uint8_t>(req.type));
+    putU8(out, req.crc ? kFrameFlagCrc : 0);
+    putU64(out, req.id);
+    switch (req.type) {
+      case MsgType::Get:
+      case MsgType::Erase: putU64(out, req.key); break;
+      case MsgType::Put:
+        putU64(out, req.key);
+        putU64(out, req.value);
+        break;
+      case MsgType::Ping: break;
+    }
+    finishFrame(out, start, req.crc);
+}
+
+void
+encodeResponse(const Response& resp, std::vector<std::uint8_t>& out)
+{
+    const std::size_t start = out.size();
+    putU32(out, 0);
+    putU8(out, kProtoMagic);
+    putU8(out, kProtoVersion);
+    putU8(out, static_cast<std::uint8_t>(resp.type));
+    putU8(out, static_cast<std::uint8_t>(
+                   kFrameFlagResp | (resp.crc ? kFrameFlagCrc : 0)));
+    putU64(out, resp.id);
+    putU8(out, static_cast<std::uint8_t>(resp.status));
+    putU8(out, resp.rflags);
+    if (resp.status == ErrorCode::Ok) {
+        switch (resp.type) {
+          case MsgType::Get: putU64(out, resp.value); break;
+          case MsgType::Put:
+            putU32(out, resp.candidates);
+            putU32(out, resp.relocations);
+            putU64(out, resp.evictedKey);
+            putU64(out, resp.evictedValue);
+            break;
+          case MsgType::Erase:
+          case MsgType::Ping: break;
+        }
+    }
+    finishFrame(out, start, resp.crc);
+}
+
+Expected<std::size_t>
+decodeRequest(const std::uint8_t* p, std::size_t n, Request* out)
+{
+    std::size_t body = 0;
+    auto ok = checkFrame(p, n, /*expect_response=*/false, &body);
+    if (!ok) return ok.status();
+    if (!*ok) return std::size_t{0};
+
+    const std::uint8_t* h = p + 4;
+    Request req;
+    req.type = static_cast<MsgType>(h[2]);
+    req.crc = (h[3] & kFrameFlagCrc) != 0;
+    req.id = getU64(h + 4);
+
+    const std::size_t payload = requestPayloadBytes(req.type);
+    const std::size_t crc_bytes = req.crc ? 4 : 0;
+    if (body != kHeaderBytes + payload + crc_bytes) {
+        return Status::corruption(
+            "net: " + std::string(msgTypeName(req.type)) +
+            " request body is " + std::to_string(body) + " bytes, want " +
+            std::to_string(kHeaderBytes + payload + crc_bytes));
+    }
+    const std::uint8_t* pl = h + kHeaderBytes;
+    switch (req.type) {
+      case MsgType::Get:
+      case MsgType::Erase: req.key = getU64(pl); break;
+      case MsgType::Put:
+        req.key = getU64(pl);
+        req.value = getU64(pl + 8);
+        break;
+      case MsgType::Ping: break;
+    }
+    *out = req;
+    return 4 + body;
+}
+
+Expected<std::size_t>
+decodeResponse(const std::uint8_t* p, std::size_t n, Response* out)
+{
+    std::size_t body = 0;
+    auto ok = checkFrame(p, n, /*expect_response=*/true, &body);
+    if (!ok) return ok.status();
+    if (!*ok) return std::size_t{0};
+
+    const std::uint8_t* h = p + 4;
+    Response resp;
+    resp.type = static_cast<MsgType>(h[2]);
+    resp.crc = (h[3] & kFrameFlagCrc) != 0;
+    resp.id = getU64(h + 4);
+
+    const std::uint8_t* pl = h + kHeaderBytes;
+    const std::size_t crc_bytes = resp.crc ? 4 : 0;
+    if (body < kHeaderBytes + 2 + crc_bytes) {
+        return Status::corruption(
+            "net: response body too short for status bytes");
+    }
+    const std::uint8_t status_raw = pl[0];
+    if (status_raw > static_cast<std::uint8_t>(ErrorCode::Internal)) {
+        return Status::corruption("net: response status byte " +
+                                  std::to_string(status_raw) +
+                                  " is not an ErrorCode");
+    }
+    resp.status = static_cast<ErrorCode>(status_raw);
+    resp.rflags = pl[1];
+
+    const std::size_t payload = responsePayloadBytes(resp.type, resp.status);
+    if (body != kHeaderBytes + payload + crc_bytes) {
+        return Status::corruption(
+            "net: " + std::string(msgTypeName(resp.type)) +
+            " response body is " + std::to_string(body) +
+            " bytes, want " +
+            std::to_string(kHeaderBytes + payload + crc_bytes));
+    }
+    if (resp.status == ErrorCode::Ok) {
+        switch (resp.type) {
+          case MsgType::Get: resp.value = getU64(pl + 2); break;
+          case MsgType::Put:
+            resp.candidates = getU32(pl + 2);
+            resp.relocations = getU32(pl + 6);
+            resp.evictedKey = getU64(pl + 10);
+            resp.evictedValue = getU64(pl + 18);
+            break;
+          case MsgType::Erase:
+          case MsgType::Ping: break;
+        }
+    }
+    *out = resp;
+    return 4 + body;
+}
+
+} // namespace zc::net

@@ -9,7 +9,7 @@
  * the walk's outcome. The collector expands each record into the
  * Chrome trace-event spans a human wants to see (op span, nested
  * lock_wait / probe / walk children, an eviction instant), so the ring
- * carries 48 bytes per op instead of four variable events, and
+ * carries 56 bytes per op instead of five variable events, and
  * "op spans emitted + dropped == ops" is exact by construction.
  */
 
@@ -57,6 +57,7 @@ struct ObsOpRecord
     std::uint64_t key = 0;
 
     std::uint32_t durNs = 0;      ///< whole-op duration
+    std::uint32_t netNs = 0;      ///< server queue: decode -> dispatch
     std::uint32_t lockWaitNs = 0; ///< shard-lock acquisition wait
     std::uint32_t probeNs = 0;    ///< hash + tag probe (array access)
     std::uint32_t walkNs = 0;     ///< relocation-walk insert (puts)

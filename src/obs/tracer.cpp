@@ -163,8 +163,20 @@ ObsTracer::writeRecord(std::uint32_t tid, const ObsOpRecord& rec)
     writeEvent(buf);
 
     // Nested attribution children, laid out sequentially inside the op
-    // span: [lock_wait][probe][walk]. Zero-length phases are elided.
+    // span: [net][lock_wait][probe][walk]. Zero-length phases are
+    // elided. The net phase exists only on the server's batched
+    // dispatch path: frame-decode to shard-dispatch queueing time
+    // (docs/server.md).
     double cursor = ts;
+    if (rec.netNs > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"net\",\"cat\":\"phase\","
+                      "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":1,\"tid\":%u}",
+                      cursor, static_cast<double>(rec.netNs) / 1e3, tid);
+        writeEvent(buf);
+    }
+    cursor += static_cast<double>(rec.netNs) / 1e3;
     if (rec.lockWaitNs > 0) {
         std::snprintf(buf, sizeof(buf),
                       "{\"name\":\"lock_wait\",\"cat\":\"phase\","

@@ -86,6 +86,10 @@ LoadGenConfig::validate() const
         return Status::invalidArgument(
             "loadgen: latencyBins must be > 0");
     }
+    if (openLoopRate < 0.0) {
+        return Status::invalidArgument(
+            "loadgen: openLoopRate must be >= 0 (0 = closed loop)");
+    }
     if (obs.anyEnabled() && obs.metricsIntervalMs == 0) {
         return Status::invalidArgument(
             "loadgen: obs.metricsIntervalMs must be > 0");
@@ -246,12 +250,36 @@ runLoadGen(const LoadGenConfig& cfg)
                              static_cast<std::size_t>(tid) * bins
                        : nullptr;
 
+            // Open-loop pacing (net/openloop.hpp, docs/server.md):
+            // arrivals are scheduled up front from the target rate and
+            // each op's latency is measured from its INTENDED arrival,
+            // so a stalled store accrues queueing delay in the
+            // histogram instead of silently pacing the generator
+            // (coordinated omission).
+            std::unique_ptr<ArrivalSchedule> sched;
+            if (cfg.openLoopRate > 0.0) {
+                sched = std::make_unique<ArrivalSchedule>(
+                    cfg.arrivals,
+                    cfg.openLoopRate /
+                        static_cast<double>(cfg.threads),
+                    zkvMix64(cfg.seed ^ 0x6f6cULL) + tid);
+            }
+
             sync.arrive_and_wait();
             auto t0 = Clock::now();
             for (std::uint64_t i = 0; i < cfg.opsPerThread; i++) {
                 std::uint64_t key = gen->next().lineAddr;
                 double u = mix.uniform();
                 auto op0 = Clock::now();
+                if (sched) {
+                    auto target =
+                        t0 + std::chrono::nanoseconds(
+                                 sched->nextOffsetNs());
+                    if (op0 < target) {
+                        std::this_thread::sleep_until(target);
+                    }
+                    op0 = target; // latency from the intended arrival
+                }
                 if (u < cfg.getFrac) {
                     ts.gets++;
                     if (auto v = store->get(key)) {

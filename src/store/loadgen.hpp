@@ -30,6 +30,7 @@
 #include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/status.hpp"
+#include "net/openloop.hpp"
 #include "store/zkv.hpp"
 
 namespace zc {
@@ -89,6 +90,22 @@ struct LoadGenConfig
 
     /** Latency histogram bins over log2(1+ns)/32 (64 ~= 0.5-bit bins). */
     std::size_t latencyBins = 64;
+
+    /**
+     * Open-loop mode (net/openloop.hpp): TOTAL target ops/sec across
+     * all threads; each worker issues its share at scheduled arrival
+     * times and measures latency from the INTENDED arrival, so store
+     * stalls land in the histogram as the queueing delay a paced
+     * client population would see (the coordinated-omission-safe
+     * measurement net_loadgen makes over the wire, docs/server.md).
+     * 0 = closed loop (the default): the next op issues when the
+     * previous returns.
+     */
+    double openLoopRate = 0.0;
+
+    /** Arrival process for open-loop mode: fixed metronome or
+     *  Poisson (memoryless clients). Ignored when openLoopRate == 0. */
+    ArrivalKind arrivals = ArrivalKind::Poisson;
 
     LoadGenObsConfig obs;
 

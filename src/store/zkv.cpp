@@ -238,6 +238,166 @@ ZkvStore::erase(std::uint64_t key)
 }
 
 void
+ZkvStore::runShardBatch(std::uint32_t shard,
+                        std::span<const StoreBatchOp> ops,
+                        StoreBatchResult* out)
+{
+    if (ops.empty()) return;
+    zc_assert(shard < shards_.size());
+    Shard& sh = *shards_[shard];
+
+    const bool traced = obsEnabled_;
+    // Records are filled under the lock but pushed to the tracer only
+    // after it is released, like the single-op traced paths.
+    std::vector<ObsOpRecord> recs;
+    if (traced && tracer_ != nullptr) recs.reserve(ops.size());
+
+    std::uint64_t tBatch = 0;
+    ShardLock::Acquire acq{};
+    if (traced) {
+        tBatch = obsNowNs();
+        acq = sh.lock.lockInstrumented();
+    } else {
+        sh.lock.lock();
+    }
+    std::uint64_t tLocked =
+        traced ? (acq.contended ? obsNowNs() : tBatch) : 0;
+    {
+        std::lock_guard<ShardLock> g(sh.lock, std::adopt_lock);
+        // Insert bookkeeping shared by the traced and plain put arms.
+        auto applyInsert = [&sh](const Replacement& r,
+                                 StoreBatchResult& res, ObsOpRecord& rec) {
+            res.inserted = true;
+            res.candidates = r.candidates;
+            res.relocations = r.relocations;
+            rec.flags |= kObsFlagInserted;
+            sh.stats.putInserts++;
+            sh.stats.walkCandidates += r.candidates;
+            sh.stats.relocations += r.relocations;
+            if (r.evictedValid()) {
+                res.evicted = true;
+                res.evictedKey = r.evictedAddr;
+                res.evictedValue = sh.mirror->lastEvicted();
+                sh.stats.evictions++;
+                rec.flags |= kObsFlagEvicted;
+            }
+        };
+        std::uint64_t cursor = tLocked;
+        for (std::size_t i = 0; i < ops.size(); i++) {
+            const StoreBatchOp& op = ops[i];
+            StoreBatchResult& res = out[i];
+            res = StoreBatchResult{};
+
+            ObsOpRecord rec;
+            rec.op = op.kind;
+            rec.key = op.key;
+            rec.shard = static_cast<std::uint16_t>(shard);
+            if (traced) {
+                // The op span starts when the request finished frame
+                // decode (when known): queueing up to dispatch is the
+                // `net` phase, the batch's one lock wait is attributed
+                // to its first op, and later ops' probe phases start
+                // where the previous op ended.
+                std::uint64_t tDispatch = i == 0 ? tBatch : cursor;
+                rec.tsBeginNs =
+                    op.enqueueNs != 0 && op.enqueueNs < tDispatch
+                        ? op.enqueueNs
+                        : tDispatch;
+                rec.netNs = obsDurNs(rec.tsBeginNs, tDispatch);
+                if (i == 0 && acq.contended) {
+                    rec.lockWaitNs = obsDurNs(tBatch, tLocked);
+                }
+            }
+
+            AccessContext ctx{op.key, kNoNextUse};
+            switch (op.kind) {
+              case ObsOp::Get: {
+                sh.stats.gets++;
+                BlockPos pos = sh.array->access(op.key, ctx);
+                if (pos != kInvalidPos) {
+                    sh.stats.getHits++;
+                    res.hit = true;
+                    res.value = sh.mirror->valueAt(pos);
+                    rec.flags |= kObsFlagHit;
+                }
+                break;
+              }
+              case ObsOp::Put: {
+                if (op.key == kReservedKey) {
+                    res.code = ErrorCode::InvalidArgument;
+                    rec.flags |= kObsFlagError;
+                    break;
+                }
+                sh.stats.puts++;
+                std::uint64_t tProbe0 = traced ? obsNowNs() : 0;
+                BlockPos pos = sh.array->access(op.key, ctx);
+                if (pos != kInvalidPos) {
+                    sh.mirror->setValue(pos, op.value);
+                    sh.stats.putUpdates++;
+                    res.hit = true;
+                    rec.flags |= kObsFlagHit;
+                    break;
+                }
+                if (ZC_INJECT_FAULT("store.walk")) {
+                    res.code = ErrorCode::ResourceExhausted;
+                    rec.flags |= kObsFlagError;
+                    break;
+                }
+                sh.mirror->setPending(op.value);
+                if (traced) {
+                    std::uint64_t tWalk0 = obsNowNs();
+                    rec.probeNs = obsDurNs(tProbe0, tWalk0);
+                    Replacement r = sh.array->insert(op.key, ctx);
+                    rec.walkNs = obsDurNs(tWalk0, obsNowNs());
+                    rec.candidates = r.candidates;
+                    rec.relocations = r.relocations;
+                    applyInsert(r, res, rec);
+                } else {
+                    Replacement r = sh.array->insert(op.key, ctx);
+                    applyInsert(r, res, rec);
+                }
+                break;
+              }
+              case ObsOp::Erase: {
+                sh.stats.erases++;
+                if (sh.array->invalidate(op.key)) {
+                    sh.stats.eraseHits++;
+                    res.hit = true;
+                    rec.flags |= kObsFlagHit;
+                }
+                break;
+              }
+            }
+
+            if (traced) {
+                std::uint64_t tEnd = obsNowNs();
+                // The put path above measured probe/walk itself; the
+                // other ops fold their whole locked section into probe.
+                if (rec.probeNs == 0 && rec.walkNs == 0) {
+                    std::uint64_t tOpStart = i == 0 ? tLocked : cursor;
+                    rec.probeNs = obsDurNs(tOpStart, tEnd);
+                }
+                rec.durNs = obsDurNs(rec.tsBeginNs, tEnd);
+                cursor = tEnd;
+                sh.obs.lockAcquisitions += i == 0 ? 1 : 0;
+                sh.obs.lockContended += i == 0 && acq.contended ? 1 : 0;
+                sh.obs.lockSpinIters += i == 0 ? acq.spins : 0;
+                sh.obs.lockWaitNs += rec.lockWaitNs;
+                sh.obs.netNs += rec.netNs;
+                sh.obs.probeNs += rec.probeNs;
+                sh.obs.walkNs += rec.walkNs;
+                sh.obs.opNs += rec.durNs;
+                if (tracer_ != nullptr) recs.push_back(rec);
+            }
+        }
+    }
+    if (!recs.empty()) {
+        ObsThreadChannel* ch = tracer_->channel();
+        for (const ObsOpRecord& r : recs) ch->record(r);
+    }
+}
+
+void
 ZkvStore::enableObs(ObsTracer* tracer)
 {
     tracer_ = tracer;
@@ -498,6 +658,8 @@ registerShardObsCounters(StatGroup& g, const ZkvShardObs* s)
                  [s] { return s->lockSpinIters; });
     g.addCounter("lock_wait_ns", "summed lock-acquisition wait",
                  [s] { return s->lockWaitNs; });
+    g.addCounter("net_ns", "summed decode->dispatch queue time (server)",
+                 [s] { return s->netNs; });
     g.addCounter("probe_ns", "summed hash+tag probe time",
                  [s] { return s->probeNs; });
     g.addCounter("walk_ns", "summed relocation-walk time",
@@ -581,6 +743,8 @@ ZkvStore::registerStats(StatGroup& g)
                    [this] { return obsTotals().lockSpinIters; });
     obs.addCounter("lock_wait_ns", "summed lock-acquisition wait",
                    [this] { return obsTotals().lockWaitNs; });
+    obs.addCounter("net_ns", "summed decode->dispatch queue time (server)",
+                   [this] { return obsTotals().netNs; });
     obs.addCounter("probe_ns", "summed hash+tag probe time",
                    [this] { return obsTotals().probeNs; });
     obs.addCounter("walk_ns", "summed relocation-walk time",

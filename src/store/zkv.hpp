@@ -40,10 +40,13 @@
 #include <string>
 #include <vector>
 
+#include <span>
+
 #include "cache/array_factory.hpp"
 #include "common/status.hpp"
 #include "common/stats_registry.hpp"
 #include "common/types.hpp"
+#include "obs/trace_event.hpp"
 
 namespace zc {
 
@@ -127,6 +130,42 @@ struct PutResult
     std::uint32_t relocations = 0;
 };
 
+/**
+ * One operation in a shard batch (the server's dispatch unit,
+ * docs/server.md). The network layer groups decoded requests by
+ * shardOf(key) and hands each shard's group to runShardBatch, which
+ * executes all of them under ONE lock acquisition — the point of
+ * batched dispatch: lock traffic amortizes over the batch.
+ */
+struct StoreBatchOp
+{
+    ObsOp kind = ObsOp::Get;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0; ///< puts only
+
+    /**
+     * When observability is enabled, the timestamp (obsNowNs) the
+     * request finished frame-decode; the traced batch path attributes
+     * decode->dispatch time to the `net` phase. 0 = not timed.
+     */
+    std::uint64_t enqueueNs = 0;
+};
+
+/** Outcome of one batched operation; `code` != Ok carries no payload. */
+struct StoreBatchResult
+{
+    ErrorCode code = ErrorCode::Ok;
+    bool hit = false;      ///< get/erase found the key
+    bool inserted = false; ///< put installed a new key
+    bool evicted = false;
+
+    std::uint64_t value = 0; ///< get result (valid iff hit)
+    std::uint64_t evictedKey = 0;
+    std::uint64_t evictedValue = 0;
+    std::uint32_t candidates = 0;
+    std::uint32_t relocations = 0;
+};
+
 /** Per-shard operation counters (also used for store-wide totals). */
 struct ZkvShardStats
 {
@@ -170,6 +209,7 @@ struct ZkvShardObs
     std::uint64_t lockContended = 0;    ///< takes that had to wait
     std::uint64_t lockSpinIters = 0;    ///< TTAS relaxed-test spins
     std::uint64_t lockWaitNs = 0;       ///< summed acquisition wait
+    std::uint64_t netNs = 0;            ///< summed decode->dispatch queue
     std::uint64_t probeNs = 0;          ///< summed hash+tag probe time
     std::uint64_t walkNs = 0;           ///< summed relocation-walk time
     std::uint64_t opNs = 0;             ///< summed whole-op time
@@ -181,6 +221,7 @@ struct ZkvShardObs
         lockContended += o.lockContended;
         lockSpinIters += o.lockSpinIters;
         lockWaitNs += o.lockWaitNs;
+        netNs += o.netNs;
         probeNs += o.probeNs;
         walkNs += o.walkNs;
         opNs += o.opNs;
@@ -282,6 +323,23 @@ class ZkvStore
 
     /** Remove @p key; true iff it was resident. */
     bool erase(std::uint64_t key);
+
+    /**
+     * Execute @p ops — all of which must map to @p shard (the caller
+     * groups by shardOf) — in order, under a single acquisition of the
+     * shard's lock, writing ops[i]'s outcome to out[i]. Semantically
+     * identical to issuing the ops one by one (same stats, same fault
+     * sites, same walk decisions: the per-shard eviction sequence is a
+     * pure function of the key order either way); per-op failures
+     * (reserved key -> InvalidArgument, store.walk fault ->
+     * ResourceExhausted) land in out[i].code and never abort the rest
+     * of the batch. With observability enabled, each op still emits
+     * its own ObsOpRecord; lock wait is attributed to the batch's
+     * first record and decode->dispatch queueing to the `net` phase.
+     */
+    void runShardBatch(std::uint32_t shard,
+                       std::span<const StoreBatchOp> ops,
+                       StoreBatchResult* out);
 
     std::uint32_t numShards() const;
 
