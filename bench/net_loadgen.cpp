@@ -35,6 +35,22 @@
  *                               lost
  *   --json=<path>               standard JSON report
  *
+ * Crash-recovery verification (docs/durability.md):
+ *   --shadow-out=<path>   write a shadow map of every key this run
+ *                         touched: the set of values a later GET may
+ *                         legally return (puts are value-deterministic
+ *                         per key+connection, so acked and in-flight
+ *                         writes both land in the allowed set) plus an
+ *                         erased marker. Survives a SIGKILLed server:
+ *                         the file describes what the CLIENT observed.
+ *   --verify-shadow=<path>  read a shadow map and GET every key from
+ *                         the (recovered) server instead of running
+ *                         load: a hit whose value is outside the
+ *                         allowed set — including any hit on an
+ *                         erased-and-never-put key — is a durability
+ *                         violation and exits 1; misses are always
+ *                         legal (eviction, unacked loss, erase).
+ *
  * Failures surface as structured counts, never crashes
  * (docs/robustness.md): response status bytes are tallied per
  * ErrorCode, transport errors (resets from injected net.* faults,
@@ -56,10 +72,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -99,6 +118,27 @@ struct ConnStats
     double seconds = 0.0;
 };
 
+/**
+ * One connection's contribution to the shadow map: keys it issued
+ * puts/erases for. Values are not stored — a put's payload is the
+ * pure function zkvMix64(key) + tid, so the key set IS the value set.
+ * Keys are recorded at issue time: an in-flight write the server may
+ * or may not have applied before a crash is exactly as legal a GET
+ * result as an acked one.
+ */
+struct ShadowLog
+{
+    std::unordered_set<std::uint64_t> putKeys;
+    std::unordered_set<std::uint64_t> eraseKeys;
+};
+
+/** Merged shadow map: key -> (allowed hit values, erased marker). */
+struct ShadowEntry
+{
+    std::set<std::uint64_t> allowed;
+    bool erased = false;
+};
+
 struct PointConfig
 {
     net::ZkvClientConfig client;
@@ -130,7 +170,8 @@ struct PointResult
  */
 void
 runConn(const PointConfig& cfg, std::uint32_t tid,
-        std::uint64_t ops_budget, double conn_rate, ConnStats& cs)
+        std::uint64_t ops_budget, double conn_rate, ConnStats& cs,
+        ShadowLog* shadow)
 {
     const WorkloadProfile* profile =
         WorkloadRegistry::find(cfg.workload);
@@ -196,11 +237,13 @@ runConn(const PointConfig& cfg, std::uint32_t tid,
                 req.type = net::MsgType::Erase;
                 req.key = key;
                 cs.erases++;
+                if (shadow != nullptr) shadow->eraseKeys.insert(key);
             } else {
                 req.type = net::MsgType::Put;
                 req.key = key;
                 req.value = zkvMix64(key) + tid;
                 cs.puts++;
+                if (shadow != nullptr) shadow->putKeys.insert(key);
             }
             intendedNs[cs.issued] = nextArr;
             keyOf[cs.issued] = req.key;
@@ -338,10 +381,11 @@ runConn(const PointConfig& cfg, std::uint32_t tid,
 }
 
 PointResult
-runPoint(const PointConfig& cfg)
+runPoint(const PointConfig& cfg, std::vector<ShadowLog>* shadows)
 {
     PointResult res;
     res.perConn.assign(cfg.connections, ConnStats(cfg.latencyBins));
+    if (shadows != nullptr) shadows->assign(cfg.connections, {});
     WorkloadRegistry::prime();
 
     std::vector<std::thread> threads;
@@ -354,7 +398,8 @@ runPoint(const PointConfig& cfg)
         std::uint64_t budget =
             per + (tid == 0 ? cfg.ops % cfg.connections : 0);
         threads.emplace_back([&, tid, budget] {
-            runConn(cfg, tid, budget, conn_rate, res.perConn[tid]);
+            runConn(cfg, tid, budget, conn_rate, res.perConn[tid],
+                    shadows != nullptr ? &(*shadows)[tid] : nullptr);
         });
     }
     for (std::thread& t : threads) t.join();
@@ -406,6 +451,128 @@ parseRateList(const std::string& csv)
     return out;
 }
 
+/**
+ * Shadow map file: "ZKSHADOW v1" header, then one line per key:
+ * "<key> <v1>[,<v2>...] <erased 0|1>", values "-" when the key was
+ * only ever erased. Decimal u64 throughout, keys sorted.
+ */
+bool
+writeShadow(const std::string& path,
+            const std::map<std::uint64_t, ShadowEntry>& map)
+{
+    std::ofstream out(path);
+    out << "ZKSHADOW v1\n";
+    for (const auto& [key, e] : map) {
+        out << key << ' ';
+        if (e.allowed.empty()) {
+            out << '-';
+        } else {
+            bool first = true;
+            for (std::uint64_t v : e.allowed) {
+                if (!first) out << ',';
+                out << v;
+                first = false;
+            }
+        }
+        out << ' ' << (e.erased ? 1 : 0) << '\n';
+    }
+    out.flush();
+    return out.good();
+}
+
+bool
+readShadow(const std::string& path,
+           std::map<std::uint64_t, ShadowEntry>* map)
+{
+    std::ifstream in(path);
+    std::string header;
+    if (!std::getline(in, header) || header != "ZKSHADOW v1") {
+        return false;
+    }
+    std::uint64_t key = 0;
+    std::string vals;
+    int erased = 0;
+    while (in >> key >> vals >> erased) {
+        ShadowEntry e;
+        e.erased = erased != 0;
+        if (vals != "-") {
+            std::size_t pos = 0;
+            while (pos <= vals.size()) {
+                std::size_t comma = vals.find(',', pos);
+                if (comma == std::string::npos) comma = vals.size();
+                e.allowed.insert(std::strtoull(
+                    vals.substr(pos, comma - pos).c_str(), nullptr,
+                    10));
+                pos = comma + 1;
+            }
+        }
+        (*map)[key] = std::move(e);
+    }
+    return in.eof();
+}
+
+/**
+ * GET every shadowed key from a (recovered) server and check the
+ * durability contract: a hit must decode to an allowed value; a miss
+ * is always legal (eviction, unacked loss, erase). Returns the
+ * process exit code.
+ */
+int
+verifyShadow(const net::ZkvClientConfig& client_cfg,
+             const std::string& path)
+{
+    std::map<std::uint64_t, ShadowEntry> map;
+    if (!readShadow(path, &map)) {
+        std::fprintf(stderr,
+                     "error: cannot read shadow map %s\n",
+                     path.c_str());
+        return 2;
+    }
+    auto cli_or = net::ZkvClient::connect(client_cfg);
+    if (!cli_or) {
+        std::fprintf(stderr, "error: %s\n",
+                     cli_or.status().str().c_str());
+        return 1;
+    }
+    std::unique_ptr<net::ZkvClient> cli = std::move(*cli_or);
+
+    std::uint64_t hits = 0, misses = 0, mismatches = 0;
+    for (const auto& [key, e] : map) {
+        auto got = cli->get(key);
+        if (!got) {
+            std::fprintf(stderr, "error: GET %llu: %s\n",
+                         static_cast<unsigned long long>(key),
+                         got.status().str().c_str());
+            return 1;
+        }
+        if (!got->has_value()) {
+            misses++;
+            continue;
+        }
+        std::uint64_t value = **got;
+        if (e.allowed.count(value) != 0) {
+            hits++;
+            continue;
+        }
+        mismatches++;
+        if (mismatches <= 10) {
+            std::fprintf(stderr,
+                         "error: shadow mismatch: key %llu hit value "
+                         "%llu outside the allowed set (%zu value(s), "
+                         "erased=%d)\n",
+                         static_cast<unsigned long long>(key),
+                         static_cast<unsigned long long>(value),
+                         e.allowed.size(), e.erased ? 1 : 0);
+        }
+    }
+    std::printf("net_loadgen: shadow verify: %zu key(s), "
+                "verified_hits=%llu misses=%llu mismatches=%llu\n",
+                map.size(), static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(mismatches));
+    return mismatches == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -434,6 +601,16 @@ main(int argc, char** argv)
         return 2;
     }
     base.client.crc = flagBool(argc, argv, "crc");
+
+    std::string shadow_out = flag(argc, argv, "shadow-out", "");
+    std::string verify_shadow =
+        flag(argc, argv, "verify-shadow", "");
+    if (!verify_shadow.empty()) {
+        // Verification replaces load generation: GET the shadowed
+        // keys and judge the recovered store against the map.
+        return verifyShadow(base.client, verify_shadow);
+    }
+
     base.connections = static_cast<std::uint32_t>(
         flagU64(argc, argv, "connections", 1));
     base.ops = flagU64(argc, argv, "ops", 100000);
@@ -481,6 +658,7 @@ main(int argc, char** argv)
                 "complete", "lost", "xperr");
 
     std::size_t failed_points = 0;
+    std::map<std::uint64_t, ShadowEntry> shadow_map;
     for (std::size_t pi = 0; pi < rates.size(); pi++) {
         PointConfig cfg = base;
         cfg.rate = rates[pi];
@@ -494,8 +672,19 @@ main(int argc, char** argv)
         }
         cfg.seed = SweepSpec::pointSeed(base.seed, pi);
 
-        PointResult r = runPoint(cfg);
+        std::vector<ShadowLog> shadows;
+        PointResult r = runPoint(
+            cfg, shadow_out.empty() ? nullptr : &shadows);
         ConnStats a = aggregate(r, cfg.latencyBins);
+
+        for (std::uint32_t tid = 0; tid < shadows.size(); tid++) {
+            for (std::uint64_t key : shadows[tid].putKeys) {
+                shadow_map[key].allowed.insert(zkvMix64(key) + tid);
+            }
+            for (std::uint64_t key : shadows[tid].eraseKeys) {
+                shadow_map[key].erased = true;
+            }
+        }
 
         double achieved =
             r.seconds > 0.0
@@ -550,6 +739,18 @@ main(int argc, char** argv)
                 {"timing", std::move(timing)},
             },
             std::move(stats));
+    }
+
+    if (!shadow_out.empty()) {
+        if (!writeShadow(shadow_out, shadow_map)) {
+            std::fprintf(stderr,
+                         "error: cannot write --shadow-out %s\n",
+                         shadow_out.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "shadow: %zu key(s) recorded -> %s\n",
+                     shadow_map.size(), shadow_out.c_str());
     }
 
     bool wrote = report.writeIfRequested();

@@ -34,6 +34,20 @@
  *                         implies --open-loop.
  *   --arrivals=poisson    arrival process: poisson | fixed
  *
+ * Durability (docs/durability.md; default off, zero overhead):
+ *   --data-dir=<path>        enable the persist tier rooted here; the
+ *                            store recovers from any prior state before
+ *                            load and drains the op log before the
+ *                            deterministic stats dump
+ *   --fsync=always           always | interval | never (default always)
+ *   --fsync-interval-ms=50   group-commit window for --fsync=interval
+ *   --snapshot-every-ops=N   compaction snapshot cadence (0 = never)
+ *   --persist-queue-cap=N    per-shard writer queue depth (default 4096)
+ *   --persist-backpressure=block  block | drop (drop counts, never
+ *                            silent; rejected with --fsync=always)
+ * With more than one grid point, each point persists under
+ * <data-dir>/pointN so points never share a log.
+ *
  * Live telemetry (docs/telemetry.md; default off, zero overhead):
  *   --trace-out=<path>       Chrome trace-event JSON (Perfetto-loadable)
  *   --metrics-out=<path>     windowed metrics NDJSON
@@ -170,6 +184,16 @@ main(int argc, char** argv)
     std::uint64_t metrics_interval =
         flagU64(argc, argv, "metrics-interval-ms", 100);
     std::uint64_t ring_cap = flagU64(argc, argv, "ring-cap", 1u << 16);
+    std::string data_dir = flag(argc, argv, "data-dir", "");
+    std::string fsync_name = flag(argc, argv, "fsync", "always");
+    std::uint64_t fsync_interval =
+        flagU64(argc, argv, "fsync-interval-ms", 50);
+    std::uint64_t snapshot_every =
+        flagU64(argc, argv, "snapshot-every-ops", 0);
+    std::uint64_t persist_cap =
+        flagU64(argc, argv, "persist-queue-cap", 4096);
+    std::string backpressure_name =
+        flag(argc, argv, "persist-backpressure", "block");
 
     auto policy = parsePolicyKind(policy_name);
     if (!policy) {
@@ -196,6 +220,31 @@ main(int argc, char** argv)
     if (!arrivals) {
         std::fprintf(stderr, "error: %s\n",
                      arrivals.status().str().c_str());
+        return 2;
+    }
+
+    persist::PersistConfig persist_cfg;
+    persist_cfg.dataDir = data_dir;
+    auto fsync_policy = persist::parseFsyncPolicy(fsync_name);
+    if (!fsync_policy) {
+        std::fprintf(stderr, "error: %s\n",
+                     fsync_policy.status().str().c_str());
+        return 2;
+    }
+    persist_cfg.fsync = *fsync_policy;
+    persist_cfg.fsyncIntervalMs =
+        static_cast<std::uint32_t>(fsync_interval);
+    persist_cfg.snapshotEveryOps = snapshot_every;
+    persist_cfg.queueCap = static_cast<std::size_t>(persist_cap);
+    auto backpressure = persist::parseBackpressure(backpressure_name);
+    if (!backpressure) {
+        std::fprintf(stderr, "error: %s\n",
+                     backpressure.status().str().c_str());
+        return 2;
+    }
+    persist_cfg.backpressure = *backpressure;
+    if (Status s = persist_cfg.validate(); !s.isOk()) {
+        std::fprintf(stderr, "error: %s\n", s.str().c_str());
         return 2;
     }
 
@@ -248,6 +297,7 @@ main(int argc, char** argv)
                             static_cast<std::uint32_t>(metrics_interval);
                         p.cfg.obs.ringCapacity =
                             static_cast<std::size_t>(ring_cap);
+                        p.cfg.store.persist = persist_cfg;
                         p.design = p.cfg.store.array.label();
                         grid.push_back(std::move(p));
                     }
@@ -265,6 +315,12 @@ main(int argc, char** argv)
         grid[i].cfg.obs.metricsPath =
             pointPath(metrics_out, i, grid.size());
         grid[i].cfg.obs.promPath = pointPath(prom_out, i, grid.size());
+        // Data dirs are directories, not files: suffix with a
+        // subdirectory so grid points never share an op log.
+        if (!data_dir.empty() && grid.size() > 1) {
+            grid[i].cfg.store.persist.dataDir =
+                data_dir + "/point" + std::to_string(i);
+        }
     }
 
     JsonReport report(argc, argv, "store_loadgen");

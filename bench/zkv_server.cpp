@@ -19,8 +19,21 @@
  *   --stats-out=<path>     full stats-registry JSON written at exit
  *   --fault=<site[:after[:count]]>  arm a fault-injection site
  *                          (net.accept/net.read/net.write/net.frame,
- *                          store.walk, ... — docs/robustness.md);
- *                          repeatable via comma separation
+ *                          store.walk, persist.append, ... —
+ *                          docs/robustness.md); repeatable via comma
+ *                          separation
+ *
+ * Durability (docs/durability.md; default off):
+ *   --data-dir=<path>      enable the persist tier rooted here; prior
+ *                          state is recovered before the listener
+ *                          accepts, and the op log drains before exit
+ *   --fsync=always         always | interval | never
+ *   --fsync-interval-ms=50 group-commit window for --fsync=interval
+ *   --snapshot-every-ops=N compaction snapshot cadence (0 = never)
+ *   --persist-queue-cap=N  per-shard writer queue depth (default 4096)
+ *   --persist-backpressure=block   block | drop
+ *   --recovery-report-out=<path>   write the recovery report JSON
+ *                          (scripts/recovery_report.py validates it)
  *
  * Live telemetry (docs/telemetry.md):
  *   --trace-out=<path>     Chrome trace-event JSON (net phase spans)
@@ -39,7 +52,9 @@
 #include <string>
 
 #include <atomic>
+#include <condition_variable>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -153,6 +168,32 @@ main(int argc, char** argv)
     cfg.obs.ringCapacity = static_cast<std::uint32_t>(
         flagU64(argc, argv, "ring-cap", 1u << 16));
 
+    cfg.store.persist.dataDir = flag(argc, argv, "data-dir", "");
+    auto fsync_policy =
+        persist::parseFsyncPolicy(flag(argc, argv, "fsync", "always"));
+    if (!fsync_policy) {
+        std::fprintf(stderr, "error: %s\n",
+                     fsync_policy.status().str().c_str());
+        return 2;
+    }
+    cfg.store.persist.fsync = *fsync_policy;
+    cfg.store.persist.fsyncIntervalMs = static_cast<std::uint32_t>(
+        flagU64(argc, argv, "fsync-interval-ms", 50));
+    cfg.store.persist.snapshotEveryOps =
+        flagU64(argc, argv, "snapshot-every-ops", 0);
+    cfg.store.persist.queueCap = static_cast<std::size_t>(
+        flagU64(argc, argv, "persist-queue-cap", 4096));
+    auto backpressure = persist::parseBackpressure(
+        flag(argc, argv, "persist-backpressure", "block"));
+    if (!backpressure) {
+        std::fprintf(stderr, "error: %s\n",
+                     backpressure.status().str().c_str());
+        return 2;
+    }
+    cfg.store.persist.backpressure = *backpressure;
+    std::string recovery_report_out =
+        flag(argc, argv, "recovery-report-out", "");
+
     std::string port_file = flag(argc, argv, "port-file", "");
     std::string stats_out = flag(argc, argv, "stats-out", "");
     std::uint64_t duration_s = flagU64(argc, argv, "duration-s", 0);
@@ -167,6 +208,42 @@ main(int argc, char** argv)
                                                                     : 1;
     }
     std::unique_ptr<net::ZkvServer> srv = std::move(*srv_or);
+
+    if (srv->store().persistEnabled()) {
+        auto report_or = srv->store().recover();
+        if (!report_or) {
+            std::fprintf(stderr, "error: %s\n",
+                         report_or.status().str().c_str());
+            return 1;
+        }
+        const persist::RecoveryReport& rep = *report_or;
+        std::fprintf(stderr,
+                     "zkv_server: recovered %llu op(s) (%llu skipped, "
+                     "%llu salvaged byte(s), %llu gap(s)) from %s\n",
+                     static_cast<unsigned long long>(
+                         rep.totalReplayed()),
+                     static_cast<unsigned long long>(
+                         rep.totalSkipped()),
+                     static_cast<unsigned long long>(
+                         rep.totalSalvagedBytes()),
+                     static_cast<unsigned long long>(rep.totalGaps()),
+                     cfg.store.persist.dataDir.c_str());
+        if (!recovery_report_out.empty()) {
+            std::ofstream out(recovery_report_out);
+            out << rep.toJson().str(2) << "\n";
+            if (!out.good()) {
+                std::fprintf(stderr,
+                             "error: cannot write "
+                             "--recovery-report-out %s\n",
+                             recovery_report_out.c_str());
+                return 1;
+            }
+        }
+    } else if (!recovery_report_out.empty()) {
+        std::fprintf(stderr, "error: --recovery-report-out needs "
+                             "--data-dir\n");
+        return 2;
+    }
 
     if (!port_file.empty()) {
         std::ofstream out(port_file);
@@ -187,18 +264,33 @@ main(int argc, char** argv)
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
 
+    // Interruptible duration timer: when a signal ends serve() early,
+    // the condvar cancels the wait so exit (and --stats-out) is not
+    // delayed by the remainder of --duration-s.
     std::thread timer;
+    std::mutex timer_mx;
+    std::condition_variable timer_cv;
+    bool timer_cancel = false;
     if (duration_s > 0) {
         net::ZkvServer* raw = srv.get();
-        timer = std::thread([raw, duration_s] {
-            std::this_thread::sleep_for(
-                std::chrono::seconds(duration_s));
-            raw->shutdown();
+        timer = std::thread([&, raw, duration_s] {
+            std::unique_lock<std::mutex> lk(timer_mx);
+            bool cancelled = timer_cv.wait_for(
+                lk, std::chrono::seconds(duration_s),
+                [&] { return timer_cancel; });
+            if (!cancelled) raw->shutdown();
         });
     }
 
     Status serve_status = srv->serve();
-    if (timer.joinable()) timer.join();
+    if (timer.joinable()) {
+        {
+            std::lock_guard<std::mutex> lk(timer_mx);
+            timer_cancel = true;
+        }
+        timer_cv.notify_all();
+        timer.join();
+    }
     g_server.store(nullptr, std::memory_order_release);
 
     net::ZkvServerStats st = srv->stats();
@@ -213,6 +305,15 @@ main(int argc, char** argv)
                  static_cast<unsigned long long>(st.accepted),
                  static_cast<unsigned long long>(st.drained),
                  static_cast<unsigned long long>(st.drainAborted));
+
+    // Drain the op log before the stats dump so writer counters are
+    // final and every acked op is on disk at exit.
+    if (srv->store().persistEnabled()) {
+        if (Status s = srv->store().stopPersist(); !s.isOk()) {
+            std::fprintf(stderr, "error: %s\n", s.str().c_str());
+            if (serve_status.isOk()) serve_status = s;
+        }
+    }
 
     if (!stats_out.empty()) {
         StatsRegistry reg;

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * CRC-framed record framing shared by the sweep journal
+ * (runner/journal.cpp) and the zkv persistence op log (src/persist) —
+ * docs/robustness.md, docs/durability.md.
+ *
+ * Two framings, one discipline: every record carries a CRC-32
+ * (IEEE 802.3, common/crc32.hpp) over its payload so torn or corrupt
+ * data is *detected*, never silently replayed, and readers can salvage
+ * the longest valid prefix of a damaged file with an exact byte
+ * offset.
+ *
+ * Text lines (journals, manifests — greppable, diffable):
+ *
+ *   TAG <crc32hex> <payload>\n
+ *
+ * where TAG is exactly 4 ASCII bytes and <crc32hex> is 8 lowercase hex
+ * digits over the payload bytes. `writeTextLine` appends one line with
+ * fflush + fsync (the durability point); `unframeTextLine` validates
+ * tag and CRC and returns the payload.
+ *
+ * Binary records (op logs — compact, fixed offset math):
+ *
+ *   magic u32 LE | body bytes | crc32 u32 LE (over body)
+ *
+ * `appendBinaryRecord` frames a body; `unframeBinaryRecord` validates
+ * a record in place, distinguishing a torn tail (Truncated: the file
+ * simply ends early) from corruption (bad magic / CRC mismatch) so
+ * callers can apply the journal salvage rule: keep the clean prefix,
+ * truncate the rest, warn with the byte offset.
+ */
+
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/crc32.hpp"
+#include "common/status.hpp"
+
+namespace zc::framed {
+
+/** "TAGX" + space + 8 hex + space = 14-byte text line prefix. */
+constexpr std::size_t kTextPrefixLen = 14;
+
+/**
+ * Validate one framed text line (sans newline). Returns the payload on
+ * success; a Corruption status naming what broke otherwise.
+ */
+inline Expected<std::string_view>
+unframeTextLine(std::string_view line, const char* tag)
+{
+    if (line.size() < kTextPrefixLen ||
+        line.substr(0, 4) != std::string_view(tag) || line[4] != ' ' ||
+        line[13] != ' ') {
+        return Status::corruption(std::string("malformed ") + tag +
+                                  " framing");
+    }
+    std::uint32_t want = 0;
+    for (std::size_t i = 5; i < 13; i++) {
+        char c = line[i];
+        std::uint32_t digit;
+        if (c >= '0' && c <= '9') digit = static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint32_t>(c - 'a') + 10;
+        else
+            return Status::corruption(std::string("malformed ") + tag +
+                                      " CRC field");
+        want = want << 4 | digit;
+    }
+    std::string_view payload = line.substr(kTextPrefixLen);
+    std::uint32_t got = Crc32::of(payload);
+    if (got != want) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf,
+                      "CRC mismatch (computed %08x, recorded %08x)", got,
+                      want);
+        return Status::corruption(std::string(tag) + " " + buf);
+    }
+    return payload;
+}
+
+/**
+ * Append one framed text line to @p f: `TAG <crc32hex> <payload>\n`,
+ * flushed and fsync'd before returning — after this returns Ok the
+ * record survives SIGKILL and (modulo the disk's own lies) power loss.
+ * @p errPrefix names the file in failure messages, e.g. "journal
+ * '/path'".
+ */
+inline Status
+writeTextLine(std::FILE* f, const std::string& errPrefix, const char* tag,
+              const std::string& payload)
+{
+    std::uint32_t crc = Crc32::of(payload);
+    if (std::fprintf(f, "%s %08x %s\n", tag, crc, payload.c_str()) < 0) {
+        return Status::ioError(errPrefix + ": write failed: " +
+                               std::strerror(errno));
+    }
+    if (std::fflush(f) != 0) {
+        return Status::ioError(errPrefix + ": flush failed: " +
+                               std::strerror(errno));
+    }
+    // Durability point: after this returns, the record survives SIGKILL
+    // and (modulo the disk's own lies) power loss.
+    if (::fsync(fileno(f)) != 0) {
+        return Status::ioError(errPrefix + ": fsync failed: " +
+                               std::strerror(errno));
+    }
+    return Status::ok();
+}
+
+// ---- little-endian field helpers -----------------------------------
+
+inline void
+appendLe32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void
+appendLe64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    appendLe32(out, static_cast<std::uint32_t>(v));
+    appendLe32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint32_t
+readLe32(const std::uint8_t* p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline std::uint64_t
+readLe64(const std::uint8_t* p)
+{
+    return static_cast<std::uint64_t>(readLe32(p)) |
+           static_cast<std::uint64_t>(readLe32(p + 4)) << 32;
+}
+
+// ---- binary record framing -----------------------------------------
+
+/** Framed size of a binary record with a @p bodyLen-byte body. */
+constexpr std::size_t
+binaryRecordSize(std::size_t bodyLen)
+{
+    return 4 + bodyLen + 4; // magic | body | crc
+}
+
+/**
+ * Append one framed binary record: magic (LE) | body | CRC-32 over the
+ * body (LE). The caller owns the body layout; fixed-size bodies make
+ * offset math exact, which is what the torn-tail salvage contract
+ * reports in.
+ */
+inline void
+appendBinaryRecord(std::vector<std::uint8_t>& out, std::uint32_t magic,
+                   const std::uint8_t* body, std::size_t bodyLen)
+{
+    appendLe32(out, magic);
+    out.insert(out.end(), body, body + bodyLen);
+    appendLe32(out, Crc32::of(body, bodyLen));
+}
+
+/**
+ * Validate one framed binary record at @p data (with @p avail bytes
+ * remaining) against @p magic and a fixed @p bodyLen. Returns a
+ * pointer to the body on success. Failure modes are distinguished so
+ * salvage can tell "the file ends here" from "this record is damaged":
+ *
+ *  - Truncated: fewer than binaryRecordSize(bodyLen) bytes remain —
+ *    a torn tail (the SIGKILL case).
+ *  - Corruption: wrong magic or CRC mismatch.
+ */
+inline Expected<const std::uint8_t*>
+unframeBinaryRecord(const std::uint8_t* data, std::size_t avail,
+                    std::uint32_t magic, std::size_t bodyLen)
+{
+    const std::size_t total = binaryRecordSize(bodyLen);
+    if (avail < total) {
+        return Status::truncated(
+            "torn record: " + std::to_string(avail) + " byte(s) remain, " +
+            std::to_string(total) + " needed");
+    }
+    if (readLe32(data) != magic) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf,
+                      "bad record magic (found %08x, want %08x)",
+                      readLe32(data), magic);
+        return Status::corruption(buf);
+    }
+    const std::uint8_t* body = data + 4;
+    std::uint32_t want = readLe32(body + bodyLen);
+    std::uint32_t got = Crc32::of(body, bodyLen);
+    if (got != want) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf,
+                      "record CRC mismatch (computed %08x, recorded %08x)",
+                      got, want);
+        return Status::corruption(buf);
+    }
+    return body;
+}
+
+} // namespace zc::framed

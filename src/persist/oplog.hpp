@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The zkv op-log record (docs/durability.md): one fixed-size,
+ * CRC-framed, little-endian binary record per acknowledged mutation,
+ * appended to a shard's log segment by its writer thread and replayed
+ * over the latest snapshot at recovery.
+ *
+ * Layout (33 bytes, via common/framed_log.hpp binary framing):
+ *
+ *   magic  u32  "ZKOP"
+ *   body   25B  seqno u64 | kind u8 (Put=1/Erase=2/Evict=3)
+ *               | key u64 | value u64
+ *   crc    u32  CRC-32 over the body
+ *
+ * Fixed size makes every record boundary a pure function of the byte
+ * offset, which is what lets torn-tail salvage and the seqno-gap
+ * report name *exact* offsets (the every-byte-offset truncation
+ * property test in tests/test_persist.cpp pins this down).
+ *
+ * Seqnos are assigned per shard, under the shard lock, at mutate time
+ * — so on-disk order is exactly in-memory apply order. Within a log
+ * they must be strictly increasing: a non-increasing seqno marks a
+ * corrupt tail (salvaged like runner/journal.cpp), while a gap of more
+ * than one marks records dropped under `backpressure=drop` (counted
+ * with the byte offset in the RecoveryReport, never fatal).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/framed_log.hpp"
+#include "common/status.hpp"
+
+namespace zc::persist {
+
+enum class OpKind : std::uint8_t {
+    Put = 1,   ///< key now holds value
+    Erase = 2, ///< key removed by a client erase
+    Evict = 3, ///< key displaced by the relocation walk (replays as
+               ///< an erase: evicted keys must not resurrect)
+};
+
+/** "ZKOP" little-endian. */
+constexpr std::uint32_t kOpMagic = 0x504f4b5aU;
+
+struct OpRecord
+{
+    std::uint64_t seqno = 0;
+    OpKind kind = OpKind::Put;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0; ///< Put only; 0 for Erase/Evict
+};
+
+constexpr std::size_t kOpBodyLen = 8 + 1 + 8 + 8;
+constexpr std::size_t kOpRecordSize = framed::binaryRecordSize(kOpBodyLen);
+static_assert(kOpRecordSize == 33);
+
+inline void
+storeLe64(std::uint8_t* p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++) p[i] = static_cast<std::uint8_t>(v >> 8 * i);
+}
+
+inline void
+encodeOpRecord(std::vector<std::uint8_t>& out, const OpRecord& r)
+{
+    std::uint8_t body[kOpBodyLen];
+    storeLe64(body, r.seqno);
+    body[8] = static_cast<std::uint8_t>(r.kind);
+    storeLe64(body + 9, r.key);
+    storeLe64(body + 17, r.value);
+    framed::appendBinaryRecord(out, kOpMagic, body, kOpBodyLen);
+}
+
+/**
+ * Decode one record at @p data with @p avail bytes remaining.
+ * Truncated = torn tail (fewer than 33 bytes remain); Corruption =
+ * bad magic, bad CRC, or an unknown op kind.
+ */
+inline Expected<OpRecord>
+decodeOpRecord(const std::uint8_t* data, std::size_t avail)
+{
+    auto body_or =
+        framed::unframeBinaryRecord(data, avail, kOpMagic, kOpBodyLen);
+    if (!body_or) return body_or.status();
+    const std::uint8_t* b = *body_or;
+    OpRecord r;
+    r.seqno = framed::readLe64(b);
+    std::uint8_t k = b[8];
+    if (k < 1 || k > 3) {
+        return Status::corruption("op record: unknown kind " +
+                                  std::to_string(k));
+    }
+    r.kind = static_cast<OpKind>(k);
+    r.key = framed::readLe64(b + 9);
+    r.value = framed::readLe64(b + 17);
+    return r;
+}
+
+} // namespace zc::persist

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Pluggable byte-sink layer for the zkv durability tier
+ * (docs/durability.md).
+ *
+ * The writer threads and the recovery path never touch the filesystem
+ * directly; they speak two small interfaces:
+ *
+ *  - `Sink`: one append-only byte stream (a shard's op-log segment)
+ *    with an explicit durability point (`sync`).
+ *  - `SinkBackend`: a namespace of named objects — open-for-append,
+ *    read, atomic whole-object replace (snapshots), list, remove.
+ *
+ * `FileSink`/`FileBackend` are the first implementations: plain files
+ * under a data directory, `fsync` or `fdatasync` per the configured
+ * policy, snapshots written as `<name>.tmp` + fsync + rename + parent
+ * directory fsync so a crash never leaves a half-written snapshot
+ * under the live name. The interface split is what lets a remote
+ * backend (object store, replicated log) slot in later without
+ * touching the writer or recovery logic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace zc::persist {
+
+/** One append-only byte stream with an explicit durability point. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+
+    /** Append @p len bytes; buffered until sync(). */
+    virtual Status append(const void* data, std::size_t len) = 0;
+
+    /**
+     * Make every appended byte durable. @p dataOnly permits fdatasync
+     * (skip the inode mtime update — the fsync/fdatasync policy knob).
+     */
+    virtual Status sync(bool dataOnly) = 0;
+
+    /** Bytes appended so far (resumes from existing size on reopen). */
+    virtual std::uint64_t size() const = 0;
+
+    /** Name within the backend (for error messages). */
+    virtual const std::string& name() const = 0;
+};
+
+/** A namespace of named durable objects (one zkv data directory). */
+class SinkBackend
+{
+  public:
+    virtual ~SinkBackend() = default;
+
+    /** Open @p name for appending, creating it if absent. */
+    virtual Expected<std::unique_ptr<Sink>>
+    openAppend(const std::string& name) = 0;
+
+    /** Whole contents of @p name; NotFound when absent. */
+    virtual Expected<std::vector<std::uint8_t>>
+    readAll(const std::string& name) = 0;
+
+    virtual bool exists(const std::string& name) = 0;
+
+    /**
+     * Replace @p name with @p len bytes atomically: readers see either
+     * the old object or the complete new one, never a torn middle,
+     * even across a crash. Durable on return.
+     */
+    virtual Status atomicWrite(const std::string& name, const void* data,
+                               std::size_t len) = 0;
+
+    /** Cut @p name down to @p size bytes (torn-tail salvage). */
+    virtual Status truncateTo(const std::string& name,
+                              std::uint64_t size) = 0;
+
+    virtual Status remove(const std::string& name) = 0;
+
+    /** Names starting with @p prefix, lexicographically sorted. */
+    virtual Expected<std::vector<std::string>>
+    list(const std::string& prefix) = 0;
+
+    /** Human-readable location (the data directory path). */
+    virtual const std::string& root() const = 0;
+};
+
+class FileSink final : public Sink
+{
+  public:
+    ~FileSink() override;
+
+    static Expected<std::unique_ptr<FileSink>>
+    open(const std::string& path);
+
+    Status append(const void* data, std::size_t len) override;
+    Status sync(bool dataOnly) override;
+    std::uint64_t size() const override { return size_; }
+    const std::string& name() const override { return path_; }
+
+  private:
+    FileSink(int fd, std::string path, std::uint64_t size)
+        : fd_(fd), path_(std::move(path)), size_(size)
+    {
+    }
+
+    int fd_ = -1;
+    std::string path_;
+    std::uint64_t size_ = 0;
+};
+
+class FileBackend final : public SinkBackend
+{
+  public:
+    /** Open (creating directories as needed) the data dir @p root. */
+    static Expected<std::unique_ptr<FileBackend>>
+    open(const std::string& root);
+
+    Expected<std::unique_ptr<Sink>>
+    openAppend(const std::string& name) override;
+    Expected<std::vector<std::uint8_t>>
+    readAll(const std::string& name) override;
+    bool exists(const std::string& name) override;
+    Status atomicWrite(const std::string& name, const void* data,
+                       std::size_t len) override;
+    Status truncateTo(const std::string& name,
+                      std::uint64_t size) override;
+    Status remove(const std::string& name) override;
+    Expected<std::vector<std::string>>
+    list(const std::string& prefix) override;
+    const std::string& root() const override { return root_; }
+
+  private:
+    explicit FileBackend(std::string root) : root_(std::move(root)) {}
+
+    std::string path(const std::string& name) const;
+
+    std::string root_;
+};
+
+} // namespace zc::persist

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Snapshot blob codec (persist/snapshot.hpp). Verification order
+ * mirrors trace_io: magic, version, size-vs-count, CRC — all before
+ * the entry vector is reserved.
+ */
+
+#include "persist/snapshot.hpp"
+
+#include "common/crc32.hpp"
+#include "common/framed_log.hpp"
+
+namespace zc::persist {
+
+namespace {
+
+constexpr std::size_t kHeaderLen = 4 + 4 + 4 + 8 + 8;
+constexpr std::size_t kEntryLen = 16;
+constexpr std::size_t kFooterLen = 8;
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeSnapshot(std::uint32_t shard, const SnapshotData& snap)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderLen + snap.entries.size() * kEntryLen + kFooterLen);
+    framed::appendLe32(out, kSnapMagic);
+    framed::appendLe32(out, kSnapVersion);
+    framed::appendLe32(out, shard);
+    framed::appendLe64(out, snap.watermark);
+    framed::appendLe64(out, snap.entries.size());
+    for (const auto& [key, value] : snap.entries) {
+        framed::appendLe64(out, key);
+        framed::appendLe64(out, value);
+    }
+    std::uint32_t crc = Crc32::of(out.data(), out.size());
+    framed::appendLe32(out, crc);
+    framed::appendLe32(out, kSnapEndMagic);
+    return out;
+}
+
+Expected<SnapshotData>
+decodeSnapshot(const std::uint8_t* data, std::size_t len,
+               std::uint32_t expectShard)
+{
+    if (len < kHeaderLen) {
+        return Status::truncated(
+            "snapshot: " + std::to_string(len) +
+            " byte(s), header needs " + std::to_string(kHeaderLen));
+    }
+    if (framed::readLe32(data) != kSnapMagic) {
+        return Status::corruption("snapshot: bad magic");
+    }
+    std::uint32_t version = framed::readLe32(data + 4);
+    if (version != kSnapVersion) {
+        return Status::unsupported("snapshot: unknown version " +
+                                   std::to_string(version));
+    }
+    std::uint32_t shard = framed::readLe32(data + 8);
+    if (shard != expectShard) {
+        return Status::corruption(
+            "snapshot: belongs to shard " + std::to_string(shard) +
+            ", expected shard " + std::to_string(expectShard));
+    }
+    std::uint64_t count = framed::readLe64(data + 20);
+
+    // Size check before any allocation sized by the untrusted count.
+    std::uint64_t want =
+        kHeaderLen + count * kEntryLen + kFooterLen;
+    if (count > (len / kEntryLen) + 1 || len < want) {
+        return Status::truncated(
+            "snapshot: file is " + std::to_string(len) +
+            " byte(s) but count " + std::to_string(count) + " implies " +
+            std::to_string(want));
+    }
+    if (len > want) {
+        return Status::corruption(
+            "snapshot: " + std::to_string(len - want) +
+            " trailing byte(s) after offset " + std::to_string(want));
+    }
+
+    std::size_t body = kHeaderLen + static_cast<std::size_t>(count) *
+                                        kEntryLen;
+    std::uint32_t got = Crc32::of(data, body);
+    std::uint32_t wantCrc = framed::readLe32(data + body);
+    if (got != wantCrc) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf,
+                      "snapshot: CRC mismatch (computed %08x, recorded "
+                      "%08x)",
+                      got, wantCrc);
+        return Status::corruption(buf);
+    }
+    if (framed::readLe32(data + body + 4) != kSnapEndMagic) {
+        return Status::corruption("snapshot: bad end magic");
+    }
+
+    SnapshotData snap;
+    snap.watermark = framed::readLe64(data + 12);
+    snap.entries.reserve(static_cast<std::size_t>(count));
+    const std::uint8_t* p = data + kHeaderLen;
+    for (std::uint64_t i = 0; i < count; i++, p += kEntryLen) {
+        snap.entries.emplace_back(framed::readLe64(p),
+                                  framed::readLe64(p + 8));
+    }
+    return snap;
+}
+
+} // namespace zc::persist

@@ -8,6 +8,7 @@
 
 #include "common/crc32.hpp"
 #include "common/fault_injection.hpp"
+#include "common/framed_log.hpp"
 #include "common/json.hpp"
 
 namespace zc {
@@ -132,66 +133,23 @@ entryFromJson(const JsonValue& v)
     return e;
 }
 
-/** "ZCJH"/"ZCJR" + space + 8 hex + space = 14-byte line prefix. */
-constexpr std::size_t kPrefixLen = 14;
-
 /**
- * Validate one framed line (sans newline). Returns the payload on
- * success; a Corruption status naming what broke otherwise.
+ * The line framing itself (TAG <crc32hex> <payload>\n, validation,
+ * fsync'd append) lives in common/framed_log.hpp, shared with the zkv
+ * persistence op log; these wrappers keep the journal's error prefix.
  */
 Expected<std::string_view>
 unframe(std::string_view line, const char* tag)
 {
-    if (line.size() < kPrefixLen ||
-        line.substr(0, 4) != std::string_view(tag) || line[4] != ' ' ||
-        line[13] != ' ') {
-        return Status::corruption(std::string("malformed ") + tag +
-                                  " framing");
-    }
-    std::uint32_t want = 0;
-    for (std::size_t i = 5; i < 13; i++) {
-        char c = line[i];
-        std::uint32_t digit;
-        if (c >= '0' && c <= '9') digit = static_cast<std::uint32_t>(c - '0');
-        else if (c >= 'a' && c <= 'f')
-            digit = static_cast<std::uint32_t>(c - 'a') + 10;
-        else
-            return Status::corruption(std::string("malformed ") + tag +
-                                      " CRC field");
-        want = want << 4 | digit;
-    }
-    std::string_view payload = line.substr(kPrefixLen);
-    std::uint32_t got = Crc32::of(payload);
-    if (got != want) {
-        char buf[64];
-        std::snprintf(buf, sizeof buf,
-                      "CRC mismatch (computed %08x, recorded %08x)", got,
-                      want);
-        return Status::corruption(std::string(tag) + " " + buf);
-    }
-    return payload;
+    return framed::unframeTextLine(line, tag);
 }
 
 Status
 writeLine(std::FILE* f, const std::string& path, const char* tag,
           const std::string& payload)
 {
-    std::uint32_t crc = Crc32::of(payload);
-    if (std::fprintf(f, "%s %08x %s\n", tag, crc, payload.c_str()) < 0) {
-        return Status::ioError("journal '" + path +
-                               "': write failed: " + errnoMessage());
-    }
-    if (std::fflush(f) != 0) {
-        return Status::ioError("journal '" + path +
-                               "': flush failed: " + errnoMessage());
-    }
-    // Durability point: after this returns, the record survives SIGKILL
-    // and (modulo the disk's own lies) power loss.
-    if (::fsync(fileno(f)) != 0) {
-        return Status::ioError("journal '" + path +
-                               "': fsync failed: " + errnoMessage());
-    }
-    return Status::ok();
+    return framed::writeTextLine(f, "journal '" + path + "'", tag,
+                                 payload);
 }
 
 std::string

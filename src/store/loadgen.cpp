@@ -161,6 +161,13 @@ runLoadGen(const LoadGenConfig& cfg)
     if (!store_or) return store_or.status();
     std::unique_ptr<ZkvStore> store = std::move(*store_or);
 
+    // With a data directory configured, replay whatever it holds and
+    // start the durability tier before any worker issues traffic.
+    if (store->persistEnabled()) {
+        auto report_or = store->recover();
+        if (!report_or) return report_or.status();
+    }
+
     LoadGenResult result;
     result.perThread.assign(cfg.threads, ThreadStats(cfg.latencyBins));
 
@@ -216,6 +223,42 @@ runLoadGen(const LoadGenConfig& cfg)
                 s.counters.emplace_back("lock_contended",
                                         o.lockContended);
                 s.counters.emplace_back("lock_wait_ns", o.lockWaitNs);
+                if (st->persistEnabled()) {
+                    persist::PersistTier* tier = st->persistTier();
+                    persist::PersistShardCounters pc;
+                    for (std::uint32_t i = 0; i < tier->shardCount();
+                         i++) {
+                        persist::PersistShardCounters c =
+                            tier->counters(i);
+                        pc.appended += c.appended;
+                        pc.dropped += c.dropped;
+                        pc.blocked += c.blocked;
+                        pc.fsyncs += c.fsyncs;
+                        pc.snapshots += c.snapshots;
+                        pc.appendNs += c.appendNs;
+                        pc.fsyncNs += c.fsyncNs;
+                        pc.snapshotNs += c.snapshotNs;
+                        pc.queueDepth += c.queueDepth;
+                    }
+                    s.counters.emplace_back("persist_appended",
+                                            pc.appended);
+                    s.counters.emplace_back("persist_dropped",
+                                            pc.dropped);
+                    s.counters.emplace_back("persist_blocked",
+                                            pc.blocked);
+                    s.counters.emplace_back("persist_fsyncs",
+                                            pc.fsyncs);
+                    s.counters.emplace_back("persist_snapshots",
+                                            pc.snapshots);
+                    s.counters.emplace_back("persist_append_ns",
+                                            pc.appendNs);
+                    s.counters.emplace_back("persist_fsync_ns",
+                                            pc.fsyncNs);
+                    s.counters.emplace_back("persist_snapshot_ns",
+                                            pc.snapshotNs);
+                    s.counters.emplace_back("persist_queue_depth",
+                                            pc.queueDepth);
+                }
                 s.latencyBins.assign(bins, 0);
                 for (std::size_t i = 0; i < nthreads * bins; i++) {
                     s.latencyBins[i % bins] +=
@@ -348,6 +391,13 @@ runLoadGen(const LoadGenConfig& cfg)
         result.obsRecorded = sum_or->recorded;
         result.obsDropped = sum_or->dropped;
         result.obsThreads = sum_or->threads;
+    }
+
+    // Quiesce the durability tier before the stats dump so the
+    // persist counters are final, and surface any sticky writer error
+    // as a run failure instead of a silent counter.
+    if (store->persistEnabled()) {
+        if (Status s = store->stopPersist(); !s.isOk()) return s;
     }
 
     // Deterministic block: the store's stats tree plus per-thread

@@ -118,7 +118,16 @@ struct ZkvStore::Shard
 
 ZkvStore::ZkvStore(ZkvConfig cfg) : cfg_(cfg) {}
 
-ZkvStore::~ZkvStore() = default;
+ZkvStore::~ZkvStore()
+{
+    // Join the tier's threads while the shards (which its snapshot
+    // callback locks) are still alive; member order alone also
+    // guarantees this, but the intent deserves to be explicit.
+    if (persist_ != nullptr) {
+        Status ignored = persist_->stop();
+        (void)ignored;
+    }
+}
 
 Expected<std::unique_ptr<ZkvStore>>
 ZkvStore::create(const ZkvConfig& cfg)
@@ -145,6 +154,24 @@ ZkvStore::create(const ZkvConfig& cfg)
         shard->array = makeArray(spec, std::move(mirror));
         shard->mirror = mirror_ptr;
         store->shards_.push_back(std::move(shard));
+    }
+    if (cfg.persist.enabled()) {
+        // The identity string pins the array shape + seed alongside
+        // the shard count the tier's MANIFEST records: replaying logs
+        // into a differently-shaped store would scatter keys.
+        const std::string identity =
+            cfg.array.label() + " blocks=" +
+            std::to_string(cfg.array.blocks) +
+            " seed=" + std::to_string(cfg.array.seed);
+        auto tier_or =
+            persist::PersistTier::open(cfg.persist, cfg.shards, identity);
+        if (!tier_or) return tier_or.status();
+        store->persist_ = std::move(*tier_or);
+        ZkvStore* raw = store.get();
+        store->persist_->setSnapshotSource(
+            [raw](std::uint32_t shard) {
+                return raw->captureShardSnapshot(shard);
+            });
     }
     return store;
 }
@@ -188,39 +215,57 @@ ZkvStore::put(std::uint64_t key, std::uint64_t value)
             "zkv: key " + std::to_string(key) +
             " is reserved (array invalid-address sentinel)");
     }
-    Shard& sh = *shards_[shardOf(key)];
-    std::lock_guard<ShardLock> g(sh.lock);
-    sh.stats.puts++;
-    AccessContext ctx{key, kNoNextUse};
+    const std::uint32_t shard = shardOf(key);
+    Shard& sh = *shards_[shard];
     PutResult res;
+    std::uint64_t pseq = 0;
+    {
+        std::lock_guard<ShardLock> g(sh.lock);
+        sh.stats.puts++;
+        AccessContext ctx{key, kNoNextUse};
 
-    BlockPos pos = sh.array->access(key, ctx);
-    if (pos != kInvalidPos) {
-        sh.mirror->setValue(pos, value);
-        sh.stats.putUpdates++;
-        return res;
+        BlockPos pos = sh.array->access(key, ctx);
+        if (pos != kInvalidPos) {
+            sh.mirror->setValue(pos, value);
+            sh.stats.putUpdates++;
+            if (persist_ != nullptr) {
+                pseq = persist_->logPut(shard, key, value);
+            }
+        } else {
+            if (ZC_INJECT_FAULT("store.walk")) {
+                return Status::resourceExhausted(
+                    "zkv: injected relocation-walk failure (site "
+                    "store.walk, shard " +
+                    std::to_string(shard) + ")");
+            }
+            sh.mirror->setPending(value);
+            Replacement r = sh.array->insert(key, ctx);
+            res.inserted = true;
+            res.candidates = r.candidates;
+            res.relocations = r.relocations;
+            sh.stats.putInserts++;
+            sh.stats.walkCandidates += r.candidates;
+            sh.stats.relocations += r.relocations;
+            if (r.evictedValid()) {
+                res.evicted = true;
+                res.evictedKey = r.evictedAddr;
+                res.evictedValue = sh.mirror->lastEvicted();
+                sh.stats.evictions++;
+            }
+            if (persist_ != nullptr) {
+                // Evict-then-put is the apply order: replaying the two
+                // records leaves exactly this shard state.
+                if (res.evicted) persist_->logEvict(shard, res.evictedKey);
+                pseq = persist_->logPut(shard, key, value);
+            }
+        }
     }
-
-    if (ZC_INJECT_FAULT("store.walk")) {
-        return Status::resourceExhausted(
-            "zkv: injected relocation-walk failure (site store.walk, "
-            "shard " +
-            std::to_string(shardOf(key)) + ")");
-    }
-
-    sh.mirror->setPending(value);
-    Replacement r = sh.array->insert(key, ctx);
-    res.inserted = true;
-    res.candidates = r.candidates;
-    res.relocations = r.relocations;
-    sh.stats.putInserts++;
-    sh.stats.walkCandidates += r.candidates;
-    sh.stats.relocations += r.relocations;
-    if (r.evictedValid()) {
-        res.evicted = true;
-        res.evictedKey = r.evictedAddr;
-        res.evictedValue = sh.mirror->lastEvicted();
-        sh.stats.evictions++;
+    // Group-commit wait happens after the lock is released so the
+    // shard stays available to other threads during the fsync.
+    if (pseq != 0) {
+        if (Status s = persist_->waitDurable(shard, pseq); !s.isOk()) {
+            return s;
+        }
     }
     return res;
 }
@@ -229,11 +274,25 @@ bool
 ZkvStore::erase(std::uint64_t key)
 {
     if (obsEnabled_) return eraseTraced(key);
-    Shard& sh = *shards_[shardOf(key)];
-    std::lock_guard<ShardLock> g(sh.lock);
-    sh.stats.erases++;
-    bool hit = sh.array->invalidate(key);
-    if (hit) sh.stats.eraseHits++;
+    const std::uint32_t shard = shardOf(key);
+    Shard& sh = *shards_[shard];
+    bool hit = false;
+    std::uint64_t pseq = 0;
+    {
+        std::lock_guard<ShardLock> g(sh.lock);
+        sh.stats.erases++;
+        hit = sh.array->invalidate(key);
+        if (hit) {
+            sh.stats.eraseHits++;
+            if (persist_ != nullptr) pseq = persist_->logErase(shard, key);
+        }
+    }
+    // The bool API is kept: a durability failure here is sticky and
+    // surfaces through the tier's counters and stopPersist().
+    if (pseq != 0) {
+        Status ignored = persist_->waitDurable(shard, pseq);
+        (void)ignored;
+    }
     return hit;
 }
 
@@ -251,6 +310,12 @@ ZkvStore::runShardBatch(std::uint32_t shard,
     // after it is released, like the single-op traced paths.
     std::vector<ObsOpRecord> recs;
     if (traced && tracer_ != nullptr) recs.reserve(ops.size());
+
+    // Mutations logged to the durability tier this batch: one wait on
+    // the batch's highest seqno covers them all (seqnos are assigned
+    // in queue order under the lock held below).
+    std::uint64_t persistSeq = 0;
+    std::vector<std::size_t> persistIdx;
 
     std::uint64_t tBatch = 0;
     ShardLock::Acquire acq{};
@@ -336,6 +401,11 @@ ZkvStore::runShardBatch(std::uint32_t shard,
                     sh.stats.putUpdates++;
                     res.hit = true;
                     rec.flags |= kObsFlagHit;
+                    if (persist_ != nullptr) {
+                        persistSeq =
+                            persist_->logPut(shard, op.key, op.value);
+                        persistIdx.push_back(i);
+                    }
                     break;
                 }
                 if (ZC_INJECT_FAULT("store.walk")) {
@@ -356,6 +426,13 @@ ZkvStore::runShardBatch(std::uint32_t shard,
                     Replacement r = sh.array->insert(op.key, ctx);
                     applyInsert(r, res, rec);
                 }
+                if (persist_ != nullptr) {
+                    if (res.evicted) {
+                        persist_->logEvict(shard, res.evictedKey);
+                    }
+                    persistSeq = persist_->logPut(shard, op.key, op.value);
+                    persistIdx.push_back(i);
+                }
                 break;
               }
               case ObsOp::Erase: {
@@ -364,6 +441,10 @@ ZkvStore::runShardBatch(std::uint32_t shard,
                     sh.stats.eraseHits++;
                     res.hit = true;
                     rec.flags |= kObsFlagHit;
+                    if (persist_ != nullptr) {
+                        persistSeq = persist_->logErase(shard, op.key);
+                        persistIdx.push_back(i);
+                    }
                 }
                 break;
               }
@@ -388,6 +469,19 @@ ZkvStore::runShardBatch(std::uint32_t shard,
                 sh.obs.walkNs += rec.walkNs;
                 sh.obs.opNs += rec.durNs;
                 if (tracer_ != nullptr) recs.push_back(rec);
+            }
+        }
+    }
+    // Group-commit wait after the lock is released: one wait on the
+    // batch's highest seqno covers every mutation it logged.
+    if (persistSeq != 0) {
+        if (Status s = persist_->waitDurable(shard, persistSeq);
+            !s.isOk()) {
+            // The state changed but never became durable — surface a
+            // structured failure on each op this batch logged rather
+            // than acking writes a crash would lose.
+            for (std::size_t i : persistIdx) {
+                out[i].code = ErrorCode::IoError;
             }
         }
     }
@@ -515,6 +609,7 @@ ZkvStore::putTraced(std::uint64_t key, std::uint64_t value)
     }
 
     Expected<PutResult> out = PutResult{};
+    std::uint64_t pseq = 0;
     {
         std::lock_guard<ShardLock> g(sh.lock, std::adopt_lock);
         sh.stats.puts++;
@@ -528,6 +623,9 @@ ZkvStore::putTraced(std::uint64_t key, std::uint64_t value)
             sh.mirror->setValue(pos, value);
             sh.stats.putUpdates++;
             rec.flags |= kObsFlagHit;
+            if (persist_ != nullptr) {
+                pseq = persist_->logPut(shard, key, value);
+            }
         } else if (ZC_INJECT_FAULT("store.walk")) {
             out = Status::resourceExhausted(
                 "zkv: injected relocation-walk failure (site store.walk, "
@@ -556,6 +654,10 @@ ZkvStore::putTraced(std::uint64_t key, std::uint64_t value)
                 sh.stats.evictions++;
                 rec.flags |= kObsFlagEvicted;
             }
+            if (persist_ != nullptr) {
+                if (res.evicted) persist_->logEvict(shard, res.evictedKey);
+                pseq = persist_->logPut(shard, key, value);
+            }
         }
         rec.durNs = obsDurNs(rec.tsBeginNs, tEnd);
         sh.obs.lockAcquisitions++;
@@ -567,6 +669,11 @@ ZkvStore::putTraced(std::uint64_t key, std::uint64_t value)
         sh.obs.opNs += rec.durNs;
     }
     if (tracer_ != nullptr) tracer_->channel()->record(rec);
+    if (pseq != 0) {
+        if (Status s = persist_->waitDurable(shard, pseq); !s.isOk()) {
+            return s;
+        }
+    }
     return out;
 }
 
@@ -593,6 +700,7 @@ ZkvStore::eraseTraced(std::uint64_t key)
     }
 
     bool hit = false;
+    std::uint64_t pseq = 0;
     {
         std::lock_guard<ShardLock> g(sh.lock, std::adopt_lock);
         sh.stats.erases++;
@@ -602,6 +710,7 @@ ZkvStore::eraseTraced(std::uint64_t key)
         if (hit) {
             sh.stats.eraseHits++;
             rec.flags |= kObsFlagHit;
+            if (persist_ != nullptr) pseq = persist_->logErase(shard, key);
         }
         rec.durNs = obsDurNs(rec.tsBeginNs, tEnd);
         sh.obs.lockAcquisitions++;
@@ -612,7 +721,103 @@ ZkvStore::eraseTraced(std::uint64_t key)
         sh.obs.opNs += rec.durNs;
     }
     if (tracer_ != nullptr) tracer_->channel()->record(rec);
+    // Same contract as the plain path: the bool API is kept, and a
+    // durability failure stays visible via the tier's sticky error.
+    if (pseq != 0) {
+        Status ignored = persist_->waitDurable(shard, pseq);
+        (void)ignored;
+    }
     return hit;
+}
+
+// ---- durability tier -----------------------------------------------
+
+void
+ZkvStore::replayPut(std::uint32_t shard, std::uint64_t key,
+                    std::uint64_t value)
+{
+    if (key == kReservedKey) return;
+    Shard& sh = *shards_[shard];
+    std::lock_guard<ShardLock> g(sh.lock);
+    AccessContext ctx{key, kNoNextUse};
+    BlockPos pos = sh.array->access(key, ctx);
+    if (pos != kInvalidPos) {
+        sh.mirror->setValue(pos, value);
+        return;
+    }
+    sh.mirror->setPending(value);
+    // Replay inserts may themselves evict (capacity): misses after
+    // recovery are acceptable, resurrections are not — and since the
+    // tier is not active yet, nothing here is re-logged.
+    (void)sh.array->insert(key, ctx);
+}
+
+void
+ZkvStore::replayErase(std::uint32_t shard, std::uint64_t key)
+{
+    Shard& sh = *shards_[shard];
+    std::lock_guard<ShardLock> g(sh.lock);
+    (void)sh.array->invalidate(key);
+}
+
+Expected<persist::RecoveryReport>
+ZkvStore::recover()
+{
+    if (persist_ == nullptr) {
+        return Status::invalidArgument(
+            "zkv: recover() needs persistence configured (set a data "
+            "directory)");
+    }
+    persist::ReplayTarget target;
+    target.applyPut = [this](std::uint32_t shard, std::uint64_t key,
+                             std::uint64_t value) {
+        replayPut(shard, key, value);
+    };
+    target.applyErase = [this](std::uint32_t shard, std::uint64_t key) {
+        replayErase(shard, key);
+    };
+    auto report_or = persist_->recover(target);
+    if (!report_or) return report_or.status();
+    if (Status s = persist_->start(); !s.isOk()) return s;
+    return report_or;
+}
+
+Status
+ZkvStore::stopPersist()
+{
+    if (persist_ == nullptr) return Status::ok();
+    return persist_->stop();
+}
+
+void
+ZkvStore::forEachInShard(
+    std::uint32_t shard,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const
+{
+    zc_assert(shard < shards_.size());
+    Shard& sh = *shards_[shard];
+    std::lock_guard<ShardLock> g(sh.lock);
+    sh.array->forEachValid([&](BlockPos pos, Addr addr) {
+        fn(addr, sh.mirror->valueAt(pos));
+    });
+}
+
+persist::SnapshotData
+ZkvStore::captureShardSnapshot(std::uint32_t shard) const
+{
+    zc_assert(persist_ != nullptr);
+    zc_assert(shard < shards_.size());
+    Shard& sh = *shards_[shard];
+    std::lock_guard<ShardLock> g(sh.lock);
+    persist::SnapshotData snap;
+    // Watermark and enumeration under the same lock acquisition: the
+    // image is exactly the state after every op with seqno <= it.
+    snap.watermark = persist_->lastSeqno(shard);
+    snap.entries.reserve(sh.array->validCount());
+    sh.array->forEachValid([&](BlockPos pos, Addr addr) {
+        snap.entries.emplace_back(addr, sh.mirror->valueAt(pos));
+    });
+    return snap;
 }
 
 std::uint64_t
@@ -751,6 +956,13 @@ ZkvStore::registerStats(StatGroup& g)
                    [this] { return obsTotals().walkNs; });
     obs.addCounter("op_ns", "summed whole-op time",
                    [this] { return obsTotals().opNs; });
+
+    // Durability tier counters exist only when persistence is on, so
+    // the default (in-memory) stats dump stays byte-identical.
+    if (persist_ != nullptr) {
+        persist_->registerStats(
+            root.group("persist", "durability tier (docs/durability.md)"));
+    }
 
     for (std::uint32_t i = 0; i < shards_.size(); i++) {
         StatGroup& sh = root.group("shard" + std::to_string(i));

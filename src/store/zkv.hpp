@@ -47,6 +47,7 @@
 #include "common/stats_registry.hpp"
 #include "common/types.hpp"
 #include "obs/trace_event.hpp"
+#include "persist/persist.hpp"
 
 namespace zc {
 
@@ -90,6 +91,14 @@ struct ZkvConfig
     ShardLockKind lock = ShardLockKind::Mutex;
 
     /**
+     * Durability tier (docs/durability.md). Disabled by default
+     * (empty data directory): the store is then a pure cache with
+     * zero persistence overhead on the op paths. When enabled,
+     * create() opens the tier and recover() must run before traffic.
+     */
+    persist::PersistConfig persist;
+
+    /**
      * The per-shard ArraySpec: identical to `array` except for a
      * splitmix64-derived seed unique to @p shard. Public so tests can
      * build a bare reference array with the exact seed a shard uses
@@ -110,6 +119,7 @@ struct ZkvConfig
         if (shards == 0) {
             return Status::invalidArgument("zkv: shards must be > 0");
         }
+        if (Status s = persist.validate(); !s.isOk()) return s;
         return validateSpec(array);
     }
 };
@@ -378,6 +388,48 @@ class ZkvStore
     /** Sum of all shards' attribution counters. */
     ZkvShardObs obsTotals() const;
 
+    // ---- durability tier (docs/durability.md) ----------------------
+
+    /** True when a data directory was configured at create(). */
+    bool persistEnabled() const { return persist_ != nullptr; }
+
+    /**
+     * Replay the data directory (snapshot, then log) into the shards
+     * and start the writer threads. Required before traffic whenever
+     * persistence is configured — a fresh directory recovers trivially
+     * to an empty report. Runs exactly once per store.
+     */
+    Expected<persist::RecoveryReport> recover();
+
+    /**
+     * Drain and join the durability tier, surfacing the first sticky
+     * writer error (the dtor also stops it, but silently). Safe to
+     * call with persistence off (returns Ok).
+     */
+    Status stopPersist();
+
+    /** The tier itself (counters, waitDurable); null when disabled. */
+    persist::PersistTier* persistTier() { return persist_.get(); }
+
+    /**
+     * Walk-free iteration over one shard's live (key, value) pairs,
+     * under that shard's lock. This is the enumeration primitive the
+     * compaction snapshot uses; tests use it to diff store contents
+     * against a shadow map without a key probe per entry.
+     */
+    void forEachInShard(
+        std::uint32_t shard,
+        const std::function<void(std::uint64_t key, std::uint64_t value)>&
+            fn) const;
+
+    /**
+     * Point-in-time image of one shard plus the seqno watermark, both
+     * read under the shard lock (so the snapshot is exactly the state
+     * after every op with seqno <= watermark). Requires persistence.
+     */
+    persist::SnapshotData
+    captureShardSnapshot(std::uint32_t shard) const;
+
     /**
      * Register the store's stats tree under @p g: config strings, a
      * totals group, and per-shard groups each containing the shard's
@@ -403,8 +455,18 @@ class ZkvStore
     Expected<PutResult> putTraced(std::uint64_t key, std::uint64_t value);
     bool eraseTraced(std::uint64_t key);
 
+    /** Recovery-only mutators: apply state without counting stats or
+     *  re-logging (the tier is not active during replay). */
+    void replayPut(std::uint32_t shard, std::uint64_t key,
+                   std::uint64_t value);
+    void replayErase(std::uint32_t shard, std::uint64_t key);
+
     ZkvConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    // Declared after shards_ so it is destroyed (writer + snapshot
+    // threads joined) before the shards its callbacks reference.
+    std::unique_ptr<persist::PersistTier> persist_;
 
     bool obsEnabled_ = false;
     ObsTracer* tracer_ = nullptr;

@@ -1,0 +1,713 @@
+/**
+ * @file
+ * Durability-tier tests (src/persist, docs/durability.md): config
+ * validation, log round-trips through a real ZkvStore, compaction
+ * snapshots, torn-tail salvage at EVERY byte offset of the final
+ * record, hand-crafted seqno gaps, the persist.* fault sites,
+ * backpressure drop accounting, persistence-on-vs-off equivalence,
+ * MANIFEST identity refusal, and a fork+SIGKILL crash test proving
+ * fsync=always acked writes survive an unclean death (the CI
+ * crash-recovery smoke job's in-process twin).
+ */
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "persist/oplog.hpp"
+#include "persist/persist.hpp"
+#include "store/zkv.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ZC_TSAN 1
+#endif
+#endif
+#if !defined(ZC_TSAN) && defined(__SANITIZE_THREAD__)
+#define ZC_TSAN 1
+#endif
+
+namespace zc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared helpers.
+
+/** List regular files in @p dir (flat; persist dirs have no subdirs). */
+std::vector<std::string>
+listDir(const std::string& dir)
+{
+    std::vector<std::string> out;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return out;
+    while (dirent* e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name != "." && name != "..") out.push_back(name);
+    }
+    ::closedir(d);
+    return out;
+}
+
+void
+removeAll(const std::string& dir)
+{
+    for (const std::string& f : listDir(dir)) {
+        std::remove((dir + "/" + f).c_str());
+    }
+    ::rmdir(dir.c_str());
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string& path)
+{
+    std::vector<std::uint8_t> out;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return out;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        out.insert(out.end(), buf, buf + n);
+    }
+    std::fclose(f);
+    return out;
+}
+
+bool
+writeFileBytes(const std::string& path,
+               const std::vector<std::uint8_t>& bytes)
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    bool ok = bytes.empty() ||
+              std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                  bytes.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+class PersistTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        FaultInjection::resetAll();
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = ::testing::TempDir() + "zc_persist_" + info->name() +
+               "_" + std::to_string(::getpid());
+        removeAll(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        FaultInjection::resetAll();
+        removeAll(dir_);
+    }
+
+    /** Single-shard zcache store with the persist tier at dir_. */
+    ZkvConfig
+    config(persist::FsyncPolicy fsync = persist::FsyncPolicy::Always,
+           std::uint32_t blocks = 4096) const
+    {
+        ZkvConfig cfg;
+        cfg.shards = 1;
+        cfg.array.kind = ArrayKind::ZCache;
+        cfg.array.blocks = blocks;
+        cfg.array.ways = 4;
+        cfg.array.levels = 2;
+        cfg.array.policy = PolicyKind::Lru;
+        cfg.array.seed = 0xbeef;
+        cfg.persist.dataDir = dir_;
+        cfg.persist.fsync = fsync;
+        return cfg;
+    }
+
+    /** Create + recover, asserting both succeed. */
+    std::unique_ptr<ZkvStore>
+    open(const ZkvConfig& cfg,
+         persist::RecoveryReport* report = nullptr)
+    {
+        auto store_or = ZkvStore::create(cfg);
+        EXPECT_TRUE(store_or.hasValue()) << store_or.status().str();
+        if (!store_or.hasValue()) return nullptr;
+        auto rep_or = (*store_or)->recover();
+        EXPECT_TRUE(rep_or.hasValue()) << rep_or.status().str();
+        if (!rep_or.hasValue()) return nullptr;
+        if (report != nullptr) *report = std::move(*rep_or);
+        return std::move(*store_or);
+    }
+
+    /** All resident (key, value) pairs across every shard. */
+    static std::map<std::uint64_t, std::uint64_t>
+    dump(const ZkvStore& kv, std::uint32_t shards = 1)
+    {
+        std::map<std::uint64_t, std::uint64_t> out;
+        for (std::uint32_t s = 0; s < shards; s++) {
+            kv.forEachInShard(s,
+                              [&](std::uint64_t k, std::uint64_t v) {
+                                  out[k] = v;
+                              });
+        }
+        return out;
+    }
+
+    std::string dir_;
+};
+
+// ---------------------------------------------------------------------
+// Config validation.
+
+TEST(PersistConfigTest, DisabledConfigAlwaysValidates)
+{
+    persist::PersistConfig cfg;
+    cfg.queueCap = 0; // nonsense, but the tier is off
+    EXPECT_FALSE(cfg.enabled());
+    EXPECT_TRUE(cfg.validate().isOk());
+}
+
+TEST(PersistConfigTest, RejectsZeroQueueCap)
+{
+    persist::PersistConfig cfg;
+    cfg.dataDir = "/tmp/x";
+    cfg.queueCap = 0;
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(PersistConfigTest, RejectsZeroIntervalWithIntervalFsync)
+{
+    persist::PersistConfig cfg;
+    cfg.dataDir = "/tmp/x";
+    cfg.fsync = persist::FsyncPolicy::Interval;
+    cfg.fsyncIntervalMs = 0;
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(PersistConfigTest, RejectsAlwaysFsyncWithDropBackpressure)
+{
+    // A dropped record can never become durable, so an acked write
+    // could wait on waitDurable() forever: structurally impossible.
+    persist::PersistConfig cfg;
+    cfg.dataDir = "/tmp/x";
+    cfg.fsync = persist::FsyncPolicy::Always;
+    cfg.backpressure = persist::Backpressure::Drop;
+    Status s = cfg.validate();
+    EXPECT_EQ(s.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(s.message().find("drop"), std::string::npos);
+}
+
+TEST(PersistConfigTest, ParseRoundTrips)
+{
+    EXPECT_EQ(*persist::parseFsyncPolicy("always"),
+              persist::FsyncPolicy::Always);
+    EXPECT_EQ(*persist::parseFsyncPolicy("interval"),
+              persist::FsyncPolicy::Interval);
+    EXPECT_EQ(*persist::parseFsyncPolicy("never"),
+              persist::FsyncPolicy::Never);
+    EXPECT_FALSE(persist::parseFsyncPolicy("sometimes").hasValue());
+    EXPECT_EQ(*persist::parseBackpressure("block"),
+              persist::Backpressure::Block);
+    EXPECT_EQ(*persist::parseBackpressure("drop"),
+              persist::Backpressure::Drop);
+    EXPECT_FALSE(persist::parseBackpressure("spill").hasValue());
+}
+
+// ---------------------------------------------------------------------
+// Round trip: mutate, shut down cleanly, recover, compare.
+
+TEST_F(PersistTest, RoundTripRestoresExactContents)
+{
+    std::map<std::uint64_t, std::uint64_t> before;
+    {
+        auto kv = open(config());
+        ASSERT_NE(kv, nullptr);
+        for (std::uint64_t k = 1; k <= 200; k++) {
+            ASSERT_TRUE(kv->put(k, k * 31 + 7).hasValue());
+        }
+        for (std::uint64_t k = 1; k <= 200; k += 5) {
+            kv->erase(k);
+        }
+        // Overwrites must replay last-write-wins.
+        for (std::uint64_t k = 2; k <= 200; k += 7) {
+            ASSERT_TRUE(kv->put(k, k ^ 0xabcdULL).hasValue());
+        }
+        before = dump(*kv);
+        EXPECT_TRUE(kv->stopPersist().isOk());
+    }
+    ASSERT_FALSE(before.empty());
+
+    // Replay applies the op sequence in original order to the same
+    // array seed, so the recovered state matches exactly — not just
+    // on hits (no snapshot, no gets: recovery is a pure replay).
+    persist::RecoveryReport rep;
+    auto kv = open(config(), &rep);
+    ASSERT_NE(kv, nullptr);
+    EXPECT_EQ(rep.totalSalvagedBytes(), 0u);
+    EXPECT_EQ(rep.totalGaps(), 0u);
+    EXPECT_GT(rep.totalReplayed(), 0u);
+    EXPECT_EQ(dump(*kv), before);
+
+    // Erased keys stay gone.
+    EXPECT_EQ(kv->get(1), std::nullopt);
+    EXPECT_EQ(kv->get(6), std::nullopt);
+}
+
+TEST_F(PersistTest, RecoverTwiceIsRejected)
+{
+    auto kv = open(config());
+    ASSERT_NE(kv, nullptr);
+    EXPECT_FALSE(kv->recover().hasValue());
+}
+
+TEST_F(PersistTest, RecoverWithoutPersistenceIsRejected)
+{
+    ZkvConfig cfg = config();
+    cfg.persist.dataDir.clear();
+    auto store_or = ZkvStore::create(cfg);
+    ASSERT_TRUE(store_or.hasValue());
+    EXPECT_FALSE((*store_or)->persistEnabled());
+    auto rep = (*store_or)->recover();
+    EXPECT_EQ(rep.status().code(), ErrorCode::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Snapshots + compaction.
+
+TEST_F(PersistTest, SnapshotCompactsLogAndRecovers)
+{
+    std::map<std::uint64_t, std::uint64_t> before;
+    {
+        auto kv = open(config());
+        ASSERT_NE(kv, nullptr);
+        for (std::uint64_t k = 1; k <= 50; k++) {
+            ASSERT_TRUE(kv->put(k, k + 1000).hasValue());
+        }
+        ASSERT_TRUE(kv->persistTier()->snapshotNow().isOk());
+        for (std::uint64_t k = 51; k <= 60; k++) {
+            ASSERT_TRUE(kv->put(k, k + 1000).hasValue());
+        }
+        before = dump(*kv);
+        EXPECT_TRUE(kv->stopPersist().isOk());
+    }
+
+    // Compaction rotated to segment 1 and deleted segment 0: the
+    // snapshot covers everything behind the rotation point.
+    std::set<std::string> files;
+    for (const std::string& f : listDir(dir_)) files.insert(f);
+    EXPECT_TRUE(files.count("shard0.snap") == 1) << "no snapshot";
+    EXPECT_TRUE(files.count("shard0-000001.log") == 1)
+        << "no rotated segment";
+    EXPECT_TRUE(files.count("shard0-000000.log") == 0)
+        << "compaction left the old segment behind";
+
+    persist::RecoveryReport rep;
+    auto kv = open(config(), &rep);
+    ASSERT_NE(kv, nullptr);
+    ASSERT_EQ(rep.shards.size(), 1u);
+    EXPECT_TRUE(rep.shards[0].snapshotLoaded);
+    EXPECT_GT(rep.shards[0].snapshotRecords, 0u);
+    EXPECT_EQ(rep.shards[0].replayed, 10u);
+    EXPECT_EQ(rep.shards[0].skipped, 0u);
+
+    // Snapshot reload changes replacement metadata, so the contract
+    // is the shadow-map one: hits bit-identical, misses only for
+    // keys the recovered array re-evicted, no resurrections.
+    auto after = dump(*kv);
+    for (const auto& [k, v] : after) {
+        auto it = before.find(k);
+        ASSERT_NE(it, before.end())
+            << "key " << k << " resurrected from nowhere";
+        EXPECT_EQ(it->second, v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: torn-tail salvage at EVERY byte offset of the last
+// record. Fixed 33-byte records make each boundary exact.
+
+TEST_F(PersistTest, TornTailSalvagedAtEveryByteOffset)
+{
+    constexpr std::uint64_t kOps = 8;
+    {
+        auto kv = open(config());
+        ASSERT_NE(kv, nullptr);
+        for (std::uint64_t k = 1; k <= kOps; k++) {
+            ASSERT_TRUE(kv->put(k, k * 11).hasValue());
+        }
+        EXPECT_TRUE(kv->stopPersist().isOk());
+    }
+    const std::string log = dir_ + "/shard0-000000.log";
+    const std::vector<std::uint8_t> pristine = readFileBytes(log);
+    ASSERT_EQ(pristine.size(), kOps * persist::kOpRecordSize);
+
+    const std::size_t base = (kOps - 1) * persist::kOpRecordSize;
+    for (std::size_t cut = 0; cut < persist::kOpRecordSize; cut++) {
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        std::vector<std::uint8_t> torn(pristine.begin(),
+                                       pristine.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               base + cut));
+        ASSERT_TRUE(writeFileBytes(log, torn));
+
+        persist::RecoveryReport rep;
+        auto kv = open(config(), &rep);
+        ASSERT_NE(kv, nullptr);
+        ASSERT_EQ(rep.shards.size(), 1u);
+        const persist::ShardRecovery& sr = rep.shards[0];
+        EXPECT_EQ(sr.logRecords, kOps - 1);
+        EXPECT_EQ(sr.replayed, kOps - 1);
+        EXPECT_EQ(sr.salvagedBytes, cut);
+        if (cut == 0) {
+            // A clean record boundary is not a torn tail.
+            EXPECT_TRUE(sr.warnings.empty());
+        } else {
+            EXPECT_FALSE(sr.warnings.empty());
+        }
+
+        // Everything before the tear survives bit-identically; the
+        // torn record is gone, never a crash or a half-applied op.
+        for (std::uint64_t k = 1; k < kOps; k++) {
+            EXPECT_EQ(kv->get(k), std::optional<std::uint64_t>(k * 11));
+        }
+        EXPECT_EQ(kv->get(kOps), std::nullopt);
+        EXPECT_TRUE(kv->stopPersist().isOk());
+        kv.reset();
+
+        // Salvage truncated the file back to the last whole record.
+        EXPECT_EQ(readFileBytes(log).size(), base);
+        // Restore for the next iteration (recovery re-opened the
+        // tier, which may have appended nothing but keeps the file).
+        ASSERT_TRUE(writeFileBytes(log, pristine));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seqno gaps: drop evidence with exact offsets, never fatal.
+
+TEST_F(PersistTest, SeqnoGapReportedWithExactOffset)
+{
+    {
+        auto kv = open(config());
+        ASSERT_NE(kv, nullptr);
+        ASSERT_TRUE(kv->put(1, 100).hasValue()); // seq 1
+        ASSERT_TRUE(kv->put(2, 200).hasValue()); // seq 2
+        EXPECT_TRUE(kv->stopPersist().isOk());
+    }
+    // Append seq 5 by hand: seqs 3 and 4 were "dropped".
+    std::vector<std::uint8_t> rec;
+    persist::OpRecord r;
+    r.seqno = 5;
+    r.kind = persist::OpKind::Put;
+    r.key = 777;
+    r.value = 888;
+    persist::encodeOpRecord(rec, r);
+    {
+        std::FILE* f =
+            std::fopen((dir_ + "/shard0-000000.log").c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(rec.data(), 1, rec.size(), f),
+                  rec.size());
+        std::fclose(f);
+    }
+
+    persist::RecoveryReport rep;
+    auto kv = open(config(), &rep);
+    ASSERT_NE(kv, nullptr);
+    ASSERT_EQ(rep.shards.size(), 1u);
+    const persist::ShardRecovery& sr = rep.shards[0];
+    EXPECT_EQ(sr.replayed, 3u);
+    ASSERT_EQ(sr.gaps.size(), 1u);
+    EXPECT_EQ(sr.gaps[0].prevSeqno, 2u);
+    EXPECT_EQ(sr.gaps[0].nextSeqno, 5u);
+    EXPECT_EQ(sr.gaps[0].byteOffset, 2 * persist::kOpRecordSize);
+    EXPECT_EQ(sr.droppedRecords, 2u);
+    EXPECT_EQ(kv->get(777), std::optional<std::uint64_t>(888));
+
+    // The tier resumes after the high-water mark, not the gap.
+    ASSERT_TRUE(kv->put(9, 900).hasValue());
+    EXPECT_EQ(kv->persistTier()->lastSeqno(0), 6u);
+}
+
+TEST_F(PersistTest, EvictRecordReplaysAsEraseNoResurrection)
+{
+    {
+        auto kv = open(config());
+        ASSERT_NE(kv, nullptr);
+        ASSERT_TRUE(kv->put(42, 4242).hasValue()); // seq 1
+        EXPECT_TRUE(kv->stopPersist().isOk());
+    }
+    std::vector<std::uint8_t> rec;
+    persist::OpRecord r;
+    r.seqno = 2;
+    r.kind = persist::OpKind::Evict;
+    r.key = 42;
+    persist::encodeOpRecord(rec, r);
+    {
+        std::FILE* f =
+            std::fopen((dir_ + "/shard0-000000.log").c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(rec.data(), 1, rec.size(), f),
+                  rec.size());
+        std::fclose(f);
+    }
+    auto kv = open(config());
+    ASSERT_NE(kv, nullptr);
+    EXPECT_EQ(kv->get(42), std::nullopt)
+        << "an evicted key resurrected through recovery";
+}
+
+// ---------------------------------------------------------------------
+// MANIFEST identity.
+
+TEST_F(PersistTest, ManifestMismatchRefusesRecovery)
+{
+    {
+        auto kv = open(config());
+        ASSERT_NE(kv, nullptr);
+        ASSERT_TRUE(kv->put(1, 1).hasValue());
+        EXPECT_TRUE(kv->stopPersist().isOk());
+    }
+    ZkvConfig other = config();
+    other.array.seed = 0xdead; // different store identity
+    auto store_or = ZkvStore::create(other);
+    ASSERT_FALSE(store_or.hasValue());
+    EXPECT_EQ(store_or.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(store_or.status().message().find("MANIFEST"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Fault sites (docs/robustness.md): structured errors, never crashes.
+
+TEST_F(PersistTest, AppendFaultFailsAckedWritesStickily)
+{
+    auto kv = open(config(persist::FsyncPolicy::Always));
+    ASSERT_NE(kv, nullptr);
+    ASSERT_TRUE(kv->put(1, 1).hasValue());
+
+    ScopedFault fault("persist.append");
+    auto r = kv->put(2, 2);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.status().code(), ErrorCode::IoError);
+
+    // Failure is sticky: the log is no longer trustworthy, so later
+    // acked writes fail too even though the injected fault is done.
+    auto r2 = kv->put(3, 3);
+    ASSERT_FALSE(r2.hasValue());
+    auto c = kv->persistTier()->counters(0);
+    EXPECT_GE(c.appendErrors, 1u);
+    EXPECT_FALSE(kv->stopPersist().isOk());
+}
+
+TEST_F(PersistTest, FsyncFaultFailsAckedWrites)
+{
+    auto kv = open(config(persist::FsyncPolicy::Always));
+    ASSERT_NE(kv, nullptr);
+    ScopedFault fault("persist.fsync");
+    auto r = kv->put(1, 1);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.status().code(), ErrorCode::IoError);
+    EXPECT_GE(kv->persistTier()->counters(0).fsyncErrors, 1u);
+}
+
+TEST_F(PersistTest, SnapshotFaultIsCountedAndRetryable)
+{
+    auto kv = open(config());
+    ASSERT_NE(kv, nullptr);
+    for (std::uint64_t k = 1; k <= 10; k++) {
+        ASSERT_TRUE(kv->put(k, k).hasValue());
+    }
+    {
+        ScopedFault fault("persist.snapshot");
+        EXPECT_FALSE(kv->persistTier()->snapshotNow().isOk());
+        EXPECT_GE(kv->persistTier()->counters(0).snapshotErrors, 1u);
+    }
+    // A failed snapshot keeps the log: the tier still recovers, and
+    // the next attempt succeeds.
+    EXPECT_TRUE(kv->persistTier()->snapshotNow().isOk());
+    EXPECT_TRUE(kv->stopPersist().isOk());
+}
+
+TEST_F(PersistTest, RecoverFaultSurfacesStructured)
+{
+    auto store_or = ZkvStore::create(config());
+    ASSERT_TRUE(store_or.hasValue());
+    ScopedFault fault("persist.recover");
+    auto rep = (*store_or)->recover();
+    ASSERT_FALSE(rep.hasValue());
+    EXPECT_EQ(rep.status().code(), ErrorCode::IoError);
+}
+
+// ---------------------------------------------------------------------
+// Backpressure accounting: drops are counted, never silent.
+
+TEST_F(PersistTest, DropBackpressureCountsEveryRecord)
+{
+    ZkvConfig cfg = config(persist::FsyncPolicy::Never);
+    cfg.persist.backpressure = persist::Backpressure::Drop;
+    cfg.persist.queueCap = 2;
+    std::uint64_t logged = 0;
+    {
+        auto kv = open(cfg);
+        ASSERT_NE(kv, nullptr);
+        for (std::uint64_t k = 1; k <= 20000; k++) {
+            auto r = kv->put(k % 512 + 1, k);
+            ASSERT_TRUE(r.hasValue());
+            logged += 1 + (r->evicted ? 1 : 0);
+        }
+        EXPECT_TRUE(kv->stopPersist().isOk());
+        auto c = kv->persistTier()->counters(0);
+        // Every op either reached the queue or was counted dropped —
+        // nothing vanishes silently.
+        EXPECT_EQ(c.enqueued + c.dropped, logged);
+        EXPECT_EQ(c.appended, c.enqueued);
+    }
+
+    // Dropped records leave seqno gaps; recovery replays what
+    // survived and reports the holes without failing.
+    persist::RecoveryReport rep;
+    auto kv = open(cfg, &rep);
+    ASSERT_NE(kv, nullptr);
+    ASSERT_EQ(rep.shards.size(), 1u);
+    EXPECT_EQ(rep.shards[0].replayed + rep.shards[0].skipped,
+              rep.shards[0].logRecords);
+}
+
+// ---------------------------------------------------------------------
+// Persistence off by default, and on/off equivalence: the tier must
+// not perturb eviction decisions.
+
+TEST_F(PersistTest, PersistenceOffByDefault)
+{
+    ZkvConfig cfg;
+    cfg.shards = 1;
+    cfg.array.blocks = 64;
+    auto store_or = ZkvStore::create(cfg);
+    ASSERT_TRUE(store_or.hasValue());
+    EXPECT_FALSE((*store_or)->persistEnabled());
+    EXPECT_EQ((*store_or)->persistTier(), nullptr);
+}
+
+TEST_F(PersistTest, OnVsOffOpStreamsAreBitIdentical)
+{
+    // Small array so the stream genuinely evicts.
+    ZkvConfig on = config(persist::FsyncPolicy::Never, /*blocks=*/64);
+    ZkvConfig off = on;
+    off.persist.dataDir.clear();
+
+    auto kv_on = open(on);
+    ASSERT_NE(kv_on, nullptr);
+    auto off_or = ZkvStore::create(off);
+    ASSERT_TRUE(off_or.hasValue());
+    auto kv_off = std::move(*off_or);
+
+    std::uint64_t state = 0x243f6a8885a308d3ULL;
+    for (int i = 0; i < 5000; i++) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::uint64_t key = (state >> 33) % 512 + 1;
+        if (state % 10 < 7) {
+            auto a = kv_on->put(key, state);
+            auto b = kv_off->put(key, state);
+            ASSERT_TRUE(a.hasValue() && b.hasValue());
+            EXPECT_EQ(a->inserted, b->inserted);
+            EXPECT_EQ(a->evicted, b->evicted);
+            EXPECT_EQ(a->evictedKey, b->evictedKey);
+        } else if (state % 10 < 9) {
+            EXPECT_EQ(kv_on->get(key), kv_off->get(key));
+        } else {
+            EXPECT_EQ(kv_on->erase(key), kv_off->erase(key));
+        }
+    }
+    EXPECT_EQ(dump(*kv_on), dump(*kv_off));
+    EXPECT_TRUE(kv_on->stopPersist().isOk());
+}
+
+// ---------------------------------------------------------------------
+// The crash test: SIGKILL a child mid-load, recover in the parent,
+// and demand read-your-writes for every write the child saw acked.
+
+#if !defined(ZC_TSAN)
+TEST_F(PersistTest, SigkillAckedWritesSurvive)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: ack writes one by one, reporting each DURABLE key
+        // up the pipe only after its put returned (fsync=always: the
+        // ack means the record is on disk). Killed mid-stream.
+        ::close(fds[0]);
+        ZkvConfig cfg;
+        cfg.shards = 1;
+        cfg.array.kind = ArrayKind::ZCache;
+        cfg.array.blocks = 8192;
+        cfg.array.ways = 4;
+        cfg.array.levels = 2;
+        cfg.array.policy = PolicyKind::Lru;
+        cfg.array.seed = 0xbeef;
+        cfg.persist.dataDir = dir_;
+        cfg.persist.fsync = persist::FsyncPolicy::Always;
+        auto store_or = ZkvStore::create(cfg);
+        if (!store_or.hasValue()) ::_exit(10);
+        if (!(*store_or)->recover().hasValue()) ::_exit(11);
+        for (std::uint64_t k = 1; k <= 500; k++) {
+            if (!(*store_or)->put(k, k * 31 + 7).hasValue()) {
+                ::_exit(12);
+            }
+            if (::write(fds[1], &k, sizeof k) != sizeof k) {
+                ::_exit(13);
+            }
+        }
+        ::_exit(0); // finished before the parent got around to it
+    }
+
+    // Parent: collect acked keys until a healthy batch arrived, then
+    // kill without warning.
+    ::close(fds[1]);
+    std::vector<std::uint64_t> acked;
+    std::uint64_t k = 0;
+    while (acked.size() < 300 &&
+           ::read(fds[0], &k, sizeof k) == sizeof k) {
+        acked.push_back(k);
+    }
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ::close(fds[0]);
+    ASSERT_FALSE(acked.empty()) << "child never acked a write";
+
+    ZkvConfig cfg = config();
+    cfg.array.blocks = 8192;
+    persist::RecoveryReport rep;
+    auto kv = open(cfg, &rep);
+    ASSERT_NE(kv, nullptr);
+    EXPECT_GE(rep.totalReplayed(), acked.size());
+
+    // fsync=always: every write the child saw acked is recovered
+    // bit-identically. A torn tail may legally drop the LAST,
+    // un-acked record — never an acked one.
+    for (std::uint64_t key : acked) {
+        auto got = kv->get(key);
+        ASSERT_TRUE(got.has_value())
+            << "acked key " << key << " lost by the crash";
+        EXPECT_EQ(*got, key * 31 + 7);
+    }
+}
+#endif // !ZC_TSAN
+
+} // namespace
+} // namespace zc
