@@ -205,6 +205,18 @@ class JsonReport
         haveSweep_ = true;
     }
 
+    /**
+     * Attach an extra named top-level block (e.g. store_loadgen's
+     * "scaling" summary). Reserved names (report/perf/sweep/runs) are
+     * the caller's responsibility to avoid; later sets win.
+     */
+    void
+    setBlock(const std::string& key, JsonValue block)
+    {
+        if (!enabled()) return;
+        blocks_.emplace_back(key, std::move(block));
+    }
+
     /** Write the report; returns false (with a stderr note) on failure. */
     bool
     writeIfRequested()
@@ -213,6 +225,7 @@ class JsonReport
         JsonValue doc = JsonValue::object();
         doc.set("report", JsonValue(name_));
         doc.set("perf", perf_.toJson());
+        for (auto& [k, v] : blocks_) doc.set(k, std::move(v));
         if (haveSweep_) {
             JsonValue sweep = JsonValue::object();
             sweep.set("points", JsonValue(std::uint64_t{sweepPoints_}));
@@ -243,6 +256,7 @@ class JsonReport
     std::string name_;
     PerfMeter perf_;
     std::vector<JsonValue> runs_;
+    std::vector<std::pair<std::string, JsonValue>> blocks_;
     std::uint64_t sweepPoints_ = 0;
     std::uint64_t sweepFailed_ = 0;
     std::uint64_t sweepTimedOut_ = 0;

@@ -158,6 +158,50 @@ BM_StoreGetPut(benchmark::State& state)
 BENCHMARK(BM_StoreGetPut);
 
 /**
+ * BM_StoreGetPut's mix turned read-heavy (95/5) on the optimistic
+ * seqlock read path (docs/store.md, "Read path"). Single-threaded, so
+ * every optimistic get validates on its first attempt: the exported
+ * get_optimistic counter is the fraction of gets answered lock-free
+ * and must sit at 1.0 here — scripts/perf_gate.py renders it next to
+ * the throughput verdict, so a drop (gets falling back to the locked
+ * path) is visible in CI even before it costs throughput.
+ */
+void
+BM_StoreGetOptimistic(benchmark::State& state)
+{
+    ZkvConfig cfg;
+    cfg.shards = 4;
+    cfg.array.blocks = 4096;
+    cfg.readPath = ReadPath::Optimistic;
+    auto store = ZkvStore::create(cfg);
+    zc_assert(store.hasValue());
+    ZkvStore& kv = **store;
+    Pcg32 rng(7);
+    const std::uint64_t footprint = 32768;
+    for (int i = 0; i < 60000; i++) {
+        std::uint64_t key = rng.next64() % footprint;
+        (void)kv.put(key, key);
+    }
+    for (auto _ : state) {
+        std::uint64_t key = rng.next64() % footprint;
+        if (rng.uniform() < 0.95) {
+            benchmark::DoNotOptimize(kv.get(key));
+        } else {
+            benchmark::DoNotOptimize(kv.put(key, key));
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    const ZkvShardStats tot = kv.totals();
+    const ZkvShardObs obs = kv.obsTotals();
+    const double gets = tot.gets > 0 ? static_cast<double>(tot.gets) : 1.0;
+    state.counters["get_optimistic"] =
+        benchmark::Counter(static_cast<double>(obs.getOptimistic) / gets);
+    state.counters["get_fallback"] =
+        benchmark::Counter(static_cast<double>(obs.getFallback) / gets);
+}
+BENCHMARK(BM_StoreGetOptimistic);
+
+/**
  * BM_StoreGetPut with live telemetry on: instrumented op paths plus
  * one trace record per op into a per-thread ring drained by the
  * collector (count-only mode — no file I/O, so this measures the

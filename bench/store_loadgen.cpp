@@ -21,8 +21,23 @@
  *   --ops=200000         operations per thread
  *   --get=0.7            get fraction   (rest after erase = puts)
  *   --erase=0.05         erase fraction
+ *   --read-pct=95        shorthand: gets = N%, erases = 0, puts = rest
+ *                        (overrides --get/--erase)
+ *   --read-path=locked   get-path mode: locked | optimistic
+ *                        (docs/store.md "Read path"; optimistic = the
+ *                        lock-free seqlock fast path, no LRU promotion)
  *   --seed=1             base seed (per-point seeds derived)
  *   --json=<path>        standard JSON report (docs/store.md schema)
+ *
+ * Scaling mode (docs/performance.md):
+ *   --scaling            replace --threads with 1,2,4,...,nproc and
+ *                        emit a per-thread-count throughput + p99
+ *                        table (stdout) and a top-level "scaling"
+ *                        block in the JSON report, with get-throughput
+ *                        speedups relative to the 1-thread point.
+ *                        Defaults --read-path to optimistic (the mode
+ *                        whose scaling the CI gate asserts); other
+ *                        grid axes are clamped to their first value.
  *
  * Open-loop mode (net/openloop.hpp, docs/server.md):
  *   --open-loop --rate=N  issue ops at scheduled arrival times (N
@@ -75,6 +90,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -171,6 +187,20 @@ main(int argc, char** argv)
     double get_frac = std::atof(flag(argc, argv, "get", "0.7").c_str());
     double erase_frac =
         std::atof(flag(argc, argv, "erase", "0.05").c_str());
+    bool scaling = flagBool(argc, argv, "scaling");
+    std::string read_pct_str = flag(argc, argv, "read-pct", "");
+    if (!read_pct_str.empty()) {
+        double read_pct = std::atof(read_pct_str.c_str());
+        if (read_pct < 0.0 || read_pct > 100.0) {
+            std::fprintf(stderr,
+                         "error: --read-pct must be in [0, 100]\n");
+            return 2;
+        }
+        get_frac = read_pct / 100.0;
+        erase_frac = 0.0;
+    }
+    std::string read_path_name = flag(argc, argv, "read-path",
+                                      scaling ? "optimistic" : "locked");
     std::string policy_name = flag(argc, argv, "policy", "lru");
     std::string lock_name = flag(argc, argv, "lock", "mutex");
     std::string workload = flag(argc, argv, "workload", "canneal");
@@ -205,6 +235,36 @@ main(int argc, char** argv)
                      "error: unknown --lock '%s' (valid: mutex, spin)\n",
                      lock_name.c_str());
         return 2;
+    }
+    if (read_path_name != "locked" && read_path_name != "optimistic") {
+        std::fprintf(stderr,
+                     "error: unknown --read-path '%s' (valid: locked, "
+                     "optimistic)\n",
+                     read_path_name.c_str());
+        return 2;
+    }
+    const ReadPath read_path = read_path_name == "optimistic"
+                                   ? ReadPath::Optimistic
+                                   : ReadPath::Locked;
+    if (scaling) {
+        // One axis only: the thread count, 1,2,4,... up to the core
+        // count but never stopping short of 8 — the CI gate compares
+        // the 8-thread and 1-thread points, and a lock-free read path
+        // should hold its plateau even oversubscribed. Other list axes
+        // collapse to their first value so every point differs in
+        // threads alone.
+        unsigned nproc = std::thread::hardware_concurrency();
+        if (nproc == 0) nproc = 8;
+        std::uint64_t top = nproc < 8 ? 8 : nproc;
+        threads_list.clear();
+        for (std::uint64_t t = 1; t < top; t *= 2) {
+            threads_list.push_back(t);
+        }
+        threads_list.push_back(top);
+        shards_list.resize(1);
+        ways_list.resize(1);
+        cands_list.resize(1);
+        array_list.resize(1);
     }
     if (WorkloadRegistry::find(workload) == nullptr) {
         std::fprintf(stderr, "error: unknown --workload '%s'\n",
@@ -280,6 +340,7 @@ main(int argc, char** argv)
                         p.cfg.store.lock = lock_name == "spin"
                                                ? ShardLockKind::Spin
                                                : ShardLockKind::Mutex;
+                        p.cfg.store.readPath = read_path;
                         p.cfg.threads =
                             static_cast<std::uint32_t>(threads);
                         p.cfg.opsPerThread = ops;
@@ -382,6 +443,9 @@ main(int argc, char** argv)
                 {"lock",
                  JsonValue(std::string(
                      shardLockKindName(p.cfg.store.lock)))},
+                {"read_path",
+                 JsonValue(std::string(
+                     readPathName(p.cfg.store.readPath)))},
                 {"ops_per_thread", JsonValue(p.cfg.opsPerThread)},
                 {"open_loop_rate", JsonValue(p.cfg.openLoopRate)},
                 {"arrivals",
@@ -391,6 +455,74 @@ main(int argc, char** argv)
                 {"obs", std::move(obs)},
             },
             r.storeStats);
+    }
+
+    if (scaling) {
+        // Scaling summary: one row per thread count, speedups relative
+        // to the 1-thread point. Get throughput (not overall ops/s) is
+        // what the CI gate asserts — the optimistic path only changes
+        // gets, and a put-heavy mix would mask read-path scaling.
+        struct ScalRow
+        {
+            std::uint32_t threads = 0;
+            double opsPerSec = 0.0;
+            double getsPerSec = 0.0;
+            double p99 = 0.0;
+        };
+        std::vector<ScalRow> rows;
+        for (const auto& o : outcomes) {
+            if (!o.ok) continue;
+            const Point& p = grid[o.index];
+            const LoadGenResult& r = o.result;
+            ThreadStats agg = r.aggregate();
+            ScalRow row;
+            row.threads = p.cfg.threads;
+            row.opsPerSec = r.opsPerSec;
+            row.getsPerSec =
+                r.seconds > 0.0
+                    ? static_cast<double>(agg.gets) / r.seconds
+                    : 0.0;
+            row.p99 = r.timing().find("latency")->find("p99_ns")
+                          ->asDouble();
+            rows.push_back(row);
+        }
+        double base_gets = 0.0;
+        double base_ops = 0.0;
+        for (const ScalRow& row : rows) {
+            if (row.threads == 1) {
+                base_gets = row.getsPerSec;
+                base_ops = row.opsPerSec;
+            }
+        }
+        banner("get-throughput scaling (read path " + read_path_name +
+               ", " + std::to_string(static_cast<int>(get_frac * 100.0)) +
+               "% gets)");
+        std::printf("%8s %14s %14s %10s %9s\n", "threads", "ops/s",
+                    "gets/s", "p99_ns", "speedup");
+        JsonValue points = JsonValue::array();
+        for (const ScalRow& row : rows) {
+            double speedup =
+                base_gets > 0.0 ? row.getsPerSec / base_gets : 0.0;
+            std::printf("%8u %14.0f %14.0f %10.0f %8.2fx\n", row.threads,
+                        row.opsPerSec, row.getsPerSec, row.p99, speedup);
+            JsonValue rec = JsonValue::object();
+            rec.set("threads", JsonValue(std::uint64_t{row.threads}));
+            rec.set("ops_per_sec", JsonValue(row.opsPerSec));
+            rec.set("gets_per_sec", JsonValue(row.getsPerSec));
+            rec.set("p99_ns", JsonValue(row.p99));
+            rec.set("get_speedup", JsonValue(speedup));
+            rec.set("ops_speedup",
+                    JsonValue(base_ops > 0.0 ? row.opsPerSec / base_ops
+                                             : 0.0));
+            points.push(std::move(rec));
+        }
+        JsonValue scal = JsonValue::object();
+        scal.set("read_path", JsonValue(read_path_name));
+        scal.set("workload", JsonValue(workload));
+        scal.set("get_frac", JsonValue(get_frac));
+        scal.set("ops_per_thread", JsonValue(ops));
+        scal.set("points", std::move(points));
+        report.setBlock("scaling", std::move(scal));
     }
 
     if (!trace_out.empty()) {

@@ -37,17 +37,47 @@ except ImportError:  # non-POSIX: no RSS telemetry, gate still works
     resource = None
 
 BENCH_NAME = "BM_WalkHeavyPinned"
+# Counter-only companions: run alongside the pinned profile so their
+# user counters (e.g. BM_StoreGetOptimistic's get_optimistic fraction)
+# land in the gate's table. Their throughput is NOT gated.
+COMPANIONS = ["BM_StoreGetOptimistic"]
 BASELINE = os.path.join("results", "reference", "perf_baseline.json")
+
+# google-benchmark's own per-entry numeric fields; anything else numeric
+# in a benchmark entry is a user counter and must not be dropped.
+GBENCH_KEYS = {
+    "family_index", "per_family_instance_index", "repetitions",
+    "repetition_index", "threads", "iterations", "real_time",
+    "cpu_time", "items_per_second", "bytes_per_second",
+}
+
+
+def user_counters(entry):
+    """User counters of one benchmark JSON entry (name -> float)."""
+    return {
+        k: float(v)
+        for k, v in entry.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+        and k not in GBENCH_KEYS
+    }
 
 
 def run_once(bench, inject_slowdown):
-    """One microbench run; returns items_per_second of the pinned profile."""
+    """One microbench run.
+
+    Returns (items_per_second of the pinned profile, {counter: value})
+    where the counters are every user counter any matched benchmark
+    exported — e.g. BM_StoreGetOptimistic's get_optimistic fraction.
+    Unknown counters used to be silently dropped here, which hid the
+    optimistic-get fraction from the gate's table.
+    """
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         out_path = tmp.name
+    names = [BENCH_NAME] + COMPANIONS
     try:
         cmd = [
             bench,
-            f"--benchmark_filter=^{BENCH_NAME}$",
+            f"--benchmark_filter=^({'|'.join(names)})$",
             f"--json={out_path}",
         ]
         if inject_slowdown > 1:
@@ -57,10 +87,24 @@ def run_once(bench, inject_slowdown):
             doc = json.load(f)
     finally:
         os.unlink(out_path)
+    ips = None
+    counters = {}
     for b in doc.get("benchmarks", []):
+        if b.get("name") not in names:
+            continue
+        counters.update(user_counters(b))
         if b.get("name") == BENCH_NAME:
-            return float(b["items_per_second"])
-    sys.exit(f"error: {BENCH_NAME} missing from benchmark output")
+            ips = float(b["items_per_second"])
+    if ips is None:
+        sys.exit(f"error: {BENCH_NAME} missing from benchmark output")
+    return ips, counters
+
+
+def fmt_counter(name, value):
+    """Fractions (0..1 counters like get_optimistic) print as percent."""
+    if 0.0 <= value <= 1.0:
+        return f"{value:.1%}"
+    return f"{value:,.2f}"
 
 
 def write_summary(lines):
@@ -87,12 +131,20 @@ def main():
     args = ap.parse_args()
 
     samples = []
+    counter_samples = {}
     for i in range(args.runs):
-        ips = run_once(args.bench, args.inject_slowdown)
+        ips, counters = run_once(args.bench, args.inject_slowdown)
         print(f"run {i + 1}/{args.runs}: {ips:,.0f} items/sec")
         samples.append(ips)
+        for k, v in counters.items():
+            counter_samples.setdefault(k, []).append(v)
     median = statistics.median(samples)
     print(f"median: {median:,.0f} items/sec")
+    counter_medians = {
+        k: statistics.median(v) for k, v in sorted(counter_samples.items())
+    }
+    for k, v in counter_medians.items():
+        print(f"{k}: {fmt_counter(k, v)}")
 
     # Peak RSS across the bench child processes (Linux: KiB), so memory
     # creep in the hot paths shows up next to the throughput verdict.
@@ -151,6 +203,8 @@ def main():
     ]
     if peak_rss_mib is not None:
         summary.append(f"| peak RSS | {peak_rss_mib:,.1f} MiB |")
+    for k, v in counter_medians.items():
+        summary.append(f"| {k} | {fmt_counter(k, v)} |")
     summary.append(f"| verdict | **{verdict}** |")
     write_summary(summary)
 

@@ -109,6 +109,30 @@ class CacheArray
     virtual BlockPos probe(Addr lineAddr) const = 0;
 
     /**
+     * Enumerate every position @p lineAddr could legally occupy — the W
+     * first-level way positions in a zcache/skew array, the indexed
+     * set's W slots in a set-associative one. Writes at most @p cap
+     * positions to @p out and returns the count, or 0 if the array kind
+     * does not support candidate-position enumeration (the default).
+     *
+     * The contract that makes this usable from a lock-free reader: the
+     * result depends only on @p lineAddr and construction-time state
+     * (hash matrices, geometry), never on the array's mutable contents,
+     * and the call touches no mutable state and counts no traffic. A
+     * resident block always sits in one of these positions — zcache
+     * relocations only ever move a block between its own candidate
+     * positions (Section III-A).
+     */
+    virtual std::uint32_t
+    lookupWays(Addr lineAddr, BlockPos* out, std::uint32_t cap) const
+    {
+        (void)lineAddr;
+        (void)out;
+        (void)cap;
+        return 0;
+    }
+
+    /**
      * Miss path: select a victim among this array's replacement
      * candidates, evict it, make room (relocations in a zcache) and
      * install @p lineAddr. @p lineAddr must not be resident.
@@ -170,7 +194,11 @@ class CacheArray
         g.addResetHook([this] { resetStats(); });
     }
 
-    void setEvictionObserver(EvictionObserver obs) { observer_ = std::move(obs); }
+    void
+    setEvictionObserver(EvictionObserver obs)
+    {
+        observer_ = std::move(obs);
+    }
 
   protected:
     void

@@ -57,6 +57,16 @@ SetAssociativeArray::probe(Addr lineAddr) const
     return kInvalidPos;
 }
 
+std::uint32_t
+SetAssociativeArray::lookupWays(Addr lineAddr, BlockPos* out,
+                                std::uint32_t cap) const
+{
+    if (cap < ways_) return 0;
+    BlockPos base = static_cast<BlockPos>(setOf(lineAddr) * ways_);
+    for (std::uint32_t w = 0; w < ways_; w++) out[w] = base + w;
+    return ways_;
+}
+
 Replacement
 SetAssociativeArray::insert(Addr lineAddr, const AccessContext& ctx)
 {

@@ -36,6 +36,8 @@ class SetAssociativeArray final : public CacheArray
 
     BlockPos access(Addr lineAddr, const AccessContext& ctx) override;
     BlockPos probe(Addr lineAddr) const override;
+    std::uint32_t lookupWays(Addr lineAddr, BlockPos* out,
+                             std::uint32_t cap) const override;
     Replacement insert(Addr lineAddr, const AccessContext& ctx) override;
     bool invalidate(Addr lineAddr) override;
 

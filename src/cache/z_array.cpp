@@ -126,6 +126,17 @@ ZArray::probe(Addr lineAddr) const
     return kInvalidPos;
 }
 
+std::uint32_t
+ZArray::lookupWays(Addr lineAddr, BlockPos* out, std::uint32_t cap) const
+{
+    if (cap < cfg_.ways) return 0;
+    // positionOf (not the wayPos_ scratch buffer): lookupWays must stay
+    // free of mutable state so concurrent lock-free readers can call it.
+    for (std::uint32_t w = 0; w < cfg_.ways; w++)
+        out[w] = positionOf(w, lineAddr);
+    return cfg_.ways;
+}
+
 bool
 ZArray::onAncestorPath(std::int32_t node, BlockPos pos) const
 {

@@ -187,6 +187,8 @@ class ZArray : public CacheArray
 
     BlockPos access(Addr lineAddr, const AccessContext& ctx) override;
     BlockPos probe(Addr lineAddr) const override;
+    std::uint32_t lookupWays(Addr lineAddr, BlockPos* out,
+                             std::uint32_t cap) const override;
     Replacement insert(Addr lineAddr, const AccessContext& ctx) override;
     bool invalidate(Addr lineAddr) override;
 

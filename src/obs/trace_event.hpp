@@ -48,6 +48,15 @@ enum : std::uint8_t {
     kObsFlagInserted = 1u << 1, ///< put installed a new key
     kObsFlagEvicted = 1u << 2,  ///< insert displaced a resident key
     kObsFlagError = 1u << 3,    ///< op failed with a structured Status
+    /** Get answered (or attempted) on the lock-free seqlock path
+     *  (ReadPath::Optimistic). For such records `candidates` is reused
+     *  as the seqlock validation-retry count — gets never walk, so the
+     *  field is otherwise always zero and the 48-byte record has no
+     *  spare room. */
+    kObsFlagOptimistic = 1u << 4,
+    /** Optimistic get exhausted its retries and was answered under the
+     *  shard lock (the lock_wait/probe phases are the fallback's). */
+    kObsFlagSeqFallback = 1u << 5,
 };
 
 /** One operation's span + latency attribution (48 bytes). */

@@ -147,19 +147,33 @@ ObsTracer::writeRecord(std::uint32_t tid, const ObsOpRecord& rec)
     const double ts = static_cast<double>(rec.tsBeginNs - originNs_) / 1e3;
     const double dur = static_cast<double>(rec.durNs) / 1e3;
 
+    // Optimistic-get attribution (docs/store.md, "Read path"): such
+    // records reuse the candidates field as the seqlock retry count
+    // (gets never walk), and seq_fallback marks a get that exhausted
+    // its retries and finished under the shard lock.
+    char opt[96];
+    opt[0] = '\0';
+    if (rec.flags & kObsFlagOptimistic) {
+        std::snprintf(opt, sizeof(opt),
+                      ",\"optimistic\":true,\"seq_retries\":%u,"
+                      "\"seq_fallback\":%s",
+                      rec.candidates,
+                      (rec.flags & kObsFlagSeqFallback) ? "true" : "false");
+    }
+
     // Whole-op span with the attribution + outcome in args.
     std::snprintf(
         buf, sizeof(buf),
         "{\"name\":\"%s\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":%.3f,"
         "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{"
         "\"key\":%" PRIu64 ",\"shard\":%u,\"hit\":%s,\"inserted\":%s,"
-        "\"evicted\":%s,\"error\":%s}}",
+        "\"evicted\":%s,\"error\":%s%s}}",
         obsOpName(rec.op), ts, dur, tid, rec.key,
         static_cast<unsigned>(rec.shard),
         (rec.flags & kObsFlagHit) ? "true" : "false",
         (rec.flags & kObsFlagInserted) ? "true" : "false",
         (rec.flags & kObsFlagEvicted) ? "true" : "false",
-        (rec.flags & kObsFlagError) ? "true" : "false");
+        (rec.flags & kObsFlagError) ? "true" : "false", opt);
     writeEvent(buf);
 
     // Nested attribution children, laid out sequentially inside the op

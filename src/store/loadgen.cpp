@@ -223,6 +223,13 @@ runLoadGen(const LoadGenConfig& cfg)
                 s.counters.emplace_back("lock_contended",
                                         o.lockContended);
                 s.counters.emplace_back("lock_wait_ns", o.lockWaitNs);
+                if (st->config().readPath == ReadPath::Optimistic) {
+                    s.counters.emplace_back("get_optimistic",
+                                            o.getOptimistic);
+                    s.counters.emplace_back("get_retried", o.getRetried);
+                    s.counters.emplace_back("get_fallback",
+                                            o.getFallback);
+                }
                 if (st->persistEnabled()) {
                     persist::PersistTier* tier = st->persistTier();
                     persist::PersistShardCounters pc;

@@ -30,6 +30,20 @@ namespace {
  *    evicted key+value pair. ZArray::commit notifies onEvict before any
  *    relocation touches the victim's slot, so the capture reads the
  *    pre-walk value.
+ *
+ * The mirrors are relaxed std::atomic arrays, and a *key* mirror rides
+ * alongside the value one, because the optimistic read path
+ * (ReadPath::Optimistic, docs/store.md) scans them with no lock held:
+ * the array's own tags_ are non-atomic and may be mid-relocation, so a
+ * lock-free reader must never touch them. Relaxed is sufficient — the
+ * per-shard ShardSeq's fences order these accesses against the version
+ * word, and torn snapshots are discarded by seq validation. All
+ * notifications still arrive under the shard lock, so the mirror
+ * updates themselves are never concurrent with each other. The key
+ * mirror is maintained entirely through the notification protocol:
+ * onInsert records the incoming address, onMove/onSwap carry it with
+ * relocations, and onEvict clears it (ZArray::invalidate also funnels
+ * through onEvict, so erases clear it too).
  */
 class ValueMirror final : public ReplacementPolicy
 {
@@ -37,14 +51,21 @@ class ValueMirror final : public ReplacementPolicy
     explicit ValueMirror(std::unique_ptr<ReplacementPolicy> inner)
         : ReplacementPolicy(inner->numBlocks()),
           inner_(std::move(inner)),
-          values_(numBlocks(), 0)
+          keys_(numBlocks()),
+          values_(numBlocks())
     {
+        for (std::uint32_t i = 0; i < numBlocks(); i++) {
+            keys_[i].store(static_cast<std::uint64_t>(kInvalidAddr),
+                           std::memory_order_relaxed);
+            values_[i].store(0, std::memory_order_relaxed);
+        }
     }
 
     void
     onInsert(BlockPos pos, const AccessContext& ctx) override
     {
-        values_[pos] = pending_;
+        keys_[pos].store(ctx.lineAddr, std::memory_order_relaxed);
+        values_[pos].store(pending_, std::memory_order_relaxed);
         inner_->onInsert(pos, ctx);
     }
 
@@ -57,21 +78,33 @@ class ValueMirror final : public ReplacementPolicy
     void
     onMove(BlockPos from, BlockPos to) override
     {
-        values_[to] = values_[from];
+        keys_[to].store(keys_[from].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+        values_[to].store(values_[from].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
         inner_->onMove(from, to);
     }
 
     void
     onSwap(BlockPos a, BlockPos b) override
     {
-        std::swap(values_[a], values_[b]);
+        std::uint64_t ka = keys_[a].load(std::memory_order_relaxed);
+        std::uint64_t kb = keys_[b].load(std::memory_order_relaxed);
+        keys_[a].store(kb, std::memory_order_relaxed);
+        keys_[b].store(ka, std::memory_order_relaxed);
+        std::uint64_t va = values_[a].load(std::memory_order_relaxed);
+        std::uint64_t vb = values_[b].load(std::memory_order_relaxed);
+        values_[a].store(vb, std::memory_order_relaxed);
+        values_[b].store(va, std::memory_order_relaxed);
         inner_->onSwap(a, b);
     }
 
     void
     onEvict(BlockPos pos) override
     {
-        lastEvicted_ = values_[pos];
+        lastEvicted_ = values_[pos].load(std::memory_order_relaxed);
+        keys_[pos].store(static_cast<std::uint64_t>(kInvalidAddr),
+                         std::memory_order_relaxed);
         inner_->onEvict(pos);
     }
 
@@ -92,13 +125,33 @@ class ValueMirror final : public ReplacementPolicy
     std::string name() const override { return inner_->name(); }
 
     void setPending(std::uint64_t v) { pending_ = v; }
-    std::uint64_t valueAt(BlockPos pos) const { return values_[pos]; }
-    void setValue(BlockPos pos, std::uint64_t v) { values_[pos] = v; }
+
+    std::uint64_t
+    valueAt(BlockPos pos) const
+    {
+        return values_[pos].load(std::memory_order_relaxed);
+    }
+
+    /** Resident key at @p pos, kInvalidAddr if empty — the lock-free
+     *  reader's tag check (safe: relaxed atomic, seq-validated). */
+    std::uint64_t
+    keyAt(BlockPos pos) const
+    {
+        return keys_[pos].load(std::memory_order_relaxed);
+    }
+
+    void
+    setValue(BlockPos pos, std::uint64_t v)
+    {
+        values_[pos].store(v, std::memory_order_relaxed);
+    }
+
     std::uint64_t lastEvicted() const { return lastEvicted_; }
 
   private:
     std::unique_ptr<ReplacementPolicy> inner_;
-    std::vector<std::uint64_t> values_;
+    std::vector<std::atomic<std::uint64_t>> keys_;
+    std::vector<std::atomic<std::uint64_t>> values_;
     std::uint64_t pending_ = 0;
     std::uint64_t lastEvicted_ = 0;
 };
@@ -110,10 +163,30 @@ struct ZkvStore::Shard
     explicit Shard(ShardLockKind lock_kind) : lock(lock_kind) {}
 
     ShardLock lock;
+    ShardSeq seq; ///< odd while a locked writer mutates the shard
     std::unique_ptr<CacheArray> array;
     ValueMirror* mirror = nullptr; ///< owned by array's policy chain
     ZkvShardStats stats;
     ZkvShardObs obs; ///< written only on the instrumented op paths
+    ZkvSeqCounters seqc; ///< lock-free read-path counters (relaxed)
+
+    /**
+     * RAII seqlock write section. Every mutation that can move, change
+     * or remove an entry — put update, walk insert (relocations +
+     * eviction + fill), erase, recovery replay — runs inside one of
+     * these, always while `lock` is held. Gets don't: in Locked mode
+     * readers hold the lock, and optimistic-mode gets touch no shard
+     * state a reader can see (policy metadata is never read
+     * lock-free).
+     */
+    struct WriteSection
+    {
+        explicit WriteSection(Shard& s) : seq(s.seq) { seq.beginWrite(); }
+        ~WriteSection() { seq.endWrite(); }
+        WriteSection(const WriteSection&) = delete;
+        WriteSection& operator=(const WriteSection&) = delete;
+        ShardSeq& seq;
+    };
 };
 
 ZkvStore::ZkvStore(ZkvConfig cfg) : cfg_(cfg) {}
@@ -153,6 +226,20 @@ ZkvStore::create(const ZkvConfig& cfg)
         auto shard = std::make_unique<Shard>(cfg.lock);
         shard->array = makeArray(spec, std::move(mirror));
         shard->mirror = mirror_ptr;
+        if (i == 0 && cfg.readPath == ReadPath::Optimistic) {
+            // The lock-free reader computes a key's candidate positions
+            // itself; an array kind that cannot enumerate them (victim
+            // caches, fully-associative, ...) cannot serve optimistic
+            // gets. Reject up front rather than silently degrading.
+            BlockPos probeBuf[kMaxLookupWays];
+            if (shard->array->lookupWays(0, probeBuf, kMaxLookupWays) ==
+                0) {
+                return Status::invalidArgument(
+                    "zkv: read path 'optimistic' requires candidate-"
+                    "position enumeration (lookupWays), which array '" +
+                    cfg.array.label() + "' does not support");
+            }
+        }
         store->shards_.push_back(std::move(shard));
     }
     if (cfg.persist.enabled()) {
@@ -195,6 +282,9 @@ ZkvStore::shardOf(std::uint64_t key) const
 std::optional<std::uint64_t>
 ZkvStore::get(std::uint64_t key)
 {
+    if (cfg_.readPath == ReadPath::Optimistic) {
+        return obsEnabled_ ? getOptimisticTraced(key) : getOptimistic(key);
+    }
     if (obsEnabled_) return getTraced(key);
     Shard& sh = *shards_[shardOf(key)];
     std::lock_guard<ShardLock> g(sh.lock);
@@ -226,7 +316,10 @@ ZkvStore::put(std::uint64_t key, std::uint64_t value)
 
         BlockPos pos = sh.array->access(key, ctx);
         if (pos != kInvalidPos) {
-            sh.mirror->setValue(pos, value);
+            {
+                Shard::WriteSection ws(sh);
+                sh.mirror->setValue(pos, value);
+            }
             sh.stats.putUpdates++;
             if (persist_ != nullptr) {
                 pseq = persist_->logPut(shard, key, value);
@@ -239,7 +332,10 @@ ZkvStore::put(std::uint64_t key, std::uint64_t value)
                     std::to_string(shard) + ")");
             }
             sh.mirror->setPending(value);
-            Replacement r = sh.array->insert(key, ctx);
+            Replacement r = [&] {
+                Shard::WriteSection ws(sh);
+                return sh.array->insert(key, ctx);
+            }();
             res.inserted = true;
             res.candidates = r.candidates;
             res.relocations = r.relocations;
@@ -281,7 +377,10 @@ ZkvStore::erase(std::uint64_t key)
     {
         std::lock_guard<ShardLock> g(sh.lock);
         sh.stats.erases++;
-        hit = sh.array->invalidate(key);
+        {
+            Shard::WriteSection ws(sh);
+            hit = sh.array->invalidate(key);
+        }
         if (hit) {
             sh.stats.eraseHits++;
             if (persist_ != nullptr) pseq = persist_->logErase(shard, key);
@@ -303,6 +402,24 @@ ZkvStore::runShardBatch(std::uint32_t shard,
 {
     if (ops.empty()) return;
     zc_assert(shard < shards_.size());
+
+    if (cfg_.readPath == ReadPath::Optimistic) {
+        bool allGets = true;
+        for (const StoreBatchOp& op : ops) {
+            if (op.kind != ObsOp::Get) {
+                allGets = false;
+                break;
+            }
+        }
+        // Only a pure-get batch may go lock-free: a put between two
+        // gets must stay ordered with them, so mixed batches keep the
+        // one-lock in-order execution below.
+        if (allGets) {
+            runShardBatchGetsOptimistic(shard, ops, out);
+            return;
+        }
+    }
+
     Shard& sh = *shards_[shard];
 
     const bool traced = obsEnabled_;
@@ -397,7 +514,10 @@ ZkvStore::runShardBatch(std::uint32_t shard,
                 std::uint64_t tProbe0 = traced ? obsNowNs() : 0;
                 BlockPos pos = sh.array->access(op.key, ctx);
                 if (pos != kInvalidPos) {
-                    sh.mirror->setValue(pos, op.value);
+                    {
+                        Shard::WriteSection ws(sh);
+                        sh.mirror->setValue(pos, op.value);
+                    }
                     sh.stats.putUpdates++;
                     res.hit = true;
                     rec.flags |= kObsFlagHit;
@@ -417,13 +537,19 @@ ZkvStore::runShardBatch(std::uint32_t shard,
                 if (traced) {
                     std::uint64_t tWalk0 = obsNowNs();
                     rec.probeNs = obsDurNs(tProbe0, tWalk0);
-                    Replacement r = sh.array->insert(op.key, ctx);
+                    Replacement r = [&] {
+                        Shard::WriteSection ws(sh);
+                        return sh.array->insert(op.key, ctx);
+                    }();
                     rec.walkNs = obsDurNs(tWalk0, obsNowNs());
                     rec.candidates = r.candidates;
                     rec.relocations = r.relocations;
                     applyInsert(r, res, rec);
                 } else {
-                    Replacement r = sh.array->insert(op.key, ctx);
+                    Replacement r = [&] {
+                        Shard::WriteSection ws(sh);
+                        return sh.array->insert(op.key, ctx);
+                    }();
                     applyInsert(r, res, rec);
                 }
                 if (persist_ != nullptr) {
@@ -437,7 +563,12 @@ ZkvStore::runShardBatch(std::uint32_t shard,
               }
               case ObsOp::Erase: {
                 sh.stats.erases++;
-                if (sh.array->invalidate(op.key)) {
+                bool erased = false;
+                {
+                    Shard::WriteSection ws(sh);
+                    erased = sh.array->invalidate(op.key);
+                }
+                if (erased) {
                     sh.stats.eraseHits++;
                     res.hit = true;
                     rec.flags |= kObsFlagHit;
@@ -491,6 +622,284 @@ ZkvStore::runShardBatch(std::uint32_t shard,
     }
 }
 
+/*
+ * ---- optimistic read path (ReadPath::Optimistic, docs/store.md) ----
+ *
+ * The reader computes the key's W candidate positions itself
+ * (CacheArray::lookupWays is a pure function of the key and the hash
+ * matrices — a resident block is always in one of them, Section III-A)
+ * and scans the ValueMirror's relaxed atomic key/value mirrors between
+ * a ShardSeq readBegin/readValidate pair. Any overlap with a writer's
+ * odd window discards the snapshot and retries; after
+ * kSeqGetMaxRetries the get is answered under the shard lock. Neither
+ * path promotes the hit in the replacement policy — an optimistic-mode
+ * shard's eviction order is a pure function of its put/erase sequence,
+ * whichever path answers a get.
+ */
+
+bool
+ZkvStore::tryOptimisticGet(Shard& sh, std::uint64_t key,
+                           std::uint32_t& retries, bool& hit,
+                           std::uint64_t& value)
+{
+    BlockPos pos[kMaxLookupWays];
+    const std::uint32_t ways = sh.array->lookupWays(key, pos, kMaxLookupWays);
+    for (std::uint32_t attempt = 0; attempt <= kSeqGetMaxRetries;
+         attempt++) {
+        const std::uint64_t begin = sh.seq.readBegin();
+        if (begin & 1) {
+            // Writer mid-section: probing now could only be wasted
+            // work, so count the retry and re-snapshot immediately.
+            retries++;
+            continue;
+        }
+        bool h = false;
+        std::uint64_t v = 0;
+        for (std::uint32_t w = 0; w < ways; w++) {
+            if (sh.mirror->keyAt(pos[w]) == key) {
+                v = sh.mirror->valueAt(pos[w]);
+                h = true;
+                break;
+            }
+        }
+        if (sh.seq.readValidate(begin)) {
+            hit = h;
+            value = v;
+            return true;
+        }
+        retries++;
+    }
+    return false;
+}
+
+std::optional<std::uint64_t>
+ZkvStore::getOptimistic(std::uint64_t key)
+{
+    Shard& sh = *shards_[shardOf(key)];
+    std::uint32_t retries = 0;
+    bool hit = false;
+    std::uint64_t value = 0;
+    if (tryOptimisticGet(sh, key, retries, hit, value)) {
+        sh.seqc.gets.fetch_add(1, std::memory_order_relaxed);
+        sh.seqc.optimistic.fetch_add(1, std::memory_order_relaxed);
+        if (hit) sh.seqc.getHits.fetch_add(1, std::memory_order_relaxed);
+        if (retries != 0) {
+            sh.seqc.retried.fetch_add(retries, std::memory_order_relaxed);
+        }
+        if (hit) return value;
+        return std::nullopt;
+    }
+    // Locked fallback — still no policy promotion (probe, not access):
+    // a get's semantics must not depend on which path answered it.
+    sh.seqc.fallback.fetch_add(1, std::memory_order_relaxed);
+    sh.seqc.retried.fetch_add(retries, std::memory_order_relaxed);
+    std::lock_guard<ShardLock> g(sh.lock);
+    sh.stats.gets++;
+    BlockPos pos = sh.array->probe(key);
+    if (pos == kInvalidPos) return std::nullopt;
+    sh.stats.getHits++;
+    return sh.mirror->valueAt(pos);
+}
+
+std::optional<std::uint64_t>
+ZkvStore::getOptimisticTraced(std::uint64_t key)
+{
+    ObsOpRecord rec;
+    rec.op = ObsOp::Get;
+    rec.key = key;
+    const std::uint32_t shard = shardOf(key);
+    rec.shard = static_cast<std::uint16_t>(shard);
+    rec.flags |= kObsFlagOptimistic;
+    rec.tsBeginNs = obsNowNs();
+
+    Shard& sh = *shards_[shard];
+    std::uint32_t retries = 0;
+    bool hit = false;
+    std::uint64_t value = 0;
+    if (tryOptimisticGet(sh, key, retries, hit, value)) {
+        std::uint64_t tEnd = obsNowNs();
+        rec.durNs = obsDurNs(rec.tsBeginNs, tEnd);
+        // The whole lock-free op is one probe; gets never walk, so the
+        // candidates field carries the seq retry count instead.
+        rec.probeNs = rec.durNs;
+        rec.candidates = retries;
+        if (hit) rec.flags |= kObsFlagHit;
+        sh.seqc.gets.fetch_add(1, std::memory_order_relaxed);
+        sh.seqc.optimistic.fetch_add(1, std::memory_order_relaxed);
+        if (hit) sh.seqc.getHits.fetch_add(1, std::memory_order_relaxed);
+        if (retries != 0) {
+            sh.seqc.retried.fetch_add(retries, std::memory_order_relaxed);
+        }
+        // No sh.obs ns attribution without the lock; the record itself
+        // carries the timing and the tracer ring is per-thread SPSC.
+        if (tracer_ != nullptr) tracer_->channel()->record(rec);
+        if (hit) return value;
+        return std::nullopt;
+    }
+
+    rec.flags |= kObsFlagSeqFallback;
+    rec.candidates = retries;
+    sh.seqc.fallback.fetch_add(1, std::memory_order_relaxed);
+    sh.seqc.retried.fetch_add(retries, std::memory_order_relaxed);
+
+    std::uint64_t tLockStart = obsNowNs();
+    ShardLock::Acquire acq = sh.lock.lockInstrumented();
+    std::uint64_t tLocked = acq.contended ? obsNowNs() : tLockStart;
+    if (acq.contended) rec.lockWaitNs = obsDurNs(tLockStart, tLocked);
+
+    std::optional<std::uint64_t> out;
+    {
+        std::lock_guard<ShardLock> g(sh.lock, std::adopt_lock);
+        sh.stats.gets++;
+        BlockPos pos = sh.array->probe(key);
+        std::uint64_t tProbed = obsNowNs();
+        rec.probeNs = obsDurNs(tLocked, tProbed);
+        if (pos != kInvalidPos) {
+            sh.stats.getHits++;
+            rec.flags |= kObsFlagHit;
+            out = sh.mirror->valueAt(pos);
+        }
+        rec.durNs = obsDurNs(rec.tsBeginNs, tProbed);
+        sh.obs.lockAcquisitions++;
+        sh.obs.lockContended += acq.contended ? 1 : 0;
+        sh.obs.lockSpinIters += acq.spins;
+        sh.obs.lockWaitNs += rec.lockWaitNs;
+        sh.obs.probeNs += rec.probeNs;
+        sh.obs.opNs += rec.durNs;
+    }
+    if (tracer_ != nullptr) tracer_->channel()->record(rec);
+    return out;
+}
+
+void
+ZkvStore::runShardBatchGetsOptimistic(std::uint32_t shard,
+                                      std::span<const StoreBatchOp> ops,
+                                      StoreBatchResult* out)
+{
+    Shard& sh = *shards_[shard];
+    const bool traced = obsEnabled_;
+
+    std::vector<ObsOpRecord> recs;
+    if (traced) recs.resize(ops.size());
+
+    // Pass 1: every get tries the lock-free path on its own; the rare
+    // failures queue up for one shared lock acquisition below.
+    std::vector<std::size_t> fell;
+    std::uint64_t nOk = 0;
+    std::uint64_t nHit = 0;
+    std::uint64_t nRetried = 0;
+    for (std::size_t i = 0; i < ops.size(); i++) {
+        const StoreBatchOp& op = ops[i];
+        StoreBatchResult& res = out[i];
+        res = StoreBatchResult{};
+
+        std::uint64_t t0 = 0;
+        if (traced) {
+            ObsOpRecord& rec = recs[i];
+            rec.op = ObsOp::Get;
+            rec.key = op.key;
+            rec.shard = static_cast<std::uint16_t>(shard);
+            rec.flags |= kObsFlagOptimistic;
+            t0 = obsNowNs();
+            rec.tsBeginNs =
+                op.enqueueNs != 0 && op.enqueueNs < t0 ? op.enqueueNs : t0;
+            rec.netNs = obsDurNs(rec.tsBeginNs, t0);
+        }
+
+        std::uint32_t retries = 0;
+        bool hit = false;
+        std::uint64_t value = 0;
+        if (tryOptimisticGet(sh, op.key, retries, hit, value)) {
+            nOk++;
+            nRetried += retries;
+            if (hit) {
+                nHit++;
+                res.hit = true;
+                res.value = value;
+            }
+            if (traced) {
+                ObsOpRecord& rec = recs[i];
+                std::uint64_t tEnd = obsNowNs();
+                rec.probeNs = obsDurNs(t0, tEnd);
+                rec.durNs = obsDurNs(rec.tsBeginNs, tEnd);
+                rec.candidates = retries;
+                if (hit) rec.flags |= kObsFlagHit;
+            }
+        } else {
+            nRetried += retries;
+            fell.push_back(i);
+            if (traced) {
+                ObsOpRecord& rec = recs[i];
+                rec.flags |= kObsFlagSeqFallback;
+                rec.candidates = retries;
+            }
+        }
+    }
+    if (nOk != 0) {
+        sh.seqc.gets.fetch_add(nOk, std::memory_order_relaxed);
+        sh.seqc.optimistic.fetch_add(nOk, std::memory_order_relaxed);
+    }
+    if (nHit != 0) {
+        sh.seqc.getHits.fetch_add(nHit, std::memory_order_relaxed);
+    }
+    if (nRetried != 0) {
+        sh.seqc.retried.fetch_add(nRetried, std::memory_order_relaxed);
+    }
+
+    // Pass 2: answer the fallbacks in order under one lock. probe(),
+    // not access() — optimistic-mode gets never promote.
+    if (!fell.empty()) {
+        sh.seqc.fallback.fetch_add(fell.size(), std::memory_order_relaxed);
+        std::uint64_t tBatch = 0;
+        ShardLock::Acquire acq{};
+        if (traced) {
+            tBatch = obsNowNs();
+            acq = sh.lock.lockInstrumented();
+        } else {
+            sh.lock.lock();
+        }
+        std::uint64_t tLocked =
+            traced ? (acq.contended ? obsNowNs() : tBatch) : 0;
+        {
+            std::lock_guard<ShardLock> g(sh.lock, std::adopt_lock);
+            std::uint64_t cursor = tLocked;
+            for (std::size_t n = 0; n < fell.size(); n++) {
+                const std::size_t i = fell[n];
+                sh.stats.gets++;
+                BlockPos pos = sh.array->probe(ops[i].key);
+                if (pos != kInvalidPos) {
+                    sh.stats.getHits++;
+                    out[i].hit = true;
+                    out[i].value = sh.mirror->valueAt(pos);
+                }
+                if (traced) {
+                    ObsOpRecord& rec = recs[i];
+                    std::uint64_t tEnd = obsNowNs();
+                    if (n == 0 && acq.contended) {
+                        rec.lockWaitNs = obsDurNs(tBatch, tLocked);
+                    }
+                    rec.probeNs = obsDurNs(cursor, tEnd);
+                    rec.durNs = obsDurNs(rec.tsBeginNs, tEnd);
+                    if (out[i].hit) rec.flags |= kObsFlagHit;
+                    cursor = tEnd;
+                    sh.obs.lockAcquisitions += n == 0 ? 1 : 0;
+                    sh.obs.lockContended += n == 0 && acq.contended ? 1 : 0;
+                    sh.obs.lockSpinIters += n == 0 ? acq.spins : 0;
+                    sh.obs.lockWaitNs += rec.lockWaitNs;
+                    sh.obs.netNs += rec.netNs;
+                    sh.obs.probeNs += rec.probeNs;
+                    sh.obs.opNs += rec.durNs;
+                }
+            }
+        }
+    }
+
+    if (traced && tracer_ != nullptr) {
+        ObsThreadChannel* ch = tracer_->channel();
+        for (const ObsOpRecord& r : recs) ch->record(r);
+    }
+}
+
 void
 ZkvStore::enableObs(ObsTracer* tracer)
 {
@@ -511,7 +920,14 @@ ZkvStore::shardObs(std::uint32_t shard) const
     zc_assert(shard < shards_.size());
     Shard& sh = *shards_[shard];
     std::lock_guard<ShardLock> g(sh.lock);
-    return sh.obs;
+    ZkvShardObs o = sh.obs;
+    // Fold the lock-free read-path counters into the snapshot; the
+    // plain fields in sh.obs stay zero (no writer without the lock).
+    o.getOptimistic +=
+        sh.seqc.optimistic.load(std::memory_order_relaxed);
+    o.getRetried += sh.seqc.retried.load(std::memory_order_relaxed);
+    o.getFallback += sh.seqc.fallback.load(std::memory_order_relaxed);
+    return o;
 }
 
 ZkvShardObs
@@ -620,7 +1036,10 @@ ZkvStore::putTraced(std::uint64_t key, std::uint64_t value)
 
         std::uint64_t tEnd = tProbed;
         if (pos != kInvalidPos) {
-            sh.mirror->setValue(pos, value);
+            {
+                Shard::WriteSection ws(sh);
+                sh.mirror->setValue(pos, value);
+            }
             sh.stats.putUpdates++;
             rec.flags |= kObsFlagHit;
             if (persist_ != nullptr) {
@@ -634,7 +1053,10 @@ ZkvStore::putTraced(std::uint64_t key, std::uint64_t value)
             rec.flags |= kObsFlagError;
         } else {
             sh.mirror->setPending(value);
-            Replacement r = sh.array->insert(key, ctx);
+            Replacement r = [&] {
+                Shard::WriteSection ws(sh);
+                return sh.array->insert(key, ctx);
+            }();
             tEnd = obsNowNs();
             rec.walkNs = obsDurNs(tProbed, tEnd);
             rec.candidates = r.candidates;
@@ -704,7 +1126,10 @@ ZkvStore::eraseTraced(std::uint64_t key)
     {
         std::lock_guard<ShardLock> g(sh.lock, std::adopt_lock);
         sh.stats.erases++;
-        hit = sh.array->invalidate(key);
+        {
+            Shard::WriteSection ws(sh);
+            hit = sh.array->invalidate(key);
+        }
         std::uint64_t tEnd = obsNowNs();
         rec.probeNs = obsDurNs(tLocked, tEnd);
         if (hit) {
@@ -742,6 +1167,7 @@ ZkvStore::replayPut(std::uint32_t shard, std::uint64_t key,
     AccessContext ctx{key, kNoNextUse};
     BlockPos pos = sh.array->access(key, ctx);
     if (pos != kInvalidPos) {
+        Shard::WriteSection ws(sh);
         sh.mirror->setValue(pos, value);
         return;
     }
@@ -749,6 +1175,7 @@ ZkvStore::replayPut(std::uint32_t shard, std::uint64_t key,
     // Replay inserts may themselves evict (capacity): misses after
     // recovery are acceptable, resurrections are not — and since the
     // tier is not active yet, nothing here is re-logged.
+    Shard::WriteSection ws(sh);
     (void)sh.array->insert(key, ctx);
 }
 
@@ -757,6 +1184,7 @@ ZkvStore::replayErase(std::uint32_t shard, std::uint64_t key)
 {
     Shard& sh = *shards_[shard];
     std::lock_guard<ShardLock> g(sh.lock);
+    Shard::WriteSection ws(sh);
     (void)sh.array->invalidate(key);
 }
 
@@ -837,7 +1265,12 @@ ZkvStore::shardStats(std::uint32_t shard) const
     zc_assert(shard < shards_.size());
     Shard& sh = *shards_[shard];
     std::lock_guard<ShardLock> g(sh.lock);
-    return sh.stats;
+    ZkvShardStats s = sh.stats;
+    // Lock-free gets count themselves in the shard's atomic seq
+    // counters; fold them in so gets/get_hits stay whole-shard truths.
+    s.gets += sh.seqc.gets.load(std::memory_order_relaxed);
+    s.getHits += sh.seqc.getHits.load(std::memory_order_relaxed);
+    return s;
 }
 
 ZkvShardStats
@@ -853,8 +1286,19 @@ ZkvStore::totals() const
 namespace {
 
 void
-registerShardObsCounters(StatGroup& g, const ZkvShardObs* s)
+registerShardObsCounters(StatGroup& g, const ZkvShardObs* s,
+                         const ZkvSeqCounters* c)
 {
+    g.addCounter("get_optimistic", "gets answered without the lock", [c] {
+        return c->optimistic.load(std::memory_order_relaxed);
+    });
+    g.addCounter("get_retried", "seqlock validation retries", [c] {
+        return c->retried.load(std::memory_order_relaxed);
+    });
+    g.addCounter("get_fallback", "optimistic gets that took the lock",
+                 [c] {
+        return c->fallback.load(std::memory_order_relaxed);
+    });
     g.addCounter("lock_acquisitions", "instrumented shard-lock takes",
                  [s] { return s->lockAcquisitions; });
     g.addCounter("lock_contended", "lock takes that had to wait",
@@ -874,11 +1318,17 @@ registerShardObsCounters(StatGroup& g, const ZkvShardObs* s)
 }
 
 void
-registerShardCounters(StatGroup& g, const ZkvShardStats* s)
+registerShardCounters(StatGroup& g, const ZkvShardStats* s,
+                      const ZkvSeqCounters* c)
 {
-    g.addCounter("gets", "get operations", [s] { return s->gets; });
-    g.addCounter("get_hits", "gets that found the key",
-                 [s] { return s->getHits; });
+    // gets/get_hits fold in the lock-free path's atomic counters, the
+    // same arithmetic shardStats() applies to its snapshot.
+    g.addCounter("gets", "get operations", [s, c] {
+        return s->gets + c->gets.load(std::memory_order_relaxed);
+    });
+    g.addCounter("get_hits", "gets that found the key", [s, c] {
+        return s->getHits + c->getHits.load(std::memory_order_relaxed);
+    });
     g.addCounter("puts", "put operations", [s] { return s->puts; });
     g.addCounter("put_inserts", "puts that installed a new key",
                  [s] { return s->putInserts; });
@@ -907,6 +1357,8 @@ ZkvStore::registerStats(StatGroup& g)
                   JsonValue(cfg_.array.label()));
     root.addConst("lock", "shard lock kind",
                   JsonValue(std::string(shardLockKindName(cfg_.lock))));
+    root.addConst("read_path", "get-path mode (docs/store.md)",
+                  JsonValue(std::string(readPathName(cfg_.readPath))));
     root.addCounter("resident_keys", "valid keys across all shards",
                     [this] { return size(); });
 
@@ -940,6 +1392,12 @@ ZkvStore::registerStats(StatGroup& g)
     // wall-clock and belong in the nondeterministic class.
     StatGroup& obs = root.group(
         "obs", "latency attribution and lock contention (traced paths)");
+    obs.addCounter("get_optimistic", "gets answered without the lock",
+                   [this] { return obsTotals().getOptimistic; });
+    obs.addCounter("get_retried", "seqlock validation retries",
+                   [this] { return obsTotals().getRetried; });
+    obs.addCounter("get_fallback", "optimistic gets that took the lock",
+                   [this] { return obsTotals().getFallback; });
     obs.addCounter("lock_acquisitions", "instrumented shard-lock takes",
                    [this] { return obsTotals().lockAcquisitions; });
     obs.addCounter("lock_contended", "lock takes that had to wait",
@@ -966,8 +1424,9 @@ ZkvStore::registerStats(StatGroup& g)
 
     for (std::uint32_t i = 0; i < shards_.size(); i++) {
         StatGroup& sh = root.group("shard" + std::to_string(i));
-        registerShardCounters(sh, &shards_[i]->stats);
-        registerShardObsCounters(sh.group("obs"), &shards_[i]->obs);
+        registerShardCounters(sh, &shards_[i]->stats, &shards_[i]->seqc);
+        registerShardObsCounters(sh.group("obs"), &shards_[i]->obs,
+                                 &shards_[i]->seqc);
         shards_[i]->array->registerStats(sh.group("array"));
     }
 }

@@ -75,6 +75,33 @@ shardLockKindName(ShardLockKind k)
     return k == ShardLockKind::Mutex ? "mutex" : "spin";
 }
 
+/**
+ * How get() reads a shard (docs/store.md, "Read path").
+ *
+ * Locked is the original semantics: every get takes the shard lock and
+ * promotes the hit in the replacement policy (an LRU-style touch), so
+ * the shard's eviction sequence is a function of gets *and* puts.
+ *
+ * Optimistic makes the common-case get lock-free via a per-shard
+ * seqlock (ShardSeq below): the reader probes the W candidate
+ * positions without the lock and retries only if a writer overlapped.
+ * Lock-free reads cannot touch the (non-atomic) policy, so optimistic
+ * gets — including their locked fallback — never promote recency:
+ * eviction order becomes a pure function of the put/erase sequence.
+ * That is a semantic switch, not just a performance one, which is why
+ * it is opt-in and Locked stays the default.
+ */
+enum class ReadPath {
+    Locked,     ///< every get under the shard lock, hits promote
+    Optimistic, ///< seqlock-validated lock-free gets, no promotion
+};
+
+inline const char*
+readPathName(ReadPath p)
+{
+    return p == ReadPath::Locked ? "locked" : "optimistic";
+}
+
 /** Store-wide configuration. */
 struct ZkvConfig
 {
@@ -89,6 +116,14 @@ struct ZkvConfig
     ArraySpec array;
 
     ShardLockKind lock = ShardLockKind::Mutex;
+
+    /**
+     * Get-path mode. Optimistic requires an array kind that supports
+     * candidate-position enumeration (CacheArray::lookupWays — zcache,
+     * skew-associative and set-associative shards do); create() rejects
+     * the combination otherwise. See ReadPath for the semantic change.
+     */
+    ReadPath readPath = ReadPath::Locked;
 
     /**
      * Durability tier (docs/durability.md). Disabled by default
@@ -224,6 +259,19 @@ struct ZkvShardObs
     std::uint64_t walkNs = 0;           ///< summed relocation-walk time
     std::uint64_t opNs = 0;             ///< summed whole-op time
 
+    /**
+     * Seqlock read-path counters (ReadPath::Optimistic only; all zeros
+     * under ReadPath::Locked). Unlike the *_ns fields these are
+     * maintained whether or not observability is enabled — they cost
+     * one relaxed per-shard fetch_add per get and the scaling study
+     * needs them without the tracer. Single-threaded they are exactly
+     * deterministic (every optimistic read validates on the first try),
+     * so default stats dumps stay byte-stable.
+     */
+    std::uint64_t getOptimistic = 0; ///< gets answered without the lock
+    std::uint64_t getRetried = 0;    ///< seq-validation retry attempts
+    std::uint64_t getFallback = 0;   ///< gets that fell back to the lock
+
     void
     add(const ZkvShardObs& o)
     {
@@ -235,6 +283,9 @@ struct ZkvShardObs
         probeNs += o.probeNs;
         walkNs += o.walkNs;
         opNs += o.opNs;
+        getOptimistic += o.getOptimistic;
+        getRetried += o.getRetried;
+        getFallback += o.getFallback;
     }
 };
 
@@ -302,6 +353,87 @@ class ShardLock
     ShardLockKind kind_;
     std::mutex mx_;
     std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/**
+ * Per-shard seqlock version word (docs/store.md, "Read path").
+ *
+ * Writers — put/erase and the relocation walk, which stay serialized
+ * under the shard's ShardLock — bump the word to odd before any
+ * mutation that can move or change an entry and back to even after.
+ * Readers snapshot the word, probe without the lock, and accept the
+ * result only if the word was even and unchanged across the probe.
+ *
+ * Memory-order argument (Boehm, "Can seqlocks get along with
+ * programming language memory models?", MSPC 2012): the writer's
+ * release *fence* after the odd store pairs with the reader's acquire
+ * *fence* before the confirming load. If a reader observes any data
+ * store from the write section, the fence-to-fence synchronization
+ * rule ([atomics.fences]) forces its confirming seq load to observe
+ * the odd value, so the read is discarded. Data accesses themselves
+ * are relaxed atomics (the ValueMirror's key/value mirrors), which is
+ * what keeps the protocol TSan-clean and free of C++ data-race UB.
+ * Writers are already mutually excluded by the ShardLock, so the seq
+ * updates are plain stores, not RMWs.
+ */
+class ShardSeq
+{
+  public:
+    /** Writer: enter the odd (write-in-progress) state. Caller must
+     *  hold the shard lock. */
+    void
+    beginWrite()
+    {
+        seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+    }
+
+    /** Writer: back to even; releases the data stores to validators. */
+    void
+    endWrite()
+    {
+        seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+    }
+
+    /**
+     * Reader: snapshot the version. An odd result means a writer is in
+     * its critical section — don't bother probing, retry.
+     */
+    std::uint64_t
+    readBegin() const
+    {
+        return seq_.load(std::memory_order_acquire);
+    }
+
+    /** Reader: true iff no writer overlapped since readBegin(). */
+    bool
+    readValidate(std::uint64_t begin) const
+    {
+        std::atomic_thread_fence(std::memory_order_acquire);
+        return seq_.load(std::memory_order_relaxed) == begin;
+    }
+
+  private:
+    std::atomic<std::uint64_t> seq_{0};
+};
+
+/**
+ * Per-shard counters for the lock-free read path, updated with relaxed
+ * fetch_adds by readers that by design hold no lock (the shard's plain
+ * ZkvShardStats would be a data race). Cache-line aligned so reader
+ * counter traffic never false-shares with the shard lock or seq word.
+ * Snapshots fold these into ZkvShardStats/ZkvShardObs (shardStats /
+ * shardObs), so consumers see one coherent counter set.
+ */
+struct alignas(64) ZkvSeqCounters
+{
+    std::atomic<std::uint64_t> gets{0};       ///< lock-free gets issued
+    std::atomic<std::uint64_t> getHits{0};    ///< ...that found the key
+    std::atomic<std::uint64_t> optimistic{0}; ///< answered without lock
+    std::atomic<std::uint64_t> retried{0};    ///< validation retries
+    std::atomic<std::uint64_t> fallback{0};   ///< fell back to the lock
 };
 
 /**
@@ -446,6 +578,18 @@ class ZkvStore
     static constexpr std::uint64_t kReservedKey =
         static_cast<std::uint64_t>(kInvalidAddr);
 
+    /**
+     * Optimistic read attempts before falling back to the shard lock.
+     * Retries are cheap (a W-position probe over two cache lines), so
+     * a handful rides out a whole relocation walk; the locked fallback
+     * bounds the tail so readers cannot starve under a put storm.
+     */
+    static constexpr std::uint32_t kSeqGetMaxRetries = 4;
+
+    /** Upper bound on lookupWays() fan-out an optimistic reader
+     *  stack-allocates for. validateSpec caps ways well below this. */
+    static constexpr std::uint32_t kMaxLookupWays = 64;
+
   private:
     struct Shard;
 
@@ -454,6 +598,30 @@ class ZkvStore
     std::optional<std::uint64_t> getTraced(std::uint64_t key);
     Expected<PutResult> putTraced(std::uint64_t key, std::uint64_t value);
     bool eraseTraced(std::uint64_t key);
+
+    /**
+     * The lock-free read attempt: up to kSeqGetMaxRetries seqlock-
+     * validated probes of @p key's candidate positions. On success
+     * returns true with hit/value filled and the per-shard optimistic
+     * counters updated; on false the caller must take the locked
+     * fallback. @p retries reports validation failures either way.
+     */
+    bool tryOptimisticGet(Shard& sh, std::uint64_t key,
+                          std::uint32_t& retries, bool& hit,
+                          std::uint64_t& value);
+
+    std::optional<std::uint64_t> getOptimistic(std::uint64_t key);
+    std::optional<std::uint64_t> getOptimisticTraced(std::uint64_t key);
+
+    /**
+     * The all-gets batched twin: every op tries the lock-free path
+     * independently; the (rare) failures are answered together under a
+     * single lock acquisition. Mixed batches never come here — a put
+     * between two gets must stay ordered, so they run fully locked.
+     */
+    void runShardBatchGetsOptimistic(std::uint32_t shard,
+                                     std::span<const StoreBatchOp> ops,
+                                     StoreBatchResult* out);
 
     /** Recovery-only mutators: apply state without counting stats or
      *  re-logging (the tier is not active during replay). */

@@ -11,12 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/fault_injection.hpp"
 #include "common/rng.hpp"
+#include "obs/tracer.hpp"
 #include "store/loadgen.hpp"
 #include "store/zkv.hpp"
 
@@ -385,6 +387,276 @@ TEST(ZkvLoadGen, LatencyBinsConfigPropagates)
 }
 
 // ---------------------------------------------------------------------
+// Optimistic (seqlock) read path, docs/store.md "Read path". Run under
+// TSan in CI: lock-free readers race writers' value-mirror stores.
+
+/** tinyConfig on the lock-free get path. */
+ZkvConfig
+optimisticConfig(std::uint32_t shards = 1, std::uint32_t blocks = 64)
+{
+    ZkvConfig cfg = tinyConfig(shards, blocks);
+    cfg.readPath = ReadPath::Optimistic;
+    return cfg;
+}
+
+/** Torture payload: any hit on key k must decode to exactly this. */
+std::uint64_t
+tortureValue(std::uint64_t key)
+{
+    return zkvMix64(key) | 1;
+}
+
+TEST(ZkvOptimistic, CreateRejectsArraysWithoutLookupWays)
+{
+    // The lock-free reader needs the array to enumerate a key's W
+    // candidate positions as a pure function (lookupWays); designs
+    // with victim buffers or indirection tables can't, and must be
+    // refused structurally instead of racing.
+    for (ArrayKind kind : {ArrayKind::FullyAssoc, ArrayKind::VWay}) {
+        ZkvConfig cfg = optimisticConfig();
+        cfg.array.kind = kind;
+        cfg.array.ways = 1;
+        cfg.array.levels = 1;
+        auto store = ZkvStore::create(cfg);
+        ASSERT_FALSE(store.hasValue()) << arrayKindName(kind);
+        EXPECT_EQ(store.status().code(), ErrorCode::InvalidArgument);
+        EXPECT_NE(store.status().message().find("optimistic"),
+                  std::string::npos);
+    }
+    // The supported kinds create fine.
+    for (ArrayKind kind :
+         {ArrayKind::ZCache, ArrayKind::SetAssoc, ArrayKind::SkewAssoc}) {
+        ZkvConfig cfg = optimisticConfig();
+        cfg.array.kind = kind;
+        EXPECT_TRUE(ZkvStore::create(cfg).hasValue()) << arrayKindName(kind);
+    }
+}
+
+TEST(ZkvOptimistic, RoundTripAndCountersSingleThread)
+{
+    auto kv = mustCreate(optimisticConfig());
+
+    EXPECT_EQ(kv->get(10), std::nullopt);
+    ASSERT_TRUE(kv->put(10, 111).hasValue());
+    EXPECT_EQ(kv->get(10), std::optional<std::uint64_t>(111));
+    ASSERT_TRUE(kv->put(10, 222).hasValue());
+    EXPECT_EQ(kv->get(10), std::optional<std::uint64_t>(222));
+    EXPECT_TRUE(kv->erase(10));
+    EXPECT_EQ(kv->get(10), std::nullopt);
+
+    // Single-threaded, every optimistic read validates on its first
+    // attempt: no retries, no fallbacks, and the seq counters fold
+    // into the ordinary gets/get_hits totals.
+    ZkvShardStats tot = kv->totals();
+    EXPECT_EQ(tot.gets, 4u);
+    EXPECT_EQ(tot.getHits, 2u);
+    ZkvShardObs obs = kv->obsTotals();
+    EXPECT_EQ(obs.getOptimistic, 4u);
+    EXPECT_EQ(obs.getRetried, 0u);
+    EXPECT_EQ(obs.getFallback, 0u);
+}
+
+/**
+ * On the optimistic path gets never touch the replacement policy (on
+ * the lock-free AND the fallback arm), so eviction decisions are a
+ * pure function of the put/erase sequence: a bare factory-built array
+ * fed ONLY the puts must report the identical eviction sequence even
+ * though the store additionally serves interleaved gets.
+ */
+TEST(ZkvOptimistic, EvictionIgnoresGetsAndMatchesBareArray)
+{
+    ZkvConfig cfg = optimisticConfig(/*shards=*/1, /*blocks=*/64);
+    auto kv = mustCreate(cfg);
+    auto bare = makeArray(cfg.shardSpec(0));
+
+    std::vector<std::uint64_t> store_evicted;
+    std::vector<std::uint64_t> bare_evicted;
+    Pcg32 rng(99);
+    for (int i = 0; i < 2000; i++) {
+        std::uint64_t key = rng.next64() % 256;
+        if (rng.uniform() < 0.5) {
+            auto pr = kv->put(key, key * 3);
+            ASSERT_TRUE(pr.hasValue());
+            if (pr->evicted) store_evicted.push_back(pr->evictedKey);
+
+            AccessContext ctx{key, kNoNextUse};
+            if (bare->access(key, ctx) == kInvalidPos) {
+                Replacement r = bare->insert(key, ctx);
+                if (r.evictedValid()) {
+                    bare_evicted.push_back(r.evictedAddr);
+                }
+            }
+        } else {
+            (void)kv->get(key); // no bare-array mirror: gets are inert
+        }
+    }
+    ASSERT_GT(store_evicted.size(), 100u);
+    EXPECT_EQ(store_evicted, bare_evicted);
+}
+
+/**
+ * Seqlock torture: one walk-heavy writer (footprint 4x capacity, so
+ * inserts relocate constantly) races lock-free readers. Readers check
+ * two invariants: (a) no torn pair — any hit on a writer key decodes
+ * to tortureValue(key); (b) read-your-writes — each reader owns a
+ * disjoint key range and any hit there returns exactly its last put.
+ */
+TEST(ZkvOptimistic, SeqlockTortureNoTornOrStaleReads)
+{
+    ZkvConfig cfg = optimisticConfig(/*shards=*/2, /*blocks=*/128);
+    auto kv = mustCreate(cfg);
+
+    constexpr std::uint64_t kWriterKeys = 1024; // keys 1..1024
+    constexpr std::uint32_t kReaders = 3;
+    constexpr std::uint64_t kOwnKeys = 64;
+
+    std::vector<std::uint64_t> torn(kReaders, 0);
+    std::vector<std::uint64_t> stale(kReaders, 0);
+
+    std::thread writer([&] {
+        Pcg32 rng(1);
+        for (int i = 0; i < 60000; i++) {
+            std::uint64_t key = 1 + rng.next64() % kWriterKeys;
+            ASSERT_TRUE(kv->put(key, tortureValue(key)).hasValue());
+        }
+    });
+    std::vector<std::thread> readers;
+    for (std::uint32_t tid = 0; tid < kReaders; tid++) {
+        readers.emplace_back([&, tid] {
+            const std::uint64_t base = 10000 + tid * kOwnKeys;
+            std::vector<std::uint64_t> last(kOwnKeys, 0);
+            Pcg32 rng(100 + tid);
+            for (int i = 0; i < 40000; i++) {
+                if (rng.uniform() < 0.8) {
+                    // Writer range: value is a pure function of key.
+                    std::uint64_t key = 1 + rng.next64() % kWriterKeys;
+                    if (auto v = kv->get(key)) {
+                        if (*v != tortureValue(key)) torn[tid]++;
+                    }
+                } else {
+                    std::uint64_t idx = rng.next64() % kOwnKeys;
+                    std::uint64_t key = base + idx;
+                    if (rng.uniform() < 0.5) {
+                        std::uint64_t val =
+                            (std::uint64_t{tid} << 32) | (i + 1);
+                        if (kv->put(key, val).hasValue()) last[idx] = val;
+                    } else if (auto v = kv->get(key)) {
+                        if (last[idx] != 0 && *v != last[idx]) stale[tid]++;
+                    }
+                }
+            }
+        });
+    }
+    writer.join();
+    for (auto& r : readers) r.join();
+
+    for (std::uint32_t tid = 0; tid < kReaders; tid++) {
+        EXPECT_EQ(torn[tid], 0u) << "torn read, reader " << tid;
+        EXPECT_EQ(stale[tid], 0u) << "stale read, reader " << tid;
+    }
+    // The lock-free path actually served reads (not everything fell
+    // back); retries/fallbacks are race-dependent and not asserted.
+    ZkvShardObs obs = kv->obsTotals();
+    EXPECT_GT(obs.getOptimistic, 0u);
+    EXPECT_EQ(kv->totals().gets,
+              obs.getOptimistic + obs.getFallback);
+}
+
+TEST(ZkvOptimistic, AllGetsBatchAnswersLockFree)
+{
+    auto kv = mustCreate(optimisticConfig(/*shards=*/1, /*blocks=*/64));
+    for (std::uint64_t k = 1; k <= 8; k++) {
+        ASSERT_TRUE(kv->put(k, k * 11).hasValue());
+    }
+    std::vector<StoreBatchOp> ops;
+    for (std::uint64_t k = 1; k <= 16; k++) {
+        StoreBatchOp op;
+        op.kind = ObsOp::Get;
+        op.key = k;
+        ops.push_back(op);
+    }
+    std::vector<StoreBatchResult> out(ops.size());
+    kv->runShardBatch(0, std::span<const StoreBatchOp>(ops), out.data());
+    for (std::uint64_t k = 1; k <= 16; k++) {
+        const StoreBatchResult& r = out[k - 1];
+        EXPECT_EQ(r.code, ErrorCode::Ok);
+        if (k <= 8) {
+            EXPECT_TRUE(r.hit) << "key " << k;
+            EXPECT_EQ(r.value, k * 11);
+        } else {
+            EXPECT_FALSE(r.hit) << "key " << k;
+        }
+    }
+    // Uncontended, the whole batch — hits and validated misses alike —
+    // is answered without the shard lock.
+    ZkvShardObs obs = kv->obsTotals();
+    EXPECT_EQ(obs.getOptimistic, 16u);
+    EXPECT_EQ(obs.getFallback, 0u);
+}
+
+TEST(ZkvOptimistic, MixedBatchKeepsInOrderSemantics)
+{
+    auto kv = mustCreate(optimisticConfig(/*shards=*/1, /*blocks=*/64));
+    // put -> get -> erase -> get on the same key: the gets must see
+    // the preceding ops in program order, so a mixed batch may not
+    // take the lock-free fork.
+    std::vector<StoreBatchOp> ops(4);
+    ops[0].kind = ObsOp::Put;
+    ops[0].key = 5;
+    ops[0].value = 55;
+    ops[1].kind = ObsOp::Get;
+    ops[1].key = 5;
+    ops[2].kind = ObsOp::Erase;
+    ops[2].key = 5;
+    ops[3].kind = ObsOp::Get;
+    ops[3].key = 5;
+    std::vector<StoreBatchResult> out(ops.size());
+    kv->runShardBatch(0, std::span<const StoreBatchOp>(ops), out.data());
+    EXPECT_TRUE(out[0].inserted);
+    EXPECT_TRUE(out[1].hit);
+    EXPECT_EQ(out[1].value, 55u);
+    EXPECT_TRUE(out[2].hit);
+    EXPECT_FALSE(out[3].hit);
+}
+
+TEST(ZkvOptimistic, TracedPathMatchesPlain)
+{
+    // Same op sequence with and without live telemetry: identical
+    // answers and identical op/seq counters (the traced twins add
+    // attribution, never semantics).
+    auto plain = mustCreate(optimisticConfig(/*shards=*/2, /*blocks=*/128));
+    auto traced = mustCreate(optimisticConfig(/*shards=*/2, /*blocks=*/128));
+    ObsTracerConfig tc; // empty path: count-only collector
+    ObsTracer tracer(std::move(tc));
+    traced->enableObs(&tracer);
+
+    Pcg32 rng(17);
+    for (int i = 0; i < 4000; i++) {
+        std::uint64_t key = 1 + rng.next64() % 512;
+        double u = rng.uniform();
+        if (u < 0.6) {
+            EXPECT_EQ(plain->get(key), traced->get(key));
+        } else if (u < 0.9) {
+            ASSERT_TRUE(plain->put(key, key + i).hasValue());
+            ASSERT_TRUE(traced->put(key, key + i).hasValue());
+        } else {
+            EXPECT_EQ(plain->erase(key), traced->erase(key));
+        }
+    }
+    traced->disableObs();
+
+    ZkvShardStats ps = plain->totals();
+    ZkvShardStats ts = traced->totals();
+    EXPECT_EQ(ps.gets, ts.gets);
+    EXPECT_EQ(ps.getHits, ts.getHits);
+    EXPECT_EQ(ps.evictions, ts.evictions);
+    ZkvShardObs po = plain->obsTotals();
+    ZkvShardObs to = traced->obsTotals();
+    EXPECT_EQ(po.getOptimistic, to.getOptimistic);
+    EXPECT_EQ(po.getFallback, to.getFallback);
+}
+
+// ---------------------------------------------------------------------
 // Concurrency (run under TSan in CI): >= 4 threads over >= 2 shards
 // with strict read-your-writes on per-thread key ranges.
 
@@ -489,6 +761,29 @@ TEST(ZkvConcurrency, LoadGenMultithreadVerifiesPayloads)
     EXPECT_EQ(timing.find("ops_total")->asU64(), 40000u);
     EXPECT_EQ(timing.find("per_thread")->arr().size(), 4u);
     EXPECT_GT(timing.find("latency")->find("count")->asU64(), 0u);
+}
+
+TEST(ZkvConcurrency, LoadGenOptimisticReadPathVerifies)
+{
+    // The loadgen's payload verification (value must decode to the
+    // writing thread + op) through the lock-free read path, 4 threads
+    // over 2 shards — the CI TSan smoke in miniature.
+    LoadGenConfig cfg;
+    cfg.store = tinyConfig(/*shards=*/2, /*blocks=*/512);
+    cfg.store.readPath = ReadPath::Optimistic;
+    cfg.threads = 4;
+    cfg.opsPerThread = 10000;
+    cfg.seed = 9;
+    cfg.workload = "canneal";
+    cfg.getFrac = 0.9;
+    cfg.eraseFrac = 0.0;
+
+    auto r = runLoadGen(cfg);
+    ASSERT_TRUE(r.hasValue()) << r.status().str();
+    ThreadStats agg = r->aggregate();
+    EXPECT_EQ(agg.ops, 40000u);
+    EXPECT_EQ(agg.verifyFailures, 0u);
+    EXPECT_EQ(agg.putErrors, 0u);
 }
 
 } // namespace
