@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Compressed-tier evaluation (docs/compression.md): miss rate vs
+ * effective capacity for extra-tag compressed arrays at EQUAL data
+ * byte budget.
+ *
+ * Every design in a run gets the same data store — `--data-blocks`
+ * uncompressed lines' worth of bytes. The uncompressed zcache exposes
+ * exactly that many tag positions; a compressed design with
+ * extraTagRatio=r exposes r times as many tags over the same bytes,
+ * and converts compression ratio into extra resident lines. Sweeping
+ * the footprint traces out each design's miss-rate curve; where the
+ * footprint lands between the physical and effective capacities, the
+ * compressed zcache's curve sits strictly below the uncompressed
+ * one — the acceptance property tests/test_compress.cpp pins down.
+ *
+ * Grid: design in {z, cz} x extraTagRatio x codec (cz only) x
+ * footprint. Line content is synthesized by the ContentModel — a pure
+ * function of (address, seed) — so curves are exactly reproducible.
+ *
+ * Flags:
+ *   --data-blocks=2048    data budget, in uncompressed lines
+ *   --ways=4 --levels=2   zcache geometry (both designs)
+ *   --ratios=1,2,4        extraTagRatio values for the compressed rows
+ *   --codecs=none,bdi     codecs for the compressed rows
+ *   --footprints=0.5,1,1.5,2,3   footprint as a multiple of data-blocks
+ *   --accesses=600000     references per point
+ *   --zero=20 --repeat=20 --delta=40   content-class percents
+ *                         (remainder = incompressible random)
+ *   --line-bytes=64       modeled line size
+ *   --seed=17             traffic + content seed
+ *   --json=<path>         standard JSON report; each run carries
+ *                         design/codec/extra_tag_ratio/footprint plus
+ *                         miss_rate, compression ratio and effective
+ *                         capacity (scripts in CI schema-check this)
+ *
+ * Exit codes (bench protocol): 0 clean, 1 failed points or unwritable
+ * output, 2 usage error.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cache/array_factory.hpp"
+#include "cache/cache_model.hpp"
+#include "common/stats_registry.hpp"
+#include "runner/sweep.hpp"
+#include "trace/generator.hpp"
+
+#include "bench_util.hpp"
+
+using namespace zc;
+using namespace zc::benchutil;
+
+namespace {
+
+struct Point
+{
+    std::string design; ///< row label (spec.label())
+    ArraySpec spec;
+    bool compressed = false;
+    double footprintMult = 1.0;
+    std::uint64_t footprint = 0;
+};
+
+struct PointResult
+{
+    double missRate = 0.0;
+    std::uint64_t evictions = 0;
+    std::uint64_t extraEvictions = 0;
+    std::uint64_t relocations = 0;
+
+    /** Compressed rows only (zeros otherwise). */
+    double compressionRatio = 0.0;
+    double effectiveCapacityLines = 0.0;
+    std::uint64_t occupiedBytes = 0;
+    std::uint64_t dataBudgetBytes = 0;
+};
+
+PointResult
+runPoint(const Point& p, std::uint64_t accesses, std::uint64_t seed)
+{
+    CacheModel m(makeArray(p.spec));
+
+    // Hot zipf over the footprint: misses are capacity-driven, so the
+    // curve moves exactly where effective capacity does.
+    ZipfGenerator gen(0, p.footprint, 0.9, seed);
+    for (std::uint64_t i = 0; i < accesses; i++) {
+        m.access(gen.next().lineAddr);
+    }
+
+    PointResult r;
+    r.missRate = m.stats().missRate();
+    r.evictions = m.stats().evictions;
+    r.extraEvictions = m.stats().extraEvictions;
+    r.relocations = m.stats().relocations;
+    if (p.compressed) {
+        const auto& cz =
+            static_cast<const CompressedZArray&>(m.array());
+        const SizeMirror& mir = cz.sizeMirror();
+        r.dataBudgetBytes = cz.dataBudgetBytes();
+        r.occupiedBytes = mir.occupiedBytes();
+        if (mir.storedBytesTotal() > 0) {
+            r.compressionRatio =
+                static_cast<double>(mir.rawBytesTotal()) /
+                static_cast<double>(mir.storedBytesTotal());
+        }
+        // Lines the byte budget holds at the observed ratio, capped by
+        // the tag count — extra tags are the other capacity ceiling.
+        double lines = static_cast<double>(r.dataBudgetBytes) /
+                       static_cast<double>(p.spec.lineBytes) *
+                       (r.compressionRatio > 0.0 ? r.compressionRatio
+                                                 : 1.0);
+        double tags = static_cast<double>(p.spec.blocks);
+        r.effectiveCapacityLines = lines < tags ? lines : tags;
+    } else {
+        r.dataBudgetBytes = static_cast<std::uint64_t>(p.spec.blocks) *
+                            p.spec.lineBytes;
+        r.effectiveCapacityLines = static_cast<double>(p.spec.blocks);
+    }
+    return r;
+}
+
+std::vector<double>
+parseDoubleList(const std::string& csv)
+{
+    std::vector<double> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos) comma = csv.size();
+        std::string item = csv.substr(pos, comma - pos);
+        if (!item.empty()) out.push_back(std::atof(item.c_str()));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+parseStrList(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos) comma = csv.size();
+        std::string item = csv.substr(pos, comma - pos);
+        if (!item.empty()) out.push_back(item);
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::uint32_t data_blocks = static_cast<std::uint32_t>(
+        flagU64(argc, argv, "data-blocks", 2048));
+    std::uint32_t ways =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "ways", 4));
+    std::uint32_t levels =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "levels", 2));
+    std::uint32_t line_bytes = static_cast<std::uint32_t>(
+        flagU64(argc, argv, "line-bytes", 64));
+    std::uint64_t accesses = flagU64(argc, argv, "accesses", 600000);
+    std::uint64_t seed = flagU64(argc, argv, "seed", 17);
+    auto ratios = parseDoubleList(flag(argc, argv, "ratios", "1,2,4"));
+    auto codec_names =
+        parseStrList(flag(argc, argv, "codecs", "none,bdi"));
+    auto footprints = parseDoubleList(
+        flag(argc, argv, "footprints", "0.5,1,1.5,2,3"));
+
+    ContentModel content;
+    content.zeroPct =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "zero", 20));
+    content.repeatPct =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "repeat", 20));
+    content.deltaPct =
+        static_cast<std::uint32_t>(flagU64(argc, argv, "delta", 40));
+    content.seed = seed ^ 0xc0deULL;
+    if (Status s = content.validate(); !s.isOk()) {
+        std::fprintf(stderr, "error: %s\n", s.str().c_str());
+        return 2;
+    }
+
+    std::vector<CodecKind> codecs;
+    for (const std::string& name : codec_names) {
+        auto k = parseCodecKind(name);
+        if (!k) {
+            std::fprintf(stderr, "error: %s\n", k.status().str().c_str());
+            return 2;
+        }
+        codecs.push_back(*k);
+    }
+    if (ratios.empty() || footprints.empty() || codecs.empty()) {
+        std::fprintf(stderr, "error: --ratios, --codecs and "
+                             "--footprints must be non-empty\n");
+        return 2;
+    }
+
+    // Designs at EQUAL data budget: the plain zcache baseline plus one
+    // compressed row per (ratio, codec). ratio=1 rows keep the same
+    // tag count as the baseline (the bit-identity configuration);
+    // ratio=r rows expose r*data_blocks tags over the same bytes.
+    struct Design
+    {
+        ArraySpec spec;
+        bool compressed = false;
+    };
+    std::vector<Design> designs;
+    {
+        ArraySpec base;
+        base.kind = ArrayKind::ZCache;
+        base.blocks = data_blocks;
+        base.ways = ways;
+        base.levels = levels;
+        base.policy = PolicyKind::Lru;
+        base.seed = seed ^ 0x5eedULL;
+        designs.push_back({base, false});
+        for (double ratio_d : ratios) {
+            auto ratio = static_cast<std::uint32_t>(ratio_d);
+            if (ratio == 0) continue;
+            for (CodecKind codec : codecs) {
+                ArraySpec s = base;
+                s.kind = ArrayKind::CompressedZ;
+                s.blocks = data_blocks * ratio;
+                s.extraTagRatio = ratio;
+                s.lineBytes = line_bytes;
+                s.codec = codec;
+                s.content = content;
+                designs.push_back({s, true});
+            }
+        }
+    }
+
+    std::vector<Point> grid;
+    for (const Design& d : designs) {
+        for (double mult : footprints) {
+            Point p;
+            p.spec = d.spec;
+            p.compressed = d.compressed;
+            p.design = d.spec.label();
+            p.footprintMult = mult;
+            p.footprint = static_cast<std::uint64_t>(
+                mult * static_cast<double>(data_blocks));
+            if (p.footprint == 0) p.footprint = 1;
+            grid.push_back(p);
+        }
+    }
+
+    JsonReport report(argc, argv, "compressed_curves");
+
+    auto outcomes = runGrid<PointResult>(
+        grid.size(),
+        [&](std::size_t i) { return runPoint(grid[i], accesses, seed); },
+        sweepOptions(argc, argv, "compressed_curves"));
+    std::size_t failed =
+        reportGridFailures(outcomes, "compressed_curves");
+
+    banner("miss rate vs effective capacity at equal data budget (" +
+           std::to_string(data_blocks) + " lines of " +
+           std::to_string(line_bytes) + "B, " + content.label() + ")");
+    std::printf("%-16s %10s %10s %9s %8s %10s %10s\n", "design",
+                "footprint", "missrate", "ratio", "eff_cap",
+                "evictions", "extra_ev");
+    for (const auto& o : outcomes) {
+        if (!o.ok) continue;
+        const Point& p = grid[o.index];
+        const PointResult& r = o.result;
+        std::printf("%-16s %10" PRIu64 " %10.4f %9.3f %8.0f %10" PRIu64
+                    " %10" PRIu64 "\n",
+                    p.design.c_str(), p.footprint, r.missRate,
+                    r.compressionRatio, r.effectiveCapacityLines,
+                    r.evictions, r.extraEvictions);
+
+        JsonValue stats = JsonValue::object();
+        stats.set("miss_rate", JsonValue(r.missRate));
+        stats.set("evictions", JsonValue(r.evictions));
+        stats.set("extra_evictions", JsonValue(r.extraEvictions));
+        stats.set("relocations", JsonValue(r.relocations));
+        stats.set("compression_ratio", JsonValue(r.compressionRatio));
+        stats.set("effective_capacity_lines",
+                  JsonValue(r.effectiveCapacityLines));
+        stats.set("occupied_bytes", JsonValue(r.occupiedBytes));
+        stats.set("data_budget_bytes", JsonValue(r.dataBudgetBytes));
+        report.add(
+            {
+                {"design", JsonValue(p.design)},
+                {"compressed", JsonValue(p.compressed)},
+                {"codec",
+                 JsonValue(std::string(
+                     p.compressed ? codecKindName(p.spec.codec)
+                                  : "none"))},
+                {"extra_tag_ratio",
+                 JsonValue(std::uint64_t{
+                     p.compressed ? p.spec.extraTagRatio : 1})},
+                {"footprint", JsonValue(p.footprint)},
+                {"footprint_mult", JsonValue(p.footprintMult)},
+                {"accesses", JsonValue(accesses)},
+                {"data_blocks", JsonValue(std::uint64_t{data_blocks})},
+                {"line_bytes", JsonValue(std::uint64_t{line_bytes})},
+                {"content", JsonValue(content.label())},
+            },
+            std::move(stats));
+    }
+
+    std::printf("\nExpected shape: with compressible content the "
+                "extra-tag BDI rows hold more resident lines than the "
+                "data store could fit raw, so their curves sit below "
+                "the uncompressed zcache wherever the footprint "
+                "exceeds the physical capacity but not the effective "
+                "one; the null codec collapses to the baseline.\n");
+
+    bool wrote = report.writeIfRequested();
+    if (failed > 0 || !wrote) return 1;
+    return 0;
+}

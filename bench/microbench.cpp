@@ -19,7 +19,9 @@
 #include "cache/array_factory.hpp"
 #include "cache/cache_model.hpp"
 #include "common/rng.hpp"
+#include "compress/codec.hpp"
 #include "obs/tracer.hpp"
+#include "store/loadgen.hpp"
 #include "store/zkv.hpp"
 #include "trace/generator.hpp"
 
@@ -240,6 +242,88 @@ BM_StoreGetPutTraced(benchmark::State& state)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_StoreGetPutTraced);
+
+/**
+ * One BDI compress of a 64 B line, cycling through the ContentModel's
+ * class mix (docs/compression.md) so the measurement covers the zero /
+ * repeat / delta fast paths and the raw fallback in their modeled
+ * proportions. The exported ratio counter is raw/stored bytes over the
+ * whole run — scripts/perf_gate.py renders it next to the throughput
+ * verdict once this row has CI history.
+ */
+void
+BM_CodecCompress(benchmark::State& state)
+{
+    auto codec = makeCodec(CodecKind::Bdi);
+    ContentModel content;
+    constexpr std::size_t kLine = 64;
+    constexpr std::size_t kLines = 1024;
+    std::vector<std::uint8_t> src(kLines * kLine);
+    for (std::size_t i = 0; i < kLines; i++) {
+        content.fill(static_cast<Addr>(i), src.data() + i * kLine, kLine);
+    }
+    std::vector<std::uint8_t> dst(codec->maxCompressedSize(kLine));
+    std::uint64_t raw = 0, stored = 0, i = 0;
+    for (auto _ : state) {
+        const std::uint8_t* line = src.data() + (i++ % kLines) * kLine;
+        auto n = codec->compress(line, kLine, dst.data(), dst.size());
+        benchmark::DoNotOptimize(n);
+        raw += kLine;
+        stored += *n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.counters["compression_ratio"] = benchmark::Counter(
+        stored > 0 ? static_cast<double>(raw) / static_cast<double>(stored)
+                   : 1.0);
+}
+BENCHMARK(BM_CodecCompress);
+
+/**
+ * BM_StoreGetPut with the store in compressed bytes mode (BDI values,
+ * docs/compression.md): the same 70/30 mix, but puts build a loadgen
+ * payload and run it through the codec, and get hits decompress. The
+ * delta vs BM_StoreGetPut is the compressed tier's op-path cost; the
+ * ratio counter must sit above 1.0 on the loadgen payload mix.
+ */
+void
+BM_StoreGetPutCompressed(benchmark::State& state)
+{
+    ZkvConfig cfg;
+    cfg.shards = 4;
+    cfg.array.blocks = 4096;
+    cfg.value.maxBytes = kZkvMaxValueBytes;
+    cfg.value.codec = CodecKind::Bdi;
+    auto store = ZkvStore::create(cfg);
+    zc_assert(store.hasValue());
+    ZkvStore& kv = **store;
+    Pcg32 rng(7);
+    const std::uint64_t footprint = 32768;
+    const std::uint32_t vb_min = 16, vb_max = 64;
+    std::vector<std::uint8_t> payload;
+    auto putOne = [&](std::uint64_t key) {
+        zkvFillPayload(key, 0, zkvPayloadLen(key, vb_min, vb_max), payload);
+        return kv.putBytes(key, payload);
+    };
+    for (int i = 0; i < 60000; i++) {
+        (void)putOne(rng.next64() % footprint);
+    }
+    for (auto _ : state) {
+        std::uint64_t key = rng.next64() % footprint;
+        if (rng.uniform() < 0.7) {
+            benchmark::DoNotOptimize(kv.getBytes(key));
+        } else {
+            benchmark::DoNotOptimize(putOne(key));
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    const ZkvCompressionStats cp = kv.compressionTotals();
+    state.counters["compression_ratio"] = benchmark::Counter(
+        cp.storedBytesTotal > 0
+            ? static_cast<double>(cp.rawBytesTotal) /
+                  static_cast<double>(cp.storedBytesTotal)
+            : 1.0);
+}
+BENCHMARK(BM_StoreGetPutCompressed);
 
 void
 BM_ZipfGenerator(benchmark::State& state)

@@ -26,6 +26,17 @@
  *   --workload=canneal          WorkloadRegistry key-stream profile
  *   --seed=1                    base seed
  *   --crc                       CRC-protect every frame (echoed back)
+ *   --value-bytes=<dist>        bytes mode (docs/compression.md):
+ *                               variable-length byte payloads against
+ *                               a bytes-mode server (zkv_server
+ *                               --value-bytes). fixed:N | uniform:LO:HI
+ *                               | N. Payloads are the same
+ *                               deterministic function of (key, conn)
+ *                               store_loadgen uses, so every GET hit
+ *                               is verified byte-exactly end to end
+ *                               through compression and the wire.
+ *                               Incompatible with --shadow-out /
+ *                               --verify-shadow (u64 shadow maps).
  *   --pipeline-depth=0          optional cap on in-flight requests
  *                               per connection (0 = unbounded, the
  *                               pure open-loop; a bound models client
@@ -87,6 +98,7 @@
 #include "net/openloop.hpp"
 #include "obs/latency_scale.hpp"
 #include "obs/trace_event.hpp"
+#include "store/loadgen.hpp"
 #include "store/zkv.hpp"
 #include "trace/workloads.hpp"
 
@@ -153,6 +165,12 @@ struct PointConfig
     std::uint64_t pipelineDepth = 0; ///< 0 = unbounded
     std::uint64_t drainWaitMs = 5000;
     std::size_t latencyBins = 64;
+
+    /** Bytes mode (docs/compression.md): variable-length payloads
+     *  with deterministic per-key lengths in [vbMin, vbMax]. */
+    bool bytesMode = false;
+    std::uint32_t vbMin = 16;
+    std::uint32_t vbMax = 64;
 };
 
 struct PointResult
@@ -196,6 +214,7 @@ runConn(const PointConfig& cfg, std::uint32_t tid,
     std::vector<std::uint64_t> keyOf(ops_budget, 0);
     std::vector<std::uint8_t> rbuf;
     std::vector<std::uint8_t> wbuf;
+    std::vector<std::uint8_t> vscratch; // bytes-mode verify buffer
 
     const std::uint64_t t0 = obsNowNs();
     std::uint64_t nextArr = sched.nextOffsetNs();
@@ -232,6 +251,7 @@ runConn(const PointConfig& cfg, std::uint32_t tid,
             if (u < cfg.getFrac) {
                 req.type = net::MsgType::Get;
                 req.key = key;
+                req.bytes = cfg.bytesMode;
                 cs.gets++;
             } else if (u < cfg.getFrac + cfg.eraseFrac) {
                 req.type = net::MsgType::Erase;
@@ -241,7 +261,15 @@ runConn(const PointConfig& cfg, std::uint32_t tid,
             } else {
                 req.type = net::MsgType::Put;
                 req.key = key;
-                req.value = zkvMix64(key) + tid;
+                if (cfg.bytesMode) {
+                    req.bytes = true;
+                    zkvFillPayload(key, tid,
+                                   zkvPayloadLen(key, cfg.vbMin,
+                                                 cfg.vbMax),
+                                   req.valueBytes);
+                } else {
+                    req.value = zkvMix64(key) + tid;
+                }
                 cs.puts++;
                 if (shadow != nullptr) shadow->putKeys.insert(key);
             }
@@ -357,9 +385,19 @@ runConn(const PointConfig& cfg, std::uint32_t tid,
                     cs.getHits++;
                     // Values encode (key, writer tid); a hit decoding
                     // to an impossible writer means the store (or the
-                    // wire) cross-connected a payload.
-                    if (resp.value - zkvMix64(keyOf[resp.id - 1]) >=
-                        cfg.connections) {
+                    // wire) cross-connected a payload. Bytes mode
+                    // checks the whole payload byte-exactly instead.
+                    if (cfg.bytesMode) {
+                        if (!zkvVerifyPayload(keyOf[resp.id - 1],
+                                              cfg.connections,
+                                              cfg.vbMin, cfg.vbMax,
+                                              resp.valueBytes,
+                                              vscratch)) {
+                            cs.verifyFailures++;
+                        }
+                    } else if (resp.value -
+                                   zkvMix64(keyOf[resp.id - 1]) >=
+                               cfg.connections) {
                         cs.verifyFailures++;
                     }
                 }
@@ -623,6 +661,50 @@ main(int argc, char** argv)
     base.pipelineDepth = flagU64(argc, argv, "pipeline-depth", 0);
     base.drainWaitMs = flagU64(argc, argv, "drain-wait-ms", 5000);
 
+    std::string value_bytes = flag(argc, argv, "value-bytes", "");
+    if (!value_bytes.empty()) {
+        if (!shadow_out.empty()) {
+            std::fprintf(stderr,
+                         "error: --value-bytes is incompatible with "
+                         "--shadow-out (u64 shadow maps)\n");
+            return 2;
+        }
+        base.bytesMode = true;
+        std::string body = value_bytes;
+        if (body.rfind("fixed:", 0) == 0) {
+            body = body.substr(6);
+        }
+        std::uint64_t lo = 0, hi = 0;
+        if (body.rfind("uniform:", 0) == 0) {
+            std::string rest = body.substr(8);
+            std::size_t colon = rest.find(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr,
+                             "error: bad --value-bytes '%s' (valid: "
+                             "fixed:N, uniform:LO:HI, N)\n",
+                             value_bytes.c_str());
+                return 2;
+            }
+            lo = std::strtoull(rest.substr(0, colon).c_str(), nullptr,
+                               10);
+            hi = std::strtoull(rest.substr(colon + 1).c_str(), nullptr,
+                               10);
+        } else {
+            lo = hi = std::strtoull(body.c_str(), nullptr, 10);
+        }
+        if (lo < 4 || hi < lo || hi > net::kMaxValueBytes) {
+            std::fprintf(stderr,
+                         "error: --value-bytes range [%llu, %llu] must "
+                         "satisfy 4 <= LO <= HI <= %zu\n",
+                         static_cast<unsigned long long>(lo),
+                         static_cast<unsigned long long>(hi),
+                         net::kMaxValueBytes);
+            return 2;
+        }
+        base.vbMin = static_cast<std::uint32_t>(lo);
+        base.vbMax = static_cast<std::uint32_t>(hi);
+    }
+
     auto kind_or =
         parseArrivalKind(flag(argc, argv, "arrivals", "poisson"));
     if (!kind_or) {
@@ -724,6 +806,7 @@ main(int argc, char** argv)
         stats.set("get_hits", JsonValue(a.getHits));
         stats.set("puts", JsonValue(a.puts));
         stats.set("erases", JsonValue(a.erases));
+        stats.set("verify_failures", JsonValue(a.verifyFailures));
         stats.set("statuses", std::move(statuses));
 
         report.add(
@@ -736,6 +819,11 @@ main(int argc, char** argv)
                 {"ops", JsonValue(cfg.ops)},
                 {"workload", JsonValue(cfg.workload)},
                 {"crc", JsonValue(cfg.client.crc)},
+                {"bytes_mode", JsonValue(cfg.bytesMode)},
+                {"value_bytes_min",
+                 JsonValue(std::uint64_t{cfg.vbMin})},
+                {"value_bytes_max",
+                 JsonValue(std::uint64_t{cfg.vbMax})},
                 {"timing", std::move(timing)},
             },
             std::move(stats));

@@ -29,6 +29,20 @@
  *   --seed=1             base seed (per-point seeds derived)
  *   --json=<path>        standard JSON report (docs/store.md schema)
  *
+ * Compressed-value mode (docs/compression.md; default off):
+ *   --value-bytes=<dist> switch the store to variable-length byte
+ *                        payloads with deterministic per-key lengths:
+ *                        fixed:N | uniform:LO:HI | N (= fixed:N).
+ *                        Lengths must be >= 4 (the writer-tid prefix)
+ *                        and <= the 224-byte value cap. Every get hit
+ *                        is verified byte-exactly against the
+ *                        regenerated payload.
+ *   --codec=bdi          value codec: bdi | none (passthrough). The
+ *                        run report gains a "compression" block:
+ *                        ratio, resident_bytes_per_key, codec totals.
+ *                        Incompatible with --read-path=optimistic and
+ *                        --data-dir (the store rejects both).
+ *
  * Scaling mode (docs/performance.md):
  *   --scaling            replace --threads with 1,2,4,...,nproc and
  *                        emit a per-thread-count throughput + p99
@@ -91,6 +105,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -149,6 +164,47 @@ struct Point
     LoadGenConfig cfg;
     std::string design; ///< shard array label
 };
+
+/**
+ * Parse a --value-bytes distribution: "fixed:N", "uniform:LO:HI", or a
+ * bare "N" (= fixed:N). Returns {lo, hi} (inclusive).
+ */
+Expected<std::pair<std::uint32_t, std::uint32_t>>
+parseValueBytesDist(const std::string& spec)
+{
+    auto bad = [&] {
+        return Status::invalidArgument(
+            "store_loadgen: bad --value-bytes '" + spec +
+            "' (valid: fixed:N, uniform:LO:HI, N)");
+    };
+    std::string body = spec;
+    bool uniform = false;
+    if (spec.rfind("fixed:", 0) == 0) {
+        body = spec.substr(6);
+    } else if (spec.rfind("uniform:", 0) == 0) {
+        body = spec.substr(8);
+        uniform = true;
+    }
+    if (body.empty()) return bad();
+    if (!uniform) {
+        char* end = nullptr;
+        std::uint64_t n = std::strtoull(body.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') return bad();
+        return std::pair<std::uint32_t, std::uint32_t>{
+            static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(n)};
+    }
+    std::size_t colon = body.find(':');
+    if (colon == std::string::npos) return bad();
+    std::string lo_s = body.substr(0, colon);
+    std::string hi_s = body.substr(colon + 1);
+    char* end = nullptr;
+    std::uint64_t lo = std::strtoull(lo_s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return bad();
+    std::uint64_t hi = std::strtoull(hi_s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return bad();
+    return std::pair<std::uint32_t, std::uint32_t>{
+        static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)};
+}
 
 /**
  * Per-point output path: the base path for a single-point grid,
@@ -224,6 +280,29 @@ main(int argc, char** argv)
         flagU64(argc, argv, "persist-queue-cap", 4096);
     std::string backpressure_name =
         flag(argc, argv, "persist-backpressure", "block");
+    std::string value_bytes_spec = flag(argc, argv, "value-bytes", "");
+    std::string codec_name = flag(argc, argv, "codec", "bdi");
+
+    std::uint32_t vb_min = 0, vb_max = 0;
+    CodecKind codec = CodecKind::None;
+    const bool bytes_mode = !value_bytes_spec.empty();
+    if (bytes_mode) {
+        auto dist = parseValueBytesDist(value_bytes_spec);
+        if (!dist) {
+            std::fprintf(stderr, "error: %s\n",
+                         dist.status().str().c_str());
+            return 2;
+        }
+        vb_min = dist->first;
+        vb_max = dist->second;
+        auto ck = parseCodecKind(codec_name);
+        if (!ck) {
+            std::fprintf(stderr, "error: %s\n",
+                         ck.status().str().c_str());
+            return 2;
+        }
+        codec = *ck;
+    }
 
     auto policy = parsePolicyKind(policy_name);
     if (!policy) {
@@ -359,6 +438,13 @@ main(int argc, char** argv)
                         p.cfg.obs.ringCapacity =
                             static_cast<std::size_t>(ring_cap);
                         p.cfg.store.persist = persist_cfg;
+                        if (bytes_mode) {
+                            p.cfg.store.value.maxBytes =
+                                kZkvMaxValueBytes;
+                            p.cfg.store.value.codec = codec;
+                            p.cfg.valueBytesMin = vb_min;
+                            p.cfg.valueBytesMax = vb_max;
+                        }
                         p.design = p.cfg.store.array.label();
                         grid.push_back(std::move(p));
                     }
@@ -424,6 +510,35 @@ main(int argc, char** argv)
                     shardLockKindName(p.cfg.store.lock), r.opsPerSec,
                     hit_pct, p50, p99, agg.verifyFailures);
 
+        JsonValue compj = JsonValue::object();
+        if (bytes_mode) {
+            const ZkvCompressionStats& cp = r.compression;
+            compj.set("codec",
+                      JsonValue(std::string(codecKindName(codec))));
+            compj.set("value_bytes_min",
+                      JsonValue(std::uint64_t{p.cfg.valueBytesMin}));
+            compj.set("value_bytes_max",
+                      JsonValue(std::uint64_t{p.cfg.valueBytesMax}));
+            compj.set("compress_calls", JsonValue(cp.compressCalls));
+            compj.set("decompress_calls", JsonValue(cp.decompressCalls));
+            compj.set("raw_bytes_total", JsonValue(cp.rawBytesTotal));
+            compj.set("stored_bytes_total",
+                      JsonValue(cp.storedBytesTotal));
+            compj.set("resident_raw_bytes",
+                      JsonValue(cp.residentRawBytes));
+            compj.set("resident_stored_bytes",
+                      JsonValue(cp.residentStoredBytes));
+            compj.set("ratio", JsonValue(cp.ratio()));
+            compj.set("resident_keys", JsonValue(r.residentKeys));
+            compj.set(
+                "resident_bytes_per_key",
+                JsonValue(r.residentKeys > 0
+                              ? static_cast<double>(
+                                    cp.residentStoredBytes) /
+                                    static_cast<double>(r.residentKeys)
+                              : 0.0));
+        }
+
         JsonValue obs = JsonValue::object();
         if (p.cfg.obs.anyEnabled()) {
             obs.set("trace_path", JsonValue(p.cfg.obs.tracePath));
@@ -452,6 +567,7 @@ main(int argc, char** argv)
                  JsonValue(std::string(
                      arrivalKindName(p.cfg.arrivals)))},
                 {"timing", timing},
+                {"compression", std::move(compj)},
                 {"obs", std::move(obs)},
             },
             r.storeStats);

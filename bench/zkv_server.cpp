@@ -12,6 +12,12 @@
  *   --port-file=<path>     write the resolved port as one line
  *   --shards=4 --array=z --ways=4 --cands=0 --blocks=4096 --levels=2
  *   --policy=lru --lock=mutex --seed=1     store shape (docs/store.md)
+ *   --value-bytes[=CAP]    bytes mode (docs/compression.md): values
+ *                          are variable-length byte payloads up to CAP
+ *                          bytes (default 224, the frame cap), stored
+ *                          compressed; clients must speak bytes-mode
+ *                          frames (net_loadgen --value-bytes)
+ *   --codec=bdi            bytes-mode value codec: bdi | none
  *   --max-conns=1024       concurrent connection ceiling
  *   --drain-timeout-ms=2000  grace budget after SIGTERM/SIGINT
  *   --duration-s=N         self-shutdown after N seconds (0 = run
@@ -156,6 +162,22 @@ main(int argc, char** argv)
     }
     cfg.store.lock = lock_name == "spin" ? ShardLockKind::Spin
                                          : ShardLockKind::Mutex;
+    if (flagBool(argc, argv, "value-bytes") ||
+        !flag(argc, argv, "value-bytes", "").empty()) {
+        std::uint64_t cap = flagU64(argc, argv, "value-bytes",
+                                    kZkvMaxValueBytes);
+        if (cap == 0 || cap > kZkvMaxValueBytes) {
+            cap = kZkvMaxValueBytes;
+        }
+        cfg.store.value.maxBytes = static_cast<std::uint32_t>(cap);
+        auto codec = parseCodecKind(flag(argc, argv, "codec", "bdi"));
+        if (!codec) {
+            std::fprintf(stderr, "error: %s\n",
+                         codec.status().str().c_str());
+            return 2;
+        }
+        cfg.store.value.codec = *codec;
+    }
     cfg.maxConnections = static_cast<std::uint32_t>(
         flagU64(argc, argv, "max-conns", 1024));
     cfg.drainTimeoutMs = static_cast<std::uint32_t>(

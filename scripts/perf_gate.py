@@ -40,7 +40,11 @@ BENCH_NAME = "BM_WalkHeavyPinned"
 # Counter-only companions: run alongside the pinned profile so their
 # user counters (e.g. BM_StoreGetOptimistic's get_optimistic fraction)
 # land in the gate's table. Their throughput is NOT gated.
-COMPANIONS = ["BM_StoreGetOptimistic"]
+COMPANIONS = [
+    "BM_StoreGetOptimistic",
+    "BM_CodecCompress",
+    "BM_StoreGetPutCompressed",
+]
 BASELINE = os.path.join("results", "reference", "perf_baseline.json")
 
 # google-benchmark's own per-entry numeric fields; anything else numeric

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cache/column_associative_array.hpp"
+#include "cache/compressed_array.hpp"
 #include "cache/fully_associative_array.hpp"
 #include "cache/random_candidates_array.hpp"
 #include "cache/set_associative_array.hpp"
@@ -37,6 +38,8 @@ enum class ArrayKind {
     VictimCache,      ///< SA main array + FA victim buffer (Section II-B)
     VWay,             ///< oversized tag array + indirection (Section II-B)
     ColumnAssoc,      ///< direct-mapped + rehash location (Section II-B)
+    CompressedZ,      ///< extra-tag zcache over a byte-budgeted store
+    CompressedSetAssoc, ///< extra-tag SA baseline (docs/compression.md)
 };
 
 inline const char*
@@ -51,16 +54,19 @@ arrayKindName(ArrayKind k)
       case ArrayKind::VictimCache: return "victim-cache";
       case ArrayKind::VWay: return "vway";
       case ArrayKind::ColumnAssoc: return "column-assoc";
+      case ArrayKind::CompressedZ: return "compressed-z";
+      case ArrayKind::CompressedSetAssoc: return "compressed-set-assoc";
     }
     return "?";
 }
 
 /** Every ArrayKind, for name listings and parse diagnostics. */
-inline constexpr std::array<ArrayKind, 8> kAllArrayKinds{
+inline constexpr std::array<ArrayKind, 10> kAllArrayKinds{
     ArrayKind::SetAssoc,    ArrayKind::SkewAssoc,
     ArrayKind::ZCache,      ArrayKind::FullyAssoc,
     ArrayKind::RandomCandidates, ArrayKind::VictimCache,
     ArrayKind::VWay,        ArrayKind::ColumnAssoc,
+    ArrayKind::CompressedZ, ArrayKind::CompressedSetAssoc,
 };
 
 /**
@@ -109,6 +115,17 @@ struct ArraySpec
     /** VWay only: tag entries per data block. */
     std::uint32_t tagRatio = 2;
 
+    /**
+     * Compressed kinds only (docs/compression.md): tag entries per
+     * data block (blocks = tag positions; the data store budgets
+     * (blocks / extraTagRatio) * lineBytes bytes), the modeled line
+     * size, the codec, and the synthetic line-content mix.
+     */
+    std::uint32_t extraTagRatio = 2;
+    std::uint32_t lineBytes = 64;
+    CodecKind codec = CodecKind::Bdi;
+    ContentModel content;
+
     std::uint64_t seed = 0x5eed;
 
     std::string
@@ -136,6 +153,16 @@ struct ArraySpec
                    std::to_string(candidates);
           case ArrayKind::ColumnAssoc:
             return "ColAssoc";
+          case ArrayKind::CompressedZ:
+            return "CZ" + std::to_string(ways) + "/" +
+                   std::to_string(
+                       ZArray::nominalCandidates(ways, levels)) +
+                   "x" + std::to_string(extraTagRatio) + "/" +
+                   std::string(codecKindName(codec));
+          case ArrayKind::CompressedSetAssoc:
+            return "CSA" + std::to_string(ways) + "x" +
+                   std::to_string(extraTagRatio) + "/" +
+                   std::string(codecKindName(codec));
         }
         return "?";
     }
@@ -162,7 +189,9 @@ validateSpec(const ArraySpec& spec)
                      spec.kind == ArrayKind::SkewAssoc ||
                      spec.kind == ArrayKind::ZCache ||
                      spec.kind == ArrayKind::VictimCache ||
-                     spec.kind == ArrayKind::VWay;
+                     spec.kind == ArrayKind::VWay ||
+                     spec.kind == ArrayKind::CompressedZ ||
+                     spec.kind == ArrayKind::CompressedSetAssoc;
     if (uses_ways) {
         if (spec.ways == 0) return bad("ways must be > 0");
         if (spec.kind != ArrayKind::VWay && spec.blocks % spec.ways != 0) {
@@ -172,15 +201,28 @@ validateSpec(const ArraySpec& spec)
         }
     }
 
+    // The compressed kinds add codec/geometry constraints on top of
+    // their uncompressed base's own (shared via the fallthrough below).
+    if (spec.kind == ArrayKind::CompressedZ ||
+        spec.kind == ArrayKind::CompressedSetAssoc) {
+        CompressedArrayConfig ccfg;
+        ccfg.lineBytes = spec.lineBytes;
+        ccfg.extraTagRatio = spec.extraTagRatio;
+        ccfg.codec = spec.codec;
+        ccfg.content = spec.content;
+        if (Status s = ccfg.validate(spec.blocks); !s.isOk()) return s;
+    }
+
     switch (spec.kind) {
       case ArrayKind::SkewAssoc:
-      case ArrayKind::ZCache: {
+      case ArrayKind::ZCache:
+      case ArrayKind::CompressedZ: {
         if (spec.ways < 2) {
             return bad("ways (" + std::to_string(spec.ways) +
                        ") must be >= 2 — one hashed way per candidate "
                        "path");
         }
-        if (spec.kind == ArrayKind::ZCache && spec.levels == 0) {
+        if (spec.kind != ArrayKind::SkewAssoc && spec.levels == 0) {
             return bad("levels must be >= 1");
         }
         std::uint32_t lines_per_way = spec.blocks / spec.ways;
@@ -222,6 +264,7 @@ validateSpec(const ArraySpec& spec)
         }
         break;
       case ArrayKind::SetAssoc:
+      case ArrayKind::CompressedSetAssoc:
       case ArrayKind::FullyAssoc:
         break;
     }
@@ -301,6 +344,39 @@ makeArray(const ArraySpec& spec, std::unique_ptr<ReplacementPolicy> policy)
         return std::make_unique<VWayArray>(
             spec.blocks, spec.tagRatio, spec.ways, spec.candidates,
             std::move(policy), std::move(hash), spec.seed);
+      }
+      case ArrayKind::CompressedZ: {
+        CompressedArrayConfig ccfg;
+        ccfg.lineBytes = spec.lineBytes;
+        ccfg.extraTagRatio = spec.extraTagRatio;
+        ccfg.codec = spec.codec;
+        ccfg.content = spec.content;
+        auto mirror =
+            std::make_unique<SizeMirror>(std::move(policy), ccfg);
+        ZArrayConfig cfg;
+        cfg.ways = spec.ways;
+        cfg.levels = spec.levels;
+        cfg.maxCandidates = spec.maxCandidates;
+        cfg.strategy = spec.walk;
+        cfg.bloomRepeatFilter = spec.bloomRepeatFilter;
+        cfg.hashKind = spec.hashKind;
+        cfg.seed = spec.seed;
+        cfg.traceCapacity = spec.walkTraceCapacity;
+        return std::make_unique<CompressedZArray>(spec.blocks, cfg,
+                                                  std::move(mirror));
+      }
+      case ArrayKind::CompressedSetAssoc: {
+        CompressedArrayConfig ccfg;
+        ccfg.lineBytes = spec.lineBytes;
+        ccfg.extraTagRatio = spec.extraTagRatio;
+        ccfg.codec = spec.codec;
+        ccfg.content = spec.content;
+        auto mirror =
+            std::make_unique<SizeMirror>(std::move(policy), ccfg);
+        auto hash = makeHash(spec.hashKind, spec.blocks / spec.ways,
+                             spec.seed);
+        return std::make_unique<CompressedSetAssoc>(
+            spec.blocks, spec.ways, std::move(mirror), std::move(hash));
       }
     }
     zc_panic("unknown array kind");

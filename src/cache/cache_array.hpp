@@ -64,6 +64,13 @@ struct Replacement
      *  non-zcache arrays). */
     std::uint32_t relocations = 0;
 
+    /**
+     * Additional victims evicted beyond the walk's own, to satisfy a
+     * byte budget (compressed arrays' makeSpace, docs/compression.md;
+     * 0 for every uncompressed array).
+     */
+    std::uint32_t extraEvictions = 0;
+
     bool evictedValid() const { return evictedAddr != kInvalidAddr; }
 };
 

@@ -28,6 +28,10 @@ struct CacheModelStats
     std::uint64_t evictions = 0;
     std::uint64_t relocations = 0;
 
+    /** Byte-budget evictions beyond the walk's victim (compressed
+     *  arrays only; docs/compression.md). */
+    std::uint64_t extraEvictions = 0;
+
     double
     missRate() const
     {
@@ -64,6 +68,7 @@ class CacheModel
         Replacement r = array_->insert(lineAddr, c);
         if (r.evictedValid()) stats_.evictions++;
         stats_.relocations += r.relocations;
+        stats_.extraEvictions += r.extraEvictions;
         return false;
     }
 

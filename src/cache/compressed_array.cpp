@@ -1,0 +1,203 @@
+#include "cache/compressed_array.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace zc {
+namespace {
+
+/**
+ * Pick the next makeSpace victim: the policy's choice among the
+ * incoming line's valid candidate positions (excluding the incoming
+ * block itself), falling back to a policy-ranked scan over all valid
+ * blocks when the candidate set is exhausted. Deterministic: both
+ * paths reduce to the policy's (score, tieBreaker) total order.
+ * Returns kInvalidPos when only the incoming block remains.
+ */
+BlockPos
+spaceVictim(CacheArray& arr, Addr incoming)
+{
+    const BlockPos own = arr.probe(incoming);
+    BlockPos ways[64];
+    BlockPos cands[64];
+    const std::uint32_t n = arr.lookupWays(incoming, ways, 64);
+    std::uint32_t c = 0;
+    for (std::uint32_t i = 0; i < n; i++) {
+        if (ways[i] != own && arr.addrAt(ways[i]) != kInvalidAddr) {
+            cands[c++] = ways[i];
+        }
+    }
+    if (c > 0) {
+        return arr.policy().select(std::span<const BlockPos>(cands, c));
+    }
+    BlockPos victim = kInvalidPos;
+    arr.forEachValid([&](BlockPos pos, Addr) {
+        if (pos == own) return;
+        if (victim == kInvalidPos ||
+            arr.policy().ordersBefore(pos, victim)) {
+            victim = pos;
+        }
+    });
+    return victim;
+}
+
+} // namespace
+
+std::uint32_t
+SizeMirror::stageInsert(Addr addr)
+{
+    cfg_.content.fill(addr, line_.data(), line_.size());
+    auto size_or = codec_->compress(line_.data(), line_.size(),
+                                    scratch_.data(), scratch_.size());
+    zc_assert(size_or.hasValue()); // scratch is maxCompressedSize-sized
+    const std::uint32_t stored = static_cast<std::uint32_t>(
+        std::min<std::size_t>(*size_or, cfg_.lineBytes));
+    compressionCalls_++;
+    rawBytesTotal_ += cfg_.lineBytes;
+    storedBytesTotal_ += stored;
+    ratioHist_.record(static_cast<double>(stored) /
+                      static_cast<double>(cfg_.lineBytes));
+    staged_ = stored;
+    stagedValid_ = true;
+    return stored;
+}
+
+void
+SizeMirror::registerCompressionStats(StatGroup& g)
+{
+    StatGroup& c = g.group("compression", "codec + data-store occupancy");
+    c.addString("codec", "compression codec",
+                [this] { return std::string(codecKindName(cfg_.codec)); });
+    c.addString("content_model", "synthetic line-content mix",
+                [this] { return cfg_.content.label(); });
+    c.addConst("line_bytes", "uncompressed bytes per line",
+               JsonValue(cfg_.lineBytes));
+    c.addConst("extra_tag_ratio", "tag entries per data block",
+               JsonValue(cfg_.extraTagRatio));
+    c.addCounter("compression_calls", "lines compressed on insert",
+                 [this] { return compressionCalls_; });
+    c.addCounter("raw_bytes_total", "uncompressed bytes across calls",
+                 [this] { return rawBytesTotal_; });
+    c.addCounter("stored_bytes_total", "stored bytes across calls",
+                 [this] { return storedBytesTotal_; });
+    c.addCounter("occupied_bytes", "bytes resident in the data store",
+                 [this] { return occupiedBytes_; });
+    c.addCounter("extra_evictions",
+                 "byte-budget evictions beyond the walk's victim",
+                 [this] { return extraEvictions_; });
+    c.addHistogram("size_ratio", "stored/raw size per compression",
+                   &ratioHist_);
+}
+
+void
+SizeMirror::resetCompressionStats()
+{
+    compressionCalls_ = 0;
+    rawBytesTotal_ = 0;
+    storedBytesTotal_ = 0;
+    extraEvictions_ = 0;
+    ratioHist_ = UnitHistogram(ratioHist_.bins());
+    // occupiedBytes_ and sizes_ describe live contents, not history:
+    // they survive a stats reset like validCount() does.
+}
+
+CompressedZArray::CompressedZArray(std::uint32_t num_blocks,
+                                   const ZArrayConfig& zcfg,
+                                   std::unique_ptr<SizeMirror> mirror)
+    : ZArray(num_blocks, zcfg, std::move(mirror)),
+      mirror_(static_cast<SizeMirror*>(&policy())),
+      dataBytes_(mirror_->config().dataBudgetBytes(num_blocks))
+{
+    throwIfError(mirror_->config().validate(num_blocks));
+}
+
+Replacement
+CompressedZArray::insert(Addr lineAddr, const AccessContext& ctx)
+{
+    mirror_->stageInsert(lineAddr);
+    Replacement r = ZArray::insert(lineAddr, ctx);
+    while (mirror_->occupiedBytes() > dataBytes_) {
+        const BlockPos victim = spaceVictim(*this, lineAddr);
+        if (victim == kInvalidPos) break; // only the incoming block left
+        const Addr vaddr = addrAt(victim);
+        notifyEviction(victim);
+        invalidate(vaddr); // tag write + onEvict releases the bytes
+        mirror_->noteExtraEviction();
+        r.extraEvictions++;
+    }
+    return r;
+}
+
+std::string
+CompressedZArray::name() const
+{
+    const CompressedArrayConfig& c = mirror_->config();
+    return ZArray::name() + " compressed(x" +
+           std::to_string(c.extraTagRatio) + ", " +
+           codecKindName(c.codec) + ", " +
+           std::to_string(c.lineBytes) + "B lines)";
+}
+
+void
+CompressedZArray::registerStats(StatGroup& g)
+{
+    ZArray::registerStats(g);
+    g.addConst("data_blocks", "uncompressed lines the data store holds",
+               JsonValue(numBlocks() / mirror_->config().extraTagRatio));
+    g.addConst("data_budget_bytes", "data-store byte budget",
+               JsonValue(dataBytes_));
+    mirror_->registerCompressionStats(g);
+}
+
+CompressedSetAssoc::CompressedSetAssoc(std::uint32_t num_blocks,
+                                       std::uint32_t ways,
+                                       std::unique_ptr<SizeMirror> mirror,
+                                       HashPtr index_hash)
+    : SetAssociativeArray(num_blocks, ways, std::move(mirror),
+                          std::move(index_hash)),
+      mirror_(static_cast<SizeMirror*>(&policy())),
+      dataBytes_(mirror_->config().dataBudgetBytes(num_blocks))
+{
+    throwIfError(mirror_->config().validate(num_blocks));
+}
+
+Replacement
+CompressedSetAssoc::insert(Addr lineAddr, const AccessContext& ctx)
+{
+    mirror_->stageInsert(lineAddr);
+    Replacement r = SetAssociativeArray::insert(lineAddr, ctx);
+    while (mirror_->occupiedBytes() > dataBytes_) {
+        const BlockPos victim = spaceVictim(*this, lineAddr);
+        if (victim == kInvalidPos) break;
+        const Addr vaddr = addrAt(victim);
+        notifyEviction(victim);
+        invalidate(vaddr);
+        mirror_->noteExtraEviction();
+        r.extraEvictions++;
+    }
+    return r;
+}
+
+std::string
+CompressedSetAssoc::name() const
+{
+    const CompressedArrayConfig& c = mirror_->config();
+    return SetAssociativeArray::name() + " compressed(x" +
+           std::to_string(c.extraTagRatio) + ", " +
+           codecKindName(c.codec) + ", " +
+           std::to_string(c.lineBytes) + "B lines)";
+}
+
+void
+CompressedSetAssoc::registerStats(StatGroup& g)
+{
+    SetAssociativeArray::registerStats(g);
+    g.addConst("data_blocks", "uncompressed lines the data store holds",
+               JsonValue(numBlocks() / mirror_->config().extraTagRatio));
+    g.addConst("data_budget_bytes", "data-store byte budget",
+               JsonValue(dataBytes_));
+    mirror_->registerCompressionStats(g);
+}
+
+} // namespace zc

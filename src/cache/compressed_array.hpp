@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Extra-tag compressed cache arrays (docs/compression.md).
+ *
+ * The zcache decouples associativity from ways; compression decouples
+ * *capacity* from physical data slots. A compressed array keeps
+ * `extraTagRatio` tag entries per data block's worth of storage — the
+ * tag array is the full `blocks` positions, the data store a byte
+ * budget of (blocks / extraTagRatio) * lineBytes — so when lines
+ * compress well, more blocks are resident than the data store could
+ * hold uncompressed (Safecracker's zsim compressed arrays; BDI per
+ * Pekhimenko et al.).
+ *
+ * The design rides the existing array/policy split unchanged:
+ *
+ *  - A SizeMirror replacement-policy decorator (the zkv ValueMirror
+ *    pattern) wraps the configured policy and tracks each position's
+ *    stored (compressed) size through the standard notification
+ *    protocol — sizes travel with blocks through walk relocations via
+ *    onMove/onSwap exactly as replacement metadata does. Victim
+ *    selection, scoring and tie-breaking forward to the inner policy
+ *    untouched, which is what keeps the bit-identity harness
+ *    (tests/test_walk_equivalence.cpp) valid.
+ *
+ *  - CompressedZArray / CompressedSetAssoc subclass the uncompressed
+ *    arrays and extend only insert(): after the normal walk/set
+ *    replacement installs the line, a makeSpace loop evicts further
+ *    policy-ranked victims from the incoming line's candidate set
+ *    until the byte budget holds — an eviction must free enough
+ *    *bytes*, so several small victims may go where one uncompressed
+ *    victim would have. Extra victims are reported in
+ *    Replacement::extraEvictions and flow through the normal
+ *    eviction-observer/onEvict funnel, so stats, walk traces and
+ *    store mirrors see them like any other eviction.
+ *
+ * The simulator has no data bytes behind an address, so line content
+ * is synthesized deterministically by a ContentModel — a pure
+ * function of (address, seed) — making miss-rate-vs-capacity curves
+ * exactly reproducible.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/set_associative_array.hpp"
+#include "cache/z_array.hpp"
+#include "common/stats.hpp"
+#include "compress/codec.hpp"
+
+namespace zc {
+
+/** Geometry + codec knobs shared by the compressed array family. */
+struct CompressedArrayConfig
+{
+    /** Modeled bytes per (uncompressed) cache line. */
+    std::uint32_t lineBytes = 64;
+
+    /**
+     * Tag entries per data block: the array exposes `blocks` tag
+     * positions over a data budget of (blocks / extraTagRatio) *
+     * lineBytes bytes. 1 = no extra tags (the bit-identity baseline).
+     */
+    std::uint32_t extraTagRatio = 2;
+
+    CodecKind codec = CodecKind::Bdi;
+
+    /** Synthetic line-content generator (docs/compression.md). */
+    ContentModel content;
+
+    Status
+    validate(std::uint32_t blocks) const
+    {
+        if (lineBytes < 8 || lineBytes > 4096 || lineBytes % 8 != 0) {
+            return Status::invalidArgument(
+                "compressed array: lineBytes (" +
+                std::to_string(lineBytes) +
+                ") must be a multiple of 8 in [8, 4096]");
+        }
+        if (extraTagRatio == 0) {
+            return Status::invalidArgument(
+                "compressed array: extraTagRatio must be >= 1");
+        }
+        if (blocks % extraTagRatio != 0) {
+            return Status::invalidArgument(
+                "compressed array: blocks (" + std::to_string(blocks) +
+                ") must be divisible by extraTagRatio (" +
+                std::to_string(extraTagRatio) + ")");
+        }
+        return content.validate();
+    }
+
+    std::uint64_t
+    dataBudgetBytes(std::uint32_t blocks) const
+    {
+        return static_cast<std::uint64_t>(blocks / extraTagRatio) *
+               lineBytes;
+    }
+};
+
+/**
+ * Replacement-policy decorator that mirrors each position's stored
+ * (compressed) size alongside the inner policy's metadata, driven
+ * entirely by the standard notification protocol. Ranking calls
+ * (select / score / tieBreaker) forward to the inner policy
+ * unchanged — the byte budget is enforced by the owning array's
+ * makeSpace loop, not by perturbing victim choice, which is what
+ * keeps extraTagRatio=1 + the null codec bit-identical to the
+ * uncompressed array.
+ */
+class SizeMirror final : public ReplacementPolicy
+{
+  public:
+    SizeMirror(std::unique_ptr<ReplacementPolicy> inner,
+               const CompressedArrayConfig& cfg)
+        : ReplacementPolicy(inner->numBlocks()),
+          inner_(std::move(inner)), cfg_(cfg),
+          codec_(makeCodec(cfg.codec)), sizes_(numBlocks(), 0),
+          ratioHist_(16), line_(cfg.lineBytes),
+          scratch_(codec_->maxCompressedSize(cfg.lineBytes))
+    {
+    }
+
+    /**
+     * Compress @p addr's synthetic content and stage the stored size
+     * for the next onInsert. Returns the stored size: the compressed
+     * size, capped at lineBytes (an incompressible line is stored
+     * raw, never expanded). Called by the owning array immediately
+     * before the base-class insert.
+     */
+    std::uint32_t stageInsert(Addr addr);
+
+    std::uint32_t storedSize(BlockPos pos) const { return sizes_[pos]; }
+    std::uint64_t occupiedBytes() const { return occupiedBytes_; }
+    std::uint64_t compressionCalls() const { return compressionCalls_; }
+    std::uint64_t rawBytesTotal() const { return rawBytesTotal_; }
+    std::uint64_t storedBytesTotal() const { return storedBytesTotal_; }
+    std::uint64_t extraEvictions() const { return extraEvictions_; }
+
+    void noteExtraEviction() { extraEvictions_++; }
+
+    /** Register the compression counters under @p g. */
+    void registerCompressionStats(StatGroup& g);
+
+    void resetCompressionStats();
+
+    // ---- ReplacementPolicy: size mirroring + pure forwarding -------
+
+    void
+    onInsert(BlockPos pos, const AccessContext& ctx) override
+    {
+        zc_assert(stagedValid_);
+        stagedValid_ = false;
+        occupiedBytes_ -= sizes_[pos];
+        occupiedBytes_ += staged_;
+        sizes_[pos] = staged_;
+        inner_->onInsert(pos, ctx);
+    }
+
+    void
+    onHit(BlockPos pos, const AccessContext& ctx) override
+    {
+        inner_->onHit(pos, ctx);
+    }
+
+    void
+    onMove(BlockPos from, BlockPos to) override
+    {
+        sizes_[to] = sizes_[from];
+        sizes_[from] = 0;
+        inner_->onMove(from, to);
+    }
+
+    void
+    onSwap(BlockPos a, BlockPos b) override
+    {
+        std::swap(sizes_[a], sizes_[b]);
+        inner_->onSwap(a, b);
+    }
+
+    void
+    onEvict(BlockPos pos) override
+    {
+        occupiedBytes_ -= sizes_[pos];
+        sizes_[pos] = 0;
+        inner_->onEvict(pos);
+    }
+
+    BlockPos
+    select(std::span<const BlockPos> cands) override
+    {
+        return inner_->select(cands);
+    }
+
+    double score(BlockPos pos) const override { return inner_->score(pos); }
+
+    std::uint64_t
+    tieBreaker(BlockPos pos) const override
+    {
+        return inner_->tieBreaker(pos);
+    }
+
+    std::string name() const override { return inner_->name(); }
+
+    const CompressedArrayConfig& config() const { return cfg_; }
+
+  private:
+    std::unique_ptr<ReplacementPolicy> inner_;
+    CompressedArrayConfig cfg_;
+    std::unique_ptr<Codec> codec_;
+
+    std::vector<std::uint32_t> sizes_; ///< stored bytes per position
+    std::uint64_t occupiedBytes_ = 0;
+    std::uint32_t staged_ = 0;
+    bool stagedValid_ = false;
+
+    std::uint64_t compressionCalls_ = 0;
+    std::uint64_t rawBytesTotal_ = 0;    ///< lineBytes per call
+    std::uint64_t storedBytesTotal_ = 0; ///< stored size per call
+    std::uint64_t extraEvictions_ = 0;
+    UnitHistogram ratioHist_; ///< stored/lineBytes per compression
+
+    std::vector<std::uint8_t> line_;    ///< synthetic content scratch
+    std::vector<std::uint8_t> scratch_; ///< compressed-output scratch
+};
+
+/**
+ * ZArray with extra tags over a byte-budgeted data store. The
+ * relocation walk (candidates, victim choice, relocations, traces)
+ * is the base class's byte for byte; insert() additionally enforces
+ * the byte budget via the makeSpace loop documented above.
+ */
+class CompressedZArray final : public ZArray
+{
+  public:
+    CompressedZArray(std::uint32_t num_blocks, const ZArrayConfig& zcfg,
+                     std::unique_ptr<SizeMirror> mirror);
+
+    Replacement insert(Addr lineAddr, const AccessContext& ctx) override;
+
+    std::string name() const override;
+    void registerStats(StatGroup& g) override;
+
+    void
+    resetStats() override
+    {
+        ZArray::resetStats();
+        mirror_->resetCompressionStats();
+    }
+
+    const SizeMirror& sizeMirror() const { return *mirror_; }
+    std::uint64_t dataBudgetBytes() const { return dataBytes_; }
+
+  private:
+    SizeMirror* mirror_; ///< the policy_, as its concrete type
+    std::uint64_t dataBytes_;
+};
+
+/** Set-associative baseline with the same extra-tag/byte-budget
+ *  semantics, for compressed-vs-compressed design comparisons. */
+class CompressedSetAssoc final : public SetAssociativeArray
+{
+  public:
+    CompressedSetAssoc(std::uint32_t num_blocks, std::uint32_t ways,
+                       std::unique_ptr<SizeMirror> mirror,
+                       HashPtr index_hash);
+
+    Replacement insert(Addr lineAddr, const AccessContext& ctx) override;
+
+    std::string name() const override;
+    void registerStats(StatGroup& g) override;
+
+    void
+    resetStats() override
+    {
+        SetAssociativeArray::resetStats();
+        mirror_->resetCompressionStats();
+    }
+
+    const SizeMirror& sizeMirror() const { return *mirror_; }
+    std::uint64_t dataBudgetBytes() const { return dataBytes_; }
+
+  private:
+    SizeMirror* mirror_;
+    std::uint64_t dataBytes_;
+};
+
+} // namespace zc

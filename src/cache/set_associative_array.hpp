@@ -21,7 +21,7 @@
 
 namespace zc {
 
-class SetAssociativeArray final : public CacheArray
+class SetAssociativeArray : public CacheArray
 {
   public:
     /**

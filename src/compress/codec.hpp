@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Value/line compression codecs for the compressed cache tier
+ * (docs/compression.md).
+ *
+ * A Codec turns a small byte payload (a modeled cache line in the
+ * simulator, a zkv value in the store) into a self-describing
+ * compressed stream and back. The contract mirrors the repo's other
+ * pluggable families (arrays, policies, hashes): an enum kind, a
+ * parse function with structured NotFound diagnostics, and a factory.
+ *
+ * Codecs are pure and stateless: compress/decompress depend only on
+ * the input bytes, so a compressed array can recompute a line's size
+ * at any time and two runs over the same key sequence stay
+ * bit-identical. Failure is structured (docs/robustness.md): a
+ * malformed stream decodes to Corruption, never to torn output, and
+ * the deterministic fault site `compress.codec` forces that path in
+ * tests without hand-crafting corrupt streams.
+ *
+ * The BDI codec follows base-delta-immediate (Pekhimenko et al.,
+ * PACT'12), the scheme Safecracker's zsim compressed arrays use: a
+ * payload is viewed as 8- or 4-byte words and encoded as one base
+ * word plus per-word deltas narrow enough to fit 1, 2 or 4 bytes;
+ * degenerate all-zero and repeated-word payloads get dedicated
+ * schemes, and anything incompressible falls back to a raw copy so
+ * compress never fails and never expands beyond maxCompressedSize().
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace zc {
+
+/** Which codec to build. */
+enum class CodecKind {
+    None, ///< passthrough (testing / bit-identity baselines)
+    Bdi,  ///< base-delta-immediate with raw fallback
+};
+
+inline const char*
+codecKindName(CodecKind k)
+{
+    switch (k) {
+      case CodecKind::None: return "none";
+      case CodecKind::Bdi: return "bdi";
+    }
+    return "?";
+}
+
+/** Every CodecKind, for name listings and parse diagnostics. */
+inline constexpr std::array<CodecKind, 2> kAllCodecKinds{
+    CodecKind::None,
+    CodecKind::Bdi,
+};
+
+/**
+ * Parse a codec name (the strings codecKindName emits); unknown names
+ * yield a structured NotFound error listing every valid name.
+ */
+inline Expected<CodecKind>
+parseCodecKind(const std::string& name)
+{
+    for (CodecKind k : kAllCodecKinds) {
+        if (name == codecKindName(k)) return k;
+    }
+    std::string valid;
+    for (CodecKind k : kAllCodecKinds) {
+        if (!valid.empty()) valid += ", ";
+        valid += codecKindName(k);
+    }
+    return Status::notFound("codec: unknown codec '" + name +
+                            "' (valid: " + valid + ")");
+}
+
+/**
+ * A compression codec. Implementations are stateless and
+ * thread-compatible: const methods may be called concurrently.
+ */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    virtual CodecKind kind() const = 0;
+    virtual std::string name() const = 0;
+
+    /**
+     * Worst-case compressed size of an @p n byte payload. compress()
+     * never writes more than this; callers size buffers with it.
+     */
+    virtual std::size_t maxCompressedSize(std::size_t n) const = 0;
+
+    /**
+     * Compress @p n bytes of @p src into @p dst (capacity @p cap,
+     * which must be >= maxCompressedSize(n)). Returns the compressed
+     * size. Incompressible input falls back to a raw copy — compress
+     * fails only on an impossible call (cap too small), reported as
+     * InvalidArgument.
+     */
+    virtual Expected<std::size_t> compress(const std::uint8_t* src,
+                                           std::size_t n,
+                                           std::uint8_t* dst,
+                                           std::size_t cap) const = 0;
+
+    /**
+     * Decompress the @p n byte stream at @p src into @p dst (capacity
+     * @p cap). Returns the original payload size. A malformed stream
+     * — bad scheme byte, declared length exceeding @p cap, stream
+     * shorter than its scheme requires — returns Corruption and
+     * writes nothing the caller may observe as a torn value. The
+     * `compress.codec` fault site fires here so error paths are
+     * testable deterministically (docs/robustness.md).
+     */
+    virtual Expected<std::size_t> decompress(const std::uint8_t* src,
+                                             std::size_t n,
+                                             std::uint8_t* dst,
+                                             std::size_t cap) const = 0;
+};
+
+/** Build the codec for @p kind. Never fails (all kinds are total). */
+std::unique_ptr<Codec> makeCodec(CodecKind kind);
+
+/**
+ * Deterministic synthetic payload content for compressibility
+ * studies: the simulator has no real data bytes behind a line
+ * address, so compressed arrays synthesize them as a pure function
+ * of (address, seed) with a configurable mix of compressibility
+ * classes. The same generator fills zkv loadgen value payloads, so
+ * the store-side compression ratios are driven by the same knobs.
+ *
+ * Classes (selected per address by hash, in percent of addresses):
+ *   zero     — all-zero payload        (BDI: collapses to a header)
+ *   repeat   — one u64 word repeated   (BDI: base + zero deltas)
+ *   delta    — base word + small per-word offsets (BDI: 1-byte deltas)
+ *   random   — incompressible stream   (BDI: raw fallback)
+ * Percents must sum to <= 100; the remainder is random.
+ */
+struct ContentModel
+{
+    std::uint32_t zeroPct = 20;
+    std::uint32_t repeatPct = 20;
+    std::uint32_t deltaPct = 40;
+    std::uint64_t seed = 0xc0deULL;
+
+    Status
+    validate() const
+    {
+        if (zeroPct + repeatPct + deltaPct > 100) {
+            return Status::invalidArgument(
+                "content model: class percents sum to " +
+                std::to_string(zeroPct + repeatPct + deltaPct) +
+                " (must be <= 100)");
+        }
+        return Status::ok();
+    }
+
+    /** Fill @p dst[0..n) with @p addr's synthetic content. */
+    void fill(std::uint64_t addr, std::uint8_t* dst, std::size_t n) const;
+
+    std::string label() const;
+};
+
+} // namespace zc

@@ -128,13 +128,9 @@ ZkvClient::recvResponse()
 }
 
 Expected<Response>
-ZkvClient::call(MsgType type, std::uint64_t key, std::uint64_t value)
+ZkvClient::roundTrip(Request& req)
 {
-    Request req;
-    req.type = type;
     req.id = nextId_++;
-    req.key = key;
-    req.value = value;
     req.crc = crc_;
     if (Status s = sendRaw(req); !s.isOk()) return s;
     auto resp_or = recvResponse();
@@ -146,6 +142,61 @@ ZkvClient::call(MsgType type, std::uint64_t key, std::uint64_t value)
             " (stream desynchronized)");
     }
     return resp_or;
+}
+
+Expected<Response>
+ZkvClient::call(MsgType type, std::uint64_t key, std::uint64_t value)
+{
+    Request req;
+    req.type = type;
+    req.key = key;
+    req.value = value;
+    return roundTrip(req);
+}
+
+Expected<Response>
+ZkvClient::putBytes(std::uint64_t key, std::span<const std::uint8_t> value)
+{
+    if (value.size() > kMaxValueBytes) {
+        return Status::invalidArgument(
+            "client: putBytes payload " + std::to_string(value.size()) +
+            " exceeds the " + std::to_string(kMaxValueBytes) +
+            "-byte cap");
+    }
+    Request req;
+    req.type = MsgType::Put;
+    req.key = key;
+    req.bytes = true;
+    req.valueBytes.assign(value.begin(), value.end());
+    auto resp_or = roundTrip(req);
+    if (!resp_or) return resp_or.status();
+    if (resp_or->status != ErrorCode::Ok) {
+        return Status(resp_or->status, "client: putBytes(" +
+                                           std::to_string(key) +
+                                           ") failed server-side");
+    }
+    return resp_or;
+}
+
+Expected<std::optional<std::vector<std::uint8_t>>>
+ZkvClient::getBytes(std::uint64_t key)
+{
+    Request req;
+    req.type = MsgType::Get;
+    req.key = key;
+    req.bytes = true;
+    auto resp_or = roundTrip(req);
+    if (!resp_or) return resp_or.status();
+    if (resp_or->status != ErrorCode::Ok) {
+        return Status(resp_or->status, "client: getBytes(" +
+                                           std::to_string(key) +
+                                           ") failed server-side");
+    }
+    if (!resp_or->hit()) {
+        return std::optional<std::vector<std::uint8_t>>{};
+    }
+    return std::optional<std::vector<std::uint8_t>>{
+        std::move(resp_or->valueBytes)};
 }
 
 Expected<std::optional<std::uint64_t>>

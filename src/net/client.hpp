@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,18 @@ class ZkvClient
 
     Status ping();
 
+    // ---- bytes mode (kFrameFlagBytes; docs/compression.md) ---------
+
+    /** Byte-payload put against a bytes-mode server. The payload must
+     *  be <= kMaxValueBytes (InvalidArgument otherwise). */
+    Expected<Response> putBytes(std::uint64_t key,
+                                std::span<const std::uint8_t> value);
+
+    /** Byte-payload get: nullopt on a clean miss, the stored bytes on
+     *  a hit. A mode-mismatched server answers InvalidArgument. */
+    Expected<std::optional<std::vector<std::uint8_t>>>
+    getBytes(std::uint64_t key);
+
     /** Write one request now and return; pair with recvResponse(). */
     Status sendRaw(const Request& req);
 
@@ -85,6 +98,9 @@ class ZkvClient
 
   private:
     ZkvClient() = default;
+
+    /** Assign an id, send @p req, block for the echoed response. */
+    Expected<Response> roundTrip(Request& req);
 
     int fd_ = -1;
     bool crc_ = false;

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/crc32.hpp"
+#include "common/log.hpp"
 
 namespace zc::net {
 
@@ -20,6 +21,13 @@ void
 putU8(std::vector<std::uint8_t>& b, std::uint8_t v)
 {
     b.push_back(v);
+}
+
+void
+putU16(std::vector<std::uint8_t>& b, std::uint16_t v)
+{
+    b.push_back(static_cast<std::uint8_t>(v));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
 }
 
 void
@@ -36,6 +44,14 @@ putU64(std::vector<std::uint8_t>& b, std::uint64_t v)
 {
     putU32(b, static_cast<std::uint32_t>(v));
     putU32(b, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint16_t
+getU16(const std::uint8_t* p)
+{
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(p[0]) |
+        (static_cast<std::uint16_t>(p[1]) << 8));
 }
 
 std::uint32_t
@@ -175,14 +191,24 @@ encodeRequest(const Request& req, std::vector<std::uint8_t>& out)
     putU8(out, kProtoMagic);
     putU8(out, kProtoVersion);
     putU8(out, static_cast<std::uint8_t>(req.type));
-    putU8(out, req.crc ? kFrameFlagCrc : 0);
+    putU8(out, static_cast<std::uint8_t>(
+                   (req.crc ? kFrameFlagCrc : 0) |
+                   (req.bytes ? kFrameFlagBytes : 0)));
     putU64(out, req.id);
     switch (req.type) {
       case MsgType::Get:
       case MsgType::Erase: putU64(out, req.key); break;
       case MsgType::Put:
         putU64(out, req.key);
-        putU64(out, req.value);
+        if (req.bytes) {
+            zc_assert(req.valueBytes.size() <= kMaxValueBytes);
+            putU16(out,
+                   static_cast<std::uint16_t>(req.valueBytes.size()));
+            out.insert(out.end(), req.valueBytes.begin(),
+                       req.valueBytes.end());
+        } else {
+            putU64(out, req.value);
+        }
         break;
       case MsgType::Ping: break;
     }
@@ -198,13 +224,24 @@ encodeResponse(const Response& resp, std::vector<std::uint8_t>& out)
     putU8(out, kProtoVersion);
     putU8(out, static_cast<std::uint8_t>(resp.type));
     putU8(out, static_cast<std::uint8_t>(
-                   kFrameFlagResp | (resp.crc ? kFrameFlagCrc : 0)));
+                   kFrameFlagResp | (resp.crc ? kFrameFlagCrc : 0) |
+                   (resp.bytes ? kFrameFlagBytes : 0)));
     putU64(out, resp.id);
     putU8(out, static_cast<std::uint8_t>(resp.status));
     putU8(out, resp.rflags);
     if (resp.status == ErrorCode::Ok) {
         switch (resp.type) {
-          case MsgType::Get: putU64(out, resp.value); break;
+          case MsgType::Get:
+            if (resp.bytes) {
+                zc_assert(resp.valueBytes.size() <= kMaxValueBytes);
+                putU16(out, static_cast<std::uint16_t>(
+                                resp.valueBytes.size()));
+                out.insert(out.end(), resp.valueBytes.begin(),
+                           resp.valueBytes.end());
+            } else {
+                putU64(out, resp.value);
+            }
+            break;
           case MsgType::Put:
             putU32(out, resp.candidates);
             putU32(out, resp.relocations);
@@ -229,18 +266,46 @@ decodeRequest(const std::uint8_t* p, std::size_t n, Request* out)
     const std::uint8_t* h = p + 4;
     Request req;
     req.type = static_cast<MsgType>(h[2]);
+    req.bytes = (h[3] & kFrameFlagBytes) != 0;
     req.crc = (h[3] & kFrameFlagCrc) != 0;
     req.id = getU64(h + 4);
 
-    const std::size_t payload = requestPayloadBytes(req.type);
+    const std::uint8_t* pl = h + kHeaderBytes;
     const std::size_t crc_bytes = req.crc ? 4 : 0;
+    if (req.bytes && req.type == MsgType::Put) {
+        // Variable-length payload: key + u16 length + that many bytes.
+        if (body < kHeaderBytes + 10 + crc_bytes) {
+            return Status::corruption(
+                "net: bytes put request too short for its key and "
+                "length fields");
+        }
+        req.key = getU64(pl);
+        const std::size_t len = getU16(pl + 8);
+        if (len > kMaxValueBytes) {
+            return Status::invalidArgument(
+                "net: bytes put value length " + std::to_string(len) +
+                " exceeds the " + std::to_string(kMaxValueBytes) +
+                "-byte cap");
+        }
+        if (body != kHeaderBytes + 10 + len + crc_bytes) {
+            return Status::corruption(
+                "net: bytes put request body is " + std::to_string(body) +
+                " bytes, want " +
+                std::to_string(kHeaderBytes + 10 + len + crc_bytes) +
+                " for its declared value length");
+        }
+        req.valueBytes.assign(pl + 10, pl + 10 + len);
+        *out = std::move(req);
+        return 4 + body;
+    }
+
+    const std::size_t payload = requestPayloadBytes(req.type);
     if (body != kHeaderBytes + payload + crc_bytes) {
         return Status::corruption(
             "net: " + std::string(msgTypeName(req.type)) +
             " request body is " + std::to_string(body) + " bytes, want " +
             std::to_string(kHeaderBytes + payload + crc_bytes));
     }
-    const std::uint8_t* pl = h + kHeaderBytes;
     switch (req.type) {
       case MsgType::Get:
       case MsgType::Erase: req.key = getU64(pl); break;
@@ -250,7 +315,7 @@ decodeRequest(const std::uint8_t* p, std::size_t n, Request* out)
         break;
       case MsgType::Ping: break;
     }
-    *out = req;
+    *out = std::move(req);
     return 4 + body;
 }
 
@@ -265,6 +330,7 @@ decodeResponse(const std::uint8_t* p, std::size_t n, Response* out)
     const std::uint8_t* h = p + 4;
     Response resp;
     resp.type = static_cast<MsgType>(h[2]);
+    resp.bytes = (h[3] & kFrameFlagBytes) != 0;
     resp.crc = (h[3] & kFrameFlagCrc) != 0;
     resp.id = getU64(h + 4);
 
@@ -282,6 +348,33 @@ decodeResponse(const std::uint8_t* p, std::size_t n, Response* out)
     }
     resp.status = static_cast<ErrorCode>(status_raw);
     resp.rflags = pl[1];
+
+    if (resp.bytes && resp.type == MsgType::Get &&
+        resp.status == ErrorCode::Ok) {
+        // Variable-length payload: u16 length + that many bytes.
+        if (body < kHeaderBytes + 4 + crc_bytes) {
+            return Status::corruption(
+                "net: bytes get response too short for its length "
+                "field");
+        }
+        const std::size_t len = getU16(pl + 2);
+        if (len > kMaxValueBytes) {
+            return Status::invalidArgument(
+                "net: bytes get value length " + std::to_string(len) +
+                " exceeds the " + std::to_string(kMaxValueBytes) +
+                "-byte cap");
+        }
+        if (body != kHeaderBytes + 4 + len + crc_bytes) {
+            return Status::corruption(
+                "net: bytes get response body is " +
+                std::to_string(body) + " bytes, want " +
+                std::to_string(kHeaderBytes + 4 + len + crc_bytes) +
+                " for its declared value length");
+        }
+        resp.valueBytes.assign(pl + 4, pl + 4 + len);
+        *out = std::move(resp);
+        return 4 + body;
+    }
 
     const std::size_t payload = responsePayloadBytes(resp.type, resp.status);
     if (body != kHeaderBytes + payload + crc_bytes) {

@@ -23,6 +23,17 @@
  * (u32 candidates, u32 relocations) plus the evicted key/value pair
  * (zeros unless the evicted flag is set).
  *
+ * Byte-payload frames (flags bit 2, kFrameFlagBytes) are the wire form
+ * of the store's bytes mode (docs/compression.md): a PUT request's
+ * value becomes [u16 len][len bytes] after the key, and a GET response
+ * with status == Ok becomes [u16 len][len bytes] in place of the u64
+ * value (len = 0 on a miss). GET/ERASE/PING requests and PUT/ERASE/
+ * PING responses keep their fixed layouts — the flag on them only
+ * declares which mode the sender speaks, so a mode mismatch is caught
+ * at dispatch, not mis-parsed. Lengths above kMaxValueBytes are
+ * rejected (InvalidArgument), and a declared length that disagrees
+ * with the actual frame size is Corruption.
+ *
  * Decoding is streaming-friendly: decodeRequest / decodeResponse
  * consume at most one frame from a byte window, returning 0 when the
  * window holds only a partial frame (read more and retry) and a
@@ -61,10 +72,23 @@ inline constexpr std::size_t kHeaderBytes = 12;
 /** Hard ceiling on a frame body (header + payload + crc). */
 inline constexpr std::size_t kMaxFrameBody = 256;
 
+/**
+ * Largest byte-payload value a frame can carry. Sized so the biggest
+ * bytes-mode frame — a PUT request: header + u64 key + u16 length +
+ * payload + optional CRC — still fits kMaxFrameBody, which the
+ * static_assert pins down. The store's kZkvMaxValueBytes mirrors this
+ * (asserted equal where both headers meet, src/net/server.cpp).
+ */
+inline constexpr std::size_t kMaxValueBytes = 224;
+
+static_assert(kHeaderBytes + 8 + 2 + kMaxValueBytes + 4 <= kMaxFrameBody,
+              "a max-size bytes PUT request must fit one frame");
+
 /** Frame flag bits. */
 enum : std::uint8_t {
-    kFrameFlagCrc = 1u << 0,  ///< body ends with a CRC-32
-    kFrameFlagResp = 1u << 1, ///< response frame (server -> client)
+    kFrameFlagCrc = 1u << 0,   ///< body ends with a CRC-32
+    kFrameFlagResp = 1u << 1,  ///< response frame (server -> client)
+    kFrameFlagBytes = 1u << 2, ///< byte-payload (bytes-mode) frame
 };
 
 /** Response result-flag bits (Response::rflags). */
@@ -99,8 +123,17 @@ struct Request
     MsgType type = MsgType::Ping;
     std::uint64_t id = 0;
     std::uint64_t key = 0;
-    std::uint64_t value = 0; ///< puts only
-    bool crc = false;        ///< frame carried (and passed) a CRC
+    std::uint64_t value = 0; ///< puts only (fixed-u64 mode)
+
+    /**
+     * Byte-payload PUT value (bytes mode, valid iff `bytes`). OWNED:
+     * the server keeps decoded requests past the read buffer's
+     * compaction, so the payload never aliases the connection buffer.
+     */
+    std::vector<std::uint8_t> valueBytes;
+
+    bool bytes = false; ///< kFrameFlagBytes was set
+    bool crc = false;   ///< frame carried (and passed) a CRC
 };
 
 /** One decoded response frame. */
@@ -113,13 +146,18 @@ struct Response
 
     std::uint64_t value = 0; ///< get payload (valid iff kRespFlagHit)
 
+    /** Byte-payload GET result (bytes mode; empty on a miss). OWNED,
+     *  like Request::valueBytes. */
+    std::vector<std::uint8_t> valueBytes;
+
     /** Put walk cost + evicted pair (docs/store.md). */
     std::uint32_t candidates = 0;
     std::uint32_t relocations = 0;
     std::uint64_t evictedKey = 0;
     std::uint64_t evictedValue = 0;
 
-    bool crc = false; ///< frame carried (and passed) a CRC
+    bool bytes = false; ///< kFrameFlagBytes was set
+    bool crc = false;   ///< frame carried (and passed) a CRC
 
     bool hit() const { return (rflags & kRespFlagHit) != 0; }
     bool inserted() const { return (rflags & kRespFlagInserted) != 0; }

@@ -25,6 +25,11 @@
 
 namespace zc::net {
 
+// The wire cap and the store cap are one contract: a max-size stored
+// payload must fit a single frame (docs/compression.md).
+static_assert(kMaxValueBytes == kZkvMaxValueBytes,
+              "net frame payload cap must match the store's value cap");
+
 namespace {
 
 Status
@@ -110,7 +115,24 @@ ZkvServer::create(const ZkvServerConfig& cfg)
                         {"net_accepted", sv.accepted},
                         {"net_closed", sv.closed},
                         {"net_protocol_errors", sv.protocolErrors},
+                        {"net_mode_errors", sv.modeErrors},
                     };
+                    if (raw->store_->bytesMode()) {
+                        ZkvCompressionStats cp =
+                            raw->store_->compressionTotals();
+                        s.counters.emplace_back("compress_calls",
+                                                cp.compressCalls);
+                        s.counters.emplace_back("decompress_calls",
+                                                cp.decompressCalls);
+                        s.counters.emplace_back("raw_bytes_total",
+                                                cp.rawBytesTotal);
+                        s.counters.emplace_back("stored_bytes_total",
+                                                cp.storedBytesTotal);
+                        s.counters.emplace_back("resident_raw_bytes",
+                                                cp.residentRawBytes);
+                        s.counters.emplace_back("resident_stored_bytes",
+                                                cp.residentStoredBytes);
+                    }
                     ZkvShardObs o = raw->store_->obsTotals();
                     s.counters.emplace_back("net_ns", o.netNs);
                     s.counters.emplace_back("lock_wait_ns", o.lockWaitNs);
@@ -316,11 +338,19 @@ ZkvServer::decodeFrames(Conn& c)
         PendingReq p;
         p.fd = c.fd;
         p.connId = c.id;
-        p.req = req;
         p.ping = req.type == MsgType::Ping;
-        if (!p.ping) p.shard = store_->shardOf(req.key);
+        // A GET/PUT whose bytes flag disagrees with the store's mode is
+        // answered with InvalidArgument instead of being dispatched —
+        // the frame parsed fine, only the value representation is wrong
+        // (protocol.hpp). ERASE/PING are representation-free.
+        if ((req.type == MsgType::Get || req.type == MsgType::Put) &&
+            req.bytes != store_->bytesMode()) {
+            p.modeErr = true;
+        }
+        if (!p.ping && !p.modeErr) p.shard = store_->shardOf(req.key);
         if (obs_on) p.enqueueNs = obsNowNs();
-        pending_.push_back(p);
+        p.req = std::move(req);
+        pending_.push_back(std::move(p));
     }
     if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
     return true;
@@ -340,10 +370,13 @@ ZkvServer::dispatchRound()
     }
     std::vector<std::uint32_t> touched;
     for (PendingReq& p : pending_) {
-        if (p.ping) continue;
+        if (p.ping || p.modeErr) continue;
         StoreBatchOp op;
         op.key = p.req.key;
         op.value = p.req.value;
+        if (p.req.bytes && p.req.type == MsgType::Put) {
+            op.valueBytes = std::move(p.req.valueBytes);
+        }
         op.enqueueNs = p.enqueueNs;
         switch (p.req.type) {
           case MsgType::Get: op.kind = ObsOp::Get; break;
@@ -364,7 +397,7 @@ ZkvServer::dispatchRound()
 
     // Serialize responses back in decode order, so pipelined requests
     // on one connection always complete in order.
-    for (const PendingReq& p : pending_) {
+    for (PendingReq& p : pending_) {
         auto it = conns_.find(p.fd);
         if (it == conns_.end() || it->second.id != p.connId) continue;
         Conn& c = it->second;
@@ -373,15 +406,22 @@ ZkvServer::dispatchRound()
         resp.type = p.req.type;
         resp.id = p.req.id;
         resp.crc = p.req.crc; // CRC echo: protect iff the request did
+        resp.bytes = p.req.bytes; // mode echo (protocol.hpp)
         if (p.ping) {
             st_.pings.fetch_add(1, std::memory_order_relaxed);
+        } else if (p.modeErr) {
+            st_.modeErrors.fetch_add(1, std::memory_order_relaxed);
+            resp.status = ErrorCode::InvalidArgument;
         } else {
-            const StoreBatchResult& r = shardRes_[p.shard][p.batchSlot];
+            StoreBatchResult& r = shardRes_[p.shard][p.batchSlot];
             resp.status = r.code;
             if (r.hit) resp.rflags |= kRespFlagHit;
             if (r.inserted) resp.rflags |= kRespFlagInserted;
             if (r.evicted) resp.rflags |= kRespFlagEvicted;
             resp.value = r.value;
+            if (p.req.bytes && p.req.type == MsgType::Get) {
+                resp.valueBytes = std::move(r.valueBytes);
+            }
             resp.candidates = r.candidates;
             resp.relocations = r.relocations;
             resp.evictedKey = r.evictedKey;
@@ -603,6 +643,7 @@ ZkvServer::stats() const
     s.batchedOps = st_.batchedOps.load(std::memory_order_relaxed);
     s.protocolErrors =
         st_.protocolErrors.load(std::memory_order_relaxed);
+    s.modeErrors = st_.modeErrors.load(std::memory_order_relaxed);
     s.readErrors = st_.readErrors.load(std::memory_order_relaxed);
     s.writeErrors = st_.writeErrors.load(std::memory_order_relaxed);
     s.acceptErrors = st_.acceptErrors.load(std::memory_order_relaxed);
@@ -641,6 +682,8 @@ ZkvServer::registerStats(StatGroup& g)
                    [this] { return stats().batchedOps; });
     srv.addCounter("protocol_errors", "framing errors (conn closed)",
                    [this] { return stats().protocolErrors; });
+    srv.addCounter("mode_errors", "bytes-flag/store-mode mismatches",
+                   [this] { return stats().modeErrors; });
     srv.addCounter("read_errors", "socket read failures",
                    [this] { return stats().readErrors; });
     srv.addCounter("write_errors", "socket write failures",

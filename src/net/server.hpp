@@ -122,6 +122,7 @@ struct ZkvServerStats
     std::uint64_t batches = 0;      ///< runShardBatch calls issued
     std::uint64_t batchedOps = 0;   ///< store ops executed via batches
     std::uint64_t protocolErrors = 0; ///< framing errors (conn closed)
+    std::uint64_t modeErrors = 0;    ///< bytes-flag/store-mode mismatches
     std::uint64_t readErrors = 0;
     std::uint64_t writeErrors = 0;
     std::uint64_t acceptErrors = 0;
@@ -191,6 +192,7 @@ class ZkvServer
         std::uint64_t connId = 0; ///< must still match conns_[fd].id
         Request req;
         bool ping = false;           ///< answered inline, no store op
+        bool modeErr = false;        ///< bytes-flag/store-mode mismatch
         std::uint32_t shard = 0;
         std::uint64_t enqueueNs = 0; ///< decode time (0 if obs off)
         std::size_t batchSlot = 0;   ///< index into the shard batch
@@ -243,7 +245,7 @@ class ZkvServer
         std::atomic<std::uint64_t> bytesIn{0}, bytesOut{0};
         std::atomic<std::uint64_t> pings{0};
         std::atomic<std::uint64_t> batches{0}, batchedOps{0};
-        std::atomic<std::uint64_t> protocolErrors{0};
+        std::atomic<std::uint64_t> protocolErrors{0}, modeErrors{0};
         std::atomic<std::uint64_t> readErrors{0}, writeErrors{0};
         std::atomic<std::uint64_t> acceptErrors{0}, rejectedConns{0};
         std::atomic<std::uint64_t> drained{0}, drainAborted{0};

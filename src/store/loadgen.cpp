@@ -38,6 +38,7 @@ threadCountersJson(const ThreadStats& t)
     o.set("get_hits", JsonValue(t.getHits));
     o.set("puts", JsonValue(t.puts));
     o.set("put_errors", JsonValue(t.putErrors));
+    o.set("get_errors", JsonValue(t.getErrors));
     o.set("erases", JsonValue(t.erases));
     o.set("erase_hits", JsonValue(t.eraseHits));
     o.set("evictions", JsonValue(t.evictions));
@@ -98,6 +99,24 @@ LoadGenConfig::validate() const
         return Status::invalidArgument(
             "loadgen: obs.ringCapacity must be > 0");
     }
+    if (store.value.bytesMode()) {
+        if (valueBytesMin < 4) {
+            return Status::invalidArgument(
+                "loadgen: valueBytesMin must be >= 4 (the payload's "
+                "writer-tid prefix)");
+        }
+        if (valueBytesMax < valueBytesMin) {
+            return Status::invalidArgument(
+                "loadgen: valueBytesMax must be >= valueBytesMin");
+        }
+        if (valueBytesMax > store.value.maxBytes) {
+            return Status::invalidArgument(
+                "loadgen: valueBytesMax " +
+                std::to_string(valueBytesMax) +
+                " exceeds store.value.maxBytes " +
+                std::to_string(store.value.maxBytes));
+        }
+    }
     return store.validate();
 }
 
@@ -111,6 +130,7 @@ LoadGenResult::aggregate() const
         agg.getHits += t.getHits;
         agg.puts += t.puts;
         agg.putErrors += t.putErrors;
+        agg.getErrors += t.getErrors;
         agg.erases += t.erases;
         agg.eraseHits += t.eraseHits;
         agg.evictions += t.evictions;
@@ -223,6 +243,21 @@ runLoadGen(const LoadGenConfig& cfg)
                 s.counters.emplace_back("lock_contended",
                                         o.lockContended);
                 s.counters.emplace_back("lock_wait_ns", o.lockWaitNs);
+                if (st->bytesMode()) {
+                    ZkvCompressionStats cp = st->compressionTotals();
+                    s.counters.emplace_back("compress_calls",
+                                            cp.compressCalls);
+                    s.counters.emplace_back("decompress_calls",
+                                            cp.decompressCalls);
+                    s.counters.emplace_back("raw_bytes_total",
+                                            cp.rawBytesTotal);
+                    s.counters.emplace_back("stored_bytes_total",
+                                            cp.storedBytesTotal);
+                    s.counters.emplace_back("resident_raw_bytes",
+                                            cp.residentRawBytes);
+                    s.counters.emplace_back("resident_stored_bytes",
+                                            cp.residentStoredBytes);
+                }
                 if (st->config().readPath == ReadPath::Optimistic) {
                     s.counters.emplace_back("get_optimistic",
                                             o.getOptimistic);
@@ -287,6 +322,10 @@ runLoadGen(const LoadGenConfig& cfg)
             ThreadStats& ts = result.perThread[tid];
             GeneratorPtr gen = WorkloadRegistry::makeCoreGenerator(
                 *profile, tid, cfg.threads, cfg.seed);
+            // Bytes mode: per-thread payload buffers, reused per op.
+            const bool bytes_mode = store->bytesMode();
+            std::vector<std::uint8_t> payload;
+            std::vector<std::uint8_t> scratch;
             // Op-mix stream independent of the key stream.
             Pcg32 mix(zkvMix64(cfg.seed + tid),
                       /*stream=*/0x6b76ULL + tid);
@@ -332,7 +371,20 @@ runLoadGen(const LoadGenConfig& cfg)
                 }
                 if (u < cfg.getFrac) {
                     ts.gets++;
-                    if (auto v = store->get(key)) {
+                    if (bytes_mode) {
+                        auto v_or = store->getBytes(key);
+                        if (!v_or) {
+                            ts.getErrors++;
+                        } else if (*v_or) {
+                            ts.getHits++;
+                            if (!zkvVerifyPayload(key, cfg.threads,
+                                                  cfg.valueBytesMin,
+                                                  cfg.valueBytesMax,
+                                                  **v_or, scratch)) {
+                                ts.verifyFailures++;
+                            }
+                        }
+                    } else if (auto v = store->get(key)) {
                         ts.getHits++;
                         // Decode the writer thread from the payload.
                         if (*v - zkvMix64(key) >= cfg.threads) {
@@ -344,7 +396,17 @@ runLoadGen(const LoadGenConfig& cfg)
                     if (store->erase(key)) ts.eraseHits++;
                 } else {
                     ts.puts++;
-                    auto pr = store->put(key, zkvMix64(key) + tid);
+                    Expected<PutResult> pr = [&] {
+                        if (!bytes_mode) {
+                            return store->put(key, zkvMix64(key) + tid);
+                        }
+                        zkvFillPayload(key, tid,
+                                       zkvPayloadLen(key,
+                                                     cfg.valueBytesMin,
+                                                     cfg.valueBytesMax),
+                                       payload);
+                        return store->putBytes(key, payload);
+                    }();
                     if (!pr) {
                         ts.putErrors++;
                     } else if (pr->evicted) {
@@ -405,6 +467,13 @@ runLoadGen(const LoadGenConfig& cfg)
     // as a run failure instead of a silent counter.
     if (store->persistEnabled()) {
         if (Status s = store->stopPersist(); !s.isOk()) return s;
+    }
+
+    // End-of-run codec accounting (bytes mode): workers are joined, so
+    // the totals are final and deterministic for a 1-thread run.
+    if (store->bytesMode()) {
+        result.compression = store->compressionTotals();
+        result.residentKeys = store->size();
     }
 
     // Deterministic block: the store's stats tree plus per-thread

@@ -19,10 +19,21 @@
  * every get hit is integrity-checked by decoding the writer thread; a
  * mismatch counts in verifyFailures (always 0 unless the store loses
  * or cross-wires a payload).
+ *
+ * Bytes mode (cfg.store.value.maxBytes > 0, docs/compression.md) keeps
+ * the same contract with variable-length payloads: each key's payload
+ * length and content are deterministic functions of the key alone
+ * (zkvPayloadLen / zkvFillPayload below), except the first four bytes,
+ * which carry the writer tid — so any reader can regenerate the
+ * expected bytes from (key, decoded tid) and compare byte-exactly.
+ * The content generator mixes BDI-friendly patterns (zeros, repeats,
+ * small-delta runs) with incompressible streams per key, giving the
+ * codec a realistic ratio distribution.
  */
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -34,6 +45,87 @@
 #include "store/zkv.hpp"
 
 namespace zc {
+
+/**
+ * Deterministic payload length for @p key, uniform over
+ * [lenMin, lenMax] (inclusive). Pure function of (key, lenMin, lenMax)
+ * so every loadgen worker — local or across the wire — agrees on it.
+ */
+inline std::uint32_t
+zkvPayloadLen(std::uint64_t key, std::uint32_t lenMin,
+              std::uint32_t lenMax)
+{
+    if (lenMax <= lenMin) return lenMin;
+    std::uint64_t span = lenMax - lenMin + 1;
+    return lenMin +
+           static_cast<std::uint32_t>(zkvMix64(key ^ 0x6c656eULL) % span);
+}
+
+/**
+ * Fill @p out with the deterministic payload for (@p key, @p tid):
+ * bytes [0,4) are the writer tid (LE), the rest is one of four
+ * patterns selected by the key — zeros, a repeated byte, a small-delta
+ * byte ramp (BDI-friendly), or an incompressible mix64 stream.
+ */
+inline void
+zkvFillPayload(std::uint64_t key, std::uint32_t tid, std::uint32_t len,
+               std::vector<std::uint8_t>& out)
+{
+    out.resize(len);
+    std::uint64_t h = zkvMix64(key ^ 0x706179ULL);
+    switch (h & 3) {
+      case 0: // zeros
+        std::fill(out.begin(), out.end(), std::uint8_t{0});
+        break;
+      case 1: { // repeated byte
+        std::fill(out.begin(), out.end(),
+                  static_cast<std::uint8_t>(h >> 8));
+        break;
+      }
+      case 2: { // small-delta ramp: base + i*delta (mod 256)
+        auto base = static_cast<std::uint8_t>(h >> 8);
+        auto delta = static_cast<std::uint8_t>(((h >> 16) & 3) + 1);
+        for (std::uint32_t i = 0; i < len; i++) {
+            out[i] = static_cast<std::uint8_t>(base + i * delta);
+        }
+        break;
+      }
+      default: { // incompressible: chained mix64 stream
+        std::uint64_t s = h;
+        for (std::uint32_t i = 0; i < len; i++) {
+            if ((i & 7) == 0) s = zkvMix64(s);
+            out[i] = static_cast<std::uint8_t>(s >> ((i & 7) * 8));
+        }
+        break;
+      }
+    }
+    for (std::uint32_t i = 0; i < 4 && i < len; i++) {
+        out[i] = static_cast<std::uint8_t>(tid >> (i * 8));
+    }
+}
+
+/**
+ * Byte-exact payload check: decode the writer tid from the first four
+ * bytes, regenerate the expected payload for (key, tid), and compare.
+ * Returns false on any mismatch (wrong length, tid out of range, or
+ * content drift) — the bytes-mode analogue of the u64 value check.
+ */
+inline bool
+zkvVerifyPayload(std::uint64_t key, std::uint32_t threads,
+                 std::uint32_t lenMin, std::uint32_t lenMax,
+                 const std::vector<std::uint8_t>& got,
+                 std::vector<std::uint8_t>& scratch)
+{
+    std::uint32_t len = zkvPayloadLen(key, lenMin, lenMax);
+    if (got.size() != len || len < 4) return false;
+    std::uint32_t tid = static_cast<std::uint32_t>(got[0]) |
+                        (static_cast<std::uint32_t>(got[1]) << 8) |
+                        (static_cast<std::uint32_t>(got[2]) << 16) |
+                        (static_cast<std::uint32_t>(got[3]) << 24);
+    if (tid >= threads) return false;
+    zkvFillPayload(key, tid, len, scratch);
+    return got == scratch;
+}
 
 /**
  * Live-telemetry knobs for a load-generation run (docs/telemetry.md).
@@ -88,6 +180,15 @@ struct LoadGenConfig
 
     std::uint64_t seed = 1;
 
+    /**
+     * Bytes-mode payload length range (inclusive), used iff
+     * store.value.bytesMode(). Each key's length is zkvPayloadLen(key)
+     * over this range; the minimum is 4 (the tid prefix) and the
+     * maximum is capped by store.value.maxBytes at validate().
+     */
+    std::uint32_t valueBytesMin = 16;
+    std::uint32_t valueBytesMax = 64;
+
     /** Latency histogram bins over log2(1+ns)/32 (64 ~= 0.5-bit bins). */
     std::size_t latencyBins = 64;
 
@@ -127,6 +228,8 @@ struct ThreadStats
     std::uint64_t getHits = 0;
     std::uint64_t puts = 0;
     std::uint64_t putErrors = 0; ///< puts rejected with a Status
+    std::uint64_t getErrors = 0; ///< gets failed with a Status (bytes
+                                 ///< mode: decompress Corruption)
     std::uint64_t erases = 0;
     std::uint64_t eraseHits = 0;
     std::uint64_t evictions = 0;
@@ -175,6 +278,13 @@ struct LoadGenResult
     std::uint64_t obsDropped = 0;
     std::uint64_t obsThreads = 0;
     std::uint64_t obsWindows = 0; ///< metrics windows emitted
+
+    /** End-of-run codec totals (bytes mode only; zeros otherwise). */
+    ZkvCompressionStats compression;
+
+    /** Resident keys at end of run (bytes mode only; for the
+     *  resident-bytes-per-key report in store_loadgen --json). */
+    std::uint64_t residentKeys = 0;
 };
 
 /**

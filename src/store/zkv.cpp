@@ -44,20 +44,35 @@ namespace {
  * onInsert records the incoming address, onMove/onSwap carry it with
  * relocations, and onEvict clears it (ZArray::invalidate also funnels
  * through onEvict, so erases clear it too).
+ *
+ * In bytes mode (ZkvValueConfig::bytesMode) a per-position owned
+ * compressed payload rides alongside the u64 mirror, moved through the
+ * same onMove/onSwap/onEvict protocol. Byte payloads are only ever
+ * touched under the shard lock — bytes mode rejects the optimistic
+ * read path at validate() — so they are plain vectors, not atomics.
+ * The mirror also keeps the shard's compression accounting (resident
+ * raw vs stored bytes), since it is the one place that sees every
+ * payload arrive and leave.
  */
 class ValueMirror final : public ReplacementPolicy
 {
   public:
-    explicit ValueMirror(std::unique_ptr<ReplacementPolicy> inner)
+    ValueMirror(std::unique_ptr<ReplacementPolicy> inner,
+                const ZkvValueConfig& vcfg)
         : ReplacementPolicy(inner->numBlocks()),
           inner_(std::move(inner)),
           keys_(numBlocks()),
-          values_(numBlocks())
+          values_(numBlocks()),
+          bytesMode_(vcfg.bytesMode())
     {
         for (std::uint32_t i = 0; i < numBlocks(); i++) {
             keys_[i].store(static_cast<std::uint64_t>(kInvalidAddr),
                            std::memory_order_relaxed);
             values_[i].store(0, std::memory_order_relaxed);
+        }
+        if (bytesMode_) {
+            bytes_.resize(numBlocks());
+            rawLens_.assign(numBlocks(), 0);
         }
     }
 
@@ -66,6 +81,15 @@ class ValueMirror final : public ReplacementPolicy
     {
         keys_[pos].store(ctx.lineAddr, std::memory_order_relaxed);
         values_[pos].store(pending_, std::memory_order_relaxed);
+        if (bytesMode_) {
+            dropResident(pos);
+            bytes_[pos] = std::move(pendingBytes_);
+            rawLens_[pos] = pendingRawLen_;
+            comp_.residentRawBytes += rawLens_[pos];
+            comp_.residentStoredBytes += bytes_[pos].size();
+            pendingBytes_.clear();
+            pendingRawLen_ = 0;
+        }
         inner_->onInsert(pos, ctx);
     }
 
@@ -82,6 +106,12 @@ class ValueMirror final : public ReplacementPolicy
                         std::memory_order_relaxed);
         values_[to].store(values_[from].load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
+        if (bytesMode_) {
+            bytes_[to] = std::move(bytes_[from]);
+            bytes_[from].clear();
+            rawLens_[to] = rawLens_[from];
+            rawLens_[from] = 0;
+        }
         inner_->onMove(from, to);
     }
 
@@ -96,6 +126,10 @@ class ValueMirror final : public ReplacementPolicy
         std::uint64_t vb = values_[b].load(std::memory_order_relaxed);
         values_[a].store(vb, std::memory_order_relaxed);
         values_[b].store(va, std::memory_order_relaxed);
+        if (bytesMode_) {
+            std::swap(bytes_[a], bytes_[b]);
+            std::swap(rawLens_[a], rawLens_[b]);
+        }
         inner_->onSwap(a, b);
     }
 
@@ -105,6 +139,13 @@ class ValueMirror final : public ReplacementPolicy
         lastEvicted_ = values_[pos].load(std::memory_order_relaxed);
         keys_[pos].store(static_cast<std::uint64_t>(kInvalidAddr),
                          std::memory_order_relaxed);
+        if (bytesMode_) {
+            // PutResult reports only the evicted *key* in bytes mode —
+            // the payload dies compressed, never decoded.
+            dropResident(pos);
+            bytes_[pos].clear();
+            rawLens_[pos] = 0;
+        }
         inner_->onEvict(pos);
     }
 
@@ -148,12 +189,66 @@ class ValueMirror final : public ReplacementPolicy
 
     std::uint64_t lastEvicted() const { return lastEvicted_; }
 
+    // ---- bytes mode (shard lock held for all of these) -------------
+
+    /** Stage the compressed payload for the next onInsert, counting
+     *  the compression in the shard's accounting. */
+    void
+    stagePendingBytes(std::vector<std::uint8_t> compressed,
+                      std::uint32_t rawLen)
+    {
+        comp_.compressCalls++;
+        comp_.rawBytesTotal += rawLen;
+        comp_.storedBytesTotal += compressed.size();
+        pendingBytes_ = std::move(compressed);
+        pendingRawLen_ = rawLen;
+    }
+
+    /** Update-in-place twin of stagePendingBytes. */
+    void
+    setValueBytes(BlockPos pos, std::vector<std::uint8_t> compressed,
+                  std::uint32_t rawLen)
+    {
+        comp_.compressCalls++;
+        comp_.rawBytesTotal += rawLen;
+        comp_.storedBytesTotal += compressed.size();
+        dropResident(pos);
+        bytes_[pos] = std::move(compressed);
+        rawLens_[pos] = rawLen;
+        comp_.residentRawBytes += rawLen;
+        comp_.residentStoredBytes += bytes_[pos].size();
+    }
+
+    const std::vector<std::uint8_t>&
+    bytesAt(BlockPos pos) const
+    {
+        return bytes_[pos];
+    }
+
+    void noteDecompress() { comp_.decompressCalls++; }
+
+    const ZkvCompressionStats& compressionStats() const { return comp_; }
+
   private:
+    void
+    dropResident(BlockPos pos)
+    {
+        comp_.residentRawBytes -= rawLens_[pos];
+        comp_.residentStoredBytes -= bytes_[pos].size();
+    }
+
     std::unique_ptr<ReplacementPolicy> inner_;
     std::vector<std::atomic<std::uint64_t>> keys_;
     std::vector<std::atomic<std::uint64_t>> values_;
     std::uint64_t pending_ = 0;
     std::uint64_t lastEvicted_ = 0;
+
+    const bool bytesMode_;
+    std::vector<std::vector<std::uint8_t>> bytes_; ///< stored payloads
+    std::vector<std::uint32_t> rawLens_; ///< pre-codec length per pos
+    std::vector<std::uint8_t> pendingBytes_;
+    std::uint32_t pendingRawLen_ = 0;
+    ZkvCompressionStats comp_;
 };
 
 } // namespace
@@ -208,6 +303,7 @@ ZkvStore::create(const ZkvConfig& cfg)
     if (Status s = cfg.validate(); !s.isOk()) return s;
 
     auto store = std::unique_ptr<ZkvStore>(new ZkvStore(cfg));
+    if (cfg.value.bytesMode()) store->codec_ = makeCodec(cfg.value.codec);
     store->shards_.reserve(cfg.shards);
     for (std::uint32_t i = 0; i < cfg.shards; i++) {
         if (ZC_INJECT_FAULT("store.alloc")) {
@@ -220,8 +316,10 @@ ZkvStore::create(const ZkvConfig& cfg)
         // Same inner-policy construction as the one-argument makeArray,
         // so a bare makeArray(shardSpec(i)) reproduces this shard's
         // walk decisions exactly (tests/test_store.cpp relies on it).
-        auto mirror = std::make_unique<ValueMirror>(makePolicy(
-            spec.policy, policyBlocksFor(spec), spec.seed ^ 0x9d2c));
+        auto mirror = std::make_unique<ValueMirror>(
+            makePolicy(spec.policy, policyBlocksFor(spec),
+                       spec.seed ^ 0x9d2c),
+            cfg.value);
         ValueMirror* mirror_ptr = mirror.get();
         auto shard = std::make_unique<Shard>(cfg.lock);
         shard->array = makeArray(spec, std::move(mirror));
@@ -282,6 +380,7 @@ ZkvStore::shardOf(std::uint64_t key) const
 std::optional<std::uint64_t>
 ZkvStore::get(std::uint64_t key)
 {
+    zc_assert(!bytesMode()); // bytes-mode callers use getBytes()
     if (cfg_.readPath == ReadPath::Optimistic) {
         return obsEnabled_ ? getOptimisticTraced(key) : getOptimistic(key);
     }
@@ -299,6 +398,10 @@ ZkvStore::get(std::uint64_t key)
 Expected<PutResult>
 ZkvStore::put(std::uint64_t key, std::uint64_t value)
 {
+    if (bytesMode()) {
+        return Status::invalidArgument(
+            "zkv: put(u64) on a bytes-mode store (use putBytes)");
+    }
     if (obsEnabled_) return putTraced(key, value);
     if (key == kReservedKey) {
         return Status::invalidArgument(
@@ -393,6 +496,124 @@ ZkvStore::erase(std::uint64_t key)
         (void)ignored;
     }
     return hit;
+}
+
+/*
+ * ---- byte-payload values (docs/compression.md) ---------------------
+ *
+ * The bytes-mode single-op paths below are plain (untraced): bytes
+ * mode is Locked-read-path only and the batch path — which the server
+ * drives — carries the instrumentation, so per-op spans for byte
+ * traffic come from runShardBatch. Compression happens outside the
+ * shard lock (codecs are stateless, payloads are <= kZkvMaxValueBytes)
+ * so the lock covers only the array mutation, like the u64 paths.
+ */
+
+Expected<PutResult>
+ZkvStore::putBytes(std::uint64_t key, std::span<const std::uint8_t> value)
+{
+    if (!bytesMode()) {
+        return Status::invalidArgument(
+            "zkv: putBytes on a fixed-u64 store (set value.maxBytes)");
+    }
+    if (key == kReservedKey) {
+        return Status::invalidArgument(
+            "zkv: key " + std::to_string(key) +
+            " is reserved (array invalid-address sentinel)");
+    }
+    if (value.size() > cfg_.value.maxBytes) {
+        return Status::invalidArgument(
+            "zkv: value length " + std::to_string(value.size()) +
+            " exceeds value.maxBytes (" +
+            std::to_string(cfg_.value.maxBytes) + ")");
+    }
+    const auto rawLen = static_cast<std::uint32_t>(value.size());
+    std::vector<std::uint8_t> comp(codec_->maxCompressedSize(value.size()));
+    auto n_or = codec_->compress(value.data(), value.size(), comp.data(),
+                                 comp.size());
+    zc_assert(n_or.hasValue()); // comp is maxCompressedSize-sized
+    comp.resize(*n_or);
+
+    const std::uint32_t shard = shardOf(key);
+    Shard& sh = *shards_[shard];
+    PutResult res;
+    std::lock_guard<ShardLock> g(sh.lock);
+    sh.stats.puts++;
+    AccessContext ctx{key, kNoNextUse};
+    BlockPos pos = sh.array->access(key, ctx);
+    if (pos != kInvalidPos) {
+        {
+            Shard::WriteSection ws(sh);
+            sh.mirror->setValueBytes(pos, std::move(comp), rawLen);
+        }
+        sh.stats.putUpdates++;
+        return res;
+    }
+    if (ZC_INJECT_FAULT("store.walk")) {
+        return Status::resourceExhausted(
+            "zkv: injected relocation-walk failure (site store.walk, "
+            "shard " +
+            std::to_string(shard) + ")");
+    }
+    sh.mirror->stagePendingBytes(std::move(comp), rawLen);
+    Replacement r = [&] {
+        Shard::WriteSection ws(sh);
+        return sh.array->insert(key, ctx);
+    }();
+    res.inserted = true;
+    res.candidates = r.candidates;
+    res.relocations = r.relocations;
+    sh.stats.putInserts++;
+    sh.stats.walkCandidates += r.candidates;
+    sh.stats.relocations += r.relocations;
+    if (r.evictedValid()) {
+        // Only the key: the victim's payload dies compressed
+        // (PutResult::evictedValue stays 0 in bytes mode).
+        res.evicted = true;
+        res.evictedKey = r.evictedAddr;
+        sh.stats.evictions++;
+    }
+    return res;
+}
+
+Expected<std::optional<std::vector<std::uint8_t>>>
+ZkvStore::getBytes(std::uint64_t key)
+{
+    if (!bytesMode()) {
+        return Status::invalidArgument(
+            "zkv: getBytes on a fixed-u64 store (set value.maxBytes)");
+    }
+    Shard& sh = *shards_[shardOf(key)];
+    std::lock_guard<ShardLock> g(sh.lock);
+    sh.stats.gets++;
+    AccessContext ctx{key, kNoNextUse};
+    BlockPos pos = sh.array->access(key, ctx);
+    if (pos == kInvalidPos) {
+        return std::optional<std::vector<std::uint8_t>>{};
+    }
+    sh.stats.getHits++;
+    const std::vector<std::uint8_t>& stored = sh.mirror->bytesAt(pos);
+    std::vector<std::uint8_t> out(cfg_.value.maxBytes);
+    sh.mirror->noteDecompress();
+    auto len_or = codec_->decompress(stored.data(), stored.size(),
+                                     out.data(), out.size());
+    // A decode failure (corrupt stream, or the compress.codec fault
+    // site) surfaces as the codec's Corruption status — the caller
+    // never sees torn or partial bytes.
+    if (!len_or) return len_or.status();
+    out.resize(*len_or);
+    return std::optional<std::vector<std::uint8_t>>(std::move(out));
+}
+
+ZkvCompressionStats
+ZkvStore::compressionTotals() const
+{
+    ZkvCompressionStats t;
+    for (const auto& sh : shards_) {
+        std::lock_guard<ShardLock> g(sh->lock);
+        t.add(sh->mirror->compressionStats());
+    }
+    return t;
 }
 
 void
@@ -498,8 +719,29 @@ ZkvStore::runShardBatch(std::uint32_t shard,
                 BlockPos pos = sh.array->access(op.key, ctx);
                 if (pos != kInvalidPos) {
                     sh.stats.getHits++;
+                    if (bytesMode()) {
+                        const std::vector<std::uint8_t>& stored =
+                            sh.mirror->bytesAt(pos);
+                        std::vector<std::uint8_t> outv(
+                            cfg_.value.maxBytes);
+                        sh.mirror->noteDecompress();
+                        auto len_or = codec_->decompress(
+                            stored.data(), stored.size(), outv.data(),
+                            outv.size());
+                        if (!len_or) {
+                            // Corrupt stream (or the compress.codec
+                            // fault site): structured failure, never
+                            // torn bytes.
+                            res.code = ErrorCode::Corruption;
+                            rec.flags |= kObsFlagError;
+                            break;
+                        }
+                        outv.resize(*len_or);
+                        res.valueBytes = std::move(outv);
+                    } else {
+                        res.value = sh.mirror->valueAt(pos);
+                    }
                     res.hit = true;
-                    res.value = sh.mirror->valueAt(pos);
                     rec.flags |= kObsFlagHit;
                 }
                 break;
@@ -510,13 +752,37 @@ ZkvStore::runShardBatch(std::uint32_t shard,
                     rec.flags |= kObsFlagError;
                     break;
                 }
+                const bool bytes = bytesMode();
+                if (bytes &&
+                    op.valueBytes.size() > cfg_.value.maxBytes) {
+                    res.code = ErrorCode::InvalidArgument;
+                    rec.flags |= kObsFlagError;
+                    break;
+                }
                 sh.stats.puts++;
+                std::vector<std::uint8_t> comp;
+                if (bytes) {
+                    comp.resize(codec_->maxCompressedSize(
+                        op.valueBytes.size()));
+                    auto n_or = codec_->compress(
+                        op.valueBytes.data(), op.valueBytes.size(),
+                        comp.data(), comp.size());
+                    zc_assert(n_or.hasValue());
+                    comp.resize(*n_or);
+                }
+                const auto rawLen =
+                    static_cast<std::uint32_t>(op.valueBytes.size());
                 std::uint64_t tProbe0 = traced ? obsNowNs() : 0;
                 BlockPos pos = sh.array->access(op.key, ctx);
                 if (pos != kInvalidPos) {
                     {
                         Shard::WriteSection ws(sh);
-                        sh.mirror->setValue(pos, op.value);
+                        if (bytes) {
+                            sh.mirror->setValueBytes(pos, std::move(comp),
+                                                     rawLen);
+                        } else {
+                            sh.mirror->setValue(pos, op.value);
+                        }
                     }
                     sh.stats.putUpdates++;
                     res.hit = true;
@@ -533,7 +799,11 @@ ZkvStore::runShardBatch(std::uint32_t shard,
                     rec.flags |= kObsFlagError;
                     break;
                 }
-                sh.mirror->setPending(op.value);
+                if (bytes) {
+                    sh.mirror->stagePendingBytes(std::move(comp), rawLen);
+                } else {
+                    sh.mirror->setPending(op.value);
+                }
                 if (traced) {
                     std::uint64_t tWalk0 = obsNowNs();
                     rec.probeNs = obsDurNs(tProbe0, tWalk0);
@@ -1414,6 +1684,44 @@ ZkvStore::registerStats(StatGroup& g)
                    [this] { return obsTotals().walkNs; });
     obs.addCounter("op_ns", "summed whole-op time",
                    [this] { return obsTotals().opNs; });
+
+    // Compressed-payload counters exist only in bytes mode, so the
+    // default (fixed-u64) stats dump stays byte-identical.
+    if (cfg_.value.bytesMode()) {
+        StatGroup& comp = root.group(
+            "compression", "compressed byte payloads (docs/compression.md)");
+        comp.addConst("codec", "value codec",
+                      JsonValue(std::string(
+                          codecKindName(cfg_.value.codec))));
+        comp.addConst("max_value_bytes", "value length cap",
+                      JsonValue(std::uint64_t{cfg_.value.maxBytes}));
+        comp.addCounter("compress_calls", "payloads compressed (puts)",
+                        [this] {
+            return compressionTotals().compressCalls;
+        });
+        comp.addCounter("decompress_calls", "payloads decoded (get hits)",
+                        [this] {
+            return compressionTotals().decompressCalls;
+        });
+        comp.addCounter("raw_bytes_total", "pre-codec bytes, all puts",
+                        [this] {
+            return compressionTotals().rawBytesTotal;
+        });
+        comp.addCounter("stored_bytes_total", "post-codec bytes, all puts",
+                        [this] {
+            return compressionTotals().storedBytesTotal;
+        });
+        comp.addCounter("resident_raw_bytes", "live entries, pre-codec",
+                        [this] {
+            return compressionTotals().residentRawBytes;
+        });
+        comp.addCounter("resident_stored_bytes",
+                        "live entries, as stored", [this] {
+            return compressionTotals().residentStoredBytes;
+        });
+        comp.addScalar("ratio", "raw/stored bytes over all puts",
+                       [this] { return compressionTotals().ratio(); });
+    }
 
     // Durability tier counters exist only when persistence is on, so
     // the default (in-memory) stats dump stays byte-identical.

@@ -46,6 +46,7 @@
 #include "common/status.hpp"
 #include "common/stats_registry.hpp"
 #include "common/types.hpp"
+#include "compress/codec.hpp"
 #include "obs/trace_event.hpp"
 #include "persist/persist.hpp"
 
@@ -102,6 +103,41 @@ readPathName(ReadPath p)
     return p == ReadPath::Locked ? "locked" : "optimistic";
 }
 
+/**
+ * Hard cap on a bytes-mode value. Aligned with the net protocol's
+ * 256-byte frame-body budget: 256 minus the 12-byte header, 8-byte
+ * key, 2-byte length prefix and 4-byte optional CRC leaves at least
+ * this much for the payload (src/net/protocol.hpp pins the arithmetic
+ * with static_asserts), so any storable value is also shippable.
+ */
+inline constexpr std::uint32_t kZkvMaxValueBytes = 224;
+
+/**
+ * Value representation (docs/compression.md). Default is the original
+ * fixed-u64 mode: put/get carry one machine word and every compressed
+ * path below is compiled out of the hot loops by one branch.
+ *
+ * Setting maxBytes > 0 switches the store to variable-length byte
+ * payloads: putBytes/getBytes replace put/get, each value is run
+ * through `codec` on the way in and back out on the way out, and the
+ * per-shard mirror accounts resident raw vs stored bytes so the
+ * realized compression ratio is a first-class stat. Bytes mode is
+ * incompatible with ReadPath::Optimistic (payloads are not atomic
+ * words, so the seqlock read path cannot snapshot them) and with the
+ * durability tier (the op log records u64 values); validate() rejects
+ * both combinations up front.
+ */
+struct ZkvValueConfig
+{
+    /** Maximum value length in bytes; 0 = fixed u64 values. */
+    std::uint32_t maxBytes = 0;
+
+    /** Codec applied to stored payloads (bytes mode only). */
+    CodecKind codec = CodecKind::None;
+
+    bool bytesMode() const { return maxBytes != 0; }
+};
+
 /** Store-wide configuration. */
 struct ZkvConfig
 {
@@ -133,6 +169,10 @@ struct ZkvConfig
      */
     persist::PersistConfig persist;
 
+    /** Value representation: fixed u64 (default) or compressed byte
+     *  payloads. See ZkvValueConfig for the mode rules. */
+    ZkvValueConfig value;
+
     /**
      * The per-shard ArraySpec: identical to `array` except for a
      * splitmix64-derived seed unique to @p shard. Public so tests can
@@ -153,6 +193,38 @@ struct ZkvConfig
     {
         if (shards == 0) {
             return Status::invalidArgument("zkv: shards must be > 0");
+        }
+        if (array.kind == ArrayKind::CompressedZ ||
+            array.kind == ArrayKind::CompressedSetAssoc) {
+            // The byte-budget makeSpace loop can evict several victims
+            // per insert, which the put contract (at most one evicted
+            // key per PutResult) and the durability log's evict-then-
+            // put replay order cannot represent. Compressed *values*
+            // are the store-side story: set value.codec instead.
+            return Status::invalidArgument(
+                "zkv: compressed array kinds are simulator-only (a "
+                "byte-budget insert can evict several keys); use "
+                "value.maxBytes/value.codec for compressed payloads");
+        }
+        if (value.bytesMode()) {
+            if (value.maxBytes > kZkvMaxValueBytes) {
+                return Status::invalidArgument(
+                    "zkv: value.maxBytes (" +
+                    std::to_string(value.maxBytes) + ") exceeds the " +
+                    std::to_string(kZkvMaxValueBytes) +
+                    "-byte protocol cap (kZkvMaxValueBytes)");
+            }
+            if (readPath == ReadPath::Optimistic) {
+                return Status::unsupported(
+                    "zkv: byte-payload values are incompatible with the "
+                    "optimistic read path (payloads are not atomic "
+                    "words; the seqlock reader cannot snapshot them)");
+            }
+            if (persist.enabled()) {
+                return Status::unsupported(
+                    "zkv: byte-payload values are incompatible with the "
+                    "durability tier (the op log records u64 values)");
+            }
         }
         if (Status s = persist.validate(); !s.isOk()) return s;
         return validateSpec(array);
@@ -186,7 +258,10 @@ struct StoreBatchOp
 {
     ObsOp kind = ObsOp::Get;
     std::uint64_t key = 0;
-    std::uint64_t value = 0; ///< puts only
+    std::uint64_t value = 0; ///< puts only (fixed-u64 stores)
+
+    /** Put payload on a bytes-mode store; `value` is ignored there. */
+    std::vector<std::uint8_t> valueBytes;
 
     /**
      * When observability is enabled, the timestamp (obsNowNs) the
@@ -205,10 +280,53 @@ struct StoreBatchResult
     bool evicted = false;
 
     std::uint64_t value = 0; ///< get result (valid iff hit)
+
+    /** Get result on a bytes-mode store (valid iff hit); decompressed
+     *  before the batch returns, so a decode failure surfaces as
+     *  code = Corruption with the payload cleared, never torn bytes. */
+    std::vector<std::uint8_t> valueBytes;
+
     std::uint64_t evictedKey = 0;
     std::uint64_t evictedValue = 0;
     std::uint32_t candidates = 0;
     std::uint32_t relocations = 0;
+};
+
+/**
+ * Compressed-payload counters (bytes mode only; all zeros otherwise).
+ * The *Total pairs accumulate over every put, the resident pairs track
+ * live entries, so realized compression ratio is available both as a
+ * workload property (totals) and an occupancy property (resident).
+ */
+struct ZkvCompressionStats
+{
+    std::uint64_t compressCalls = 0;
+    std::uint64_t decompressCalls = 0;
+    std::uint64_t rawBytesTotal = 0;      ///< pre-codec bytes, all puts
+    std::uint64_t storedBytesTotal = 0;   ///< post-codec bytes, all puts
+    std::uint64_t residentRawBytes = 0;   ///< live entries, pre-codec
+    std::uint64_t residentStoredBytes = 0; ///< live entries, as stored
+
+    /** Raw/stored over all puts; 1.0 before any traffic. */
+    double
+    ratio() const
+    {
+        return storedBytesTotal != 0
+                   ? static_cast<double>(rawBytesTotal) /
+                         static_cast<double>(storedBytesTotal)
+                   : 1.0;
+    }
+
+    void
+    add(const ZkvCompressionStats& o)
+    {
+        compressCalls += o.compressCalls;
+        decompressCalls += o.decompressCalls;
+        rawBytesTotal += o.rawBytesTotal;
+        storedBytesTotal += o.storedBytesTotal;
+        residentRawBytes += o.residentRawBytes;
+        residentStoredBytes += o.residentStoredBytes;
+    }
 };
 
 /** Per-shard operation counters (also used for store-wide totals). */
@@ -452,19 +570,50 @@ class ZkvStore
     ZkvStore(const ZkvStore&) = delete;
     ZkvStore& operator=(const ZkvStore&) = delete;
 
-    /** Value for @p key, or nullopt on miss. Hits touch the policy. */
+    /** Value for @p key, or nullopt on miss. Hits touch the policy.
+     *  Fixed-u64 stores only — bytes-mode callers use getBytes(). */
     std::optional<std::uint64_t> get(std::uint64_t key);
 
     /**
      * Insert or update @p key. Inserting into a full shard evicts the
      * relocation walk's victim (reported in PutResult). Fails with
-     * InvalidArgument for the reserved key and ResourceExhausted when
-     * the store.walk fault site fires.
+     * InvalidArgument for the reserved key, on a bytes-mode store
+     * (use putBytes), and ResourceExhausted when the store.walk fault
+     * site fires.
      */
     Expected<PutResult> put(std::uint64_t key, std::uint64_t value);
 
     /** Remove @p key; true iff it was resident. */
     bool erase(std::uint64_t key);
+
+    // ---- byte-payload values (value.maxBytes > 0) ------------------
+
+    /** True when the store holds variable-length byte payloads. */
+    bool bytesMode() const { return cfg_.value.bytesMode(); }
+
+    /**
+     * Bytes-mode put: compress @p value with the configured codec and
+     * insert/update exactly like put(). Fails with InvalidArgument on
+     * a fixed-u64 store, for the reserved key, and when the payload
+     * exceeds value.maxBytes. In bytes mode an eviction reports only
+     * the evicted key — the payload is dropped, not decompressed.
+     */
+    Expected<PutResult> putBytes(std::uint64_t key,
+                                 std::span<const std::uint8_t> value);
+
+    /**
+     * Bytes-mode get: nullopt on miss, the decompressed payload on a
+     * hit. A decode failure (a corrupt stored stream, or the
+     * compress.codec fault site) returns Corruption — never a torn or
+     * partial value. Fails with InvalidArgument on a fixed-u64 store.
+     * Hits touch the policy, exactly like get().
+     */
+    Expected<std::optional<std::vector<std::uint8_t>>>
+    getBytes(std::uint64_t key);
+
+    /** Store-wide compressed-payload counters (zeros outside bytes
+     *  mode); locks each shard in turn like totals(). */
+    ZkvCompressionStats compressionTotals() const;
 
     /**
      * Execute @p ops — all of which must map to @p shard (the caller
@@ -631,6 +780,11 @@ class ZkvStore
 
     ZkvConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Bytes-mode payload codec (null outside bytes mode). Codecs are
+     *  stateless, so one instance serves every shard concurrently;
+     *  scratch buffers are per-call. */
+    std::unique_ptr<Codec> codec_;
 
     // Declared after shards_ so it is destroyed (writer + snapshot
     // threads joined) before the shards its callbacks reference.

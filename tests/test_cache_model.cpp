@@ -88,7 +88,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ArrayKind::SetAssoc, ArrayKind::SkewAssoc,
                       ArrayKind::ZCache, ArrayKind::FullyAssoc,
                       ArrayKind::RandomCandidates, ArrayKind::VictimCache,
-                      ArrayKind::VWay, ArrayKind::ColumnAssoc),
+                      ArrayKind::VWay, ArrayKind::ColumnAssoc,
+                      ArrayKind::CompressedZ,
+                      ArrayKind::CompressedSetAssoc),
     [](const ::testing::TestParamInfo<ArrayKind>& info) {
         switch (info.param) {
           case ArrayKind::SetAssoc: return std::string("SetAssoc");
@@ -99,6 +101,9 @@ INSTANTIATE_TEST_SUITE_P(
           case ArrayKind::VictimCache: return std::string("VictimCache");
           case ArrayKind::VWay: return std::string("VWay");
           case ArrayKind::ColumnAssoc: return std::string("ColumnAssoc");
+          case ArrayKind::CompressedZ: return std::string("CompressedZ");
+          case ArrayKind::CompressedSetAssoc:
+            return std::string("CompressedSA");
         }
         return std::string("unknown");
     });

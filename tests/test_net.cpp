@@ -327,6 +327,98 @@ TEST(NetProtocolErrors, TruncatedAtEofHelper)
 }
 
 // ---------------------------------------------------------------------
+// Bytes mode (kFrameFlagBytes, docs/compression.md).
+
+TEST(NetProtocolBytes, PutRequestAndGetResponseRoundTrip)
+{
+    Pcg32 rng(13, 5);
+    for (bool crc : {false, true}) {
+        for (std::size_t len :
+             {std::size_t{0}, std::size_t{1}, std::size_t{100},
+              kMaxValueBytes}) {
+            Request req;
+            req.type = MsgType::Put;
+            req.id = rng.next64();
+            req.key = rng.next64();
+            req.bytes = true;
+            req.valueBytes.resize(len);
+            for (auto& b : req.valueBytes) {
+                b = static_cast<std::uint8_t>(rng.next64());
+            }
+            req.crc = crc;
+
+            std::vector<std::uint8_t> buf;
+            encodeRequest(req, buf);
+            Request got;
+            auto n = decodeRequest(buf.data(), buf.size(), &got);
+            ASSERT_TRUE(n.hasValue()) << n.status().str();
+            EXPECT_EQ(*n, buf.size());
+            EXPECT_TRUE(got.bytes);
+            EXPECT_EQ(got.key, req.key);
+            EXPECT_EQ(got.valueBytes, req.valueBytes);
+
+            Response resp;
+            resp.type = MsgType::Get;
+            resp.id = rng.next64();
+            resp.status = ErrorCode::Ok;
+            resp.rflags = 1; // hit
+            resp.bytes = true;
+            resp.valueBytes = req.valueBytes;
+            resp.crc = crc;
+
+            buf.clear();
+            encodeResponse(resp, buf);
+            Response rgot;
+            auto m = decodeResponse(buf.data(), buf.size(), &rgot);
+            ASSERT_TRUE(m.hasValue()) << m.status().str();
+            EXPECT_EQ(*m, buf.size());
+            EXPECT_TRUE(rgot.bytes);
+            EXPECT_EQ(rgot.valueBytes, req.valueBytes);
+        }
+    }
+}
+
+TEST(NetProtocolBytes, OversizedDeclaredLengthIsInvalidArgument)
+{
+    // Hand-build a bytes PUT whose u16 length field claims more than
+    // kMaxValueBytes: must be rejected before any allocation.
+    Request req;
+    req.type = MsgType::Put;
+    req.id = 1;
+    req.key = 2;
+    req.bytes = true;
+    req.valueBytes.assign(8, 0xcd);
+    std::vector<std::uint8_t> buf;
+    encodeRequest(req, buf);
+    // Body layout: u32 len | 12B header | key(8) | u16 vlen | bytes.
+    const std::size_t vlen_off = 4 + kHeaderBytes + 8;
+    buf[vlen_off] = 0xff;
+    buf[vlen_off + 1] = 0xff;
+    Request got;
+    auto n = decodeRequest(buf.data(), buf.size(), &got);
+    ASSERT_FALSE(n.hasValue());
+    EXPECT_EQ(n.status().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(NetProtocolBytes, LengthBodyMismatchIsCorruption)
+{
+    Request req;
+    req.type = MsgType::Put;
+    req.id = 1;
+    req.key = 2;
+    req.bytes = true;
+    req.valueBytes.assign(8, 0xcd);
+    std::vector<std::uint8_t> buf;
+    encodeRequest(req, buf);
+    const std::size_t vlen_off = 4 + kHeaderBytes + 8;
+    buf[vlen_off] = 9; // declares one byte more than the body carries
+    Request got;
+    auto n = decodeRequest(buf.data(), buf.size(), &got);
+    ASSERT_FALSE(n.hasValue());
+    EXPECT_EQ(n.status().code(), ErrorCode::Corruption);
+}
+
+// ---------------------------------------------------------------------
 // End-to-end: server over localhost.
 
 TEST(NetServer, EphemeralPortResolves)
@@ -422,6 +514,97 @@ TEST(NetServer, MatchesDirectStoreReadYourWrites)
             ASSERT_TRUE(got.hasValue());
             EXPECT_EQ(*got, want) << "op " << i;
         }
+    }
+}
+
+/** Bytes mode end to end: byte-exact round trips through the wire,
+ *  updates, misses, erases — against a BDI-compressed store. */
+TEST(NetServer, BytesModeRoundTripsByteExactly)
+{
+    ZkvServerConfig scfg;
+    scfg.store = tinyStore(/*shards=*/2, /*blocks=*/256);
+    scfg.store.value.maxBytes = kZkvMaxValueBytes;
+    scfg.store.value.codec = CodecKind::Bdi;
+    ServerFixture f(scfg);
+    auto cl = f.client(/*crc=*/true);
+    ASSERT_TRUE(cl);
+
+    Pcg32 rng(0xb17e, 1);
+    for (std::size_t len : {std::size_t{0}, std::size_t{1},
+                            std::size_t{64}, kMaxValueBytes}) {
+        std::vector<std::uint8_t> v(len);
+        for (auto& b : v) b = static_cast<std::uint8_t>(rng.next64());
+        auto put = cl->putBytes(len + 1, v);
+        ASSERT_TRUE(put.hasValue()) << put.status().str();
+        auto got = cl->getBytes(len + 1);
+        ASSERT_TRUE(got.hasValue()) << got.status().str();
+        ASSERT_TRUE(got->has_value()) << len;
+        EXPECT_EQ(**got, v) << len;
+    }
+
+    // Update in place, then miss and erase semantics.
+    std::vector<std::uint8_t> v2(100, 0x5a);
+    ASSERT_TRUE(cl->putBytes(65, v2).hasValue());
+    auto updated = cl->getBytes(65);
+    ASSERT_TRUE(updated.hasValue());
+    ASSERT_TRUE(updated->has_value());
+    EXPECT_EQ(**updated, v2);
+
+    auto miss = cl->getBytes(0xdeadULL);
+    ASSERT_TRUE(miss.hasValue());
+    EXPECT_FALSE(miss->has_value());
+
+    auto erased = cl->erase(65);
+    ASSERT_TRUE(erased.hasValue());
+    EXPECT_TRUE(*erased);
+    auto gone = cl->getBytes(65);
+    ASSERT_TRUE(gone.hasValue());
+    EXPECT_FALSE(gone->has_value());
+
+    auto over = cl->putBytes(1, std::vector<std::uint8_t>(
+                                    kMaxValueBytes + 1, 0));
+    ASSERT_FALSE(over.hasValue());
+    EXPECT_EQ(over.status().code(), ErrorCode::InvalidArgument);
+}
+
+/**
+ * A bytes-flagged op against a u64 server (and vice versa) answers
+ * InvalidArgument at dispatch — never a mis-parsed payload — and the
+ * mismatch is counted in the server's mode_errors stat. Ping and
+ * erase are representation-free and work in both modes.
+ */
+TEST(NetServer, ModeMismatchIsInvalidArgumentAndCounted)
+{
+    { // u64 server, bytes client ops
+        ServerFixture f;
+        auto cl = f.client();
+        std::vector<std::uint8_t> v(8, 1);
+        auto put = cl->putBytes(1, v);
+        ASSERT_FALSE(put.hasValue());
+        EXPECT_EQ(put.status().code(), ErrorCode::InvalidArgument);
+        auto get = cl->getBytes(1);
+        ASSERT_FALSE(get.hasValue());
+        EXPECT_EQ(get.status().code(), ErrorCode::InvalidArgument);
+        EXPECT_TRUE(cl->ping().isOk());
+        EXPECT_EQ(f.server().stats().modeErrors, 2u);
+    }
+    { // bytes server, u64 client ops
+        ZkvServerConfig scfg;
+        scfg.store = tinyStore();
+        scfg.store.value.maxBytes = kZkvMaxValueBytes;
+        ServerFixture f(scfg);
+        auto cl = f.client();
+        auto put = cl->put(1, 2);
+        ASSERT_FALSE(put.hasValue());
+        EXPECT_EQ(put.status().code(), ErrorCode::InvalidArgument);
+        auto get = cl->get(1);
+        ASSERT_FALSE(get.hasValue());
+        EXPECT_EQ(get.status().code(), ErrorCode::InvalidArgument);
+        EXPECT_TRUE(cl->ping().isOk());
+        auto erased = cl->erase(1);
+        ASSERT_TRUE(erased.hasValue());
+        EXPECT_FALSE(*erased);
+        EXPECT_EQ(f.server().stats().modeErrors, 2u);
     }
 }
 

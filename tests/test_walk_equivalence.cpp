@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/array_factory.hpp"
 #include "cache/z_array.hpp"
 #include "common/rng.hpp"
 #include "hash/hash_factory.hpp"
@@ -205,6 +206,83 @@ TEST(WalkEquivalence, DegenerateAndWideShapes)
         cfg.levels = 2;
         cfg.traceCapacity = 32;
         expectEquivalent(cfg, PolicyKind::Srrip, 3000, "h3/bfs/W8L2");
+    }
+}
+
+// ------------------------------------------- Compressed degeneration
+
+/**
+ * The compressed tier's no-op configuration must be *bit-identical* to
+ * the plain zcache (docs/compression.md): with extraTagRatio=1 the tag
+ * count matches, and with the null codec every stored size equals
+ * lineBytes exactly, so the data budget (blocks x lineBytes) can never
+ * be exceeded and makeSpace never fires. The SizeMirror decorator
+ * forwards every ranking/notification call to the inner policy
+ * untouched, so replacement decisions — and therefore the whole walk
+ * event stream and final tag contents — must match position for
+ * position. A divergence here means the decorator perturbed policy
+ * state or the budget check fired spuriously.
+ */
+TEST(WalkEquivalence, CompressedNullCodecRatio1IsBitIdentical)
+{
+    for (PolicyKind pk : {PolicyKind::Lru, PolicyKind::Srrip}) {
+        ArraySpec plain;
+        plain.kind = ArrayKind::ZCache;
+        plain.blocks = kBlocks;
+        plain.ways = 4;
+        plain.levels = 3;
+        plain.policy = pk;
+        plain.seed = 99;
+
+        ArraySpec comp = plain;
+        comp.kind = ArrayKind::CompressedZ;
+        comp.extraTagRatio = 1;
+        comp.codec = CodecKind::None;
+        comp.lineBytes = 64;
+
+        auto p = zc::makeArray(plain);
+        auto c = zc::makeArray(comp);
+        auto* pz = dynamic_cast<ZArray*>(p.get());
+        auto* cz = dynamic_cast<CompressedZArray*>(c.get());
+        ASSERT_NE(pz, nullptr);
+        ASSERT_NE(cz, nullptr);
+
+        Pcg32 rng(7);
+        for (int i = 0; i < 6000; i++) {
+            Addr a = rng.next64() % kFootprint;
+            AccessContext ctx;
+            ctx.lineAddr = a;
+            BlockPos hp = p->access(a, ctx);
+            BlockPos hc = c->access(a, ctx);
+            ASSERT_EQ(hp, hc) << policyKindName(pk) << ": access " << i;
+            if (hp != kInvalidPos) continue;
+            Replacement rp = p->insert(a, ctx);
+            Replacement rc = c->insert(a, ctx);
+            ASSERT_EQ(rp.evictedAddr, rc.evictedAddr)
+                << policyKindName(pk) << ": access " << i;
+            ASSERT_EQ(rp.victimPos, rc.victimPos)
+                << policyKindName(pk) << ": access " << i;
+            ASSERT_EQ(rp.candidates, rc.candidates)
+                << policyKindName(pk) << ": access " << i;
+            ASSERT_EQ(rp.relocations, rc.relocations)
+                << policyKindName(pk) << ": access " << i;
+            ASSERT_EQ(rc.extraEvictions, 0u)
+                << policyKindName(pk) << ": access " << i;
+        }
+
+        EXPECT_EQ(cz->sizeMirror().extraEvictions(), 0u);
+        EXPECT_EQ(cz->sizeMirror().occupiedBytes(),
+                  static_cast<std::uint64_t>(cz->validCount()) * 64);
+        const ZWalkStats& sp = pz->walkStats();
+        const ZWalkStats& sc = cz->walkStats();
+        EXPECT_EQ(sp.walks, sc.walks);
+        EXPECT_EQ(sp.candidatesTotal, sc.candidatesTotal);
+        EXPECT_EQ(sp.relocationsTotal, sc.relocationsTotal);
+        ASSERT_EQ(pz->validCount(), cz->validCount());
+        for (BlockPos pos = 0; pos < kBlocks; pos++) {
+            ASSERT_EQ(pz->addrAt(pos), cz->addrAt(pos))
+                << policyKindName(pk) << ": position " << pos;
+        }
     }
 }
 
